@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for target clustering (the §4.1 claim:
+//! optimal rectangle cover for hundreds of targets at interactive
+//! latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eagleeye_core::clustering::{cluster, ClusteringMethod};
+use eagleeye_core::pointing::GroundPoint;
+
+fn frame_points(n: usize) -> Vec<(GroundPoint, f64)> {
+    (0..n)
+        .map(|i| {
+            let r = (6364136223846793005u64.wrapping_mul(i as u64 + 3)) % 1_000_000;
+            let x = (r % 100_000) as f64 - 50_000.0;
+            let y = ((r / 100_000) % 110) as f64 * 1_000.0;
+            (GroundPoint::new(x, y), 1.0)
+        })
+        .collect()
+}
+
+fn bench_ilp_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_ilp");
+    group.sample_size(10);
+    for &n in &[25usize, 100, 500] {
+        let pts = frame_points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| cluster(pts, 10_000.0, 10_000.0, ClusteringMethod::Ilp).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_greedy");
+    for &n in &[25usize, 100, 500] {
+        let pts = frame_points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| cluster(pts, 10_000.0, 10_000.0, ClusteringMethod::Greedy).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp_cover, bench_greedy_cover);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the orbital substrate: propagation and
+//! spatial-index throughput, the inner loops of coverage evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eagleeye_datasets::{LakeGenerator, LakeSizeBand};
+use eagleeye_geo::GeodeticPoint;
+use eagleeye_orbit::{GroundTrack, J2Propagator};
+
+fn bench_propagation(c: &mut Criterion) {
+    let track = GroundTrack::new(
+        J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)
+            .expect("valid orbit"),
+    );
+    c.bench_function("ground_track_state", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 15.0;
+            track.state_at(t).expect("propagation")
+        });
+    });
+}
+
+fn bench_grid_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("target_query");
+    for &n in &[10_000usize, 100_000] {
+        let lakes = LakeGenerator::new(LakeSizeBand::TenthToTenKm2)
+            .with_count(n)
+            .generate(1);
+        let center = GeodeticPoint::from_degrees(60.0, -100.0, 0.0).expect("valid point");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lakes, |b, lakes| {
+            b.iter(|| lakes.query_radius(&center, 80_000.0, 0.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_grid_query);
+criterion_main!(benches);

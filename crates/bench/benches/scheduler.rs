@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the follower schedulers (the timing
+//! engine behind Fig. 12a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eagleeye_core::schedule::{
+    FollowerState, GreedyScheduler, IlpScheduler, Scheduler, SchedulingProblem, TaskSpec,
+};
+use eagleeye_core::SensingSpec;
+
+fn synthetic_frame(n: usize, followers: usize) -> SchedulingProblem {
+    let tasks: Vec<TaskSpec> = (0..n)
+        .map(|i| {
+            let r = (2654435761u64.wrapping_mul(i as u64 + 7)) % 100_000;
+            let x = (r % 170) as f64 * 1_000.0 - 85_000.0;
+            let y = ((r / 170) % 110) as f64 * 1_000.0;
+            TaskSpec::new(x, y, 0.5 + (r % 50) as f64 / 100.0)
+        })
+        .collect();
+    let fs: Vec<FollowerState> = (0..followers)
+        .map(|k| FollowerState::at_start(-100_000.0 - 20_000.0 * k as f64))
+        .collect();
+    SchedulingProblem::new(SensingSpec::paper_default(), tasks, fs).expect("valid problem")
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_scheduler");
+    group.sample_size(10);
+    for &n in &[5usize, 10, 19, 40] {
+        let p = synthetic_frame(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let s = IlpScheduler::default();
+            b.iter(|| s.schedule(p).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_scheduler");
+    for &n in &[5usize, 19, 40, 100] {
+        let p = synthetic_frame(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| GreedyScheduler.schedule(p).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_follower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_scheduler_followers");
+    group.sample_size(10);
+    for &f in &[1usize, 2, 3] {
+        let p = synthetic_frame(15, f);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &p, |b, p| {
+            let s = IlpScheduler::default();
+            b.iter(|| s.schedule(p).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp, bench_greedy, bench_multi_follower);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the MILP substrate itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eagleeye_ilp::{Model, Sense, SolveOptions};
+
+fn knapsack_model(n: usize) -> Model {
+    let mut m = Model::maximize();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary_var(1.0 + (i % 17) as f64))
+        .collect();
+    m.add_constraint(
+        vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 11) as f64)),
+        Sense::Le,
+        n as f64 * 2.0,
+    )
+    .expect("valid constraint");
+    m
+}
+
+fn assignment_model(n: usize) -> Model {
+    let mut m = Model::minimize();
+    let mut x = vec![vec![]; n];
+    for (i, xi) in x.iter_mut().enumerate() {
+        for j in 0..n {
+            xi.push(m.add_binary_var(((i * 7 + j * 13) % 29) as f64));
+        }
+    }
+    for i in 0..n {
+        m.add_constraint((0..n).map(|j| (x[i][j], 1.0)), Sense::Eq, 1.0).expect("row");
+        m.add_constraint((0..n).map(|j| (x[j][i], 1.0)), Sense::Eq, 1.0).expect("col");
+    }
+    m
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_knapsack");
+    group.sample_size(10);
+    for &n in &[20usize, 60, 120] {
+        let m = knapsack_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.solve(&SolveOptions::default()).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_assignment");
+    group.sample_size(10);
+    for &n in &[5usize, 10, 15] {
+        let m = assignment_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.solve(&SolveOptions::default()).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsack, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension ablation (paper §4.7 "Recapture"): unique-target coverage
+//! with and without recapture deprioritization.
+//!
+//! When the constellation re-identifies already-captured targets, the
+//! leader can scale their priority down and steer followers toward new
+//! ones. Expected shape: unique coverage never decreases, with the gain
+//! concentrated where revisits are common (dense workloads, longer runs).
+
+use eagleeye_bench::{print_csv, BenchCli};
+use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye_datasets::Workload;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let targets = cli.workload(workload);
+        for (label, penalty) in
+            [("paper (no re-id)", None), ("deprioritize 0.1", Some(0.1)), ("ignore captured", Some(0.0))]
+        {
+            let opts = CoverageOptions {
+                duration_s: cli.duration_s,
+                seed: cli.seed,
+                recapture_penalty: penalty,
+                ..CoverageOptions::default()
+            };
+            let eval = CoverageEvaluator::new(&targets, opts);
+            let report = eval
+                .evaluate(&ConstellationConfig::eagleeye(2, 1))
+                .expect("coverage evaluation");
+            rows.push(format!(
+                "{},{},{:.4},{}",
+                workload.label(),
+                label,
+                report.coverage_fraction(),
+                report.captures_commanded
+            ));
+            eprintln!(
+                "done: {} {} -> {:.2}%",
+                workload.label(),
+                label,
+                100.0 * report.coverage_fraction()
+            );
+        }
+    }
+    print_csv("workload,policy,unique_coverage,captures_commanded", rows);
+}

@@ -1,0 +1,53 @@
+//! Fig. 11c — coverage vs. constellation size with 1–6 followers per
+//! group (EagleEye, ILP scheduling).
+//!
+//! Expected shape (paper): for sparse workloads (ships, planes) one
+//! follower per group is most efficient — extra satellites are better
+//! spent on more groups; the dense Lake Monitoring (1.4M) workload needs
+//! more followers per group.
+
+use eagleeye_bench::{print_csv, BenchCli};
+use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye_datasets::Workload;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let follower_counts: Vec<usize> = if cli.fast { vec![1, 3, 6] } else { vec![1, 2, 3, 4, 5, 6] };
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let targets = cli.workload(workload);
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            ..CoverageOptions::default()
+        };
+        let eval = CoverageEvaluator::new(&targets, opts);
+        for sats in cli.sat_counts() {
+            for &followers in &follower_counts {
+                let group_size = followers + 1;
+                let groups = sats / group_size;
+                if groups == 0 {
+                    continue;
+                }
+                let report = eval
+                    .evaluate(&ConstellationConfig::eagleeye(groups, followers))
+                    .expect("coverage evaluation");
+                rows.push(format!(
+                    "{},{},{},{:.4}",
+                    workload.label(),
+                    groups * group_size,
+                    followers,
+                    report.coverage_fraction()
+                ));
+                eprintln!(
+                    "done: {} sats={} followers={} -> {:.1}%",
+                    workload.label(),
+                    groups * group_size,
+                    followers,
+                    100.0 * report.coverage_fraction()
+                );
+            }
+        }
+    }
+    print_csv("workload,satellites,followers_per_group,coverage", rows);
+}

@@ -1,0 +1,77 @@
+//! Fig. 13 — leader-follower vs. mix-camera at equal satellite count,
+//! with mix-camera compute times from the five YOLOv8 variants
+//! (1.4 / 2.6 / 5.5 / 8.6 / 11.8 s).
+//!
+//! Expected shape (paper): mix-camera coverage degrades as compute time
+//! grows and collapses to ~0 at Yolo_x (11.8 s leaves no slack in the
+//! 15 s frame for pointing and capture); leader-follower is unaffected
+//! by compute time because followers trail the leader.
+
+use eagleeye_bench::{print_csv, BenchCli};
+use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye_datasets::Workload;
+use eagleeye_detect::YoloVariant;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let sats = 4; // Fig. 5's running example size
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let targets = cli.workload(workload);
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            ..CoverageOptions::default()
+        };
+        let eval = CoverageEvaluator::new(&targets, opts);
+
+        let lf = eval
+            .evaluate(&ConstellationConfig::eagleeye(sats / 2, 1))
+            .expect("coverage evaluation");
+        rows.push(format!(
+            "{},leader-follower,0,{:.4},{:.4}",
+            workload.label(),
+            lf.coverage_fraction(),
+            lf.coverage_fraction()
+        ));
+
+        for variant in YoloVariant::ALL {
+            let compute = variant.paper_frame_time_s();
+            // Equal satellite count: 4 mix satellites fly 4 tracks (twice
+            // the leader-follower ground coverage) but each loses capture
+            // time to compute.
+            let mix_sats = eval
+                .evaluate(&ConstellationConfig::MixCamera {
+                    satellites: sats,
+                    compute_time_s: compute,
+                })
+                .expect("coverage evaluation");
+            // Equal group count: isolates the compute-delay mechanism of
+            // the paper's Fig. 9 (one mix satellite per leader-follower
+            // group).
+            let mix_groups = eval
+                .evaluate(&ConstellationConfig::MixCamera {
+                    satellites: sats / 2,
+                    compute_time_s: compute,
+                })
+                .expect("coverage evaluation");
+            rows.push(format!(
+                "{},mix-camera({variant}),{compute},{:.4},{:.4}",
+                workload.label(),
+                mix_sats.coverage_fraction(),
+                mix_groups.coverage_fraction()
+            ));
+            eprintln!(
+                "done: {} {variant} ({}s) -> {:.1}% / {:.1}%",
+                workload.label(),
+                compute,
+                100.0 * mix_sats.coverage_fraction(),
+                100.0 * mix_groups.coverage_fraction()
+            );
+        }
+    }
+    print_csv(
+        "workload,config,compute_time_s,coverage_equal_sats,coverage_equal_groups",
+        rows,
+    );
+}

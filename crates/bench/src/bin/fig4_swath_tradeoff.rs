@@ -1,0 +1,48 @@
+//! Fig. 4 — the swath/GSD trade-off. Left: nine real cubesat cameras
+//! (GSD vs. swath scatter). Right: fraction of targets captured in a
+//! fixed horizon by homogeneous constellations at different swath
+//! widths — wide swath covers everything at unusable resolution, narrow
+//! swath leaves most targets unseen.
+
+use eagleeye_bench::{print_csv, BenchCli};
+use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye_core::REAL_CUBESAT_CAMERAS;
+use eagleeye_datasets::Workload;
+
+fn main() {
+    let cli = BenchCli::parse();
+
+    // Left panel: the camera table.
+    print_csv(
+        "camera,swath_km,gsd_m",
+        REAL_CUBESAT_CAMERAS
+            .iter()
+            .map(|(name, swath, gsd)| format!("{name},{swath},{gsd}")),
+    );
+    println!();
+
+    // Right panel: coverage vs. satellites for the two operating points,
+    // on the ship workload (the paper's motivating example).
+    let targets = cli.workload(Workload::ShipDetection);
+    let opts = CoverageOptions {
+        duration_s: cli.duration_s,
+        seed: cli.seed,
+        ..CoverageOptions::default()
+    };
+    let eval = CoverageEvaluator::new(&targets, opts);
+    let mut rows = Vec::new();
+    for sats in cli.sat_counts() {
+        let low = eval
+            .evaluate(&ConstellationConfig::LowResOnly { satellites: sats })
+            .expect("coverage evaluation");
+        let high = eval
+            .evaluate(&ConstellationConfig::HighResOnly { satellites: sats })
+            .expect("coverage evaluation");
+        rows.push(format!(
+            "{sats},{:.4},{:.4}",
+            low.coverage_fraction(),
+            high.coverage_fraction()
+        ));
+    }
+    print_csv("satellites,only_low_res_coverage,only_high_res_coverage", rows);
+}

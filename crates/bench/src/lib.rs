@@ -1,0 +1,128 @@
+//! Shared harness utilities for the per-figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation, printing CSV-style series to stdout. All binaries
+//! accept:
+//!
+//! * `--fast` — shortened sweeps and simulation horizon for quick runs
+//!   (the default horizon is already reduced relative to the paper's
+//!   24 h; see EXPERIMENTS.md for the scaling argument).
+//! * `--hours <h>` — explicit simulation horizon.
+//! * `--scale <f>` — dataset scale factor in `(0, 1]` (1 = the paper's
+//!   full target counts).
+//! * `--seed <n>` — RNG seed.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run -p eagleeye-bench --release --bin fig11a_coverage -- --fast
+//! ```
+
+#![deny(missing_docs)]
+
+use eagleeye_datasets::{TargetSet, Workload};
+
+/// Parsed command-line options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCli {
+    /// Shortened sweep mode.
+    pub fast: bool,
+    /// Simulation horizon, seconds.
+    pub duration_s: f64,
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchCli {
+    fn default() -> Self {
+        BenchCli { fast: false, duration_s: 3.0 * 3600.0, scale: 1.0, seed: 7 }
+    }
+}
+
+impl BenchCli {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags — these are
+    /// developer-facing binaries.
+    pub fn parse() -> Self {
+        let mut cli = BenchCli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fast" => {
+                    cli.fast = true;
+                    cli.duration_s = 1.0 * 3600.0;
+                    cli.scale = cli.scale.min(0.3);
+                }
+                "--hours" => {
+                    let v = args.next().expect("--hours needs a value");
+                    cli.duration_s = v.parse::<f64>().expect("numeric hours") * 3600.0;
+                }
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    cli.scale = v.parse::<f64>().expect("numeric scale").clamp(1e-4, 1.0);
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    cli.seed = v.parse().expect("integer seed");
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n>"
+                ),
+            }
+        }
+        cli
+    }
+
+    /// Generates one of the paper's four workloads at the configured
+    /// scale and horizon.
+    pub fn workload(&self, w: Workload) -> TargetSet {
+        w.generate_scaled(self.scale, self.duration_s, self.seed)
+    }
+
+    /// Satellite-count sweep used by the Fig. 11 family.
+    pub fn sat_counts(&self) -> Vec<usize> {
+        if self.fast {
+            vec![4, 12, 24, 40]
+        } else {
+            vec![2, 4, 8, 12, 20, 28, 40]
+        }
+    }
+}
+
+/// Prints a CSV header and rows to stdout.
+pub fn print_csv(header: &str, rows: impl IntoIterator<Item = String>) {
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_is_full_sweep() {
+        let c = BenchCli::default();
+        assert!(!c.fast);
+        assert_eq!(c.scale, 1.0);
+    }
+
+    #[test]
+    fn workload_scales() {
+        let cli = BenchCli { scale: 0.01, ..BenchCli::default() };
+        let set = cli.workload(Workload::ShipDetection);
+        assert_eq!(set.len(), 191);
+    }
+
+    #[test]
+    fn sat_counts_depend_on_mode() {
+        assert!(BenchCli { fast: true, ..Default::default() }.sat_counts().len() < 6);
+        assert!(BenchCli::default().sat_counts().len() >= 6);
+    }
+}

@@ -1,0 +1,147 @@
+use crate::clustering::ClusteringMethod;
+
+/// Which scheduling algorithm the leaders run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The paper's ILP formulation (default).
+    Ilp,
+    /// Greedy nearest-target baseline.
+    Greedy,
+    /// Prior-work anytime branch-and-bound (slow; for runtime studies).
+    Abb,
+}
+
+/// A constellation organization to evaluate (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstellationConfig {
+    /// Homogeneous wide-swath (100 km, 30 m GSD) constellation.
+    /// Coverage counts swath membership; the data is low-resolution.
+    LowResOnly {
+        /// Number of satellites, evenly spaced in one plane.
+        satellites: usize,
+    },
+    /// Homogeneous narrow-swath (10 km, 3 m GSD) nadir constellation.
+    HighResOnly {
+        /// Number of satellites, evenly spaced in one plane.
+        satellites: usize,
+    },
+    /// The EagleEye leader-follower organization.
+    EagleEye {
+        /// Number of leader-follower groups, evenly spaced in one plane.
+        groups: usize,
+        /// Followers trailing each leader.
+        followers_per_group: usize,
+        /// Scheduling algorithm.
+        scheduler: SchedulerKind,
+        /// Target clustering mode.
+        clustering: ClusteringMethod,
+    },
+    /// Both cameras on every satellite; compute time shrinks each
+    /// frame's usable capture window (paper §4.4, Fig. 9/13).
+    MixCamera {
+        /// Number of satellites, evenly spaced in one plane.
+        satellites: usize,
+        /// Onboard detection + scheduling latency per frame, seconds.
+        compute_time_s: f64,
+    },
+}
+
+impl ConstellationConfig {
+    /// A default EagleEye configuration: ILP scheduling, ILP clustering.
+    pub fn eagleeye(groups: usize, followers_per_group: usize) -> Self {
+        ConstellationConfig::EagleEye {
+            groups,
+            followers_per_group,
+            scheduler: SchedulerKind::Ilp,
+            clustering: ClusteringMethod::Ilp,
+        }
+    }
+
+    /// Total satellite count of the configuration (the x-axis of the
+    /// paper's Fig. 11).
+    pub fn total_satellites(&self) -> usize {
+        match *self {
+            ConstellationConfig::LowResOnly { satellites }
+            | ConstellationConfig::HighResOnly { satellites }
+            | ConstellationConfig::MixCamera { satellites, .. } => satellites,
+            ConstellationConfig::EagleEye { groups, followers_per_group, .. } => {
+                groups * (1 + followers_per_group)
+            }
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            ConstellationConfig::LowResOnly { satellites } => {
+                format!("low-res-only({satellites})")
+            }
+            ConstellationConfig::HighResOnly { satellites } => {
+                format!("high-res-only({satellites})")
+            }
+            ConstellationConfig::EagleEye { groups, followers_per_group, scheduler, .. } => {
+                format!(
+                    "eagleeye({groups}x{}, {})",
+                    followers_per_group,
+                    match scheduler {
+                        SchedulerKind::Ilp => "ilp",
+                        SchedulerKind::Greedy => "greedy",
+                        SchedulerKind::Abb => "abb",
+                    }
+                )
+            }
+            ConstellationConfig::MixCamera { satellites, compute_time_s } => {
+                format!("mix-camera({satellites}, {compute_time_s}s)")
+            }
+        }
+    }
+}
+
+/// A reliability scenario (paper §4.7): failures occurring at a given
+/// simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailurePlan {
+    /// Simulation time at which the failures occur, seconds.
+    pub fail_at_s: f64,
+    /// Whether the group leader fails. Followers then fall back to
+    /// capturing nadir high-resolution imagery.
+    pub leader_failed: bool,
+    /// Indices of failed followers (excluded from scheduling).
+    pub failed_followers: Vec<usize>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Option<FailurePlan> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_satellites_counts_groups() {
+        assert_eq!(ConstellationConfig::eagleeye(2, 1).total_satellites(), 4);
+        assert_eq!(ConstellationConfig::eagleeye(1, 3).total_satellites(), 4);
+        assert_eq!(ConstellationConfig::LowResOnly { satellites: 7 }.total_satellites(), 7);
+        assert_eq!(
+            ConstellationConfig::MixCamera { satellites: 3, compute_time_s: 1.4 }
+                .total_satellites(),
+            3
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            ConstellationConfig::LowResOnly { satellites: 4 }.label(),
+            ConstellationConfig::HighResOnly { satellites: 4 }.label(),
+            ConstellationConfig::eagleeye(2, 1).label(),
+            ConstellationConfig::MixCamera { satellites: 4, compute_time_s: 1.4 }.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

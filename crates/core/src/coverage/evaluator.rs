@@ -1,0 +1,602 @@
+use super::{ConstellationConfig, CoverageReport, FailurePlan, SchedulerKind};
+use crate::clustering::{cluster, ClusteringMethod};
+use crate::pointing::TimeWindow;
+use crate::schedule::{
+    AbbScheduler, FollowerState, GreedyScheduler, IlpScheduler, Scheduler, SchedulingProblem,
+    TaskSpec,
+};
+use crate::{CoreError, SensingSpec};
+use eagleeye_datasets::TargetSet;
+use eagleeye_geo::LocalFrame;
+use eagleeye_orbit::ConstellationLayout;
+use std::time::Instant;
+
+/// Options controlling a coverage evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageOptions {
+    /// Sensing configuration (cameras, ADACS, orbit geometry).
+    pub spec: SensingSpec,
+    /// Simulated duration, seconds. The paper runs 24 h; the default is
+    /// 4 h, which preserves every trend at a fraction of the cost (see
+    /// EXPERIMENTS.md).
+    pub duration_s: f64,
+    /// Orbit inclination, radians (paper: 97.2°).
+    pub inclination_rad: f64,
+    /// Leader detection recall in `[0, 1]` (Fig. 15 sweeps this).
+    pub recall: f64,
+    /// RNG seed for the detection model.
+    pub seed: u64,
+    /// Cap on clusters handed to the scheduler per frame (more than the
+    /// followers can capture anyway); highest-value clusters are kept.
+    pub max_tasks_per_frame: usize,
+    /// Optional failure-injection scenario (paper §4.7).
+    pub failure: Option<FailurePlan>,
+    /// Recapture deprioritization (paper §4.7 "Recapture", implemented
+    /// here as an extension): when `Some(p)`, the leader multiplies the
+    /// priority of targets the constellation has already captured by
+    /// `p ∈ [0, 1]`, steering followers toward new targets. `None`
+    /// reproduces the paper's evaluated behaviour (no re-identification).
+    pub recapture_penalty: Option<f64>,
+    /// Number of orbital planes to spread groups across (paper §4.7
+    /// "Orbit Design", implemented here as an extension). 1 reproduces
+    /// the paper's single-plane evaluation.
+    pub orbital_planes: usize,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            spec: SensingSpec::paper_default(),
+            duration_s: 4.0 * 3600.0,
+            inclination_rad: 97.2_f64.to_radians(),
+            recall: 1.0,
+            seed: 7,
+            max_tasks_per_frame: 60,
+            failure: None,
+            recapture_penalty: None,
+            orbital_planes: 1,
+        }
+    }
+}
+
+/// Runs constellation configurations against a target workload.
+///
+/// # Example
+///
+/// ```no_run
+/// use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+/// use eagleeye_datasets::{ShipGenerator};
+///
+/// let ships = ShipGenerator::new().with_count(2_000).generate(1);
+/// let eval = CoverageEvaluator::new(&ships, CoverageOptions::default());
+/// let report = eval.evaluate(&ConstellationConfig::eagleeye(2, 1))?;
+/// println!("coverage: {:.1}%", 100.0 * report.coverage_fraction());
+/// # Ok::<(), eagleeye_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoverageEvaluator<'a> {
+    targets: &'a TargetSet,
+    options: CoverageOptions,
+}
+
+impl<'a> CoverageEvaluator<'a> {
+    /// Creates an evaluator over a workload.
+    pub fn new(targets: &'a TargetSet, options: CoverageOptions) -> Self {
+        CoverageEvaluator { targets, options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &CoverageOptions {
+        &self.options
+    }
+
+    /// Evaluates one constellation configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orbit, geometry, and solver failures; zero-satellite
+    /// configurations return an empty report rather than erroring.
+    pub fn evaluate(&self, config: &ConstellationConfig) -> Result<CoverageReport, CoreError> {
+        self.options.spec.validate()?;
+        match *config {
+            ConstellationConfig::LowResOnly { satellites } => {
+                self.swath_membership(satellites, self.options.spec.low_res.swath_m())
+            }
+            ConstellationConfig::HighResOnly { satellites } => {
+                self.swath_membership(satellites, self.options.spec.high_res.swath_m())
+            }
+            ConstellationConfig::EagleEye {
+                groups,
+                followers_per_group,
+                scheduler,
+                clustering,
+            } => self.leader_follower(groups, followers_per_group, scheduler, clustering, None),
+            ConstellationConfig::MixCamera { satellites, compute_time_s } => self
+                .leader_follower(
+                    satellites,
+                    0,
+                    SchedulerKind::Ilp,
+                    ClusteringMethod::Ilp,
+                    Some(compute_time_s),
+                ),
+        }
+    }
+
+    /// Homogeneous constellation: coverage = swath membership over time.
+    fn swath_membership(
+        &self,
+        satellites: usize,
+        swath_m: f64,
+    ) -> Result<CoverageReport, CoreError> {
+        let mut report = CoverageReport {
+            total: self.targets.len(),
+            total_value: self.targets.total_value(),
+            ..Default::default()
+        };
+        if satellites == 0 || self.targets.is_empty() {
+            return Ok(report);
+        }
+        let spec = &self.options.spec;
+        let layout = ConstellationLayout::with_planes(
+            satellites,
+            0,
+            spec.altitude_m,
+            self.options.inclination_rad,
+            self.options.orbital_planes.max(1),
+        )?;
+        let frame_len = spec.frame_length_m();
+        let bound = ((swath_m / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
+        let mut captured = vec![false; self.targets.len()];
+
+        for sat in layout.satellites() {
+            let track = layout.ground_track(sat)?;
+            let mut t = 0.0;
+            while t < self.options.duration_s {
+                let state = track.state_at(t)?;
+                let frame = LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
+                for idx in self.targets.query_radius(&state.subsatellite.with_altitude(0.0)?, bound, t)
+                {
+                    if captured[idx] {
+                        continue;
+                    }
+                    let p = self.targets.target(idx).position_at(t);
+                    let (x, y) = frame.project(&p);
+                    if x.abs() <= swath_m / 2.0 && y.abs() <= frame_len / 2.0 {
+                        captured[idx] = true;
+                    }
+                }
+                report.frames_processed += 1;
+                t += spec.frame_cadence_s;
+            }
+        }
+        report.captured = captured.iter().filter(|c| **c).count();
+        report.captured_value = captured
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .map(|(i, _)| self.targets.target(i).value)
+            .sum();
+        Ok(report)
+    }
+
+    /// Leader-follower (EagleEye) and mix-camera evaluation.
+    fn leader_follower(
+        &self,
+        groups: usize,
+        followers_per_group: usize,
+        scheduler_kind: SchedulerKind,
+        clustering_method: ClusteringMethod,
+        mix_compute_s: Option<f64>,
+    ) -> Result<CoverageReport, CoreError> {
+        let mut report = CoverageReport {
+            total: self.targets.len(),
+            total_value: self.targets.total_value(),
+            ..Default::default()
+        };
+        if groups == 0 || self.targets.is_empty() {
+            return Ok(report);
+        }
+        let spec = self.options.spec;
+        let is_mix = mix_compute_s.is_some();
+        let n_followers = if is_mix { 1 } else { followers_per_group };
+        if n_followers == 0 {
+            // An EagleEye group without followers captures nothing in
+            // high resolution.
+            return Ok(report);
+        }
+        let layout = ConstellationLayout::with_planes(
+            groups,
+            if is_mix { 0 } else { followers_per_group },
+            spec.altitude_m,
+            self.options.inclination_rad,
+            self.options.orbital_planes.max(1),
+        )?;
+        let scheduler: Box<dyn Scheduler> = match scheduler_kind {
+            SchedulerKind::Ilp => Box::new(IlpScheduler::default()),
+            SchedulerKind::Greedy => Box::new(GreedyScheduler),
+            SchedulerKind::Abb => Box::new(AbbScheduler::with_frame_deadline()),
+        };
+
+        let frame_len = spec.frame_length_m();
+        let low_swath = spec.low_res.swath_m();
+        let high_swath = spec.high_res.swath_m();
+        let v = spec.ground_speed_m_s;
+        let bound = ((low_swath / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
+        let return_slew_s = spec.adacs.min_slew_time_s(spec.theta_max_rad);
+        let mut captured = vec![false; self.targets.len()];
+
+        let leaders: Vec<_> = layout
+            .satellites()
+            .iter()
+            .filter(|s| s.role == eagleeye_orbit::SatelliteRole::Leader)
+            .copied()
+            .collect();
+
+        for leader in &leaders {
+            let track = layout.ground_track(leader)?;
+            // Follower runtime state carried across frames.
+            let trails: Vec<f64> = (0..n_followers)
+                .map(|k| {
+                    if is_mix {
+                        0.0
+                    } else {
+                        ConstellationLayout::DEFAULT_LEAD_DISTANCE_M
+                            + k as f64 * ConstellationLayout::DEFAULT_FOLLOWER_SPACING_M
+                    }
+                })
+                .collect();
+            let mut avail: Vec<f64> = vec![0.0; n_followers];
+            let mut pointing: Vec<(f64, f64)> = vec![(0.0, 0.0); n_followers];
+
+            let mut frame_id: u64 = 0;
+            let mut t = 0.0;
+            while t < self.options.duration_s {
+                report.frames_processed += 1;
+                let state = track.state_at(t)?;
+                let subsat = state.subsatellite.with_altitude(0.0)?;
+                let frame = LocalFrame::new(subsat, state.heading_rad);
+
+                let leader_failed = self
+                    .options
+                    .failure
+                    .as_ref()
+                    .map(|f| f.leader_failed && t >= f.fail_at_s)
+                    .unwrap_or(false);
+
+                // Targets inside the low-resolution frame.
+                let mut in_frame: Vec<(usize, f64, f64)> = Vec::new();
+                for idx in self.targets.query_radius(&subsat, bound, t) {
+                    let p = self.targets.target(idx).position_at(t);
+                    let (x, y) = frame.project(&p);
+                    if x.abs() <= low_swath / 2.0 && y.abs() <= frame_len / 2.0 {
+                        in_frame.push((idx, x, y));
+                    }
+                }
+                if in_frame.is_empty() {
+                    t += spec.frame_cadence_s;
+                    frame_id += 1;
+                    continue;
+                }
+                report.frames_with_targets += 1;
+
+                if leader_failed {
+                    // §4.7 fallback: followers capture nadir high-res.
+                    for &(idx, x, _) in &in_frame {
+                        if x.abs() <= high_swath / 2.0 {
+                            captured[idx] = true;
+                        }
+                    }
+                    t += spec.frame_cadence_s;
+                    frame_id += 1;
+                    continue;
+                }
+
+                // Onboard detection with the recall model.
+                let detected: Vec<(usize, f64, f64)> = in_frame
+                    .iter()
+                    .copied()
+                    .filter(|&(idx, _, _)| {
+                        detection_roll(self.options.seed, idx as u64, frame_id)
+                            < self.options.recall
+                    })
+                    .collect();
+                report.per_frame_target_counts.push(detected.len());
+                if detected.is_empty() {
+                    t += spec.frame_cadence_s;
+                    frame_id += 1;
+                    continue;
+                }
+
+                // Target clustering (§4.1), with optional recapture
+                // deprioritization (§4.7 extension): already-captured
+                // targets get their priority scaled down so followers
+                // favor new ones.
+                let points: Vec<(crate::pointing::GroundPoint, f64)> = detected
+                    .iter()
+                    .map(|&(idx, x, y)| {
+                        let mut value = self.targets.target(idx).value;
+                        if let Some(p) = self.options.recapture_penalty {
+                            if captured[idx] {
+                                value *= p.clamp(0.0, 1.0);
+                            }
+                        }
+                        (crate::pointing::GroundPoint::new(x, y), value)
+                    })
+                    .collect();
+                let clu_start = Instant::now();
+                let mut clusters =
+                    cluster(&points, high_swath, high_swath, clustering_method)?;
+                report.clustering_time += clu_start.elapsed();
+                report.per_frame_cluster_counts.push(clusters.len());
+
+                // Keep the most valuable clusters up to the cap.
+                if clusters.len() > self.options.max_tasks_per_frame {
+                    clusters.sort_by(|a, b| {
+                        b.value.partial_cmp(&a.value).expect("finite values")
+                    });
+                    clusters.truncate(self.options.max_tasks_per_frame);
+                }
+
+                // Build the scheduling problem in absolute along-track
+                // coordinates so follower state carries across frames.
+                let along_origin = v * t;
+                let tasks: Vec<TaskSpec> = clusters
+                    .iter()
+                    .map(|c| {
+                        TaskSpec::new(c.center.cross_m, along_origin + c.center.along_m, c.value)
+                    })
+                    .collect();
+                let failed: Vec<usize> = self
+                    .options
+                    .failure
+                    .as_ref()
+                    .filter(|f| t >= f.fail_at_s)
+                    .map(|f| f.failed_followers.clone())
+                    .unwrap_or_default();
+                let follower_states: Vec<FollowerState> = (0..n_followers)
+                    .filter(|k| !failed.contains(k))
+                    .map(|k| FollowerState {
+                        along_at_0_m: -trails[k],
+                        available_from_s: avail[k],
+                        pointing_offset: pointing[k],
+                    })
+                    .collect();
+                if follower_states.is_empty() {
+                    t += spec.frame_cadence_s;
+                    frame_id += 1;
+                    continue;
+                }
+                let active: Vec<usize> =
+                    (0..n_followers).filter(|k| !failed.contains(k)).collect();
+
+                let clip = mix_compute_s.map(|d| TimeWindow {
+                    start_s: t + d,
+                    end_s: t + spec.frame_cadence_s - return_slew_s,
+                });
+                let problem =
+                    SchedulingProblem::new_with_clip(spec, tasks, follower_states, clip)?;
+                let sched_start = Instant::now();
+                let schedule = scheduler.schedule(&problem)?;
+                report.scheduler_time += sched_start.elapsed();
+                report.scheduler_calls += 1;
+
+                // Execute captures: mark every target inside each
+                // captured footprint (including undetected ones — the
+                // serendipity effect behind Fig. 15).
+                for (slot, seq) in schedule.sequences.iter().enumerate() {
+                    let k = active[slot];
+                    for cap in seq {
+                        let c = &clusters[cap.task];
+                        let cx = c.center.cross_m;
+                        let cy_abs = along_origin + c.center.along_m;
+                        for &(idx, _, _) in &in_frame {
+                            if captured[idx] {
+                                continue;
+                            }
+                            // Re-evaluate the target position at capture
+                            // time (moving targets may have drifted).
+                            let p = self.targets.target(idx).position_at(cap.time_s);
+                            let (x2, y2) = frame.project(&p);
+                            let y2_abs = along_origin + y2;
+                            if (x2 - cx).abs() <= high_swath / 2.0
+                                && (y2_abs - cy_abs).abs() <= high_swath / 2.0
+                            {
+                                captured[idx] = true;
+                            }
+                        }
+                        report.captures_commanded += 1;
+                        avail[k] = cap.time_s;
+                        pointing[k] = problem.capture_offset(slot, cap.task, cap.time_s);
+                    }
+                }
+
+                t += spec.frame_cadence_s;
+                frame_id += 1;
+            }
+        }
+        report.captured = captured.iter().filter(|c| **c).count();
+        report.captured_value = captured
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .map(|(i, _)| self.targets.target(i).value)
+            .sum();
+        Ok(report)
+    }
+}
+
+/// Deterministic detection roll in `[0, 1)` from (seed, target, frame).
+fn detection_roll(seed: u64, target: u64, frame: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(target.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+        .wrapping_add(frame.wrapping_mul(0x1656_67b1_9e37_79f9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagleeye_datasets::{Target, TargetSet};
+    use eagleeye_geo::GeodeticPoint;
+
+    /// A compact workload of targets strung along the prime meridian —
+    /// directly under the first orbit of a polar satellite with RAAN 0.
+    fn meridian_targets(n: usize) -> TargetSet {
+        (0..n)
+            .map(|i| {
+                let lat = -40.0 + 80.0 * i as f64 / n as f64;
+                Target::fixed(
+                    GeodeticPoint::from_degrees(lat, 0.35 * (i % 5) as f64, 0.0).unwrap(),
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    fn quick_options() -> CoverageOptions {
+        CoverageOptions { duration_s: 1_800.0, ..CoverageOptions::default() }
+    }
+
+    #[test]
+    fn detection_roll_is_deterministic_and_uniformish() {
+        let a = detection_roll(1, 2, 3);
+        assert_eq!(a, detection_roll(1, 2, 3));
+        let mean: f64 =
+            (0..1000).map(|i| detection_roll(9, i, i * 7)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_satellites_cover_nothing() {
+        let targets = meridian_targets(10);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 0 }).unwrap();
+        assert_eq!(r.captured, 0);
+    }
+
+    #[test]
+    fn value_totals_are_wired_through() {
+        let targets = meridian_targets(40);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 2 }).unwrap();
+        // All meridian targets have value 1.0, so the two fractions agree.
+        assert!((r.total_value - 40.0).abs() < 1e-9);
+        assert!((r.value_fraction() - r.coverage_fraction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_res_dominates_high_res() {
+        let targets = meridian_targets(60);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let low = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 1 }).unwrap();
+        let high = eval.evaluate(&ConstellationConfig::HighResOnly { satellites: 1 }).unwrap();
+        assert!(low.captured >= high.captured);
+        assert!(low.captured > 0, "the meridian pass must see targets");
+    }
+
+    #[test]
+    fn eagleeye_beats_high_res_only() {
+        let targets = meridian_targets(60);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let ee = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        let high = eval.evaluate(&ConstellationConfig::HighResOnly { satellites: 2 }).unwrap();
+        assert!(
+            ee.captured >= high.captured,
+            "eagleeye {} < high-res {}",
+            ee.captured,
+            high.captured
+        );
+        assert!(ee.captures_commanded > 0);
+    }
+
+    #[test]
+    fn recall_zero_captures_nothing_with_eagleeye() {
+        let targets = meridian_targets(30);
+        let mut opts = quick_options();
+        opts.recall = 0.0;
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert_eq!(r.captured, 0);
+    }
+
+    #[test]
+    fn leader_failure_falls_back_to_nadir() {
+        let targets = meridian_targets(60);
+        let mut opts = quick_options();
+        opts.failure = Some(FailurePlan {
+            fail_at_s: 0.0,
+            leader_failed: true,
+            failed_followers: vec![],
+        });
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        // Degraded mode still captures nadir targets but commands no
+        // scheduled captures.
+        assert_eq!(r.captures_commanded, 0);
+    }
+
+    #[test]
+    fn all_followers_failed_captures_nothing() {
+        let targets = meridian_targets(30);
+        let mut opts = quick_options();
+        opts.failure = Some(FailurePlan {
+            fail_at_s: 0.0,
+            leader_failed: false,
+            failed_followers: vec![0],
+        });
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert_eq!(r.captured, 0);
+    }
+
+    #[test]
+    fn recapture_penalty_never_reduces_unique_coverage() {
+        let targets = meridian_targets(60);
+        let base = CoverageEvaluator::new(&targets, quick_options())
+            .evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap();
+        let mut opts = quick_options();
+        opts.recapture_penalty = Some(0.1);
+        let depri = CoverageEvaluator::new(&targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap();
+        assert!(
+            depri.captured >= base.captured,
+            "deprioritized {} < base {}",
+            depri.captured,
+            base.captured
+        );
+    }
+
+    #[test]
+    fn multiple_planes_are_accepted_and_change_geometry() {
+        let targets = meridian_targets(60);
+        let mut opts = quick_options();
+        opts.orbital_planes = 3;
+        let eval = CoverageEvaluator::new(&targets, opts);
+        // With 3 planes only some leaders fly the meridian; the run must
+        // still succeed and produce a valid report.
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(3, 1)).unwrap();
+        assert!(r.frames_processed > 0);
+        assert!(r.captured <= r.total);
+    }
+
+    #[test]
+    fn mix_camera_with_huge_compute_time_captures_nothing() {
+        let targets = meridian_targets(30);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let r = eval
+            .evaluate(&ConstellationConfig::MixCamera {
+                satellites: 1,
+                compute_time_s: 14.9,
+            })
+            .unwrap();
+        assert_eq!(r.captured, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! End-to-end coverage evaluation (paper §5–6).
+//!
+//! Simulates a constellation over a target workload for a configurable
+//! duration and reports the fraction of targets captured in
+//! high-resolution imagery. Four constellation organizations are
+//! modeled, mirroring the paper's Fig. 5:
+//!
+//! * **Low-Res Only** — homogeneous wide-swath constellation; counts a
+//!   target as covered when it falls in the 100 km swath, but delivers
+//!   only low-resolution data (the paper plots it as the physical upper
+//!   bound).
+//! * **High-Res Only** — homogeneous narrow-swath constellation imaging
+//!   at nadir.
+//! * **EagleEye** — leader-follower groups: leaders detect (with a
+//!   recall model), cluster, and schedule; followers capture. Both the
+//!   ILP and greedy schedulers and all clustering modes are selectable.
+//! * **Mix-Camera** — both cameras on one satellite; onboard compute
+//!   time eats into each frame's capture window (paper Fig. 9/13).
+//!
+//! Failure injection (paper §4.7) is supported: a failed leader degrades
+//! its group to nadir high-resolution capture; failed followers are
+//! excluded from scheduling.
+
+mod config;
+mod evaluator;
+mod report;
+
+pub use config::{ConstellationConfig, FailurePlan, SchedulerKind};
+pub use evaluator::{CoverageEvaluator, CoverageOptions};
+pub use report::CoverageReport;

@@ -1,0 +1,121 @@
+use std::time::Duration;
+
+/// Result of a coverage evaluation run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoverageReport {
+    /// Distinct targets captured in high-resolution imagery (for
+    /// Low-Res Only: targets that fell inside the low-resolution swath).
+    pub captured: usize,
+    /// Total targets in the workload.
+    pub total: usize,
+    /// Sum of captured targets' priority values.
+    pub captured_value: f64,
+    /// Sum of all targets' priority values.
+    pub total_value: f64,
+    /// Leader frames processed.
+    pub frames_processed: usize,
+    /// Frames containing at least one target.
+    pub frames_with_targets: usize,
+    /// Detected-target count per nonempty frame (the paper's Fig. 12b
+    /// distribution).
+    pub per_frame_target_counts: Vec<usize>,
+    /// Cluster count per nonempty frame (after target clustering).
+    pub per_frame_cluster_counts: Vec<usize>,
+    /// Number of scheduler invocations.
+    pub scheduler_calls: usize,
+    /// Total wall-clock time spent in the scheduler.
+    pub scheduler_time: Duration,
+    /// Total wall-clock time spent in clustering.
+    pub clustering_time: Duration,
+    /// High-resolution captures commanded.
+    pub captures_commanded: usize,
+}
+
+impl CoverageReport {
+    /// Fraction of targets captured, in `[0, 1]`; zero for an empty
+    /// workload.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.captured as f64 / self.total as f64
+        }
+    }
+
+    /// Value-weighted coverage: captured priority mass over total
+    /// priority mass (the quantity the scheduler's objective maximizes).
+    pub fn value_fraction(&self) -> f64 {
+        if self.total_value <= 0.0 {
+            0.0
+        } else {
+            self.captured_value / self.total_value
+        }
+    }
+
+    /// Mean scheduler latency per invocation.
+    pub fn mean_scheduler_latency(&self) -> Duration {
+        if self.scheduler_calls == 0 {
+            Duration::ZERO
+        } else {
+            self.scheduler_time / self.scheduler_calls as u32
+        }
+    }
+
+    /// Fraction of nonempty frames with more than `threshold` detected
+    /// targets (the paper's Fig. 12b observation: up to 32 % of images
+    /// hold more than 19 targets).
+    pub fn frames_above(&self, threshold: usize) -> f64 {
+        if self.per_frame_target_counts.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .per_frame_target_counts
+            .iter()
+            .filter(|&&c| c > threshold)
+            .count();
+        n as f64 / self.per_frame_target_counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_empty_workload() {
+        assert_eq!(CoverageReport::default().coverage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_and_frames_above() {
+        let r = CoverageReport {
+            captured: 30,
+            total: 100,
+            per_frame_target_counts: vec![5, 25, 40, 2],
+            ..CoverageReport::default()
+        };
+        assert!((r.coverage_fraction() - 0.3).abs() < 1e-12);
+        assert!((r.frames_above(19) - 0.5).abs() < 1e-12);
+        assert_eq!(r.frames_above(1000), 0.0);
+    }
+
+    #[test]
+    fn mean_latency_guards_division() {
+        assert_eq!(CoverageReport::default().mean_scheduler_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn value_fraction_weighs_priorities() {
+        let r = CoverageReport {
+            captured: 1,
+            total: 2,
+            captured_value: 3.0,
+            total_value: 4.0,
+            ..CoverageReport::default()
+        };
+        assert!((r.coverage_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.value_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(CoverageReport::default().value_fraction(), 0.0);
+    }
+}

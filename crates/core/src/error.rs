@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the EagleEye core library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A schedule violated one of the paper's constraints C1–C3 or basic
+    /// sanity (ordering, windows, duplicates).
+    ScheduleViolation {
+        /// Human-readable description of the violated constraint.
+        description: String,
+    },
+    /// The underlying ILP solver failed.
+    Solver(eagleeye_ilp::IlpError),
+    /// Orbit propagation or constellation layout failed.
+    Orbit(eagleeye_orbit::OrbitError),
+    /// Geodetic computation failed.
+    Geo(eagleeye_geo::GeoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+            CoreError::ScheduleViolation { description } => {
+                write!(f, "schedule constraint violated: {description}")
+            }
+            CoreError::Solver(e) => write!(f, "ILP solver failed: {e}"),
+            CoreError::Orbit(e) => write!(f, "orbit model failed: {e}"),
+            CoreError::Geo(e) => write!(f, "geometry failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            CoreError::Orbit(e) => Some(e),
+            CoreError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eagleeye_ilp::IlpError> for CoreError {
+    fn from(e: eagleeye_ilp::IlpError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<eagleeye_orbit::OrbitError> for CoreError {
+    fn from(e: eagleeye_orbit::OrbitError) -> Self {
+        CoreError::Orbit(e)
+    }
+}
+
+impl From<eagleeye_geo::GeoError> for CoreError {
+    fn from(e: eagleeye_geo::GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::InvalidParameter { name: "x", value: 1.0 },
+            CoreError::ScheduleViolation { description: "C1".into() },
+            CoreError::Solver(eagleeye_ilp::IlpError::Unbounded),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

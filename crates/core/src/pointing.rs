@@ -1,0 +1,286 @@
+//! Pointing geometry in the flat along-track frame (paper §4.2).
+//!
+//! The scheduler works in a ground-fixed frame aligned with the orbit's
+//! ground track: **x** is cross-track (meters, positive right of flight)
+//! and **y** is along-track (meters, increasing in the flight direction).
+//! A satellite's subsatellite point moves as `y(t) = y₀ + v·t` at `x = 0`.
+//!
+//! Pointing at a ground point from altitude `A` makes an off-nadir angle
+//! `atan(‖target − nadir‖ / A)` (the exact form of the paper's Eq. 2),
+//! and the rotation between two captures is the 3-D angle between the
+//! two satellite→target vectors evaluated at their respective capture
+//! times (the exact form of the paper's Eq. 1).
+
+use crate::CoreError;
+
+/// A ground point in the along-track frame, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroundPoint {
+    /// Cross-track offset (positive = right of flight direction).
+    pub cross_m: f64,
+    /// Along-track position.
+    pub along_m: f64,
+}
+
+impl GroundPoint {
+    /// Creates a ground point.
+    #[inline]
+    pub const fn new(cross_m: f64, along_m: f64) -> Self {
+        GroundPoint { cross_m, along_m }
+    }
+
+    /// Euclidean ground distance to another point.
+    #[inline]
+    pub fn distance_m(&self, other: &GroundPoint) -> f64 {
+        let dx = self.cross_m - other.cross_m;
+        let dy = self.along_m - other.along_m;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Off-nadir angle (radians) when a satellite whose subsatellite point is
+/// at along-track position `sat_along_m` points at `target` from
+/// `altitude_m`.
+#[inline]
+pub fn off_nadir_rad(target: &GroundPoint, sat_along_m: f64, altitude_m: f64) -> f64 {
+    let dx = target.cross_m;
+    let dy = target.along_m - sat_along_m;
+    ((dx * dx + dy * dy).sqrt() / altitude_m).atan()
+}
+
+/// Exact rotation (radians) between pointing at `t1` while the satellite
+/// is at `sat_along_1` and pointing at `t2` while at `sat_along_2`:
+/// the 3-D angle between the two satellite→target vectors. Reduces to the
+/// paper's small-angle Eq. 1 (`‖P₂ − (P₁ + Fly(Δt))‖ / Altitude`) for
+/// small off-nadir angles.
+pub fn rotation_rad(
+    t1: &GroundPoint,
+    sat_along_1: f64,
+    t2: &GroundPoint,
+    sat_along_2: f64,
+    altitude_m: f64,
+) -> f64 {
+    let v1 = (t1.cross_m, t1.along_m - sat_along_1, -altitude_m);
+    let v2 = (t2.cross_m, t2.along_m - sat_along_2, -altitude_m);
+    let dot = v1.0 * v2.0 + v1.1 * v2.1 + v1.2 * v2.2;
+    let cross = (
+        v1.1 * v2.2 - v1.2 * v2.1,
+        v1.2 * v2.0 - v1.0 * v2.2,
+        v1.0 * v2.1 - v1.1 * v2.0,
+    );
+    let cross_norm = (cross.0 * cross.0 + cross.1 * cross.1 + cross.2 * cross.2).sqrt();
+    cross_norm.atan2(dot)
+}
+
+/// A closed time interval `[start_s, end_s]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWindow {
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Window end, seconds.
+    pub end_s: f64,
+}
+
+impl TimeWindow {
+    /// Creates a window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for non-finite bounds.
+    pub fn new(start_s: f64, end_s: f64) -> Result<Self, CoreError> {
+        if !start_s.is_finite() {
+            return Err(CoreError::InvalidParameter { name: "start_s", value: start_s });
+        }
+        if !end_s.is_finite() {
+            return Err(CoreError::InvalidParameter { name: "end_s", value: end_s });
+        }
+        Ok(TimeWindow { start_s, end_s })
+    }
+
+    /// Window length in seconds (zero for empty windows).
+    #[inline]
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+
+    /// True when the window contains no time.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end_s < self.start_s
+    }
+
+    /// True when `t` lies in the window.
+    #[inline]
+    pub fn contains(&self, t_s: f64) -> bool {
+        t_s >= self.start_s - 1e-9 && t_s <= self.end_s + 1e-9
+    }
+
+    /// Intersection with another window (may be empty).
+    #[inline]
+    pub fn intersect(&self, other: &TimeWindow) -> TimeWindow {
+        TimeWindow {
+            start_s: self.start_s.max(other.start_s),
+            end_s: self.end_s.min(other.end_s),
+        }
+    }
+}
+
+/// Computes the visibility window of a target for a follower whose
+/// subsatellite point moves as `y(t) = follower_along_at_0 + v·t`
+/// (paper Eq. 2): the times at which the target's off-nadir angle is at
+/// most `theta_max_rad`. Returns `None` when the target's cross-track
+/// offset exceeds the pointing cone entirely.
+pub fn visibility_window(
+    target: &GroundPoint,
+    follower_along_at_0_m: f64,
+    ground_speed_m_s: f64,
+    theta_max_rad: f64,
+    altitude_m: f64,
+) -> Option<TimeWindow> {
+    let reach = altitude_m * theta_max_rad.tan();
+    let x2 = target.cross_m * target.cross_m;
+    if x2 > reach * reach {
+        return None;
+    }
+    let half = (reach * reach - x2).sqrt();
+    let t_center = (target.along_m - follower_along_at_0_m) / ground_speed_m_s;
+    let dt = half / ground_speed_m_s;
+    Some(TimeWindow { start_s: t_center - dt, end_s: t_center + dt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALT: f64 = 475_000.0;
+
+    #[test]
+    fn off_nadir_at_nadir_is_zero() {
+        let t = GroundPoint::new(0.0, 1000.0);
+        assert_eq!(off_nadir_rad(&t, 1000.0, ALT), 0.0);
+    }
+
+    #[test]
+    fn off_nadir_matches_small_angle() {
+        // 47.5 km offset at 475 km altitude: atan(0.1) ≈ 0.0997 rad.
+        let t = GroundPoint::new(47_500.0, 0.0);
+        let a = off_nadir_rad(&t, 0.0, ALT);
+        assert!((a - 0.1f64.atan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_is_symmetric_and_zero_for_same_relative_geometry() {
+        let a = GroundPoint::new(10_000.0, 0.0);
+        let b = GroundPoint::new(-5_000.0, 40_000.0);
+        let r1 = rotation_rad(&a, 0.0, &b, 30_000.0, ALT);
+        let r2 = rotation_rad(&b, 30_000.0, &a, 0.0, ALT);
+        assert!((r1 - r2).abs() < 1e-12);
+        // Tracking the satellite: same offset relative to nadir → no
+        // rotation needed.
+        let c1 = GroundPoint::new(10_000.0, 0.0);
+        let c2 = GroundPoint::new(10_000.0, 50_000.0);
+        assert!(rotation_rad(&c1, -5_000.0, &c2, 45_000.0, ALT) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_matches_paper_small_angle_formula() {
+        // Paper Eq. 1: |P2 - (P1 + Fly)| / Altitude, for small angles.
+        let p1 = GroundPoint::new(5_000.0, 10_000.0);
+        let p2 = GroundPoint::new(-8_000.0, 60_000.0);
+        let (s1, s2) = (0.0, 40_000.0);
+        let exact = rotation_rad(&p1, s1, &p2, s2, ALT);
+        let u1 = ((p1.cross_m), (p1.along_m - s1));
+        let u2 = ((p2.cross_m), (p2.along_m - s2));
+        let approx =
+            (((u2.0 - u1.0).powi(2) + (u2.1 - u1.1).powi(2)).sqrt()) / ALT;
+        assert!((exact - approx).abs() / approx < 0.01, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn window_operations() {
+        let a = TimeWindow::new(0.0, 10.0).unwrap();
+        let b = TimeWindow::new(5.0, 15.0).unwrap();
+        let i = a.intersect(&b);
+        assert_eq!((i.start_s, i.end_s), (5.0, 10.0));
+        assert!(a.contains(0.0) && a.contains(10.0) && !a.contains(10.1));
+        assert!(!a.is_empty());
+        let empty = a.intersect(&TimeWindow::new(20.0, 30.0).unwrap());
+        assert!(empty.is_empty());
+        assert_eq!(empty.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn window_rejects_nan() {
+        assert!(TimeWindow::new(f64::NAN, 0.0).is_err());
+        assert!(TimeWindow::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn visibility_window_centered_on_overflight() {
+        let spec = crate::SensingSpec::paper_default();
+        let target = GroundPoint::new(0.0, 100_000.0);
+        let w = visibility_window(
+            &target,
+            0.0,
+            spec.ground_speed_m_s,
+            spec.theta_max_rad,
+            spec.altitude_m,
+        )
+        .unwrap();
+        // Overflight at t = 100km / 7.1 km/s ≈ 14.08 s; half-window =
+        // 92.3 km / 7.1 km/s ≈ 13 s.
+        let center = (w.start_s + w.end_s) / 2.0;
+        assert!((center - 14.08).abs() < 0.1, "center {center}");
+        assert!((w.duration_s() - 26.0).abs() < 1.0, "duration {}", w.duration_s());
+    }
+
+    #[test]
+    fn visibility_shrinks_with_cross_track_offset() {
+        let spec = crate::SensingSpec::paper_default();
+        let mut last = f64::INFINITY;
+        for x in [0.0, 30_000.0, 60_000.0, 90_000.0] {
+            let w = visibility_window(
+                &GroundPoint::new(x, 0.0),
+                -100_000.0,
+                spec.ground_speed_m_s,
+                spec.theta_max_rad,
+                spec.altitude_m,
+            )
+            .unwrap();
+            assert!(w.duration_s() < last);
+            last = w.duration_s();
+        }
+    }
+
+    #[test]
+    fn visibility_is_none_beyond_cone() {
+        let spec = crate::SensingSpec::paper_default();
+        assert!(visibility_window(
+            &GroundPoint::new(93_000.0, 0.0),
+            0.0,
+            spec.ground_speed_m_s,
+            spec.theta_max_rad,
+            spec.altitude_m,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn off_nadir_at_window_edges_equals_theta_max() {
+        let spec = crate::SensingSpec::paper_default();
+        let target = GroundPoint::new(40_000.0, 200_000.0);
+        let w = visibility_window(
+            &target,
+            0.0,
+            spec.ground_speed_m_s,
+            spec.theta_max_rad,
+            spec.altitude_m,
+        )
+        .unwrap();
+        for t in [w.start_s, w.end_s] {
+            let sat = spec.ground_speed_m_s * t;
+            let a = off_nadir_rad(&target, sat, spec.altitude_m);
+            assert!((a - spec.theta_max_rad).abs() < 1e-9, "angle {a} at t {t}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The discretized opportunity graph underlying the ILP and DP
+//! schedulers.
+//!
+//! Each (follower, task) visibility window is discretized into a small
+//! number of capture *slots*. A directed arc between two slots of the
+//! same follower means the ADACS can rotate between the two capture
+//! configurations in the intervening time (constraint C1). Two
+//! observations keep the graph small:
+//!
+//! * Any rotation between valid pointings is at most `2·θmax`, so any
+//!   pair separated by more than `T_max = slew_time(2·θmax)` is
+//!   unconditionally feasible. Direct arcs are only generated within
+//!   `T_max`; longer gaps route through a per-follower **rest chain** —
+//!   zero-value relay nodes at every slot time — which encodes "given
+//!   enough time, point anywhere" with O(nodes) arcs instead of O(nodes²).
+//! * Capture slots of the same task are never connected (capturing a
+//!   task twice is worthless).
+
+use super::SchedulingProblem;
+
+/// One capture opportunity: follower `f` capturing task `j` at `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OppNode {
+    pub follower: usize,
+    pub task: usize,
+    pub time_s: f64,
+    /// Pointing offset from nadir at capture time.
+    pub offset: (f64, f64),
+}
+
+/// Endpoint of an arc in the per-follower opportunity graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum End {
+    /// The follower's initial state.
+    Source,
+    /// Capture node (global index into `nodes`).
+    Node(usize),
+    /// Rest-chain relay of follower `f` at rest-time index `q`.
+    Rest(usize, usize),
+}
+
+/// A feasibility arc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Arc {
+    pub follower: usize,
+    pub from: End,
+    pub to: End,
+}
+
+/// The assembled graph for one scheduling problem.
+#[derive(Debug, Clone)]
+pub(crate) struct OpportunityGraph {
+    pub nodes: Vec<OppNode>,
+    /// Sorted distinct slot times per follower (rest-chain times).
+    pub rest_times: Vec<Vec<f64>>,
+    pub arcs: Vec<Arc>,
+}
+
+impl OpportunityGraph {
+    /// Builds the graph with `slots` capture slots per window, optionally
+    /// restricted to a subset of followers (`None` = all).
+    pub(crate) fn build(
+        problem: &SchedulingProblem,
+        slots: usize,
+        followers: Option<&[usize]>,
+        excluded_tasks: &[bool],
+    ) -> OpportunityGraph {
+        let spec = problem.spec();
+        let slots = slots.max(1);
+        let t_max =
+            spec.adacs.min_slew_time_s(spec.max_pointing_separation_rad()) + 1e-9;
+
+        let follower_ids: Vec<usize> = match followers {
+            Some(ids) => ids.to_vec(),
+            None => (0..problem.followers().len()).collect(),
+        };
+
+        let mut nodes: Vec<OppNode> = Vec::new();
+        let mut rest_times: Vec<Vec<f64>> = vec![Vec::new(); problem.followers().len()];
+        for &f in &follower_ids {
+            for (j, task) in problem.tasks().iter().enumerate() {
+                let _ = task;
+                if *excluded_tasks.get(j).unwrap_or(&false) {
+                    continue;
+                }
+                let Some(w) = problem.window(f, j) else { continue };
+                let times: Vec<f64> = if slots == 1 || w.duration_s() < 1e-9 {
+                    vec![(w.start_s + w.end_s) / 2.0]
+                } else {
+                    (0..slots)
+                        .map(|k| {
+                            w.start_s + w.duration_s() * k as f64 / (slots - 1) as f64
+                        })
+                        .collect()
+                };
+                for t in times {
+                    nodes.push(OppNode {
+                        follower: f,
+                        task: j,
+                        time_s: t,
+                        offset: problem.capture_offset(f, j, t),
+                    });
+                }
+            }
+        }
+
+        // Rest times = sorted distinct node times per follower.
+        for (i, n) in nodes.iter().enumerate() {
+            let _ = i;
+            rest_times[n.follower].push(n.time_s);
+        }
+        for times in rest_times.iter_mut() {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        }
+
+        // Per-follower node indices sorted by time for arc generation.
+        let mut arcs = Vec::new();
+        for &f in &follower_ids {
+            let mut idx: Vec<usize> =
+                (0..nodes.len()).filter(|&i| nodes[i].follower == f).collect();
+            idx.sort_by(|&a, &b| {
+                nodes[a].time_s.partial_cmp(&nodes[b].time_s).expect("finite")
+            });
+            let rests = &rest_times[f];
+            let state = &problem.followers()[f];
+
+            // Source arcs.
+            for &v in &idx {
+                let n = &nodes[v];
+                let dt = n.time_s - state.available_from_s;
+                if dt < -1e-9 {
+                    continue;
+                }
+                let rot = problem.rotation_between(state.pointing_offset, n.offset);
+                if spec.adacs.can_rotate(rot, dt) {
+                    arcs.push(Arc { follower: f, from: End::Source, to: End::Node(v) });
+                }
+            }
+            if let Some(q) = first_rest_at_or_after(rests, state.available_from_s + t_max) {
+                arcs.push(Arc { follower: f, from: End::Source, to: End::Rest(f, q) });
+            }
+
+            // Node-to-node arcs within the horizon; node-to-rest beyond.
+            for (a_pos, &u) in idx.iter().enumerate() {
+                let nu = &nodes[u];
+                for &v in &idx[a_pos + 1..] {
+                    let nv = &nodes[v];
+                    let dt = nv.time_s - nu.time_s;
+                    if dt <= 1e-9 {
+                        continue; // strict time ordering breaks cycles
+                    }
+                    if dt > t_max {
+                        break; // sorted: all further nodes route via rest
+                    }
+                    if nv.task == nu.task {
+                        continue;
+                    }
+                    let rot = problem.rotation_between(nu.offset, nv.offset);
+                    if spec.adacs.can_rotate(rot, dt) {
+                        arcs.push(Arc { follower: f, from: End::Node(u), to: End::Node(v) });
+                    }
+                }
+                if let Some(q) = first_rest_at_or_after(rests, nu.time_s + t_max) {
+                    arcs.push(Arc { follower: f, from: End::Node(u), to: End::Rest(f, q) });
+                }
+            }
+
+            // Rest chain and rest-to-node arcs.
+            for q in 0..rests.len().saturating_sub(1) {
+                arcs.push(Arc { follower: f, from: End::Rest(f, q), to: End::Rest(f, q + 1) });
+            }
+            for &v in &idx {
+                if let Some(q) = rest_index_at(rests, nodes[v].time_s) {
+                    arcs.push(Arc { follower: f, from: End::Rest(f, q), to: End::Node(v) });
+                }
+            }
+        }
+
+        OpportunityGraph { nodes, rest_times, arcs }
+    }
+
+    /// Direct pairwise feasibility between two capture nodes of the same
+    /// follower (used by the DP oracle, which needs no rest chain).
+    pub(crate) fn pair_feasible(
+        problem: &SchedulingProblem,
+        u: &OppNode,
+        v: &OppNode,
+    ) -> bool {
+        debug_assert_eq!(u.follower, v.follower);
+        let dt = v.time_s - u.time_s;
+        if dt <= 1e-9 {
+            return false;
+        }
+        let rot = problem.rotation_between(u.offset, v.offset);
+        problem.spec().adacs.can_rotate(rot, dt)
+    }
+}
+
+fn first_rest_at_or_after(rests: &[f64], t: f64) -> Option<usize> {
+    rests.iter().position(|&r| r >= t - 1e-9)
+}
+
+fn rest_index_at(rests: &[f64], t: f64) -> Option<usize> {
+    rests.iter().position(|&r| (r - t).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FollowerState, TaskSpec};
+    use crate::SensingSpec;
+
+    fn problem(tasks: Vec<TaskSpec>, followers: Vec<FollowerState>) -> SchedulingProblem {
+        SchedulingProblem::new(SensingSpec::paper_default(), tasks, followers).unwrap()
+    }
+
+    #[test]
+    fn nodes_cover_visible_tasks_only() {
+        let p = problem(
+            vec![
+                TaskSpec::new(0.0, 50_000.0, 1.0),
+                TaskSpec::new(95_000.0, 50_000.0, 1.0), // beyond cone
+            ],
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 3, None, &[false, false]);
+        assert!(g.nodes.iter().all(|n| n.task == 0));
+        assert_eq!(g.nodes.len(), 3);
+    }
+
+    #[test]
+    fn excluded_tasks_get_no_nodes() {
+        let p = problem(
+            vec![TaskSpec::new(0.0, 50_000.0, 1.0), TaskSpec::new(0.0, 60_000.0, 1.0)],
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 2, None, &[true, false]);
+        assert!(g.nodes.iter().all(|n| n.task == 1));
+    }
+
+    #[test]
+    fn slot_times_span_the_window() {
+        let p = problem(
+            vec![TaskSpec::new(20_000.0, 50_000.0, 1.0)],
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 4, None, &[false]);
+        let w = p.window(0, 0).unwrap();
+        assert_eq!(g.nodes.len(), 4);
+        assert!((g.nodes[0].time_s - w.start_s).abs() < 1e-9);
+        assert!((g.nodes[3].time_s - w.end_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arcs_are_time_forward() {
+        let p = problem(
+            (0..6).map(|i| TaskSpec::new(i as f64 * 8_000.0, 40_000.0 + i as f64 * 9_000.0, 1.0)).collect(),
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 3, None, &[false; 6]);
+        for a in &g.arcs {
+            if let (End::Node(u), End::Node(v)) = (a.from, a.to) {
+                assert!(g.nodes[v].time_s > g.nodes[u].time_s);
+            }
+        }
+    }
+
+    #[test]
+    fn rest_chain_connects_distant_slots() {
+        // Two tasks far apart in time: no direct arc (beyond t_max) but a
+        // rest path must exist.
+        let p = problem(
+            vec![
+                TaskSpec::new(0.0, 0.0, 1.0),
+                TaskSpec::new(0.0, 400_000.0, 1.0),
+            ],
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 2, None, &[false, false]);
+        let has_direct = g.arcs.iter().any(|a| {
+            matches!((a.from, a.to), (End::Node(u), End::Node(v))
+                if g.nodes[u].task == 0 && g.nodes[v].task == 1)
+        });
+        assert!(!has_direct, "400 km apart: beyond the direct horizon");
+        let node_to_rest = g
+            .arcs
+            .iter()
+            .any(|a| matches!((a.from, a.to), (End::Node(u), End::Rest(..)) if g.nodes[u].task == 0));
+        let rest_to_node = g
+            .arcs
+            .iter()
+            .any(|a| matches!((a.from, a.to), (End::Rest(..), End::Node(v)) if g.nodes[v].task == 1));
+        assert!(node_to_rest && rest_to_node);
+    }
+
+    #[test]
+    fn follower_restriction_limits_nodes() {
+        let p = problem(
+            vec![TaskSpec::new(0.0, 50_000.0, 1.0)],
+            vec![FollowerState::at_start(-100_000.0), FollowerState::at_start(-120_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 2, Some(&[1]), &[false]);
+        assert!(g.nodes.iter().all(|n| n.follower == 1));
+    }
+
+    #[test]
+    fn pair_feasibility_matches_adacs() {
+        let p = problem(
+            vec![TaskSpec::new(0.0, 30_000.0, 1.0), TaskSpec::new(0.0, 90_000.0, 1.0)],
+            vec![FollowerState::at_start(-100_000.0)],
+        );
+        let g = OpportunityGraph::build(&p, 2, None, &[false, false]);
+        // First slot of task 0 to last slot of task 1: plenty of time.
+        let u = g.nodes.iter().find(|n| n.task == 0).unwrap();
+        let v = g
+            .nodes
+            .iter()
+            .filter(|n| n.task == 1)
+            .max_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+            .unwrap();
+        assert!(OpportunityGraph::pair_feasible(&p, u, v));
+        // Reverse order: time runs backward, infeasible.
+        assert!(!OpportunityGraph::pair_feasible(&p, v, u));
+    }
+}

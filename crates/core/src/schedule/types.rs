@@ -1,0 +1,318 @@
+use super::SchedulingProblem;
+use crate::pointing::off_nadir_rad;
+use crate::CoreError;
+use std::collections::BTreeSet;
+
+/// One scheduled capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capture {
+    /// Index of the captured task in the problem's task list.
+    pub task: usize,
+    /// Capture time, seconds.
+    pub time_s: f64,
+}
+
+/// A complete schedule: one capture sequence per follower.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    /// `sequences[f]` is follower `f`'s time-ordered capture list.
+    pub sequences: Vec<Vec<Capture>>,
+    /// Total value of distinct captured tasks.
+    pub total_value: f64,
+}
+
+impl Schedule {
+    /// An empty schedule for `n_followers` followers.
+    pub fn empty(n_followers: usize) -> Self {
+        Schedule { sequences: vec![Vec::new(); n_followers], total_value: 0.0 }
+    }
+
+    /// Distinct captured task indices.
+    pub fn captured_tasks(&self) -> BTreeSet<usize> {
+        self.sequences.iter().flatten().map(|c| c.task).collect()
+    }
+
+    /// Number of distinct tasks captured.
+    pub fn captured_count(&self) -> usize {
+        self.captured_tasks().len()
+    }
+
+    /// Time of the last capture across all followers (the schedule
+    /// makespan), or `None` for an empty schedule.
+    pub fn makespan_s(&self) -> Option<f64> {
+        self.sequences
+            .iter()
+            .flatten()
+            .map(|c| c.time_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Captures per follower — the load-balance view used by trade
+    /// studies (an idle follower suggests spending that satellite on
+    /// another group instead).
+    pub fn captures_per_follower(&self) -> Vec<usize> {
+        self.sequences.iter().map(Vec::len).collect()
+    }
+
+    /// Mean time between consecutive captures of the busiest follower,
+    /// seconds; `None` when no follower has two captures. A small gap
+    /// means the ADACS slew rate, not target availability, is binding.
+    pub fn min_intercapture_gap_s(&self) -> Option<f64> {
+        self.sequences
+            .iter()
+            .flat_map(|seq| seq.windows(2).map(|w| w[1].time_s - w[0].time_s))
+            .fold(None, |acc, g| Some(acc.map_or(g, |a: f64| a.min(g))))
+    }
+
+    /// Checks the schedule against the paper's constraints:
+    ///
+    /// * capture times lie in each task's visibility window (C2: the
+    ///   window *is* the off-nadir constraint, re-verified directly);
+    /// * consecutive captures satisfy the actuation constraint C1,
+    ///   including the slew from the follower's initial pointing;
+    /// * each task is captured at most once across all followers;
+    /// * sequences are time-ordered and start after availability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ScheduleViolation`] describing the first
+    /// violated condition.
+    pub fn validate(&self, problem: &SchedulingProblem) -> Result<(), CoreError> {
+        let spec = problem.spec();
+        if self.sequences.len() != problem.followers().len() {
+            return Err(CoreError::ScheduleViolation {
+                description: format!(
+                    "schedule has {} sequences for {} followers",
+                    self.sequences.len(),
+                    problem.followers().len()
+                ),
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for (f, seq) in self.sequences.iter().enumerate() {
+            let follower = &problem.followers()[f];
+            let mut prev_t = follower.available_from_s;
+            let mut prev_u = follower.pointing_offset;
+            for (k, cap) in seq.iter().enumerate() {
+                if cap.task >= problem.tasks().len() {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!("capture references task {}", cap.task),
+                    });
+                }
+                if !seen.insert(cap.task) {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!("task {} captured twice", cap.task),
+                    });
+                }
+                if cap.time_s < prev_t - 1e-9 {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!(
+                            "follower {f} capture {k} at {} precedes {}",
+                            cap.time_s, prev_t
+                        ),
+                    });
+                }
+                let w = problem.window(f, cap.task).ok_or_else(|| {
+                    CoreError::ScheduleViolation {
+                        description: format!("task {} invisible to follower {f}", cap.task),
+                    }
+                })?;
+                if !w.contains(cap.time_s) {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!(
+                            "capture of task {} at {} outside window [{}, {}]",
+                            cap.task, cap.time_s, w.start_s, w.end_s
+                        ),
+                    });
+                }
+                // C2 re-verified from raw geometry.
+                let sat = follower.along_at(cap.time_s, spec.ground_speed_m_s);
+                let angle =
+                    off_nadir_rad(&problem.tasks()[cap.task].point, sat, spec.altitude_m);
+                if angle > spec.theta_max_rad + 1e-6 {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!(
+                            "off-nadir {:.4} rad exceeds max {:.4}",
+                            angle, spec.theta_max_rad
+                        ),
+                    });
+                }
+                // C1 against the previous configuration.
+                let u = problem.capture_offset(f, cap.task, cap.time_s);
+                let rot = problem.rotation_between(prev_u, u);
+                if !spec.adacs.can_rotate(rot, cap.time_s - prev_t) {
+                    return Err(CoreError::ScheduleViolation {
+                        description: format!(
+                            "follower {f}: rotation {:.4} rad in {:.2} s violates C1",
+                            rot,
+                            cap.time_s - prev_t
+                        ),
+                    });
+                }
+                prev_t = cap.time_s;
+                prev_u = u;
+            }
+        }
+        // Total value consistency.
+        let value: f64 = seen.iter().map(|&j| problem.tasks()[j].value).sum();
+        if (value - self.total_value).abs() > 1e-6 * (1.0 + value.abs()) {
+            return Err(CoreError::ScheduleViolation {
+                description: format!(
+                    "reported value {} != recomputed {}",
+                    self.total_value, value
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A follower-scheduling algorithm.
+pub trait Scheduler {
+    /// Produces a feasible schedule for the problem.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError`] on internal solver failures;
+    /// an infeasible-to-improve instance yields an empty schedule, not
+    /// an error.
+    fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, CoreError>;
+
+    /// Human-readable solver name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FollowerState, TaskSpec};
+    use crate::SensingSpec;
+
+    fn one_task_problem() -> SchedulingProblem {
+        SchedulingProblem::new(
+            SensingSpec::paper_default(),
+            vec![TaskSpec::new(0.0, 50_000.0, 2.0)],
+            vec![FollowerState::at_start(-100_000.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_schedule_validates() {
+        let p = one_task_problem();
+        Schedule::empty(1).validate(&p).unwrap();
+    }
+
+    #[test]
+    fn wrong_follower_count_rejected() {
+        let p = one_task_problem();
+        assert!(Schedule::empty(2).validate(&p).is_err());
+    }
+
+    #[test]
+    fn valid_single_capture_passes() {
+        let p = one_task_problem();
+        let t = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![Capture { task: 0, time_s: t }]],
+            total_value: 2.0,
+        };
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn capture_outside_window_rejected() {
+        let p = one_task_problem();
+        let w = p.window(0, 0).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![Capture { task: 0, time_s: w.end_s + 10.0 }]],
+            total_value: 2.0,
+        };
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn duplicate_capture_rejected() {
+        let p = one_task_problem();
+        let t = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![
+                Capture { task: 0, time_s: t },
+                Capture { task: 0, time_s: t + 5.0 },
+            ]],
+            total_value: 2.0,
+        };
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn wrong_total_value_rejected() {
+        let p = one_task_problem();
+        let t = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![Capture { task: 0, time_s: t }]],
+            total_value: 99.0,
+        };
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn schedule_statistics() {
+        let p = one_task_problem();
+        let t = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![Capture { task: 0, time_s: t }]],
+            total_value: 2.0,
+        };
+        assert_eq!(s.makespan_s(), Some(t));
+        assert_eq!(s.captures_per_follower(), vec![1]);
+        assert_eq!(s.min_intercapture_gap_s(), None);
+
+        let empty = Schedule::empty(2);
+        assert_eq!(empty.makespan_s(), None);
+        assert_eq!(empty.captures_per_follower(), vec![0, 0]);
+    }
+
+    #[test]
+    fn intercapture_gap_spans_sequences() {
+        let s = Schedule {
+            sequences: vec![
+                vec![
+                    Capture { task: 0, time_s: 1.0 },
+                    Capture { task: 1, time_s: 4.0 },
+                ],
+                vec![
+                    Capture { task: 2, time_s: 10.0 },
+                    Capture { task: 3, time_s: 11.5 },
+                ],
+            ],
+            total_value: 4.0,
+        };
+        assert_eq!(s.min_intercapture_gap_s(), Some(1.5));
+        assert_eq!(s.makespan_s(), Some(11.5));
+    }
+
+    #[test]
+    fn c1_violation_rejected() {
+        // Two far-apart targets captured back-to-back with no slew time.
+        let p = SchedulingProblem::new(
+            SensingSpec::paper_default(),
+            vec![
+                TaskSpec::new(-80_000.0, 50_000.0, 1.0),
+                TaskSpec::new(80_000.0, 50_000.0, 1.0),
+            ],
+            vec![FollowerState::at_start(-100_000.0)],
+        )
+        .unwrap();
+        let t0 = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
+        let s = Schedule {
+            sequences: vec![vec![
+                Capture { task: 0, time_s: t0 },
+                Capture { task: 1, time_s: t0 + 0.1 },
+            ]],
+            total_value: 2.0,
+        };
+        let err = s.validate(&p).unwrap_err();
+        assert!(err.to_string().contains("C1"), "{err}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests on the core scheduling and clustering
+//! invariants: every schedule any solver emits must satisfy the paper's
+//! constraints C1–C3, and every clustering must cover every point.
+
+use eagleeye_core::clustering::{cluster, covers_all, ClusteringMethod};
+use eagleeye_core::pointing::GroundPoint;
+use eagleeye_core::schedule::{
+    AbbScheduler, DpScheduler, FollowerState, GreedyScheduler, IlpScheduler, Scheduler,
+    SchedulingProblem, TaskSpec,
+};
+use eagleeye_core::SensingSpec;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn tasks_strategy(max_n: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        (-90_000.0f64..90_000.0, -20_000.0f64..140_000.0, 0.1f64..5.0),
+        1..max_n,
+    )
+    .prop_map(|v| v.into_iter().map(|(x, y, val)| TaskSpec::new(x, y, val)).collect())
+}
+
+fn followers_strategy() -> impl Strategy<Value = Vec<FollowerState>> {
+    proptest::collection::vec(-160_000.0f64..-80_000.0, 1..4)
+        .prop_map(|v| v.into_iter().map(FollowerState::at_start).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every ILP schedule validates against C1/C2/C3 and dominates greedy.
+    #[test]
+    fn ilp_schedules_validate_and_dominate_greedy(
+        tasks in tasks_strategy(14),
+        followers in followers_strategy(),
+    ) {
+        let p = SchedulingProblem::new(SensingSpec::paper_default(), tasks, followers)
+            .expect("valid problem");
+        let ilp = IlpScheduler::default().schedule(&p).expect("ilp");
+        let greedy = GreedyScheduler.schedule(&p).expect("greedy");
+        ilp.validate(&p).expect("ilp schedule feasible");
+        greedy.validate(&p).expect("greedy schedule feasible");
+        prop_assert!(ilp.total_value >= greedy.total_value - 1e-9,
+            "ilp {} < greedy {}", ilp.total_value, greedy.total_value);
+    }
+
+    /// AB&B schedules are always feasible, even under tiny deadlines.
+    #[test]
+    fn abb_schedules_validate(
+        tasks in tasks_strategy(8),
+        millis in 1u64..200,
+    ) {
+        let p = SchedulingProblem::new(
+            SensingSpec::paper_default(),
+            tasks,
+            vec![FollowerState::at_start(-100_000.0)],
+        ).expect("valid problem");
+        let s = AbbScheduler::new(Duration::from_millis(millis))
+            .schedule(&p)
+            .expect("abb");
+        s.validate(&p).expect("abb schedule feasible");
+    }
+
+    /// The single-follower DP optimum is a lower bound for the ILP.
+    #[test]
+    fn dp_is_a_lower_bound_for_ilp(tasks in tasks_strategy(7)) {
+        let p = SchedulingProblem::new(
+            SensingSpec::paper_default(),
+            tasks,
+            vec![FollowerState::at_start(-100_000.0)],
+        ).expect("valid problem");
+        let dp = DpScheduler { slots_per_task: 3 }.schedule(&p).expect("dp");
+        let ilp = IlpScheduler { slots_per_task: 3, ..IlpScheduler::default() }
+            .schedule(&p)
+            .expect("ilp");
+        dp.validate(&p).expect("dp feasible");
+        prop_assert!(ilp.total_value >= dp.total_value - 1e-6,
+            "ilp {} below dp bound {}", ilp.total_value, dp.total_value);
+    }
+
+    /// Clustering covers every point, assigns each exactly once, and the
+    /// ILP cover is never larger than the greedy one.
+    #[test]
+    fn clustering_covers_everything(
+        coords in proptest::collection::vec(
+            (-50_000.0f64..50_000.0, 0.0f64..110_000.0), 1..60),
+        w in 2_000.0f64..20_000.0,
+        h in 2_000.0f64..20_000.0,
+    ) {
+        let points: Vec<(GroundPoint, f64)> = coords
+            .into_iter()
+            .map(|(x, y)| (GroundPoint::new(x, y), 1.0))
+            .collect();
+        let ilp = cluster(&points, w, h, ClusteringMethod::Ilp).expect("ilp cover");
+        let greedy = cluster(&points, w, h, ClusteringMethod::Greedy).expect("greedy cover");
+        prop_assert!(covers_all(&points, &ilp, w, h));
+        prop_assert!(covers_all(&points, &greedy, w, h));
+        prop_assert!(ilp.len() <= greedy.len(),
+            "ilp used {} boxes, greedy {}", ilp.len(), greedy.len());
+
+        // Exactly-once assignment.
+        let mut count = vec![0usize; points.len()];
+        for c in &ilp {
+            for &m in &c.members {
+                count[m] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&k| k == 1));
+
+        // Cluster values sum to the total point value.
+        let total: f64 = ilp.iter().map(|c| c.value).sum();
+        prop_assert!((total - points.len() as f64).abs() < 1e-6);
+    }
+
+    /// Visibility windows always respect the off-nadir cone: sampling the
+    /// window interior never exceeds theta_max.
+    #[test]
+    fn windows_respect_theta_max(
+        x in -95_000.0f64..95_000.0,
+        y in -50_000.0f64..200_000.0,
+        start in -200_000.0f64..-80_000.0,
+    ) {
+        let spec = SensingSpec::paper_default();
+        let p = SchedulingProblem::new(
+            spec,
+            vec![TaskSpec::new(x, y, 1.0)],
+            vec![FollowerState::at_start(start)],
+        ).expect("valid problem");
+        if let Some(w) = p.window(0, 0) {
+            for k in 0..=10 {
+                let t = w.start_s + w.duration_s() * k as f64 / 10.0;
+                let sat = p.followers()[0].along_at(t, spec.ground_speed_m_s);
+                let angle = eagleeye_core::pointing::off_nadir_rad(
+                    &GroundPoint::new(x, y), sat, spec.altitude_m);
+                prop_assert!(angle <= spec.theta_max_rad + 1e-6,
+                    "angle {} at t {} exceeds cone", angle, t);
+            }
+        }
+    }
+}

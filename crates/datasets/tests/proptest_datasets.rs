@@ -1,0 +1,105 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use eagleeye_datasets::{
+    AirplaneGenerator, LakeGenerator, LakeSizeBand, OilTankGenerator, ShipGenerator,
+};
+use eagleeye_geo::greatcircle;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generators honor the requested count and are seed-deterministic.
+    #[test]
+    fn counts_and_determinism(count in 1usize..300, seed in 0u64..1000) {
+        let a = ShipGenerator::new().with_count(count).generate(seed);
+        let b = ShipGenerator::new().with_count(count).generate(seed);
+        prop_assert_eq!(a.len(), count);
+        for i in 0..count {
+            prop_assert_eq!(a.target(i).position, b.target(i).position);
+            prop_assert_eq!(a.target(i).value, b.target(i).value);
+        }
+    }
+
+    /// Airplane existence windows are consistent with route length and
+    /// speed, and all flights stay within jet performance.
+    #[test]
+    fn airplane_kinematics(count in 1usize..120, seed in 0u64..1000, horizon in 600.0f64..86_400.0) {
+        let set = AirplaneGenerator::new()
+            .with_count(count)
+            .with_horizon_s(horizon)
+            .generate(seed);
+        for t in set.iter() {
+            let v = t.speed_m_s();
+            prop_assert!((150.0..300.0).contains(&v), "speed {v}");
+            prop_assert!(t.appears_at_s >= 0.0 && t.appears_at_s <= horizon + 1.0);
+            let duration = t.disappears_at_s - t.appears_at_s;
+            prop_assert!(duration > 0.0 && duration < 30.0 * 3600.0,
+                "flight duration {duration}");
+            // Moving along a great circle: distance at mid-flight matches
+            // speed * elapsed.
+            let mid = t.appears_at_s + duration / 2.0;
+            let d = greatcircle::distance_m(&t.position, &t.position_at(mid));
+            prop_assert!((d - v * duration / 2.0).abs() < 2_000.0);
+        }
+    }
+
+    /// Lake values stay within the documented band and positions are on
+    /// the globe.
+    #[test]
+    fn lake_invariants(count in 1usize..300, seed in 0u64..1000) {
+        for band in [LakeSizeBand::OneToTenKm2, LakeSizeBand::TenthToTenKm2] {
+            let set = LakeGenerator::new(band).with_count(count).generate(seed);
+            prop_assert_eq!(set.len(), count);
+            for t in set.iter() {
+                prop_assert!(t.value >= 1.0 && t.value <= 1.2 + 1e-9);
+                prop_assert!(t.position.lat_deg().abs() <= 90.0);
+                prop_assert!(t.motion.is_none());
+            }
+        }
+    }
+
+    /// Tank farms: every tank is near its farm center, with physical
+    /// diameters and fill levels.
+    #[test]
+    fn tank_farm_invariants(farms in 1usize..40, seed in 0u64..1000) {
+        let fs = OilTankGenerator::new().with_farm_count(farms).generate(seed);
+        prop_assert_eq!(fs.len(), farms);
+        for f in &fs {
+            prop_assert!(!f.tanks.is_empty());
+            for t in &f.tanks {
+                prop_assert!((0.0..=1.0).contains(&t.fill_level));
+                prop_assert!(t.diameter_m > 10.0 && t.diameter_m < 100.0);
+                let d = greatcircle::distance_m(&f.center, &t.position);
+                prop_assert!(d < 10_000.0, "tank {d} m from center");
+            }
+        }
+    }
+
+    /// Radius queries against moving sets agree with brute force at an
+    /// arbitrary time.
+    #[test]
+    fn moving_query_matches_brute_force(
+        count in 1usize..80,
+        seed in 0u64..200,
+        t in 0.0f64..7_200.0,
+        lat in -60.0f64..60.0,
+        lon in -170.0f64..170.0,
+    ) {
+        let set = AirplaneGenerator::new()
+            .with_count(count)
+            .with_horizon_s(7_200.0)
+            .generate(seed);
+        let center = eagleeye_geo::GeodeticPoint::from_degrees(lat, lon, 0.0).expect("valid");
+        let radius = 500_000.0;
+        let got = set.query_radius(&center, radius, t);
+        let want: Vec<usize> = (0..set.len())
+            .filter(|&i| {
+                let tg = set.target(i);
+                tg.exists_at(t)
+                    && greatcircle::distance_m(&center, &tg.position_at(t)) <= radius
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

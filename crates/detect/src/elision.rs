@@ -1,0 +1,117 @@
+//! Kodan-style tile elision (an extension following the paper's
+//! discussion of prior work, §2.1).
+//!
+//! Kodan [Denby et al., ASPLOS'23] reduces onboard compute by skipping
+//! tiles whose geospatial context cannot contain targets (ocean tiles
+//! for land apps, land tiles for ship detection, cloud-occluded tiles
+//! for everything). This module models elision as a kept-tile fraction,
+//! which composes with [`crate::TilingConfig`] to shrink the leader's
+//! per-frame inference cost — the knob that turns the paper's infeasible
+//! 4× tiling back under the energy budget.
+
+use crate::TilingConfig;
+
+/// A tile-elision policy: the fraction of a frame's tiles that survive
+/// context filtering and are actually processed.
+///
+/// # Example
+///
+/// ```
+/// use eagleeye_detect::{TileElision, TilingConfig, YoloVariant};
+///
+/// let tiling = TilingConfig::paper_default();
+/// let elision = TileElision::new(0.4); // e.g. ship app over 40% ocean tiles
+/// let full = YoloVariant::N.frame_processing_time_s(&tiling);
+/// let elided = elision.frame_processing_time_s(YoloVariant::N, &tiling);
+/// assert!((elided / full - 0.4).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileElision {
+    keep_fraction: f64,
+}
+
+impl TileElision {
+    /// Creates a policy keeping `keep_fraction ∈ [0, 1]` of tiles
+    /// (clamped).
+    pub fn new(keep_fraction: f64) -> Self {
+        TileElision { keep_fraction: keep_fraction.clamp(0.0, 1.0) }
+    }
+
+    /// No elision: process every tile (the paper's evaluated leader).
+    pub fn none() -> Self {
+        TileElision { keep_fraction: 1.0 }
+    }
+
+    /// Kept-tile fraction.
+    #[inline]
+    pub fn keep_fraction(&self) -> f64 {
+        self.keep_fraction
+    }
+
+    /// Tiles processed per frame after elision (at least 1 when the
+    /// tiling itself is non-empty and anything is kept).
+    pub fn tiles_per_frame(&self, tiling: &TilingConfig) -> usize {
+        let kept = (tiling.tiles_per_frame() as f64 * self.keep_fraction).round() as usize;
+        if self.keep_fraction > 0.0 {
+            kept.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Frame processing time under elision, seconds.
+    pub fn frame_processing_time_s(
+        &self,
+        variant: crate::YoloVariant,
+        tiling: &TilingConfig,
+    ) -> f64 {
+        self.tiles_per_frame(tiling) as f64 * variant.per_tile_latency_s()
+    }
+}
+
+impl Default for TileElision {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::YoloVariant;
+
+    #[test]
+    fn keep_fraction_is_clamped() {
+        assert_eq!(TileElision::new(2.0).keep_fraction(), 1.0);
+        assert_eq!(TileElision::new(-1.0).keep_fraction(), 0.0);
+    }
+
+    #[test]
+    fn no_elision_matches_plain_tiling() {
+        let tiling = TilingConfig::paper_default();
+        assert_eq!(
+            TileElision::none().tiles_per_frame(&tiling),
+            tiling.tiles_per_frame()
+        );
+    }
+
+    #[test]
+    fn half_elision_halves_compute() {
+        let tiling = TilingConfig::paper_default();
+        let full = YoloVariant::M.frame_processing_time_s(&tiling);
+        let half = TileElision::new(0.5).frame_processing_time_s(YoloVariant::M, &tiling);
+        assert!((half / full - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn full_elision_processes_nothing() {
+        let tiling = TilingConfig::paper_default();
+        assert_eq!(TileElision::new(0.0).tiles_per_frame(&tiling), 0);
+    }
+
+    #[test]
+    fn tiny_keep_still_processes_one_tile() {
+        let tiling = TilingConfig::paper_default();
+        assert_eq!(TileElision::new(0.001).tiles_per_frame(&tiling), 1);
+    }
+}

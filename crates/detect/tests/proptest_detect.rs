@@ -1,0 +1,91 @@
+//! Property-based tests for the detector behaviour model.
+
+use eagleeye_detect::{DetectorModel, TileElision, TilingConfig, VolumeEstimator, YoloVariant};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recall is monotone: coarser imagery never detects better, and
+    /// bigger targets never detect worse.
+    #[test]
+    fn recall_monotonicity(
+        gsd_a in 0.5f64..100.0,
+        gsd_factor in 1.0f64..50.0,
+        size in 5.0f64..500.0,
+        size_factor in 1.0f64..10.0,
+    ) {
+        let d = DetectorModel::ship_detector();
+        let coarse = d.recall_at_gsd(gsd_a * gsd_factor, size);
+        let fine = d.recall_at_gsd(gsd_a, size);
+        prop_assert!(coarse <= fine + 1e-12);
+        let small = d.recall_at_gsd(gsd_a, size);
+        let large = d.recall_at_gsd(gsd_a, size * size_factor);
+        prop_assert!(large >= small - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&fine));
+    }
+
+    /// Detection output never exceeds the candidate count in true
+    /// positives and confidences stay in the unit interval.
+    #[test]
+    fn detections_are_well_formed(
+        n in 0usize..200,
+        recall in 0.0f64..1.0,
+        precision in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let d = DetectorModel::ship_detector()
+            .with_fixed_recall(recall)
+            .with_precision(precision);
+        let targets = vec![(0.8, 120.0); n];
+        let hits = d.detect(&targets, seed);
+        let tp = hits.iter().filter(|h| !h.is_false_positive).count();
+        prop_assert!(tp <= n);
+        for h in &hits {
+            prop_assert!((0.0..=1.0).contains(&h.confidence));
+            if !h.is_false_positive {
+                prop_assert!(h.target_index < n);
+            }
+        }
+        // Determinism.
+        prop_assert_eq!(hits, d.detect(&targets, seed));
+    }
+
+    /// Frame time is monotone in model size and in tile count, and
+    /// elision never increases it.
+    #[test]
+    fn latency_monotonicity(
+        frame_px in 500u32..5_000,
+        tile_px in 100u32..1_000,
+        keep in 0.0f64..1.0,
+    ) {
+        let tiling = TilingConfig::new(frame_px, tile_px, 1.0);
+        let mut last = 0.0;
+        for v in YoloVariant::ALL {
+            let t = v.frame_processing_time_s(&tiling);
+            prop_assert!(t >= last);
+            last = t;
+        }
+        let full = YoloVariant::M.frame_processing_time_s(&tiling);
+        let elided = TileElision::new(keep).frame_processing_time_s(YoloVariant::M, &tiling);
+        prop_assert!(elided <= full + 1e-12);
+    }
+
+    /// Volume estimation error grows with GSD and estimates stay in the
+    /// physical range.
+    #[test]
+    fn volume_error_properties(
+        gsd in 0.5f64..30.0,
+        factor in 1.0f64..20.0,
+        diameter in 15.0f64..90.0,
+        fill in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let e = VolumeEstimator::default();
+        prop_assert!(e.expected_relative_error(gsd * factor, diameter)
+            >= e.expected_relative_error(gsd, diameter));
+        let est = e.estimate(fill, gsd, diameter, seed);
+        prop_assert!((0.0..=1.0).contains(&est));
+        prop_assert_eq!(est, e.estimate(fill, gsd, diameter, seed));
+    }
+}

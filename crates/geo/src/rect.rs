@@ -1,0 +1,237 @@
+use crate::GeoError;
+use std::fmt;
+
+/// An axis-aligned rectangle in a local tangent frame, in meters.
+///
+/// `GroundRect` models an image footprint on the ground: the leader's
+/// low-resolution frame, a follower's high-resolution capture, or a
+/// clustering candidate box. Coordinates are `(cross_track, along_track)`
+/// pairs produced by [`crate::LocalFrame::project`].
+///
+/// The rectangle is closed: points on the boundary are contained. This
+/// matches the paper's constraint C3 (`tloc ∈ Image(...)`).
+///
+/// # Example
+///
+/// ```
+/// use eagleeye_geo::GroundRect;
+///
+/// // A 10 km x 10 km high-resolution footprint centered at the origin.
+/// let r = GroundRect::centered(0.0, 0.0, 10_000.0, 10_000.0)?;
+/// assert!(r.contains(4_999.0, -4_999.0));
+/// assert!(!r.contains(5_001.0, 0.0));
+/// # Ok::<(), eagleeye_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundRect {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl GroundRect {
+    /// Creates a rectangle from its minimum corner and dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegenerateRect`] when either dimension is not
+    /// strictly positive or not finite.
+    pub fn from_min_corner(
+        min_x: f64,
+        min_y: f64,
+        width_m: f64,
+        height_m: f64,
+    ) -> Result<Self, GeoError> {
+        if !(width_m > 0.0) || !(height_m > 0.0) || !width_m.is_finite() || !height_m.is_finite()
+        {
+            return Err(GeoError::DegenerateRect { width_m, height_m });
+        }
+        Ok(GroundRect {
+            min_x,
+            min_y,
+            max_x: min_x + width_m,
+            max_y: min_y + height_m,
+        })
+    }
+
+    /// Creates a rectangle from its center and dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegenerateRect`] when either dimension is not
+    /// strictly positive or not finite.
+    pub fn centered(cx: f64, cy: f64, width_m: f64, height_m: f64) -> Result<Self, GeoError> {
+        Self::from_min_corner(cx - width_m / 2.0, cy - height_m / 2.0, width_m, height_m)
+    }
+
+    /// Minimum-x (left) edge.
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.min_x
+    }
+
+    /// Minimum-y (bottom) edge.
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.min_y
+    }
+
+    /// Maximum-x (right) edge.
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.max_x
+    }
+
+    /// Maximum-y (top) edge.
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.max_y
+    }
+
+    /// Width in meters.
+    #[inline]
+    pub fn width_m(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in meters.
+    #[inline]
+    pub fn height_m(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Center `(x, y)` in meters.
+    #[inline]
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Area in square meters.
+    #[inline]
+    pub fn area_m2(&self) -> f64 {
+        self.width_m() * self.height_m()
+    }
+
+    /// True when `(x, y)` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.min_x && x <= self.max_x && y >= self.min_y && y <= self.max_y
+    }
+
+    /// True when the two rectangles overlap (closed intersection).
+    #[inline]
+    pub fn intersects(&self, other: &GroundRect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Returns this rectangle translated by `(dx, dy)`.
+    #[inline]
+    pub fn translated(&self, dx: f64, dy: f64) -> GroundRect {
+        GroundRect {
+            min_x: self.min_x + dx,
+            min_y: self.min_y + dy,
+            max_x: self.max_x + dx,
+            max_y: self.max_y + dy,
+        }
+    }
+
+    /// Maps the rectangle's corners through a [`crate::LocalFrame`] into
+    /// geodetic coordinates, in counter-clockwise order starting from the
+    /// minimum corner — the geo-registration step for a captured frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeoError`] for non-finite coordinates.
+    pub fn corners_geodetic(
+        &self,
+        frame: &crate::LocalFrame,
+    ) -> Result<[crate::GeodeticPoint; 4], GeoError> {
+        Ok([
+            frame.unproject(self.min_x, self.min_y)?,
+            frame.unproject(self.max_x, self.min_y)?,
+            frame.unproject(self.max_x, self.max_y)?,
+            frame.unproject(self.min_x, self.max_y)?,
+        ])
+    }
+}
+
+impl fmt::Display for GroundRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1}, {:.1}] x [{:.1}, {:.1}] m",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_dimensions() {
+        assert!(GroundRect::centered(0.0, 0.0, 0.0, 10.0).is_err());
+        assert!(GroundRect::centered(0.0, 0.0, 10.0, -1.0).is_err());
+        assert!(GroundRect::centered(0.0, 0.0, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let r = GroundRect::centered(0.0, 0.0, 10.0, 20.0).unwrap();
+        assert!(r.contains(5.0, 10.0));
+        assert!(r.contains(-5.0, -10.0));
+        assert!(!r.contains(5.000001, 0.0));
+    }
+
+    #[test]
+    fn center_and_dims_round_trip() {
+        let r = GroundRect::centered(3.0, -4.0, 10.0, 6.0).unwrap();
+        assert_eq!(r.center(), (3.0, -4.0));
+        assert_eq!(r.width_m(), 10.0);
+        assert_eq!(r.height_m(), 6.0);
+        assert_eq!(r.area_m2(), 60.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = GroundRect::from_min_corner(0.0, 0.0, 10.0, 10.0).unwrap();
+        let b = GroundRect::from_min_corner(5.0, 5.0, 10.0, 10.0).unwrap();
+        let c = GroundRect::from_min_corner(20.0, 20.0, 1.0, 1.0).unwrap();
+        let touch = GroundRect::from_min_corner(10.0, 0.0, 5.0, 5.0).unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&touch)); // closed edges touch
+    }
+
+    #[test]
+    fn geodetic_corners_have_the_right_extent() {
+        let origin = crate::GeodeticPoint::from_degrees(10.0, 20.0, 0.0).unwrap();
+        let frame = crate::LocalFrame::new(origin, 0.3);
+        let r = GroundRect::centered(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+        let corners = r.corners_geodetic(&frame).unwrap();
+        // Diagonal corners are ~sqrt(2) * 10 km apart.
+        let diag = crate::greatcircle::distance_m(&corners[0], &corners[2]);
+        assert!((diag - 14_142.0).abs() < 50.0, "diag {diag}");
+        // Adjacent corners are ~10 km apart.
+        let side = crate::greatcircle::distance_m(&corners[0], &corners[1]);
+        assert!((side - 10_000.0).abs() < 50.0, "side {side}");
+    }
+
+    #[test]
+    fn translation_moves_bounds() {
+        let r = GroundRect::from_min_corner(0.0, 0.0, 2.0, 2.0).unwrap().translated(1.0, -1.0);
+        assert_eq!(r.min_x(), 1.0);
+        assert_eq!(r.min_y(), -1.0);
+        assert_eq!(r.max_x(), 3.0);
+        assert_eq!(r.max_y(), 1.0);
+    }
+}

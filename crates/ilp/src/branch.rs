@@ -1,0 +1,324 @@
+//! Depth-first branch-and-bound over the LP relaxation.
+
+use crate::model::{Model, ObjectiveDirection, Solution, SolveStatus, VarKind};
+use crate::IlpError;
+use std::time::{Duration, Instant};
+
+/// Options controlling a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Wall-clock limit; `None` means unlimited. When the limit is hit
+    /// the best incumbent is returned with [`SolveStatus::Feasible`]
+    /// (or [`SolveStatus::Unknown`] if none was found).
+    pub time_limit: Option<Duration>,
+    /// Maximum branch-and-bound nodes to explore; `None` means unlimited.
+    pub node_limit: Option<usize>,
+    /// Absolute tolerance for considering an LP value integral.
+    pub integrality_tol: f64,
+    /// Absolute objective gap below which a node is pruned against the
+    /// incumbent. Zero proves exact optimality.
+    pub absolute_gap: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            time_limit: None,
+            node_limit: None,
+            integrality_tol: 1e-6,
+            absolute_gap: 1e-9,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Convenience constructor with a wall-clock limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        SolveOptions { time_limit: Some(limit), ..SolveOptions::default() }
+    }
+}
+
+/// Statistics accumulated during a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved.
+    pub nodes_explored: usize,
+    /// Total simplex iterations across all nodes.
+    pub lp_iterations: usize,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// A search node: a set of variable bound overrides.
+#[derive(Debug, Clone)]
+struct Node {
+    overrides: Vec<(usize, f64, f64)>,
+}
+
+pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
+    let start = Instant::now();
+    let sign = match model.direction() {
+        ObjectiveDirection::Minimize => 1.0,
+        ObjectiveDirection::Maximize => -1.0,
+    };
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(j, _)| j)
+        .collect();
+
+    let mut stats = SolveStats::default();
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal (minimize) objective
+    let mut stack: Vec<Node> = vec![Node { overrides: Vec::new() }];
+    let mut limit_hit = false;
+    let deadline = options.time_limit.map(|tl| start + tl);
+
+    while let Some(node) = stack.pop() {
+        if let Some(tl) = options.time_limit {
+            if start.elapsed() >= tl {
+                limit_hit = true;
+                break;
+            }
+        }
+        if let Some(nl) = options.node_limit {
+            if stats.nodes_explored >= nl {
+                limit_hit = true;
+                break;
+            }
+        }
+
+        stats.nodes_explored += 1;
+        let relaxed = match model.solve_relaxation(&node.overrides, deadline) {
+            Ok(r) => r,
+            Err(IlpError::Deadline) => {
+                limit_hit = true;
+                break;
+            }
+            Err(IlpError::Unbounded) if stats.nodes_explored > 1 => {
+                // A child with tightened integer bounds cannot be unbounded
+                // unless a continuous direction is unbounded — surface it.
+                return Err(IlpError::Unbounded);
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((obj, values, iters)) = relaxed else {
+            continue; // infeasible node
+        };
+        stats.lp_iterations += iters;
+
+        // Bound pruning.
+        if let Some((best, _)) = &incumbent {
+            if obj >= *best - options.absolute_gap {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None; // (var, fractional part dist)
+        for &j in &int_vars {
+            let v = values[j];
+            let frac = (v - v.round()).abs();
+            if frac > options.integrality_tol {
+                let dist_to_half = (v - v.floor() - 0.5).abs();
+                match branch_var {
+                    Some((_, best)) if dist_to_half >= best => {}
+                    _ => branch_var = Some((j, dist_to_half)),
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent.
+                let better = match &incumbent {
+                    Some((best, _)) => obj < *best - 1e-12,
+                    None => true,
+                };
+                if better {
+                    incumbent = Some((obj, values));
+                }
+            }
+            Some((j, _)) => {
+                let v = values[j];
+                let floor = v.floor();
+                let ceil = v.ceil();
+                let mut down = node.overrides.clone();
+                down.push((j, f64::NEG_INFINITY.max(model.vars[j].lower), floor));
+                let mut up = node.overrides.clone();
+                up.push((j, ceil, model.vars[j].upper));
+                // Explore the side closer to the LP value first (pushed
+                // last so it pops first).
+                if v - floor < 0.5 {
+                    stack.push(Node { overrides: up });
+                    stack.push(Node { overrides: down });
+                } else {
+                    stack.push(Node { overrides: down });
+                    stack.push(Node { overrides: up });
+                }
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    let solution = match incumbent {
+        Some((internal_obj, values)) => Solution {
+            status: if limit_hit { SolveStatus::Feasible } else { SolveStatus::Optimal },
+            objective: sign * internal_obj,
+            values,
+            stats,
+        },
+        None => Solution {
+            status: if limit_hit { SolveStatus::Unknown } else { SolveStatus::Infeasible },
+            objective: f64::NAN,
+            values: vec![f64::NAN; model.num_vars()],
+            stats,
+        },
+    };
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense};
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> (Model, Vec<crate::VarId>) {
+        let mut m = Model::maximize();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_binary_var(v)).collect();
+        m.add_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)),
+            Sense::Le,
+            cap,
+        )
+        .unwrap();
+        (m, vars)
+    }
+
+    /// Brute-force knapsack optimum for cross-checking.
+    fn knapsack_brute(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+        let n = values.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let mut w = 0.0;
+            let mut v = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= cap + 1e-9 {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        let values = [10.0, 13.0, 7.0, 8.0, 2.0, 9.0];
+        let weights = [5.0, 6.0, 3.0, 4.0, 1.0, 5.0];
+        for cap in [0.0, 3.0, 7.0, 11.0, 24.0] {
+            let (m, _) = knapsack(&values, &weights, cap);
+            let sol = m.solve(&SolveOptions::default()).unwrap();
+            let want = knapsack_brute(&values, &weights, cap);
+            assert!(
+                (sol.objective() - want).abs() < 1e-6,
+                "cap {cap}: got {} want {want}",
+                sol.objective()
+            );
+            assert_eq!(sol.status(), SolveStatus::Optimal);
+        }
+    }
+
+    #[test]
+    fn integer_solution_has_integral_values() {
+        let values = [3.0, 5.0, 4.0, 6.0];
+        let weights = [2.0, 3.0, 3.0, 4.0];
+        let (m, vars) = knapsack(&values, &weights, 6.0);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        for &v in &vars {
+            let x = sol.value(v);
+            assert!((x - x.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn assignment_problem_optimal() {
+        // 3x3 assignment, cost matrix; optimal = 1 + 2 + 3 = 6 on diagonal
+        // after permutation.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::minimize();
+        let mut x = [[None; 3]; 3];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for (j, xij) in xi.iter_mut().enumerate() {
+                *xij = Some(m.add_binary_var(cost[i][j]));
+            }
+        }
+        for i in 0..3 {
+            m.add_constraint((0..3).map(|j| (x[i][j].unwrap(), 1.0)), Sense::Eq, 1.0).unwrap();
+            m.add_constraint((0..3).map(|j| (x[j][i].unwrap(), 1.0)), Sense::Eq, 1.0).unwrap();
+        }
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        // Optimal assignment: (0,1)=1, (1,0)=2, (2,2)=2 => 5.
+        assert!((sol.objective() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_or_unknown() {
+        let values = [10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0, 6.0];
+        let weights = [5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0, 3.0];
+        let (m, _) = knapsack(&values, &weights, 12.0);
+        let opts = SolveOptions { node_limit: Some(1), ..SolveOptions::default() };
+        let sol = m.solve(&opts).unwrap();
+        assert!(matches!(sol.status(), SolveStatus::Feasible | SolveStatus::Unknown));
+    }
+
+    #[test]
+    fn time_limit_zero_returns_quickly() {
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [5.0, 6.0, 3.0, 4.0];
+        let (m, _) = knapsack(&values, &weights, 12.0);
+        let opts = SolveOptions::with_time_limit(Duration::from_secs(0));
+        let sol = m.solve(&opts).unwrap();
+        assert!(matches!(sol.status(), SolveStatus::Feasible | SolveStatus::Unknown));
+    }
+
+    #[test]
+    fn general_integer_variables() {
+        // max 2x + 3y, 4x + 5y <= 17, x,y integer >= 0 => x=3,y=1 (9) or
+        // x=0,y=3 (9)? 4*0+15<=17 y=3 obj 9; x=3,y=1: 12+5=17 obj 9.
+        let mut m = Model::maximize();
+        let x = m.add_integer_var(0.0, 10.0, 2.0).unwrap();
+        let y = m.add_integer_var(0.0, 10.0, 3.0).unwrap();
+        m.add_constraint([(x, 4.0), (y, 5.0)], Sense::Le, 17.0).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 9.0).abs() < 1e-6);
+        let xv = sol.value(x);
+        let yv = sol.value(y);
+        assert!((xv - xv.round()).abs() < 1e-6);
+        assert!((yv - yv.round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y, x binary, y continuous <= 2.5, x + y <= 3 =>
+        // x=1, y=2 (y <= 2.5 and x+y<=3) obj 3.
+        let mut m = Model::maximize();
+        let x = m.add_binary_var(1.0);
+        let y = m.add_continuous_var(0.0, 2.5, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-6);
+        assert!((sol.value(x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (m, _) = knapsack(&[3.0, 5.0, 4.0], &[2.0, 3.0, 3.0], 5.0);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!(sol.stats().nodes_explored >= 1);
+    }
+}

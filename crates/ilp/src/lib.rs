@@ -1,0 +1,44 @@
+//! A small, exact mixed-integer linear programming solver.
+//!
+//! The EagleEye paper solves two optimization problems with Google
+//! OR-Tools: target clustering (a planar rectangle cover) and
+//! actuation-aware follower scheduling (a generalized-TSP-style flow
+//! problem). This crate provides the solver substrate from scratch:
+//!
+//! * [`Model`] — a builder for LP/MILP models: variables with bounds
+//!   (continuous or integer), linear constraints, and a linear objective.
+//! * A dense, bounded-variable, two-phase **primal simplex** for the LP
+//!   relaxation ([`simplex`] module).
+//! * A depth-first **branch-and-bound** with most-fractional branching,
+//!   incumbent pruning, and time/node limits for integrality.
+//!
+//! The instances EagleEye produces are small (hundreds of variables per
+//! scheduling frame) and near-network-structured, so an exact dense solver
+//! closes them in milliseconds — reproducing the runtime behaviour of
+//! Fig. 12a.
+//!
+//! # Example: a tiny knapsack
+//!
+//! ```
+//! use eagleeye_ilp::{Model, Sense, SolveOptions};
+//!
+//! let mut m = Model::maximize();
+//! let x = m.add_binary_var(8.0);  // value 8, weight 5
+//! let y = m.add_binary_var(5.0);  // value 5, weight 3
+//! let z = m.add_binary_var(4.0);  // value 4, weight 3
+//! m.add_constraint([(x, 5.0), (y, 3.0), (z, 3.0)], Sense::Le, 6.0)?;
+//! let sol = m.solve(&SolveOptions::default())?;
+//! assert!((sol.objective() - 9.0).abs() < 1e-6); // take y and z
+//! # Ok::<(), eagleeye_ilp::IlpError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod branch;
+mod error;
+mod model;
+pub mod simplex;
+
+pub use branch::{SolveOptions, SolveStats};
+pub use error::IlpError;
+pub use model::{Model, ObjectiveDirection, Sense, Solution, SolveStatus, VarId, VarKind};

@@ -1,0 +1,738 @@
+//! A dense, bounded-variable, two-phase primal simplex solver.
+//!
+//! This is the LP engine underneath [`crate::Model`]. It solves problems
+//! in the computational standard form
+//!
+//! ```text
+//! minimize    cᵀx
+//! subject to  aᵢᵀx {≤,=,≥} bᵢ      for every row i
+//!             0 ≤ xⱼ ≤ uⱼ          (uⱼ may be +∞)
+//! ```
+//!
+//! Upper bounds are handled *implicitly* (nonbasic variables may sit at
+//! either bound, and the ratio test allows bound flips), so binary
+//! variables do not inflate the row count. Phase 1 minimizes the sum of
+//! artificial variables; phase 2 optimizes the true objective with
+//! artificials pinned at zero. Degeneracy is handled by switching from
+//! Dantzig pricing to Bland's rule after a stretch of non-improving
+//! iterations, which guarantees termination.
+//!
+//! Most users should go through [`crate::Model`]; this module is public
+//! for callers who already have a standard-form problem (and for the
+//! property-based tests that hammer the engine directly).
+
+use crate::IlpError;
+use std::time::Instant;
+
+/// Relational sense of a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSense {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx = b`
+    Eq,
+    /// `aᵀx ≥ b`
+    Ge,
+}
+
+/// A single constraint row in sparse form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpRow {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational sense.
+    pub sense: RowSense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in computational standard form (see module docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LpProblem {
+    /// Objective coefficients (minimization), one per variable.
+    pub cost: Vec<f64>,
+    /// Upper bounds, one per variable; `f64::INFINITY` means unbounded.
+    /// All lower bounds are zero.
+    pub upper: Vec<f64>,
+    /// Constraint rows.
+    pub rows: Vec<LpRow>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value (for the minimization form).
+    pub objective: f64,
+    /// Optimal value of every variable.
+    pub values: Vec<f64>,
+    /// Total simplex iterations across both phases.
+    pub iterations: usize,
+}
+
+const COST_TOL: f64 = 1e-9;
+const PIVOT_TOL: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+/// Consecutive non-improving iterations before switching to Bland's rule.
+const STALL_LIMIT: usize = 64;
+
+/// Solves the LP.
+///
+/// # Errors
+///
+/// * [`IlpError::Unbounded`] when the objective is unbounded below.
+/// * [`IlpError::IterationLimit`] if the iteration cap is exceeded
+///   (indicates numerical trouble; the cap scales with problem size).
+/// * [`IlpError::NonFiniteValue`] for NaN/infinite input data.
+pub fn solve(problem: &LpProblem) -> Result<LpResult, IlpError> {
+    solve_with_deadline(problem, None)
+}
+
+/// Solves the LP, aborting with [`IlpError::Deadline`] if the wall clock
+/// passes `deadline` mid-solve (checked every few hundred iterations).
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`IlpError::Deadline`].
+pub fn solve_with_deadline(
+    problem: &LpProblem,
+    deadline: Option<Instant>,
+) -> Result<LpResult, IlpError> {
+    let mut t = Tableau::new(problem)?;
+    t.deadline = deadline;
+    t.solve()
+}
+
+/// Dense simplex tableau with bounded variables.
+struct Tableau {
+    /// Number of structural variables (prefix of the column space).
+    n_struct: usize,
+    /// Total columns (structural + slack/surplus + artificial).
+    n_cols: usize,
+    /// Number of rows.
+    m: usize,
+    /// Row-major dense tableau, `m x n_cols`, maintained as `B⁻¹A`.
+    a: Vec<f64>,
+    /// Current basic variable values, one per row.
+    b: Vec<f64>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Whether each *nonbasic* column currently sits at its upper bound.
+    at_upper: Vec<bool>,
+    /// Whether each column is basic.
+    is_basic: Vec<bool>,
+    /// Upper bound per column.
+    upper: Vec<f64>,
+    /// First artificial column index (artificials are `art_start..n_cols`).
+    art_start: usize,
+    /// Phase-2 cost per column.
+    cost: Vec<f64>,
+    /// Iterations used so far.
+    iterations: usize,
+    /// Iteration cap.
+    max_iterations: usize,
+    /// Optional wall-clock deadline.
+    deadline: Option<Instant>,
+}
+
+impl Tableau {
+    fn new(p: &LpProblem) -> Result<Self, IlpError> {
+        let n_struct = p.cost.len();
+        if p.upper.len() != n_struct {
+            return Err(IlpError::NonFiniteValue { context: "upper bound vector length" });
+        }
+        for &c in &p.cost {
+            if !c.is_finite() {
+                return Err(IlpError::NonFiniteValue { context: "objective coefficient" });
+            }
+        }
+        for &u in &p.upper {
+            if u.is_nan() || u < 0.0 {
+                return Err(IlpError::NonFiniteValue { context: "variable upper bound" });
+            }
+        }
+        let m = p.rows.len();
+
+        // Normalize rows so every right-hand side is non-negative.
+        type NormRow = (Vec<(usize, f64)>, RowSense, f64);
+        let mut norm_rows: Vec<NormRow> = Vec::with_capacity(m);
+        for row in &p.rows {
+            if !row.rhs.is_finite() {
+                return Err(IlpError::NonFiniteValue { context: "row right-hand side" });
+            }
+            for &(j, c) in &row.coeffs {
+                if j >= n_struct {
+                    return Err(IlpError::UnknownVariable { index: j, var_count: n_struct });
+                }
+                if !c.is_finite() {
+                    return Err(IlpError::NonFiniteValue { context: "row coefficient" });
+                }
+            }
+            if row.rhs < 0.0 {
+                let flipped: Vec<(usize, f64)> =
+                    row.coeffs.iter().map(|&(j, c)| (j, -c)).collect();
+                let sense = match row.sense {
+                    RowSense::Le => RowSense::Ge,
+                    RowSense::Eq => RowSense::Eq,
+                    RowSense::Ge => RowSense::Le,
+                };
+                norm_rows.push((flipped, sense, -row.rhs));
+            } else {
+                norm_rows.push((row.coeffs.clone(), row.sense, row.rhs));
+            }
+        }
+
+        // Column layout: [structural | slack/surplus | artificial].
+        let n_slack = norm_rows
+            .iter()
+            .filter(|(_, s, _)| matches!(s, RowSense::Le | RowSense::Ge))
+            .count();
+        let n_art = norm_rows
+            .iter()
+            .filter(|(_, s, _)| matches!(s, RowSense::Eq | RowSense::Ge))
+            .count();
+        let slack_start = n_struct;
+        let art_start = n_struct + n_slack;
+        let n_cols = art_start + n_art;
+
+        let mut a = vec![0.0; m * n_cols];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![0usize; m];
+        let mut upper = Vec::with_capacity(n_cols);
+        upper.extend_from_slice(&p.upper);
+        upper.resize(n_cols, f64::INFINITY);
+
+        let mut next_slack = slack_start;
+        let mut next_art = art_start;
+        for (i, (coeffs, sense, rhs)) in norm_rows.iter().enumerate() {
+            let row = &mut a[i * n_cols..(i + 1) * n_cols];
+            for &(j, c) in coeffs {
+                row[j] += c;
+            }
+            b[i] = *rhs;
+            match sense {
+                RowSense::Le => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                RowSense::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                RowSense::Eq => {
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        let mut is_basic = vec![false; n_cols];
+        for &j in &basis {
+            is_basic[j] = true;
+        }
+
+        let mut cost = Vec::with_capacity(n_cols);
+        cost.extend_from_slice(&p.cost);
+        cost.resize(n_cols, 0.0);
+
+        let max_iterations = 2_000 + 40 * (m + n_cols);
+
+        Ok(Tableau {
+            n_struct,
+            n_cols,
+            m,
+            a,
+            b,
+            basis,
+            at_upper: vec![false; n_cols],
+            is_basic,
+            upper,
+            art_start,
+            cost,
+            iterations: 0,
+            max_iterations,
+            deadline: None,
+        })
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.a[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    fn solve(mut self) -> Result<LpResult, IlpError> {
+        // Phase 1: minimize the sum of artificials.
+        if self.art_start < self.n_cols {
+            let phase1_cost: Vec<f64> = (0..self.n_cols)
+                .map(|j| if j >= self.art_start { 1.0 } else { 0.0 })
+                .collect();
+            let obj = self.run_phase(&phase1_cost, /*ban_artificials=*/ false)?;
+            if obj > FEAS_TOL {
+                return Ok(LpResult::Infeasible);
+            }
+            // Pin artificials at zero for phase 2.
+            for j in self.art_start..self.n_cols {
+                self.upper[j] = 0.0;
+            }
+        }
+
+        // Phase 2: the real objective.
+        let cost = self.cost.clone();
+        let obj = self.run_phase(&cost, /*ban_artificials=*/ true)?;
+        let mut values = vec![0.0; self.n_struct];
+        for j in 0..self.n_struct {
+            if !self.is_basic[j] && self.at_upper[j] {
+                values[j] = self.upper[j];
+            }
+        }
+        for (i, &j) in self.basis.iter().enumerate() {
+            if j < self.n_struct {
+                values[j] = self.b[i].max(0.0);
+            }
+        }
+        Ok(LpResult::Optimal(LpSolution { objective: obj, values, iterations: self.iterations }))
+    }
+
+    /// Runs simplex iterations for one phase with the given cost vector.
+    /// Returns the phase objective value at optimality.
+    fn run_phase(&mut self, cost: &[f64], ban_artificials: bool) -> Result<f64, IlpError> {
+        // Reduced costs: d_j = c_j - c_Bᵀ (B⁻¹ A)_j, computed from the
+        // current (already pivoted) tableau.
+        let mut d = cost.to_vec();
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb != 0.0 {
+                let row = self.row(i).to_vec();
+                for (dj, &aij) in d.iter_mut().zip(&row) {
+                    *dj -= cb * aij;
+                }
+            }
+        }
+        let mut obj = {
+            let mut o = 0.0;
+            for (i, &bj) in self.basis.iter().enumerate() {
+                o += cost[bj] * self.b[i];
+            }
+            for j in 0..self.n_cols {
+                if !self.is_basic[j] && self.at_upper[j] && self.upper[j].is_finite() {
+                    o += cost[j] * self.upper[j];
+                }
+            }
+            o
+        };
+
+        let mut stall = 0usize;
+        loop {
+            self.iterations += 1;
+            if self.iterations > self.max_iterations {
+                return Err(IlpError::IterationLimit { limit: self.max_iterations });
+            }
+            if self.iterations.is_multiple_of(128) {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        return Err(IlpError::Deadline);
+                    }
+                }
+            }
+            let use_bland = stall >= STALL_LIMIT;
+
+            // Entering-variable selection.
+            let mut enter: Option<(usize, f64)> = None; // (col, |d|)
+            for j in 0..self.n_cols {
+                if self.is_basic[j] || (ban_artificials && j >= self.art_start) {
+                    continue;
+                }
+                // Columns fixed at zero can never usefully move.
+                if self.upper[j] <= PIVOT_TOL && self.at_upper[j] {
+                    continue;
+                }
+                let dj = d[j];
+                let eligible = if self.at_upper[j] { dj > COST_TOL } else { dj < -COST_TOL };
+                if !eligible {
+                    continue;
+                }
+                if self.upper[j] <= PIVOT_TOL && !self.at_upper[j] && dj < -COST_TOL {
+                    // Fixed-at-zero column: a "flip" moves nothing; skip to
+                    // avoid cycling between bounds.
+                    continue;
+                }
+                if use_bland {
+                    enter = Some((j, dj.abs()));
+                    break;
+                }
+                match enter {
+                    Some((_, best)) if dj.abs() <= best => {}
+                    _ => enter = Some((j, dj.abs())),
+                }
+            }
+            let Some((j, _)) = enter else {
+                return Ok(obj);
+            };
+
+            // Direction: +1 if entering increases from its lower bound,
+            // -1 if it decreases from its upper bound.
+            let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+
+            // Ratio test.
+            let mut t_limit = if self.upper[j].is_finite() { self.upper[j] } else { f64::INFINITY };
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_to_upper)
+            for i in 0..self.m {
+                let aij = self.a[i * self.n_cols + j];
+                let delta = sigma * aij;
+                if delta > PIVOT_TOL {
+                    // Basic value decreases toward 0.
+                    let t = self.b[i] / delta;
+                    if t < t_limit - 1e-12 || (use_bland && t <= t_limit && leave.is_none()) {
+                        t_limit = t.max(0.0);
+                        leave = Some((i, false));
+                    }
+                } else if delta < -PIVOT_TOL {
+                    // Basic value increases toward its upper bound.
+                    let ub = self.upper[self.basis[i]];
+                    if ub.is_finite() {
+                        let t = (ub - self.b[i]) / (-delta);
+                        if t < t_limit - 1e-12 {
+                            t_limit = t.max(0.0);
+                            leave = Some((i, true));
+                        }
+                    }
+                }
+            }
+
+            if !t_limit.is_finite() {
+                return Err(IlpError::Unbounded);
+            }
+            let t = t_limit.max(0.0);
+            if t < 1e-11 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+
+            obj += d[j] * sigma * t;
+
+            match leave {
+                None => {
+                    // Bound flip: the entering variable runs to its other
+                    // bound without changing the basis.
+                    for i in 0..self.m {
+                        let aij = self.a[i * self.n_cols + j];
+                        self.b[i] -= sigma * t * aij;
+                    }
+                    self.at_upper[j] = !self.at_upper[j];
+                }
+                Some((r, to_upper)) => {
+                    // Update basic values for the step.
+                    for i in 0..self.m {
+                        if i != r {
+                            let aij = self.a[i * self.n_cols + j];
+                            self.b[i] -= sigma * t * aij;
+                        }
+                    }
+                    let entering_value =
+                        if sigma > 0.0 { t } else { self.upper[j] - t };
+                    // Leaving variable bookkeeping.
+                    let v = self.basis[r];
+                    self.is_basic[v] = false;
+                    self.at_upper[v] = to_upper;
+                    self.basis[r] = j;
+                    self.is_basic[j] = true;
+                    self.b[r] = entering_value;
+
+                    // Pivot: normalize row r, eliminate column j elsewhere.
+                    let piv = self.a[r * self.n_cols + j];
+                    debug_assert!(piv.abs() > PIVOT_TOL * 0.5, "tiny pivot {piv}");
+                    let inv = 1.0 / piv;
+                    {
+                        let row_r = &mut self.a[r * self.n_cols..(r + 1) * self.n_cols];
+                        for x in row_r.iter_mut() {
+                            *x *= inv;
+                        }
+                        row_r[j] = 1.0;
+                    }
+                    // Copy row r once to avoid aliasing during elimination.
+                    let row_r: Vec<f64> =
+                        self.a[r * self.n_cols..(r + 1) * self.n_cols].to_vec();
+                    for i in 0..self.m {
+                        if i == r {
+                            continue;
+                        }
+                        let factor = self.a[i * self.n_cols + j];
+                        if factor.abs() > 1e-13 {
+                            let row_i = &mut self.a[i * self.n_cols..(i + 1) * self.n_cols];
+                            for (x, &rr) in row_i.iter_mut().zip(&row_r) {
+                                *x -= factor * rr;
+                            }
+                            row_i[j] = 0.0;
+                        }
+                    }
+                    let dj = d[j];
+                    if dj.abs() > 1e-13 {
+                        for (x, &rr) in d.iter_mut().zip(&row_r) {
+                            *x -= dj * rr;
+                        }
+                        d[j] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[(usize, f64)], sense: RowSense, rhs: f64) -> LpRow {
+        LpRow { coeffs: coeffs.to_vec(), sense, rhs }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 => x=2, y=6, obj 36.
+        let p = LpProblem {
+            cost: vec![-3.0, -5.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], RowSense::Le, 4.0),
+                row(&[(1, 2.0)], RowSense::Le, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], RowSense::Le, 18.0),
+            ],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, -36.0);
+                assert_close(s.values[0], 2.0);
+                assert_close(s.values[1], 6.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints_need_phase_one() {
+        // min x + y st x + y = 10, x - y = 2 => x=6, y=4, obj 10.
+        let p = LpProblem {
+            cost: vec![1.0, 1.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Eq, 10.0),
+                row(&[(0, 1.0), (1, -1.0)], RowSense::Eq, 2.0),
+            ],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, 10.0);
+                assert_close(s.values[0], 6.0);
+                assert_close(s.values[1], 4.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_system_detected() {
+        // x >= 5 and x <= 3.
+        let p = LpProblem {
+            cost: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], RowSense::Ge, 5.0),
+                row(&[(0, 1.0)], RowSense::Le, 3.0),
+            ],
+        };
+        assert_eq!(solve(&p).unwrap(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unconstrained above.
+        let p = LpProblem {
+            cost: vec![-1.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(&[(0, 1.0)], RowSense::Ge, 0.0)],
+        };
+        assert_eq!(solve(&p), Err(IlpError::Unbounded));
+    }
+
+    #[test]
+    fn upper_bounds_are_respected_without_rows() {
+        // max x + y with x <= 1, y <= 1 via bounds only, x + y <= 1.5.
+        let p = LpProblem {
+            cost: vec![-1.0, -1.0],
+            upper: vec![1.0, 1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], RowSense::Le, 1.5)],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, -1.5);
+                assert!(s.values[0] <= 1.0 + 1e-9);
+                assert!(s.values[1] <= 1.0 + 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // max x + 2y, x,y in [0,1], no rows at all => obj 3 at (1,1).
+        let p = LpProblem {
+            cost: vec![-1.0, -2.0],
+            upper: vec![1.0, 1.0],
+            rows: vec![],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, -3.0);
+                assert_close(s.values[0], 1.0);
+                assert_close(s.values[1], 1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2  (i.e. y >= x + 2), minimize y with x >= 0 => x=0,y=2.
+        let p = LpProblem {
+            cost: vec![0.0, 1.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![row(&[(0, 1.0), (1, -1.0)], RowSense::Le, -2.0)],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, 2.0);
+                assert_close(s.values[1], 2.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP (multiple optimal bases at the same vertex).
+        let p = LpProblem {
+            cost: vec![-1.0, -1.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Le, 1.0),
+                row(&[(0, 1.0)], RowSense::Le, 1.0),
+                row(&[(1, 1.0)], RowSense::Le, 1.0),
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Le, 1.0),
+            ],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => assert_close(s.objective, -1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transportation_problem_is_integral() {
+        // 2 sources (supply 3, 2), 2 sinks (demand 2, 3); costs 1,2,3,1.
+        // Optimal: x00=2, x01=1, x11=2 => cost 2*1 + 1*2 + 2*1 = 6.
+        let p = LpProblem {
+            cost: vec![1.0, 2.0, 3.0, 1.0], // x00 x01 x10 x11
+            upper: vec![f64::INFINITY; 4],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Eq, 3.0),
+                row(&[(2, 1.0), (3, 1.0)], RowSense::Eq, 2.0),
+                row(&[(0, 1.0), (2, 1.0)], RowSense::Eq, 2.0),
+                row(&[(1, 1.0), (3, 1.0)], RowSense::Eq, 3.0),
+            ],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, 6.0);
+                for v in &s.values {
+                    assert!((v - v.round()).abs() < 1e-7, "fractional {v}");
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ge_rows_with_positive_rhs() {
+        // min 2x + 3y st x + y >= 4, x >= 1 => (4-y at y=0) x=4? cost 8;
+        // or x=1,y=3 cost 11. Optimum x=4, y=0, obj 8.
+        let p = LpProblem {
+            cost: vec![2.0, 3.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Ge, 4.0),
+                row(&[(0, 1.0)], RowSense::Ge, 1.0),
+            ],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => assert_close(s.objective, 8.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let p = LpProblem {
+            cost: vec![f64::NAN],
+            upper: vec![1.0],
+            rows: vec![],
+        };
+        assert!(matches!(solve(&p), Err(IlpError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        let p = LpProblem {
+            cost: vec![1.0],
+            upper: vec![1.0],
+            rows: vec![row(&[(5, 1.0)], RowSense::Le, 1.0)],
+        };
+        assert!(matches!(solve(&p), Err(IlpError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn fixed_variables_stay_fixed() {
+        // y fixed at 0 by upper bound; max x + 10y, x + y <= 1.
+        let p = LpProblem {
+            cost: vec![-1.0, -10.0],
+            upper: vec![f64::INFINITY, 0.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], RowSense::Le, 1.0)],
+        };
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_close(s.objective, -1.0);
+                assert_close(s.values[1], 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let p = LpProblem::default();
+        match solve(&p).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_eq!(s.objective, 0.0);
+                assert!(s.values.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

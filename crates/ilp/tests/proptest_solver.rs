@@ -1,0 +1,203 @@
+//! Property-based tests hammering the simplex and branch-and-bound
+//! engines with randomized instances.
+
+use eagleeye_ilp::{Model, Sense, SolveOptions, SolveStatus};
+use proptest::prelude::*;
+
+/// Builds a feasible-by-construction LP:
+/// pick a witness point `x0`, set every row's rhs to `a·x0 + slack` so the
+/// witness satisfies all `≤` rows.
+type FeasibleLp = (Model, Vec<eagleeye_ilp::VarId>, Vec<(Vec<f64>, f64)>, Vec<f64>);
+
+fn feasible_lp(
+    n: usize,
+    coeffs: Vec<Vec<f64>>,
+    witness: Vec<f64>,
+    slacks: Vec<f64>,
+    costs: Vec<f64>,
+) -> FeasibleLp {
+    let mut m = Model::minimize();
+    let vars: Vec<_> = costs
+        .iter()
+        .take(n)
+        .map(|&c| m.add_continuous_var(0.0, 10.0, c).unwrap())
+        .collect();
+    let mut rows = Vec::new();
+    for (a_row, slack) in coeffs.iter().zip(&slacks) {
+        let rhs: f64 =
+            a_row.iter().zip(&witness).map(|(a, x)| a * x).sum::<f64>() + slack.abs();
+        m.add_constraint(
+            vars.iter().zip(a_row).map(|(&v, &a)| (v, a)),
+            Sense::Le,
+            rhs,
+        )
+        .unwrap();
+        rows.push((a_row.clone(), rhs));
+    }
+    (m, vars, rows, witness)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every LP solution returned as Optimal satisfies all constraints and
+    /// bounds, and is at least as good as the feasible witness.
+    #[test]
+    fn lp_solutions_are_feasible_and_dominate_witness(
+        n in 1usize..6,
+        rows in 1usize..6,
+        coeff_seed in proptest::collection::vec(-5.0f64..5.0, 36),
+        witness_seed in proptest::collection::vec(0.0f64..10.0, 6),
+        slack_seed in proptest::collection::vec(0.0f64..3.0, 6),
+        cost_seed in proptest::collection::vec(-4.0f64..4.0, 6),
+    ) {
+        let coeffs: Vec<Vec<f64>> = (0..rows)
+            .map(|i| (0..n).map(|j| coeff_seed[(i * 6 + j) % 36]).collect())
+            .collect();
+        let witness: Vec<f64> = witness_seed.iter().take(n).copied().collect();
+        let slacks: Vec<f64> = slack_seed.iter().take(rows).copied().collect();
+        let (m, vars, row_data, witness) =
+            feasible_lp(n, coeffs, witness, slacks, cost_seed.clone());
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+
+        // Feasibility of the returned point.
+        for (a_row, rhs) in &row_data {
+            let lhs: f64 = a_row
+                .iter()
+                .zip(&vars)
+                .map(|(a, &v)| a * sol.value(v))
+                .sum();
+            prop_assert!(lhs <= rhs + 1e-6, "row violated: {} > {}", lhs, rhs);
+        }
+        for &v in &vars {
+            prop_assert!(sol.value(v) >= -1e-7);
+            prop_assert!(sol.value(v) <= 10.0 + 1e-7);
+        }
+
+        // Optimality vs. the witness.
+        let witness_cost: f64 = witness
+            .iter()
+            .zip(cost_seed.iter())
+            .map(|(x, c)| x * c)
+            .sum();
+        prop_assert!(sol.objective() <= witness_cost + 1e-6);
+    }
+
+    /// Branch-and-bound matches exhaustive enumeration on random
+    /// knapsacks.
+    #[test]
+    fn knapsack_matches_enumeration(
+        n in 1usize..9,
+        values in proptest::collection::vec(0.0f64..20.0, 9),
+        weights in proptest::collection::vec(0.5f64..10.0, 9),
+        cap_frac in 0.0f64..1.0,
+    ) {
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let total: f64 = weights.iter().sum();
+        let cap = cap_frac * total;
+
+        let mut m = Model::maximize();
+        let vars: Vec<_> = values.iter().map(|&v| m.add_binary_var(v)).collect();
+        m.add_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)),
+            Sense::Le,
+            cap,
+        ).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut v) = (0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= cap + 1e-9 {
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective() - best).abs() < 1e-5,
+            "milp {} vs brute {}", sol.objective(), best);
+    }
+
+    /// Set-cover MILP solutions cover every element, and the optimum is
+    /// never worse than the greedy heuristic.
+    #[test]
+    fn set_cover_covers_everything_and_beats_greedy(
+        n_elems in 1usize..8,
+        n_sets in 1usize..8,
+        membership in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        // Ensure coverage is possible: set i covers element i % n_sets.
+        let covers = |s: usize, e: usize| {
+            membership[(s * 8 + e) % 64] || e % n_sets == s
+        };
+        let mut m = Model::minimize();
+        let sets: Vec<_> = (0..n_sets).map(|_| m.add_binary_var(1.0)).collect();
+        for e in 0..n_elems {
+            m.add_constraint(
+                (0..n_sets).filter(|&s| covers(s, e)).map(|s| (sets[s], 1.0)),
+                Sense::Ge,
+                1.0,
+            ).unwrap();
+        }
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+
+        // Every element covered by a chosen set.
+        for e in 0..n_elems {
+            let covered = (0..n_sets)
+                .any(|s| covers(s, e) && sol.value(sets[s]) > 0.5);
+            prop_assert!(covered, "element {} uncovered", e);
+        }
+
+        // Greedy comparison.
+        let mut uncovered: Vec<usize> = (0..n_elems).collect();
+        let mut greedy_count = 0.0;
+        while !uncovered.is_empty() {
+            let best = (0..n_sets)
+                .max_by_key(|&s| uncovered.iter().filter(|&&e| covers(s, e)).count())
+                .unwrap();
+            let gain = uncovered.iter().filter(|&&e| covers(best, e)).count();
+            prop_assert!(gain > 0);
+            uncovered.retain(|&e| !covers(best, e));
+            greedy_count += 1.0;
+        }
+        prop_assert!(sol.objective() <= greedy_count + 1e-6);
+    }
+
+    /// Equality-constrained systems: solving Ax = b with a known solution
+    /// recovers a feasible point.
+    #[test]
+    fn equality_systems_solve(
+        x0 in proptest::collection::vec(0.0f64..5.0, 3),
+        a in proptest::collection::vec(-3.0f64..3.0, 9),
+    ) {
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..3)
+            .map(|j| m.add_continuous_var(0.0, 100.0, (j as f64) + 1.0).unwrap())
+            .collect();
+        let mut rhss = Vec::new();
+        for i in 0..3 {
+            let rhs: f64 = (0..3).map(|j| a[i * 3 + j] * x0[j]).sum();
+            m.add_constraint(
+                (0..3).map(|j| (vars[j], a[i * 3 + j])),
+                Sense::Eq,
+                rhs,
+            ).unwrap();
+            rhss.push(rhs);
+        }
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+        for i in 0..3 {
+            let lhs: f64 = (0..3).map(|j| a[i * 3 + j] * sol.value(vars[j])).sum();
+            prop_assert!((lhs - rhss[i]).abs() < 1e-5,
+                "eq row {}: {} != {}", i, lhs, rhss[i]);
+        }
+    }
+}

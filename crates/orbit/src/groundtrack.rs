@@ -1,0 +1,260 @@
+use crate::{EciState, J2Propagator, OrbitError};
+use eagleeye_geo::earth::{MEAN_RADIUS_M, OMEGA_EARTH_RAD_S};
+use eagleeye_geo::{greatcircle, Ecef, GeodeticPoint, Vec3};
+
+/// The ground-relative state of a satellite at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackState {
+    /// Seconds past epoch.
+    pub t_s: f64,
+    /// Subsatellite point (altitude field holds the satellite altitude).
+    pub subsatellite: GeodeticPoint,
+    /// Ground-track heading at the subsatellite point, radians clockwise
+    /// from north.
+    pub heading_rad: f64,
+    /// Speed of the subsatellite point over the ground, m/s (includes
+    /// Earth-rotation effects).
+    pub ground_speed_m_s: f64,
+    /// Satellite altitude above the mean-radius sphere, meters.
+    pub altitude_m: f64,
+    /// True when the satellite is in sunlight (cylindrical shadow model).
+    pub in_sunlight: bool,
+    /// Raw inertial state.
+    pub eci: EciState,
+}
+
+/// Computes subsatellite points, headings, and sunlight state along an
+/// orbit.
+///
+/// The ECI→ECEF rotation uses the Greenwich sidereal angle
+/// `θ(t) = θ₀ + ω⊕·t`; the epoch angle `θ₀` defaults to zero and can be
+/// set to shift the ground track in longitude. Sunlight uses a fixed
+/// inertial sun direction and a cylindrical Earth shadow — the standard
+/// cote-style model for LEO energy budgeting (~60 % of a 475 km orbit is
+/// sunlit).
+///
+/// # Example
+///
+/// ```
+/// use eagleeye_orbit::{GroundTrack, J2Propagator};
+///
+/// let prop = J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)?;
+/// let track = GroundTrack::new(prop);
+/// let state = track.state_at(600.0)?;
+/// assert!(state.altitude_m > 400_000.0);
+/// # Ok::<(), eagleeye_orbit::OrbitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTrack {
+    propagator: J2Propagator,
+    gmst_epoch_rad: f64,
+    sun_direction_eci: Vec3,
+}
+
+impl GroundTrack {
+    /// Creates a ground track with GMST₀ = 0 and the sun along +X (ECI).
+    pub fn new(propagator: J2Propagator) -> Self {
+        GroundTrack {
+            propagator,
+            gmst_epoch_rad: 0.0,
+            sun_direction_eci: Vec3::new(1.0, 0.0, 0.0),
+        }
+    }
+
+    /// Sets the Greenwich sidereal angle at epoch.
+    pub fn with_gmst_epoch(mut self, gmst_rad: f64) -> Self {
+        self.gmst_epoch_rad = eagleeye_geo::wrap_two_pi(gmst_rad);
+        self
+    }
+
+    /// Sets the inertial sun direction (normalized internally; a zero
+    /// vector is replaced by +X).
+    pub fn with_sun_direction(mut self, dir: Vec3) -> Self {
+        self.sun_direction_eci = dir.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+        self
+    }
+
+    /// The underlying propagator.
+    #[inline]
+    pub fn propagator(&self) -> &J2Propagator {
+        &self.propagator
+    }
+
+    /// Greenwich sidereal angle at `t_s` seconds past epoch.
+    #[inline]
+    pub fn gmst_rad(&self, t_s: f64) -> f64 {
+        eagleeye_geo::wrap_two_pi(self.gmst_epoch_rad + OMEGA_EARTH_RAD_S * t_s)
+    }
+
+    /// Rotates an ECI position into ECEF at time `t_s`.
+    pub fn eci_to_ecef(&self, position: Vec3, t_s: f64) -> Ecef {
+        let theta = self.gmst_rad(t_s);
+        let (s, c) = theta.sin_cos();
+        Ecef(Vec3::new(
+            c * position.x + s * position.y,
+            -s * position.x + c * position.y,
+            position.z,
+        ))
+    }
+
+    /// Full ground-relative state at `t_s` seconds past epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation and geodetic conversion failures.
+    pub fn state_at(&self, t_s: f64) -> Result<TrackState, OrbitError> {
+        let eci = self.propagator.state_at(t_s)?;
+        let sub = self.subsatellite_at(eci.position, t_s)?;
+
+        // Heading and ground speed from a small finite difference of the
+        // subsatellite point (captures Earth-rotation coupling exactly).
+        let dt = 1.0;
+        let eci2 = self.propagator.state_at(t_s + dt)?;
+        let sub2 = self.subsatellite_at(eci2.position, t_s + dt)?;
+        let heading_rad = greatcircle::initial_bearing_rad(&sub, &sub2);
+        let ground_speed_m_s = greatcircle::distance_m(&sub, &sub2) / dt;
+
+        let altitude_m = eci.radius_m() - MEAN_RADIUS_M;
+        let in_sunlight = self.is_sunlit(eci.position);
+
+        Ok(TrackState {
+            t_s,
+            subsatellite: sub.with_altitude(altitude_m)?,
+            heading_rad,
+            ground_speed_m_s,
+            altitude_m,
+            in_sunlight,
+            eci,
+        })
+    }
+
+    fn subsatellite_at(&self, eci_pos: Vec3, t_s: f64) -> Result<GeodeticPoint, OrbitError> {
+        let ecef = self.eci_to_ecef(eci_pos, t_s);
+        let geo = ecef.to_geodetic_spherical()?;
+        Ok(geo.with_altitude(0.0)?)
+    }
+
+    /// Cylindrical-shadow sunlight test: the satellite is eclipsed when
+    /// it is on the anti-sun side and within one Earth radius of the
+    /// shadow axis.
+    pub fn is_sunlit(&self, eci_pos: Vec3) -> bool {
+        let along_sun = eci_pos.dot(self.sun_direction_eci);
+        if along_sun >= 0.0 {
+            return true;
+        }
+        let radial = eci_pos - self.sun_direction_eci * along_sun;
+        radial.norm() > MEAN_RADIUS_M
+    }
+
+    /// Fraction of one orbit spent in sunlight, sampled at `samples`
+    /// points (used by the energy model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation failures.
+    pub fn sunlit_fraction(&self, samples: usize) -> Result<f64, OrbitError> {
+        let n = samples.max(1);
+        let period = self.propagator.period_s();
+        let mut lit = 0usize;
+        for i in 0..n {
+            let t = period * i as f64 / n as f64;
+            let s = self.propagator.state_at(t)?;
+            if self.is_sunlit(s.position) {
+                lit += 1;
+            }
+        }
+        Ok(lit as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_track() -> GroundTrack {
+        GroundTrack::new(
+            J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn ground_speed_is_near_first_principles() {
+        // v_ground ≈ v_orbit * Re / (Re + h) ≈ 7.61 km/s * 0.93 ≈ 7.1 km/s,
+        // modulated by Earth rotation.
+        let t = paper_track();
+        let s = t.state_at(100.0).unwrap();
+        assert!(
+            s.ground_speed_m_s > 6_500.0 && s.ground_speed_m_s < 8_000.0,
+            "speed {}",
+            s.ground_speed_m_s
+        );
+    }
+
+    #[test]
+    fn polar_orbit_reaches_high_latitudes() {
+        let t = paper_track();
+        let mut max_lat: f64 = 0.0;
+        for i in 0..400 {
+            let s = t.state_at(i as f64 * 15.0).unwrap();
+            max_lat = max_lat.max(s.subsatellite.lat_deg().abs());
+        }
+        // Inclination 97.2 deg => max latitude ~82.8 deg.
+        assert!(max_lat > 80.0, "max lat {max_lat}");
+        assert!(max_lat < 84.0, "max lat {max_lat}");
+    }
+
+    #[test]
+    fn ground_track_shifts_west_each_orbit() {
+        // Earth rotates under the orbit: successive equator crossings move
+        // westward by ~ period * 360/86164 ≈ 23.6 degrees.
+        let t = paper_track();
+        let period = t.propagator().period_s();
+        let s0 = t.state_at(0.0).unwrap();
+        let s1 = t.state_at(period).unwrap();
+        let dlon = eagleeye_geo::wrap_pi(s1.subsatellite.lon_rad() - s0.subsatellite.lon_rad());
+        let expected = -(OMEGA_EARTH_RAD_S * period);
+        assert!(
+            (dlon - expected).abs() < 0.05,
+            "dlon {} expected {}",
+            dlon.to_degrees(),
+            expected.to_degrees()
+        );
+    }
+
+    #[test]
+    fn sunlit_fraction_is_about_sixty_percent() {
+        let t = paper_track();
+        let f = t.sunlit_fraction(500).unwrap();
+        assert!(f > 0.55 && f < 0.75, "sunlit fraction {f}");
+    }
+
+    #[test]
+    fn subsolar_satellite_is_always_lit() {
+        let t = paper_track();
+        assert!(t.is_sunlit(Vec3::new(7e6, 0.0, 0.0)));
+        assert!(t.is_sunlit(Vec3::new(0.0, 7e6, 0.0))); // terminator, above shadow
+        assert!(!t.is_sunlit(Vec3::new(-7e6, 0.0, 0.0))); // deep shadow
+        assert!(t.is_sunlit(Vec3::new(-7e6, 6.9e6, 0.0))); // behind but off-axis
+    }
+
+    #[test]
+    fn gmst_epoch_shifts_longitude() {
+        let base = paper_track();
+        let shifted = paper_track().with_gmst_epoch(0.5);
+        let a = base.state_at(0.0).unwrap();
+        let b = shifted.state_at(0.0).unwrap();
+        let dlon = eagleeye_geo::wrap_pi(a.subsatellite.lon_rad() - b.subsatellite.lon_rad());
+        assert!((dlon - 0.5).abs() < 1e-6, "dlon {dlon}");
+    }
+
+    #[test]
+    fn heading_is_southish_or_northish_for_polar_orbit() {
+        let t = paper_track();
+        let s = t.state_at(30.0).unwrap();
+        // Near-polar: heading close to north (0) or south (pi) within ~25 deg.
+        let h = s.heading_rad;
+        let to_north = h.min(std::f64::consts::TAU - h);
+        let to_south = (h - std::f64::consts::PI).abs();
+        assert!(to_north < 0.45 || to_south < 0.45, "heading {}", h.to_degrees());
+    }
+}

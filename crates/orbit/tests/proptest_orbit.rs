@@ -1,0 +1,136 @@
+//! Property-based tests for the orbital mechanics substrate.
+
+use eagleeye_geo::earth::{MEAN_RADIUS_M, MU_M3_S2};
+use eagleeye_orbit::{GroundTrack, J2Propagator, KeplerianElements, Sgp4Propagator, Tle};
+use proptest::prelude::*;
+
+/// Builds a checksum-valid TLE for a near-circular LEO with the given
+/// inclination (deg) and mean motion (rev/day), drag-free.
+fn leo_tle(incl_deg: f64, mean_motion: f64, raan_deg: f64, mean_anom_deg: f64) -> Tle {
+    let base = Tle::paper_orbit();
+    let (l1, _) = base.to_lines();
+    let mut l2 = format!(
+        "2 99001 {:8.4} {:8.4} 0001000 {:8.4} {:8.4} {:11.8}    1",
+        incl_deg, raan_deg, 0.0, mean_anom_deg, mean_motion,
+    );
+    l2.truncate(68);
+    while l2.len() < 68 {
+        l2.push(' ');
+    }
+    let c = Tle::checksum(&l2);
+    l2.push(char::from_digit(c, 10).expect("mod 10"));
+    Tle::parse(&l1, &l2).expect("synthesized TLE is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two-body states from the element set conserve energy and angular
+    /// momentum along the whole orbit.
+    #[test]
+    fn two_body_invariants(
+        alt_km in 300.0f64..2_000.0,
+        ecc in 0.0f64..0.3,
+        incl in 0.0f64..std::f64::consts::PI,
+        m0 in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let a = MEAN_RADIUS_M + alt_km * 1000.0;
+        // Keep perigee above the surface.
+        prop_assume!(a * (1.0 - ecc) > MEAN_RADIUS_M + 100_000.0);
+        let k = KeplerianElements::new(a, ecc, incl, 1.0, 0.5, m0).expect("valid");
+        let s0 = k.eci_state_at_mean_anomaly(m0).expect("propagates");
+        let e0 = s0.specific_energy();
+        let h0 = s0.specific_angular_momentum();
+        for i in 1..8 {
+            let s = k.eci_state_at_mean_anomaly(m0 + i as f64 * 0.7).expect("propagates");
+            prop_assert!((s.specific_energy() - e0).abs() / e0.abs() < 1e-8);
+            prop_assert!((s.specific_angular_momentum() - h0).norm() / h0.norm() < 1e-8);
+        }
+        // Vis-viva at epoch.
+        let vis_viva = (MU_M3_S2 * (2.0 / s0.radius_m() - 1.0 / a)).sqrt();
+        prop_assert!((s0.speed_m_s() - vis_viva).abs() / vis_viva < 1e-9);
+    }
+
+    /// Kepler's equation solutions satisfy the defining identity.
+    #[test]
+    fn kepler_identity(ecc in 0.0f64..0.95, m in 0.0f64..std::f64::consts::TAU) {
+        let k = KeplerianElements::new(7e6, ecc, 1.0, 0.0, 0.0, 0.0).expect("valid");
+        let e_anom = k.eccentric_anomaly_rad(m).expect("converges");
+        let recon = eagleeye_geo::wrap_two_pi(e_anom - ecc * e_anom.sin());
+        let want = eagleeye_geo::wrap_two_pi(m);
+        let diff = (recon - want).abs().min(std::f64::consts::TAU - (recon - want).abs());
+        prop_assert!(diff < 1e-9, "identity residual {diff}");
+    }
+
+    /// The subsatellite latitude never exceeds the inclination (or its
+    /// supplement for retrograde orbits).
+    #[test]
+    fn ground_track_latitude_is_bounded(
+        incl_deg in 10.0f64..170.0,
+        t in 0.0f64..86_400.0,
+    ) {
+        let incl = incl_deg.to_radians();
+        let max_lat = incl.min(std::f64::consts::PI - incl).to_degrees();
+        let track = GroundTrack::new(
+            J2Propagator::circular(500_000.0, incl, 0.3, 0.7).expect("valid"));
+        let s = track.state_at(t).expect("propagates");
+        prop_assert!(s.subsatellite.lat_deg().abs() <= max_lat + 0.5,
+            "lat {} exceeds bound {}", s.subsatellite.lat_deg(), max_lat);
+    }
+
+    /// Circular-orbit altitude stays fixed under J2 propagation (secular
+    /// J2 perturbs angles, not energy).
+    #[test]
+    fn circular_altitude_is_stable(
+        alt_km in 350.0f64..1_500.0,
+        incl_deg in 20.0f64..160.0,
+        t in 0.0f64..86_400.0,
+    ) {
+        let p = J2Propagator::circular(alt_km * 1000.0, incl_deg.to_radians(), 0.0, 0.0)
+            .expect("valid");
+        let s = p.state_at(t).expect("propagates");
+        let alt = s.radius_m() - MEAN_RADIUS_M;
+        prop_assert!((alt - alt_km * 1000.0).abs() < 5_000.0,
+            "altitude drifted to {alt}");
+    }
+
+    /// SGP4 and the J2 propagator agree to within tens of kilometers on
+    /// drag-free near-circular LEOs over an hour — the cross-validation
+    /// bound documented in `orbit::sgp4`.
+    #[test]
+    fn sgp4_agrees_with_j2_on_leo(
+        incl_deg in 30.0f64..110.0,
+        mean_motion in 13.0f64..16.0, // rev/day: ~450-900 km LEO
+        raan_deg in 0.0f64..359.0,
+        mean_anom_deg in 0.0f64..359.0,
+        t in 0.0f64..3_600.0,
+    ) {
+        let tle = leo_tle(incl_deg, mean_motion, raan_deg, mean_anom_deg);
+        let sgp4 = Sgp4Propagator::new(&tle).expect("LEO is supported");
+        let j2 = J2Propagator::from_tle(&tle).expect("valid elements");
+        let a = sgp4.state_at(t).expect("propagates").position;
+        let b = j2.state_at(t).expect("propagates").position;
+        let sep_km = (a - b).norm() / 1000.0;
+        prop_assert!(sep_km < 80.0, "separation {sep_km} km at t={t}");
+        // Both stay at LEO altitude.
+        let alt_km = a.norm() / 1000.0 - 6378.135;
+        prop_assert!(alt_km > 250.0 && alt_km < 1_400.0, "altitude {alt_km}");
+    }
+
+    /// Phase-shifting satellites preserves their angular separation over
+    /// time (rigid constellation rotation).
+    #[test]
+    fn phase_separation_is_preserved(
+        delta in 0.01f64..1.0,
+        t in 0.0f64..40_000.0,
+    ) {
+        let a = J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)
+            .expect("valid");
+        let b = a.phase_shifted(delta);
+        let sa = a.state_at(t).expect("propagates");
+        let sb = b.state_at(t).expect("propagates");
+        let angle = sa.position.angle_to(sb.position);
+        prop_assert!((angle - delta).abs() < 2e-3,
+            "separation {angle} vs {delta}");
+    }
+}

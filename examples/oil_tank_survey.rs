@@ -1,0 +1,66 @@
+//! Oil-tank volume survey: the two-stage resolution study (paper Fig. 3).
+//!
+//! Stage 1 (detection) works on coarse imagery; stage 2 (shadow-based
+//! fill estimation) needs high resolution — the asymmetry that motivates
+//! the mixed-resolution constellation. This example runs both stages of
+//! the analytic ML model over a synthetic tank-farm population at the
+//! leader's and follower's GSD.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example oil_tank_survey
+//! ```
+
+use eagleeye::datasets::OilTankGenerator;
+use eagleeye::detect::{DetectorModel, VolumeEstimator};
+
+fn main() {
+    let farms = OilTankGenerator::new().with_farm_count(200).generate(42);
+    let tanks: Vec<(f64, f64)> = farms
+        .iter()
+        .flat_map(|f| f.tanks.iter().map(|t| (t.fill_level, t.diameter_m)))
+        .collect();
+    println!("{} tank farms, {} tanks total\n", farms.len(), tanks.len());
+
+    let detector = DetectorModel::oiltank_detector();
+    let estimator = VolumeEstimator::default();
+
+    println!("{:>10} {:>12} {:>12} {:>12}", "GSD m/px", "detection", "err p50", "err p90");
+    for gsd in [0.72, 3.0, 7.5, 11.5, 30.0] {
+        let detection: f64 = tanks
+            .iter()
+            .map(|&(_, dia)| detector.recall_at_gsd(gsd, dia))
+            .sum::<f64>()
+            / tanks.len() as f64;
+        let (p50, p90) = estimator.error_percentiles(&tanks, gsd, 42);
+        println!(
+            "{gsd:>10.2} {:>11.1}% {:>11.1}% {:>11.1}%",
+            100.0 * detection,
+            100.0 * p50,
+            100.0 * p90
+        );
+    }
+
+    // The paper's Fig. 3 contrast: at 11.5 m/px (the coarse end of its
+    // sweep) a 40 m tank is still detected but no longer measurable; at
+    // the high-resolution operating point both stages work.
+    println!(
+        "\ncoarse imagery (11.5 m/px): tanks detectable {}, measurable {}",
+        yesno(detector.recall_at_gsd(11.5, 40.0) > 0.5),
+        yesno(estimator.expected_relative_error(11.5, 40.0) < 0.25),
+    );
+    println!(
+        "high-res imagery (0.72 m/px): tanks detectable {}, measurable {}",
+        yesno(detector.recall_at_gsd(0.72, 40.0) > 0.5),
+        yesno(estimator.expected_relative_error(0.72, 40.0) < 0.25),
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

@@ -1,0 +1,51 @@
+//! Ship-detection mission study: the paper's motivating workload,
+//! end to end.
+//!
+//! Generates a Global-Fishing-Watch-scale synthetic ship snapshot,
+//! simulates a leader-follower constellation against homogeneous
+//! baselines for two hours, and reports coverage, per-frame target
+//! statistics, and scheduler latency.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example ship_detection
+//! ```
+
+use eagleeye::core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye::datasets::ShipGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 20% sample of the paper's 19,119 ships keeps this example quick
+    // while preserving the shipping-lane clustering that drives the
+    // scheduling behaviour.
+    let ships = ShipGenerator::new().with_count(3_824).generate(42);
+    println!("workload: {} ships on synthetic shipping lanes", ships.len());
+
+    let options = CoverageOptions { duration_s: 2.0 * 3600.0, ..CoverageOptions::default() };
+    let eval = CoverageEvaluator::new(&ships, options);
+
+    let configs = [
+        ConstellationConfig::LowResOnly { satellites: 8 },
+        ConstellationConfig::HighResOnly { satellites: 8 },
+        ConstellationConfig::eagleeye(4, 1), // also 8 satellites
+    ];
+    for config in configs {
+        let report = eval.evaluate(&config)?;
+        println!(
+            "{:<24} coverage {:>6.2}%  frames {:>5}  captures {:>5}  sched {:>6.2} ms/frame",
+            config.label(),
+            100.0 * report.coverage_fraction(),
+            report.frames_processed,
+            report.captures_commanded,
+            report.mean_scheduler_latency().as_secs_f64() * 1e3,
+        );
+        if report.frames_above(19) > 0.0 {
+            println!(
+                "    {:.1}% of nonempty frames exceed 19 targets (AB&B-infeasible regime)",
+                100.0 * report.frames_above(19)
+            );
+        }
+    }
+    Ok(())
+}

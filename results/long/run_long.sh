@@ -1,0 +1,12 @@
+#!/bin/bash
+set -x
+cd /root/repo
+B=./target/release
+$B/fig11a_coverage --hours 24 --scale 1.0 > results/long/fig11a_24h.csv 2> results/long/fig11a_24h.log
+$B/fig11c_followers --fast --hours 8 --scale 1.0 > results/long/fig11c_8h.csv 2> results/long/fig11c_8h.log
+$B/fig14c_clustering --hours 8 --scale 1.0 > results/long/fig14c_8h.csv 2> results/long/fig14c_8h.log
+$B/fig15_recall --fast --hours 8 --scale 1.0 > results/long/fig15_8h.csv 2> results/long/fig15_8h.log
+$B/fig13_mix_camera --hours 8 --scale 1.0 > results/long/fig13_8h.csv 2> results/long/fig13_8h.log
+$B/ext_recapture --hours 8 --scale 1.0 > results/long/ext_recapture_8h.csv 2> results/long/ext_recapture_8h.log
+$B/ext_orbit_planes --hours 8 --scale 1.0 > results/long/ext_planes_8h.csv 2> results/long/ext_planes_8h.log
+echo LONG_DONE

@@ -1,0 +1,10 @@
+#!/bin/bash
+set -x
+cd /root/repo
+B=./target/release
+$B/fig11c_followers --fast --hours 6 --scale 1.0 > results/long/fig11c_6h.csv 2> results/long/fig11c_6h.log
+$B/fig13_mix_camera --hours 4 --scale 0.5 > results/long/fig13_4h.csv 2> results/long/fig13_4h.log
+$B/fig15_recall --fast --hours 6 --scale 1.0 > results/long/fig15_6h.csv 2> results/long/fig15_6h.log
+$B/ext_recapture --hours 4 --scale 0.5 > results/long/ext_recapture_4h.csv 2> results/long/ext_recapture_4h.log
+$B/ext_orbit_planes --hours 6 --scale 0.5 > results/long/ext_planes_6h.csv 2> results/long/ext_planes_6h.log
+echo REST_DONE

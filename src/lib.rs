@@ -1,0 +1,40 @@
+//! EagleEye: a from-scratch Rust reproduction of the ASPLOS'24 paper
+//! "EagleEye: Nanosatellite constellation design for high-coverage,
+//! high-resolution sensing" (Cheng, Denby, McCleary, Lucia).
+//!
+//! This facade crate re-exports the workspace under one roof:
+//!
+//! * [`core`] — clustering, actuation-aware scheduling, coverage
+//!   evaluation (the paper's contribution).
+//! * [`ilp`] — the MILP solver substrate (simplex + branch-and-bound).
+//! * [`orbit`] — TLEs, J2/SGP4 propagation, ground tracks, layouts.
+//! * [`geo`] — geodesy, great circles, tangent frames, spatial index.
+//! * [`sim`] — energy, battery, and radio-link models.
+//! * [`datasets`] — the four synthetic evaluation workloads.
+//! * [`detect`] — the analytic ML detector behaviour model.
+//!
+//! See the repository README for a walkthrough, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use eagleeye::core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+//! use eagleeye::datasets::Workload;
+//!
+//! let ships = Workload::ShipDetection.generate_scaled(0.1, 7_200.0, 7);
+//! let eval = CoverageEvaluator::new(&ships, CoverageOptions::default());
+//! let report = eval.evaluate(&ConstellationConfig::eagleeye(2, 1))?;
+//! println!("{:.1}% coverage", 100.0 * report.coverage_fraction());
+//! # Ok::<(), eagleeye::core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use eagleeye_core as core;
+pub use eagleeye_datasets as datasets;
+pub use eagleeye_detect as detect;
+pub use eagleeye_geo as geo;
+pub use eagleeye_ilp as ilp;
+pub use eagleeye_orbit as orbit;
+pub use eagleeye_sim as sim;
