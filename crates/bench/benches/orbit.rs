@@ -8,8 +8,7 @@ use eagleeye_orbit::{GroundTrack, J2Propagator};
 
 fn bench_propagation(c: &mut Criterion) {
     let track = GroundTrack::new(
-        J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)
-            .expect("valid orbit"),
+        J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0).expect("valid orbit"),
     );
     c.bench_function("ground_track_state", |b| {
         let mut t = 0.0;

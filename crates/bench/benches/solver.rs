@@ -9,7 +9,9 @@ fn knapsack_model(n: usize) -> Model {
         .map(|i| m.add_binary_var(1.0 + (i % 17) as f64))
         .collect();
     m.add_constraint(
-        vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 11) as f64)),
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 11) as f64)),
         Sense::Le,
         n as f64 * 2.0,
     )
@@ -26,8 +28,10 @@ fn assignment_model(n: usize) -> Model {
         }
     }
     for i in 0..n {
-        m.add_constraint((0..n).map(|j| (x[i][j], 1.0)), Sense::Eq, 1.0).expect("row");
-        m.add_constraint((0..n).map(|j| (x[j][i], 1.0)), Sense::Eq, 1.0).expect("col");
+        m.add_constraint((0..n).map(|j| (x[i][j], 1.0)), Sense::Eq, 1.0)
+            .expect("row");
+        m.add_constraint((0..n).map(|j| (x[j][i], 1.0)), Sense::Eq, 1.0)
+            .expect("col");
     }
     m
 }

@@ -19,9 +19,16 @@ fn main() {
                 "{tile_factor},{keep},{:.0},{:.3},{}",
                 r.subsystems.compute_j,
                 r.normalized_consumption(),
-                if r.is_energy_feasible() { "feasible" } else { "INFEASIBLE" }
+                if r.is_energy_feasible() {
+                    "feasible"
+                } else {
+                    "INFEASIBLE"
+                }
             ));
         }
     }
-    print_csv("tile_factor,keep_fraction,compute_j,normalized,status", rows);
+    print_csv(
+        "tile_factor,keep_fraction,compute_j,normalized,status",
+        rows,
+    );
 }

@@ -15,9 +15,11 @@ fn main() {
     let mut rows = Vec::new();
     for workload in Workload::ALL {
         let targets = cli.workload(workload);
-        for (label, penalty) in
-            [("paper (no re-id)", None), ("deprioritize 0.1", Some(0.1)), ("ignore captured", Some(0.0))]
-        {
+        for (label, penalty) in [
+            ("paper (no re-id)", None),
+            ("deprioritize 0.1", Some(0.1)),
+            ("ignore captured", Some(0.0)),
+        ] {
             let opts = CoverageOptions {
                 duration_s: cli.duration_s,
                 seed: cli.seed,

@@ -11,8 +11,7 @@ fn main() {
     let gamma = 0.1;
     let mut rows = Vec::new();
     for speed in (10..=300).step_by(10) {
-        let d = max_lookahead_m(speed as f64, swath_m, sat_speed, gamma)
-            .expect("valid parameters");
+        let d = max_lookahead_m(speed as f64, swath_m, sat_speed, gamma).expect("valid parameters");
         rows.push(format!("{speed},{:.1}", d / 1000.0));
     }
     print_csv("target_speed_m_s,max_lookahead_km", rows);

@@ -12,7 +12,11 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let follower_counts: Vec<usize> = if cli.fast { vec![1, 3, 6] } else { vec![1, 2, 3, 4, 5, 6] };
+    let follower_counts: Vec<usize> = if cli.fast {
+        vec![1, 3, 6]
+    } else {
+        vec![1, 2, 3, 4, 5, 6]
+    };
     let mut rows = Vec::new();
     for workload in Workload::ALL {
         let targets = cli.workload(workload);

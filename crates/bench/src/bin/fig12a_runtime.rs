@@ -38,12 +38,18 @@ fn time_scheduler(s: &dyn Scheduler, p: &SchedulingProblem) -> (f64, usize) {
 
 fn main() {
     let cli = BenchCli::parse();
-    let counts: Vec<usize> =
-        if cli.fast { vec![5, 10, 19, 40] } else { vec![2, 5, 10, 15, 19, 25, 40, 60, 80, 100] };
+    let counts: Vec<usize> = if cli.fast {
+        vec![5, 10, 19, 40]
+    } else {
+        vec![2, 5, 10, 15, 19, 25, 40, 60, 80, 100]
+    };
     // AB&B beyond ~20 targets takes the full 15 s deadline per instance;
     // cap it in fast mode to keep runs short while still showing the blowup.
-    let abb_deadline =
-        if cli.fast { Duration::from_secs(15) } else { Duration::from_secs(20) };
+    let abb_deadline = if cli.fast {
+        Duration::from_secs(15)
+    } else {
+        Duration::from_secs(20)
+    };
 
     let ilp = IlpScheduler::default();
     let greedy = GreedyScheduler;

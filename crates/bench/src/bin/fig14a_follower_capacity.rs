@@ -4,13 +4,17 @@
 //! workloads prefer more groups and dense workloads need more followers.
 
 use eagleeye_bench::{print_csv, BenchCli};
-use eagleeye_core::schedule::{FollowerState, IlpScheduler, Scheduler, SchedulingProblem, TaskSpec};
+use eagleeye_core::schedule::{
+    FollowerState, IlpScheduler, Scheduler, SchedulingProblem, TaskSpec,
+};
 use eagleeye_core::SensingSpec;
 
 fn frame_with(n: usize, seed: u64) -> SchedulingProblem {
     let tasks: Vec<TaskSpec> = (0..n)
         .map(|i| {
-            let r = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695))
+            let r = (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695))
                 % 100_000;
             let x = (r % 170) as f64 * 1_000.0 - 85_000.0;
             let y = ((r / 170) % 110) as f64 * 1_000.0;
@@ -27,8 +31,11 @@ fn frame_with(n: usize, seed: u64) -> SchedulingProblem {
 
 fn main() {
     let cli = BenchCli::parse();
-    let counts: Vec<usize> =
-        if cli.fast { vec![2, 5, 10, 25, 50, 100] } else { (1..=20).chain([25, 30, 40, 50, 75, 100]).collect() };
+    let counts: Vec<usize> = if cli.fast {
+        vec![2, 5, 10, 25, 50, 100]
+    } else {
+        (1..=20).chain([25, 30, 40, 50, 75, 100]).collect()
+    };
     let reps = if cli.fast { 3 } else { 8 };
     let scheduler = IlpScheduler::default();
 

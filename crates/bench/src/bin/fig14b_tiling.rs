@@ -23,5 +23,8 @@ fn main() {
             if t1 <= deadline_s { "meets" } else { "misses" }
         ));
     }
-    print_csv("tile_px,time_unscaled_s,time_4x_scaled_s,deadline_15s", rows);
+    print_csv(
+        "tile_px,time_unscaled_s,time_4x_scaled_s,deadline_15s",
+        rows,
+    );
 }

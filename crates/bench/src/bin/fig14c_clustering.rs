@@ -24,8 +24,11 @@ fn main() {
         };
         let eval = CoverageEvaluator::new(&targets, opts);
         let mut values = Vec::new();
-        for clustering in [ClusteringMethod::None, ClusteringMethod::Greedy, ClusteringMethod::Ilp]
-        {
+        for clustering in [
+            ClusteringMethod::None,
+            ClusteringMethod::Greedy,
+            ClusteringMethod::Ilp,
+        ] {
             let report = eval
                 .evaluate(&ConstellationConfig::EagleEye {
                     groups: sats_groups,

@@ -11,8 +11,11 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let recalls: Vec<f64> =
-        if cli.fast { vec![0.2, 0.5, 1.0] } else { vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0] };
+    let recalls: Vec<f64> = if cli.fast {
+        vec![0.2, 0.5, 1.0]
+    } else {
+        vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
     let groups = if cli.fast { 2 } else { 4 };
     let mut rows = Vec::new();
     for workload in Workload::ALL {

@@ -19,8 +19,14 @@ fn main() {
     let mut rows = Vec::new();
     for tile_factor in [1.0, 2.0, 4.0] {
         let roles: Vec<(&str, ActivityProfile)> = vec![
-            ("low-res-only", ActivityProfile::baseline_default(tile_factor)),
-            ("high-res-only", ActivityProfile::baseline_default(tile_factor)),
+            (
+                "low-res-only",
+                ActivityProfile::baseline_default(tile_factor),
+            ),
+            (
+                "high-res-only",
+                ActivityProfile::baseline_default(tile_factor),
+            ),
             ("leader", ActivityProfile::leader_default(tile_factor)),
             ("follower", ActivityProfile::follower_default(400.0, 3.0)),
             (
@@ -40,7 +46,11 @@ fn main() {
                 s.idle_j,
                 r.harvested_j,
                 r.normalized_consumption(),
-                if r.is_energy_feasible() { "feasible" } else { "INFEASIBLE" }
+                if r.is_energy_feasible() {
+                    "feasible"
+                } else {
+                    "INFEASIBLE"
+                }
             ));
         }
     }

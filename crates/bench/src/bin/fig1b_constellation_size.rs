@@ -52,7 +52,9 @@ fn main() {
         // Physical ceiling within the horizon (Low-Res at max size),
         // mirroring the paper's 90% absolute bar at 24 h.
         let ceiling = eval
-            .evaluate(&ConstellationConfig::LowResOnly { satellites: max_sats })
+            .evaluate(&ConstellationConfig::LowResOnly {
+                satellites: max_sats,
+            })
             .expect("coverage evaluation")
             .coverage_fraction();
         let threshold = 0.9 * ceiling;
@@ -77,7 +79,8 @@ fn main() {
             max_sats,
         );
         let fmt = |o: Option<usize>| {
-            o.map(|v| v.to_string()).unwrap_or_else(|| format!(">{max_sats}"))
+            o.map(|v| v.to_string())
+                .unwrap_or_else(|| format!(">{max_sats}"))
         };
         rows.push(format!(
             "{},{},{},{}",

@@ -37,5 +37,8 @@ fn main() {
         let (p50, p90) = estimator.error_percentiles(&tanks, gsd, cli.seed);
         rows.push(format!("{gsd},{:.4},{:.4},{:.4}", detection, p50, p90));
     }
-    print_csv("gsd_m_px,detection_accuracy,volume_err_p50,volume_err_p90", rows);
+    print_csv(
+        "gsd_m_px,detection_accuracy,volume_err_p50,volume_err_p90",
+        rows,
+    );
 }

@@ -44,5 +44,8 @@ fn main() {
             high.coverage_fraction()
         ));
     }
-    print_csv("satellites,only_low_res_coverage,only_high_res_coverage", rows);
+    print_csv(
+        "satellites,only_low_res_coverage,only_high_res_coverage",
+        rows,
+    );
 }

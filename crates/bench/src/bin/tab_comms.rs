@@ -11,7 +11,12 @@ fn main() {
     let xl = CrosslinkBudget::paper_default();
     print_csv(
         "crosslink_bytes_per_orbit,airtime_s,negligible",
-        [format!("{:.0},{:.2},{}", xl.bytes_per_orbit, xl.airtime_s, xl.is_negligible())],
+        [format!(
+            "{:.0},{:.2},{}",
+            xl.bytes_per_orbit,
+            xl.airtime_s,
+            xl.is_negligible()
+        )],
     );
     println!();
 
@@ -27,13 +32,15 @@ fn main() {
             b.deliverable_fraction()
         ));
     }
-    print_csv("captures_per_orbit,produced_mb,capacity_mb,deliverable_fraction", rows);
+    print_csv(
+        "captures_per_orbit,produced_mb,capacity_mb,deliverable_fraction",
+        rows,
+    );
     println!();
 
     // Geometric contact time with a polar ground station over 8 orbits.
     let track = GroundTrack::new(
-        J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)
-            .expect("valid orbit"),
+        J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0).expect("valid orbit"),
     );
     let station = access::GroundStation::new(
         GeodeticPoint::from_degrees(78.2, 15.4, 0.0).expect("valid point"),

@@ -37,7 +37,12 @@ pub struct BenchCli {
 
 impl Default for BenchCli {
     fn default() -> Self {
-        BenchCli { fast: false, duration_s: 3.0 * 3600.0, scale: 1.0, seed: 7 }
+        BenchCli {
+            fast: false,
+            duration_s: 3.0 * 3600.0,
+            scale: 1.0,
+            seed: 7,
+        }
     }
 }
 
@@ -115,14 +120,25 @@ mod tests {
 
     #[test]
     fn workload_scales() {
-        let cli = BenchCli { scale: 0.01, ..BenchCli::default() };
+        let cli = BenchCli {
+            scale: 0.01,
+            ..BenchCli::default()
+        };
         let set = cli.workload(Workload::ShipDetection);
         assert_eq!(set.len(), 191);
     }
 
     #[test]
     fn sat_counts_depend_on_mode() {
-        assert!(BenchCli { fast: true, ..Default::default() }.sat_counts().len() < 6);
+        assert!(
+            BenchCli {
+                fast: true,
+                ..Default::default()
+            }
+            .sat_counts()
+            .len()
+                < 6
+        );
         assert!(BenchCli::default().sat_counts().len() >= 6);
     }
 }

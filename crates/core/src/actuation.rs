@@ -32,22 +32,37 @@ impl Adacs {
     /// negative overhead.
     pub fn new(rate_deg_s: f64, overhead_s: f64) -> Result<Self, CoreError> {
         if !(rate_deg_s > 0.0) || !rate_deg_s.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "rate_deg_s", value: rate_deg_s });
+            return Err(CoreError::InvalidParameter {
+                name: "rate_deg_s",
+                value: rate_deg_s,
+            });
         }
         if !(overhead_s >= 0.0) || !overhead_s.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "overhead_s", value: overhead_s });
+            return Err(CoreError::InvalidParameter {
+                name: "overhead_s",
+                value: overhead_s,
+            });
         }
-        Ok(Adacs { rate_rad_s: rate_deg_s.to_radians(), overhead_s })
+        Ok(Adacs {
+            rate_rad_s: rate_deg_s.to_radians(),
+            overhead_s,
+        })
     }
 
     /// The paper's default: 3 deg/s with 0.67 s maneuver overhead.
     pub fn paper_default() -> Self {
-        Adacs { rate_rad_s: 3.0_f64.to_radians(), overhead_s: 0.67 }
+        Adacs {
+            rate_rad_s: 3.0_f64.to_radians(),
+            overhead_s: 0.67,
+        }
     }
 
     /// The paper's high-end reaction wheel: 10 deg/s.
     pub fn high_end() -> Self {
-        Adacs { rate_rad_s: 10.0_f64.to_radians(), overhead_s: 0.67 }
+        Adacs {
+            rate_rad_s: 10.0_f64.to_radians(),
+            overhead_s: 0.67,
+        }
     }
 
     /// Slew rate in radians per second.

@@ -32,22 +32,34 @@ impl Camera {
     /// not strictly positive and finite.
     pub fn new(swath_m: f64, gsd_m: f64) -> Result<Self, CoreError> {
         if !(swath_m > 0.0) || !swath_m.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "swath_m", value: swath_m });
+            return Err(CoreError::InvalidParameter {
+                name: "swath_m",
+                value: swath_m,
+            });
         }
         if !(gsd_m > 0.0) || !gsd_m.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "gsd_m", value: gsd_m });
+            return Err(CoreError::InvalidParameter {
+                name: "gsd_m",
+                value: gsd_m,
+            });
         }
         Ok(Camera { swath_m, gsd_m })
     }
 
     /// The paper's leader camera: 100 km swath at 30 m GSD (§5.3).
     pub fn paper_low_res() -> Self {
-        Camera { swath_m: 100_000.0, gsd_m: 30.0 }
+        Camera {
+            swath_m: 100_000.0,
+            gsd_m: 30.0,
+        }
     }
 
     /// The paper's follower camera: 10 km swath at 3 m GSD (§5.3).
     pub fn paper_high_res() -> Self {
-        Camera { swath_m: 10_000.0, gsd_m: 3.0 }
+        Camera {
+            swath_m: 10_000.0,
+            gsd_m: 3.0,
+        }
     }
 
     /// Swath width in meters.

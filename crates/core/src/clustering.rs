@@ -83,10 +83,16 @@ pub fn cluster(
     method: ClusteringMethod,
 ) -> Result<Vec<Cluster>, CoreError> {
     if !(box_w_m > 0.0) || !box_w_m.is_finite() {
-        return Err(CoreError::InvalidParameter { name: "box_w_m", value: box_w_m });
+        return Err(CoreError::InvalidParameter {
+            name: "box_w_m",
+            value: box_w_m,
+        });
     }
     if !(box_h_m > 0.0) || !box_h_m.is_finite() {
-        return Err(CoreError::InvalidParameter { name: "box_h_m", value: box_h_m });
+        return Err(CoreError::InvalidParameter {
+            name: "box_h_m",
+            value: box_h_m,
+        });
     }
     if points.is_empty() {
         return Ok(Vec::new());
@@ -95,11 +101,20 @@ pub fn cluster(
         ClusteringMethod::None => Ok(points
             .iter()
             .enumerate()
-            .map(|(i, (p, v))| Cluster { center: *p, members: vec![i], value: *v })
+            .map(|(i, (p, v))| Cluster {
+                center: *p,
+                members: vec![i],
+                value: *v,
+            })
             .collect()),
         ClusteringMethod::Greedy => {
             let candidates = candidates(points, box_w_m, box_h_m);
-            Ok(assemble(points, box_w_m, box_h_m, greedy_cover(points.len(), &candidates)))
+            Ok(assemble(
+                points,
+                box_w_m,
+                box_h_m,
+                greedy_cover(points.len(), &candidates),
+            ))
         }
         ClusteringMethod::Ilp => {
             let candidates = candidates(points, box_w_m, box_h_m);
@@ -127,9 +142,7 @@ fn candidates(points: &[(GroundPoint, f64)], w: f64, h: f64) -> Vec<Candidate> {
     let n = points.len();
     // Sort point indices by x for cheap range filtering.
     let mut by_x: Vec<usize> = (0..n).collect();
-    by_x.sort_by(|&a, &b| {
-        points[a].0.cross_m.partial_cmp(&points[b].0.cross_m).expect("finite coords")
-    });
+    by_x.sort_by(|&a, &b| points[a].0.cross_m.total_cmp(&points[b].0.cross_m));
 
     let mut seen: HashSet<Vec<usize>> = HashSet::new();
     let mut out = Vec::new();
@@ -150,9 +163,7 @@ fn candidates(points: &[(GroundPoint, f64)], w: f64, h: f64) -> Vec<Candidate> {
         // windows. This prunes dominated candidates without losing any
         // optimal cover.
         let mut by_y = in_x.clone();
-        by_y.sort_by(|&a, &b| {
-            points[a].0.along_m.partial_cmp(&points[b].0.along_m).expect("finite coords")
-        });
+        by_y.sort_by(|&a, &b| points[a].0.along_m.total_cmp(&points[b].0.along_m));
         let mut last_hi = usize::MAX;
         for (lo, &j) in by_y.iter().enumerate() {
             let min_y = points[j].0.along_m;
@@ -185,7 +196,11 @@ fn greedy_cover(n_points: usize, candidates: &[Candidate]) -> Vec<usize> {
             .enumerate()
             .max_by_key(|(_, c)| c.covered.iter().filter(|p| uncovered.contains(p)).count());
         let Some((idx, cand)) = best else { break };
-        let gain = cand.covered.iter().filter(|p| uncovered.contains(p)).count();
+        let gain = cand
+            .covered
+            .iter()
+            .filter(|p| uncovered.contains(p))
+            .count();
         if gain == 0 {
             break; // canonical candidates always cover their anchors; defensive
         }
@@ -201,7 +216,10 @@ fn greedy_cover(n_points: usize, candidates: &[Candidate]) -> Vec<usize> {
 /// time limit without proving optimality (caller falls back to greedy).
 fn ilp_cover(n_points: usize, candidates: &[Candidate]) -> Result<Option<Vec<usize>>, CoreError> {
     let mut model = Model::minimize();
-    let vars: Vec<_> = candidates.iter().map(|_| model.add_binary_var(1.0)).collect();
+    let vars: Vec<_> = candidates
+        .iter()
+        .map(|_| model.add_binary_var(1.0))
+        .collect();
     // point -> candidates covering it
     let mut covering: Vec<Vec<usize>> = vec![Vec::new(); n_points];
     for (ci, c) in candidates.iter().enumerate() {
@@ -223,19 +241,16 @@ fn ilp_cover(n_points: usize, candidates: &[Candidate]) -> Result<Option<Vec<usi
         return Ok(None);
     }
     Ok(Some(
-        (0..candidates.len()).filter(|&ci| sol.value(vars[ci]) > 0.5).collect(),
+        (0..candidates.len())
+            .filter(|&ci| sol.value(vars[ci]) > 0.5)
+            .collect(),
     ))
 }
 
 /// Builds [`Cluster`]s from chosen candidates, assigning each point to
 /// the first chosen box that covers it and centering each box on its
 /// members' bounding box (any center keeping members inside is valid).
-fn assemble(
-    points: &[(GroundPoint, f64)],
-    w: f64,
-    h: f64,
-    chosen: Vec<usize>,
-) -> Vec<Cluster> {
+fn assemble(points: &[(GroundPoint, f64)], w: f64, h: f64, chosen: Vec<usize>) -> Vec<Cluster> {
     // Re-derive coverage from geometry to stay independent of candidate
     // bookkeeping.
     let mut assigned = vec![false; points.len()];
@@ -245,8 +260,12 @@ fn assemble(
     let candidates = candidates(points, w, h);
     for ci in chosen {
         let c = &candidates[ci];
-        let members: Vec<usize> =
-            c.covered.iter().copied().filter(|&p| !assigned[p]).collect();
+        let members: Vec<usize> = c
+            .covered
+            .iter()
+            .copied()
+            .filter(|&p| !assigned[p])
+            .collect();
         if members.is_empty() {
             continue;
         }
@@ -297,7 +316,10 @@ mod tests {
     use super::*;
 
     fn pts(coords: &[(f64, f64)]) -> Vec<(GroundPoint, f64)> {
-        coords.iter().map(|&(x, y)| (GroundPoint::new(x, y), 1.0)).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| (GroundPoint::new(x, y), 1.0))
+            .collect()
     }
 
     #[test]
@@ -308,7 +330,9 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_output() {
-        assert!(cluster(&[], 10.0, 10.0, ClusteringMethod::Ilp).unwrap().is_empty());
+        assert!(cluster(&[], 10.0, 10.0, ClusteringMethod::Ilp)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -342,12 +366,7 @@ mod tests {
     #[test]
     fn ilp_beats_or_ties_greedy() {
         // A chain where greedy can be suboptimal but ILP is exact.
-        let p = pts(&[
-            (0.0, 0.0),
-            (6_000.0, 0.0),
-            (12_000.0, 0.0),
-            (18_000.0, 0.0),
-        ]);
+        let p = pts(&[(0.0, 0.0), (6_000.0, 0.0), (12_000.0, 0.0), (18_000.0, 0.0)]);
         let ilp = cluster(&p, 10_000.0, 10_000.0, ClusteringMethod::Ilp).unwrap();
         let greedy = cluster(&p, 10_000.0, 10_000.0, ClusteringMethod::Greedy).unwrap();
         assert!(ilp.len() <= greedy.len());

@@ -9,6 +9,24 @@ pub enum SchedulerKind {
     Greedy,
     /// Prior-work anytime branch-and-bound (slow; for runtime studies).
     Abb,
+    /// Budgeted ILP with greedy fallback, post-validation, and mid-pass
+    /// failure repair (see [`crate::schedule::ResilientScheduler`]).
+    Resilient,
+}
+
+/// How the constellation reacts to faults injected via
+/// [`CoverageOptions::fault_plan`](super::CoverageOptions::fault_plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DegradedMode {
+    /// The leader is unaware of follower outages: it keeps assigning
+    /// tasks to dead followers, whose captures are silently lost. The
+    /// pessimistic baseline for fault-tolerance studies.
+    Naive,
+    /// The leader excludes known-out followers from scheduling and —
+    /// with [`SchedulerKind::Resilient`] — re-plans tasks dropped by
+    /// mid-pass failures onto the survivors.
+    #[default]
+    Resilient,
 }
 
 /// A constellation organization to evaluate (paper Fig. 5).
@@ -64,9 +82,11 @@ impl ConstellationConfig {
             ConstellationConfig::LowResOnly { satellites }
             | ConstellationConfig::HighResOnly { satellites }
             | ConstellationConfig::MixCamera { satellites, .. } => satellites,
-            ConstellationConfig::EagleEye { groups, followers_per_group, .. } => {
-                groups * (1 + followers_per_group)
-            }
+            ConstellationConfig::EagleEye {
+                groups,
+                followers_per_group,
+                ..
+            } => groups * (1 + followers_per_group),
         }
     }
 
@@ -79,7 +99,12 @@ impl ConstellationConfig {
             ConstellationConfig::HighResOnly { satellites } => {
                 format!("high-res-only({satellites})")
             }
-            ConstellationConfig::EagleEye { groups, followers_per_group, scheduler, .. } => {
+            ConstellationConfig::EagleEye {
+                groups,
+                followers_per_group,
+                scheduler,
+                ..
+            } => {
                 format!(
                     "eagleeye({groups}x{}, {})",
                     followers_per_group,
@@ -87,10 +112,14 @@ impl ConstellationConfig {
                         SchedulerKind::Ilp => "ilp",
                         SchedulerKind::Greedy => "greedy",
                         SchedulerKind::Abb => "abb",
+                        SchedulerKind::Resilient => "resilient",
                     }
                 )
             }
-            ConstellationConfig::MixCamera { satellites, compute_time_s } => {
+            ConstellationConfig::MixCamera {
+                satellites,
+                compute_time_s,
+            } => {
                 format!("mix-camera({satellites}, {compute_time_s}s)")
             }
         }
@@ -125,10 +154,16 @@ mod tests {
     fn total_satellites_counts_groups() {
         assert_eq!(ConstellationConfig::eagleeye(2, 1).total_satellites(), 4);
         assert_eq!(ConstellationConfig::eagleeye(1, 3).total_satellites(), 4);
-        assert_eq!(ConstellationConfig::LowResOnly { satellites: 7 }.total_satellites(), 7);
         assert_eq!(
-            ConstellationConfig::MixCamera { satellites: 3, compute_time_s: 1.4 }
-                .total_satellites(),
+            ConstellationConfig::LowResOnly { satellites: 7 }.total_satellites(),
+            7
+        );
+        assert_eq!(
+            ConstellationConfig::MixCamera {
+                satellites: 3,
+                compute_time_s: 1.4
+            }
+            .total_satellites(),
             3
         );
     }
@@ -139,7 +174,11 @@ mod tests {
             ConstellationConfig::LowResOnly { satellites: 4 }.label(),
             ConstellationConfig::HighResOnly { satellites: 4 }.label(),
             ConstellationConfig::eagleeye(2, 1).label(),
-            ConstellationConfig::MixCamera { satellites: 4, compute_time_s: 1.4 }.label(),
+            ConstellationConfig::MixCamera {
+                satellites: 4,
+                compute_time_s: 1.4,
+            }
+            .label(),
         ];
         let set: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(set.len(), 4);

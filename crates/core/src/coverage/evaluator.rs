@@ -1,14 +1,15 @@
-use super::{ConstellationConfig, CoverageReport, FailurePlan, SchedulerKind};
+use super::{ConstellationConfig, CoverageReport, DegradedMode, FailurePlan, SchedulerKind};
 use crate::clustering::{cluster, ClusteringMethod};
 use crate::pointing::TimeWindow;
 use crate::schedule::{
-    AbbScheduler, FollowerState, GreedyScheduler, IlpScheduler, Scheduler, SchedulingProblem,
-    TaskSpec,
+    AbbScheduler, FollowerState, GreedyScheduler, IlpScheduler, ResilientScheduler, Scheduler,
+    SchedulingProblem, SolverChoice, TaskSpec,
 };
-use crate::{CoreError, SensingSpec};
+use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
 use eagleeye_geo::LocalFrame;
 use eagleeye_orbit::ConstellationLayout;
+use eagleeye_sim::FaultPlan;
 use std::time::Instant;
 
 /// Options controlling a coverage evaluation.
@@ -41,6 +42,13 @@ pub struct CoverageOptions {
     /// "Orbit Design", implemented here as an extension). 1 reproduces
     /// the paper's single-plane evaluation.
     pub orbital_planes: usize,
+    /// Optional seeded fault-injection plan (satellite outages,
+    /// detector dropout, radio/ADACS derating, brownouts). `None`
+    /// reproduces the fault-free paper evaluation.
+    pub fault_plan: Option<FaultPlan>,
+    /// How the constellation reacts to injected faults; irrelevant when
+    /// `fault_plan` is `None`.
+    pub degraded_mode: DegradedMode,
 }
 
 impl Default for CoverageOptions {
@@ -55,6 +63,8 @@ impl Default for CoverageOptions {
             failure: None,
             recapture_penalty: None,
             orbital_planes: 1,
+            fault_plan: None,
+            degraded_mode: DegradedMode::default(),
         }
     }
 }
@@ -111,14 +121,16 @@ impl<'a> CoverageEvaluator<'a> {
                 scheduler,
                 clustering,
             } => self.leader_follower(groups, followers_per_group, scheduler, clustering, None),
-            ConstellationConfig::MixCamera { satellites, compute_time_s } => self
-                .leader_follower(
-                    satellites,
-                    0,
-                    SchedulerKind::Ilp,
-                    ClusteringMethod::Ilp,
-                    Some(compute_time_s),
-                ),
+            ConstellationConfig::MixCamera {
+                satellites,
+                compute_time_s,
+            } => self.leader_follower(
+                satellites,
+                0,
+                SchedulerKind::Ilp,
+                ClusteringMethod::Ilp,
+                Some(compute_time_s),
+            ),
         }
     }
 
@@ -153,8 +165,11 @@ impl<'a> CoverageEvaluator<'a> {
             let mut t = 0.0;
             while t < self.options.duration_s {
                 let state = track.state_at(t)?;
-                let frame = LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
-                for idx in self.targets.query_radius(&state.subsatellite.with_altitude(0.0)?, bound, t)
+                let frame =
+                    LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
+                for idx in
+                    self.targets
+                        .query_radius(&state.subsatellite.with_altitude(0.0)?, bound, t)
                 {
                     if captured[idx] {
                         continue;
@@ -211,11 +226,23 @@ impl<'a> CoverageEvaluator<'a> {
             self.options.inclination_rad,
             self.options.orbital_planes.max(1),
         )?;
-        let scheduler: Box<dyn Scheduler> = match scheduler_kind {
-            SchedulerKind::Ilp => Box::new(IlpScheduler::default()),
-            SchedulerKind::Greedy => Box::new(GreedyScheduler),
-            SchedulerKind::Abb => Box::new(AbbScheduler::with_frame_deadline()),
+        // The resilient scheduler is held concretely (not behind the
+        // trait object) so per-horizon outcomes and repairs can be
+        // recorded in the report.
+        enum ActiveScheduler {
+            Plain(Box<dyn Scheduler>),
+            Resilient(ResilientScheduler),
+        }
+        let scheduler = match scheduler_kind {
+            SchedulerKind::Ilp => ActiveScheduler::Plain(Box::new(IlpScheduler::default())),
+            SchedulerKind::Greedy => ActiveScheduler::Plain(Box::new(GreedyScheduler)),
+            SchedulerKind::Abb => {
+                ActiveScheduler::Plain(Box::new(AbbScheduler::with_frame_deadline()))
+            }
+            SchedulerKind::Resilient => ActiveScheduler::Resilient(ResilientScheduler::default()),
         };
+        let fault_plan = self.options.fault_plan.as_ref();
+        let fault_aware = self.options.degraded_mode == DegradedMode::Resilient;
 
         let frame_len = spec.frame_length_m();
         let low_swath = spec.low_res.swath_m();
@@ -256,12 +283,17 @@ impl<'a> CoverageEvaluator<'a> {
                 let subsat = state.subsatellite.with_altitude(0.0)?;
                 let frame = LocalFrame::new(subsat, state.heading_rad);
 
-                let leader_failed = self
+                let legacy_leader_failed = self
                     .options
                     .failure
                     .as_ref()
                     .map(|f| f.leader_failed && t >= f.fail_at_s)
                     .unwrap_or(false);
+                let fault_leader_out = fault_plan.map(|p| p.leader_out(t)).unwrap_or(false);
+                if fault_leader_out {
+                    report.frames_leader_down += 1;
+                }
+                let leader_failed = legacy_leader_failed || fault_leader_out;
 
                 // Targets inside the low-resolution frame.
                 let mut in_frame: Vec<(usize, f64, f64)> = Vec::new();
@@ -291,13 +323,32 @@ impl<'a> CoverageEvaluator<'a> {
                     continue;
                 }
 
-                // Onboard detection with the recall model.
+                // A battery brownout inhibits all follower capture; a
+                // fully derated radio cannot uplink any tasks. Either
+                // way the frame produces no scheduled captures.
+                let radio_factor = fault_plan
+                    .map(|p| p.radio_capacity_factor(t))
+                    .unwrap_or(1.0);
+                let task_cap =
+                    ((self.options.max_tasks_per_frame as f64) * radio_factor).floor() as usize;
+                if fault_plan.map(|p| p.brownout(t)).unwrap_or(false) || task_cap == 0 {
+                    t += spec.frame_cadence_s;
+                    frame_id += 1;
+                    continue;
+                }
+
+                // Onboard detection with the recall model, plus any
+                // active detector-dropout fault (extra, independently
+                // rolled false negatives).
                 let detected: Vec<(usize, f64, f64)> = in_frame
                     .iter()
                     .copied()
                     .filter(|&(idx, _, _)| {
                         detection_roll(self.options.seed, idx as u64, frame_id)
                             < self.options.recall
+                            && !fault_plan
+                                .map(|p| p.detector_drops(idx as u64, frame_id, t))
+                                .unwrap_or(false)
                     })
                     .collect();
                 report.per_frame_target_counts.push(detected.len());
@@ -324,17 +375,15 @@ impl<'a> CoverageEvaluator<'a> {
                     })
                     .collect();
                 let clu_start = Instant::now();
-                let mut clusters =
-                    cluster(&points, high_swath, high_swath, clustering_method)?;
+                let mut clusters = cluster(&points, high_swath, high_swath, clustering_method)?;
                 report.clustering_time += clu_start.elapsed();
                 report.per_frame_cluster_counts.push(clusters.len());
 
-                // Keep the most valuable clusters up to the cap.
-                if clusters.len() > self.options.max_tasks_per_frame {
-                    clusters.sort_by(|a, b| {
-                        b.value.partial_cmp(&a.value).expect("finite values")
-                    });
-                    clusters.truncate(self.options.max_tasks_per_frame);
+                // Keep the most valuable clusters up to the cap (shrunk
+                // further when a radio-derate fault limits task uplink).
+                if clusters.len() > task_cap {
+                    clusters.sort_by(|a, b| b.value.total_cmp(&a.value));
+                    clusters.truncate(task_cap);
                 }
 
                 // Build the scheduling problem in absolute along-track
@@ -346,13 +395,25 @@ impl<'a> CoverageEvaluator<'a> {
                         TaskSpec::new(c.center.cross_m, along_origin + c.center.along_m, c.value)
                     })
                     .collect();
-                let failed: Vec<usize> = self
+                let mut failed: Vec<usize> = self
                     .options
                     .failure
                     .as_ref()
                     .filter(|f| t >= f.fail_at_s)
                     .map(|f| f.failed_followers.clone())
                     .unwrap_or_default();
+                // A fault-aware leader also excludes followers it knows
+                // to be out; a naive one keeps tasking them and loses
+                // those captures at execution time.
+                if fault_aware {
+                    if let Some(p) = fault_plan {
+                        for k in 0..n_followers {
+                            if p.follower_out(k, t) && !failed.contains(&k) {
+                                failed.push(k);
+                            }
+                        }
+                    }
+                }
                 let follower_states: Vec<FollowerState> = (0..n_followers)
                     .filter(|k| !failed.contains(k))
                     .map(|k| FollowerState {
@@ -366,19 +427,75 @@ impl<'a> CoverageEvaluator<'a> {
                     frame_id += 1;
                     continue;
                 }
-                let active: Vec<usize> =
-                    (0..n_followers).filter(|k| !failed.contains(k)).collect();
+                let active: Vec<usize> = (0..n_followers).filter(|k| !failed.contains(k)).collect();
+
+                // An active slew-derate fault slows every follower's
+                // reaction wheels for this horizon.
+                let slew_factor = fault_plan
+                    .map(|p| p.slew_rate_factor(t))
+                    .unwrap_or(1.0)
+                    .clamp(0.01, 1.0);
+                let frame_spec = if slew_factor < 1.0 {
+                    spec.with_adacs(Adacs::new(
+                        spec.adacs.rate_rad_s().to_degrees() * slew_factor,
+                        spec.adacs.overhead_s(),
+                    )?)
+                } else {
+                    spec
+                };
 
                 let clip = mix_compute_s.map(|d| TimeWindow {
                     start_s: t + d,
                     end_s: t + spec.frame_cadence_s - return_slew_s,
                 });
                 let problem =
-                    SchedulingProblem::new_with_clip(spec, tasks, follower_states, clip)?;
+                    SchedulingProblem::new_with_clip(frame_spec, tasks, follower_states, clip)?;
                 let sched_start = Instant::now();
-                let schedule = scheduler.schedule(&problem)?;
+                let mut schedule = match &scheduler {
+                    ActiveScheduler::Plain(s) => s.schedule(&problem)?,
+                    ActiveScheduler::Resilient(rs) => {
+                        let outcome = rs.schedule_with_outcome(&problem)?;
+                        match outcome.solver {
+                            SolverChoice::Ilp => report.ilp_horizons += 1,
+                            SolverChoice::Greedy => {
+                                report.greedy_fallbacks += 1;
+                                if matches!(
+                                    outcome.fallback,
+                                    Some(crate::schedule::FallbackReason::Deadline)
+                                ) {
+                                    report.deadline_fallbacks += 1;
+                                }
+                            }
+                        }
+                        outcome.schedule
+                    }
+                };
                 report.scheduler_time += sched_start.elapsed();
                 report.scheduler_calls += 1;
+
+                // Mid-horizon follower failures: a fault-aware leader
+                // running the resilient scheduler truncates the failed
+                // follower's plan at the outage onset and re-plans the
+                // dropped tasks onto the survivors.
+                if fault_aware {
+                    if let (Some(p), ActiveScheduler::Resilient(rs)) = (fault_plan, &scheduler) {
+                        let failures: Vec<(usize, f64)> = active
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(slot, &k)| {
+                                p.follower_outage_onset(k, t, t + spec.frame_cadence_s)
+                                    .map(|onset| (slot, onset))
+                            })
+                            .collect();
+                        if !failures.is_empty() {
+                            let repaired = rs.repair(&problem, &schedule, &failures)?;
+                            report.repairs_attempted += failures.len();
+                            report.tasks_dropped_by_failures += repaired.dropped_tasks;
+                            report.tasks_reassigned += repaired.reassigned_tasks;
+                            schedule = repaired.schedule;
+                        }
+                    }
+                }
 
                 // Execute captures: mark every target inside each
                 // captured footprint (including undetected ones — the
@@ -386,6 +503,15 @@ impl<'a> CoverageEvaluator<'a> {
                 for (slot, seq) in schedule.sequences.iter().enumerate() {
                     let k = active[slot];
                     for cap in seq {
+                        // A capture commanded to a follower that is out
+                        // of service at capture time never happens.
+                        if fault_plan
+                            .map(|p| p.follower_out(k, cap.time_s))
+                            .unwrap_or(false)
+                        {
+                            report.captures_lost_to_faults += 1;
+                            continue;
+                        }
                         let c = &clusters[cap.task];
                         let cx = c.center.cross_m;
                         let cy_abs = along_origin + c.center.along_m;
@@ -460,15 +586,17 @@ mod tests {
     }
 
     fn quick_options() -> CoverageOptions {
-        CoverageOptions { duration_s: 1_800.0, ..CoverageOptions::default() }
+        CoverageOptions {
+            duration_s: 1_800.0,
+            ..CoverageOptions::default()
+        }
     }
 
     #[test]
     fn detection_roll_is_deterministic_and_uniformish() {
         let a = detection_roll(1, 2, 3);
         assert_eq!(a, detection_roll(1, 2, 3));
-        let mean: f64 =
-            (0..1000).map(|i| detection_roll(9, i, i * 7)).sum::<f64>() / 1000.0;
+        let mean: f64 = (0..1000).map(|i| detection_roll(9, i, i * 7)).sum::<f64>() / 1000.0;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
     }
 
@@ -476,7 +604,9 @@ mod tests {
     fn zero_satellites_cover_nothing() {
         let targets = meridian_targets(10);
         let eval = CoverageEvaluator::new(&targets, quick_options());
-        let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 0 }).unwrap();
+        let r = eval
+            .evaluate(&ConstellationConfig::LowResOnly { satellites: 0 })
+            .unwrap();
         assert_eq!(r.captured, 0);
     }
 
@@ -484,7 +614,9 @@ mod tests {
     fn value_totals_are_wired_through() {
         let targets = meridian_targets(40);
         let eval = CoverageEvaluator::new(&targets, quick_options());
-        let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 2 }).unwrap();
+        let r = eval
+            .evaluate(&ConstellationConfig::LowResOnly { satellites: 2 })
+            .unwrap();
         // All meridian targets have value 1.0, so the two fractions agree.
         assert!((r.total_value - 40.0).abs() < 1e-9);
         assert!((r.value_fraction() - r.coverage_fraction()).abs() < 1e-9);
@@ -494,8 +626,12 @@ mod tests {
     fn low_res_dominates_high_res() {
         let targets = meridian_targets(60);
         let eval = CoverageEvaluator::new(&targets, quick_options());
-        let low = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 1 }).unwrap();
-        let high = eval.evaluate(&ConstellationConfig::HighResOnly { satellites: 1 }).unwrap();
+        let low = eval
+            .evaluate(&ConstellationConfig::LowResOnly { satellites: 1 })
+            .unwrap();
+        let high = eval
+            .evaluate(&ConstellationConfig::HighResOnly { satellites: 1 })
+            .unwrap();
         assert!(low.captured >= high.captured);
         assert!(low.captured > 0, "the meridian pass must see targets");
     }
@@ -505,7 +641,9 @@ mod tests {
         let targets = meridian_targets(60);
         let eval = CoverageEvaluator::new(&targets, quick_options());
         let ee = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
-        let high = eval.evaluate(&ConstellationConfig::HighResOnly { satellites: 2 }).unwrap();
+        let high = eval
+            .evaluate(&ConstellationConfig::HighResOnly { satellites: 2 })
+            .unwrap();
         assert!(
             ee.captured >= high.captured,
             "eagleeye {} < high-res {}",
@@ -585,6 +723,158 @@ mod tests {
         let r = eval.evaluate(&ConstellationConfig::eagleeye(3, 1)).unwrap();
         assert!(r.frames_processed > 0);
         assert!(r.captured <= r.total);
+    }
+
+    #[test]
+    fn fault_follower_outage_naive_loses_resilient_recovers() {
+        let targets = meridian_targets(60);
+        let plan = FaultPlan::new(1).with_fault(
+            eagleeye_sim::FaultKind::FollowerOutage { follower: 0 },
+            0.0,
+            f64::INFINITY,
+        );
+
+        let mut naive_opts = quick_options();
+        naive_opts.fault_plan = Some(plan.clone());
+        naive_opts.degraded_mode = DegradedMode::Naive;
+        let naive = CoverageEvaluator::new(&targets, naive_opts)
+            .evaluate(&ConstellationConfig::eagleeye(1, 2))
+            .unwrap();
+        assert!(
+            naive.captures_lost_to_faults > 0,
+            "naive leader should keep tasking the dead follower"
+        );
+
+        let mut res_opts = quick_options();
+        res_opts.fault_plan = Some(plan);
+        res_opts.degraded_mode = DegradedMode::Resilient;
+        let resilient = CoverageEvaluator::new(&targets, res_opts)
+            .evaluate(&ConstellationConfig::EagleEye {
+                groups: 1,
+                followers_per_group: 2,
+                scheduler: SchedulerKind::Resilient,
+                clustering: ClusteringMethod::Ilp,
+            })
+            .unwrap();
+        // The dead-from-t0 follower is excluded up front, so nothing is
+        // ever commanded to it.
+        assert_eq!(resilient.captures_lost_to_faults, 0);
+        assert!(
+            resilient.captured >= naive.captured,
+            "resilient {} < naive {}",
+            resilient.captured,
+            naive.captured
+        );
+    }
+
+    #[test]
+    fn resilient_scheduler_reports_horizon_provenance() {
+        let targets = meridian_targets(40);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let r = eval
+            .evaluate(&ConstellationConfig::EagleEye {
+                groups: 1,
+                followers_per_group: 1,
+                scheduler: SchedulerKind::Resilient,
+                clustering: ClusteringMethod::Ilp,
+            })
+            .unwrap();
+        assert!(r.scheduler_calls > 0);
+        assert_eq!(
+            r.ilp_horizons + r.greedy_fallbacks,
+            r.scheduler_calls,
+            "every horizon must record its solver"
+        );
+    }
+
+    #[test]
+    fn mid_pass_outage_repair_counters_are_consistent() {
+        let targets = meridian_targets(60);
+        let mut opts = quick_options();
+        opts.fault_plan = Some(FaultPlan::new(2).with_fault(
+            eagleeye_sim::FaultKind::FollowerOutage { follower: 1 },
+            300.0,
+            f64::INFINITY,
+        ));
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval
+            .evaluate(&ConstellationConfig::EagleEye {
+                groups: 1,
+                followers_per_group: 2,
+                scheduler: SchedulerKind::Resilient,
+                clustering: ClusteringMethod::Ilp,
+            })
+            .unwrap();
+        assert!(r.tasks_reassigned <= r.tasks_dropped_by_failures);
+        assert!(r.captured > 0, "survivor must keep capturing");
+    }
+
+    #[test]
+    fn fault_leader_outage_suppresses_scheduling() {
+        let targets = meridian_targets(30);
+        let mut opts = quick_options();
+        opts.fault_plan = Some(FaultPlan::new(3).with_fault(
+            eagleeye_sim::FaultKind::LeaderOutage,
+            0.0,
+            f64::INFINITY,
+        ));
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert_eq!(r.captures_commanded, 0);
+        assert!(r.frames_leader_down > 0);
+    }
+
+    #[test]
+    fn fault_total_detector_dropout_captures_nothing() {
+        let targets = meridian_targets(30);
+        let mut opts = quick_options();
+        opts.fault_plan = Some(FaultPlan::new(4).with_fault(
+            eagleeye_sim::FaultKind::DetectorDropout {
+                false_negative_rate: 1.0,
+            },
+            0.0,
+            f64::INFINITY,
+        ));
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert_eq!(r.captured, 0);
+    }
+
+    #[test]
+    fn fault_brownout_suppresses_captures_inside_window() {
+        let targets = meridian_targets(30);
+        let mut opts = quick_options();
+        opts.fault_plan = Some(FaultPlan::new(5).with_fault(
+            eagleeye_sim::FaultKind::BatteryBrownout,
+            0.0,
+            f64::INFINITY,
+        ));
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert_eq!(r.captures_commanded, 0);
+    }
+
+    #[test]
+    fn fault_slew_derate_never_panics_and_bounds_coverage() {
+        let targets = meridian_targets(40);
+        let base = CoverageEvaluator::new(&targets, quick_options())
+            .evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap();
+        let mut opts = quick_options();
+        opts.fault_plan = Some(FaultPlan::new(6).with_fault(
+            eagleeye_sim::FaultKind::SlewDerate { rate_factor: 0.25 },
+            0.0,
+            f64::INFINITY,
+        ));
+        let derated = CoverageEvaluator::new(&targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap();
+        assert!(
+            derated.captured <= base.captured,
+            "slower wheels cannot capture more ({} > {})",
+            derated.captured,
+            base.captured
+        );
     }
 
     #[test]

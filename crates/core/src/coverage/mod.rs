@@ -20,11 +20,19 @@
 //! Failure injection (paper §4.7) is supported: a failed leader degrades
 //! its group to nadir high-resolution capture; failed followers are
 //! excluded from scheduling.
+//!
+//! Beyond the paper, richer fault timelines can be injected via
+//! [`CoverageOptions::fault_plan`] (an `eagleeye_sim::FaultPlan`:
+//! satellite outages, detector dropout, radio/ADACS derating, battery
+//! brownouts). [`DegradedMode`] selects whether the leader reacts to
+//! those faults (excluding dead followers, repairing mid-pass failures
+//! with [`SchedulerKind::Resilient`]) or naively keeps tasking dead
+//! satellites — the baseline for the fault-tolerance study.
 
 mod config;
 mod evaluator;
 mod report;
 
-pub use config::{ConstellationConfig, FailurePlan, SchedulerKind};
+pub use config::{ConstellationConfig, DegradedMode, FailurePlan, SchedulerKind};
 pub use evaluator::{CoverageEvaluator, CoverageOptions};
 pub use report::CoverageReport;

@@ -30,6 +30,25 @@ pub struct CoverageReport {
     pub clustering_time: Duration,
     /// High-resolution captures commanded.
     pub captures_commanded: usize,
+    /// Horizons scheduled by the exact ILP within budget (only counted
+    /// under [`SchedulerKind::Resilient`](super::SchedulerKind)).
+    pub ilp_horizons: usize,
+    /// Horizons that fell back to the greedy solver (deadline,
+    /// iteration cap, dominance, or solver error).
+    pub greedy_fallbacks: usize,
+    /// Of those, fallbacks caused by the per-horizon wall-clock budget.
+    pub deadline_fallbacks: usize,
+    /// Mid-pass follower failures for which a schedule repair ran.
+    pub repairs_attempted: usize,
+    /// Tasks dropped from failed followers' sequences mid-pass.
+    pub tasks_dropped_by_failures: usize,
+    /// Of those, tasks successfully re-planned onto survivors.
+    pub tasks_reassigned: usize,
+    /// Commanded captures lost at execution because the assigned
+    /// follower was out of service.
+    pub captures_lost_to_faults: usize,
+    /// Frames during which an injected fault kept the leader down.
+    pub frames_leader_down: usize,
 }
 
 impl CoverageReport {
@@ -102,7 +121,10 @@ mod tests {
 
     #[test]
     fn mean_latency_guards_division() {
-        assert_eq!(CoverageReport::default().mean_scheduler_latency(), Duration::ZERO);
+        assert_eq!(
+            CoverageReport::default().mean_scheduler_latency(),
+            Duration::ZERO
+        );
     }
 
     #[test]

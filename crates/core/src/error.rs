@@ -78,8 +78,13 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs: Vec<CoreError> = vec![
-            CoreError::InvalidParameter { name: "x", value: 1.0 },
-            CoreError::ScheduleViolation { description: "C1".into() },
+            CoreError::InvalidParameter {
+                name: "x",
+                value: 1.0,
+            },
+            CoreError::ScheduleViolation {
+                description: "C1".into(),
+            },
             CoreError::Solver(eagleeye_ilp::IlpError::Unbounded),
         ];
         for e in errs {

@@ -45,7 +45,10 @@ pub fn max_lookahead_m(
     gamma: f64,
 ) -> Result<f64, CoreError> {
     if !(swath_m > 0.0) || !swath_m.is_finite() {
-        return Err(CoreError::InvalidParameter { name: "swath_m", value: swath_m });
+        return Err(CoreError::InvalidParameter {
+            name: "swath_m",
+            value: swath_m,
+        });
     }
     if !(sat_speed_m_s > 0.0) || !sat_speed_m_s.is_finite() {
         return Err(CoreError::InvalidParameter {
@@ -54,7 +57,10 @@ pub fn max_lookahead_m(
         });
     }
     if !(gamma > 0.0 && gamma <= 1.0) {
-        return Err(CoreError::InvalidParameter { name: "gamma", value: gamma });
+        return Err(CoreError::InvalidParameter {
+            name: "gamma",
+            value: gamma,
+        });
     }
     if !(target_speed_m_s >= 0.0) || !target_speed_m_s.is_finite() {
         return Err(CoreError::InvalidParameter {
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn stationary_targets_allow_infinite_lookahead() {
-        assert_eq!(max_lookahead_m(0.0, 10_000.0, 7_500.0, 0.1).unwrap(), f64::INFINITY);
+        assert_eq!(
+            max_lookahead_m(0.0, 10_000.0, 7_500.0, 0.1).unwrap(),
+            f64::INFINITY
+        );
     }
 
     #[test]

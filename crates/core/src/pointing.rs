@@ -89,10 +89,16 @@ impl TimeWindow {
     /// Returns [`CoreError::InvalidParameter`] for non-finite bounds.
     pub fn new(start_s: f64, end_s: f64) -> Result<Self, CoreError> {
         if !start_s.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "start_s", value: start_s });
+            return Err(CoreError::InvalidParameter {
+                name: "start_s",
+                value: start_s,
+            });
         }
         if !end_s.is_finite() {
-            return Err(CoreError::InvalidParameter { name: "end_s", value: end_s });
+            return Err(CoreError::InvalidParameter {
+                name: "end_s",
+                value: end_s,
+            });
         }
         Ok(TimeWindow { start_s, end_s })
     }
@@ -145,7 +151,10 @@ pub fn visibility_window(
     let half = (reach * reach - x2).sqrt();
     let t_center = (target.along_m - follower_along_at_0_m) / ground_speed_m_s;
     let dt = half / ground_speed_m_s;
-    Some(TimeWindow { start_s: t_center - dt, end_s: t_center + dt })
+    Some(TimeWindow {
+        start_s: t_center - dt,
+        end_s: t_center + dt,
+    })
 }
 
 #[cfg(test)]
@@ -191,9 +200,11 @@ mod tests {
         let exact = rotation_rad(&p1, s1, &p2, s2, ALT);
         let u1 = ((p1.cross_m), (p1.along_m - s1));
         let u2 = ((p2.cross_m), (p2.along_m - s2));
-        let approx =
-            (((u2.0 - u1.0).powi(2) + (u2.1 - u1.1).powi(2)).sqrt()) / ALT;
-        assert!((exact - approx).abs() / approx < 0.01, "{exact} vs {approx}");
+        let approx = (((u2.0 - u1.0).powi(2) + (u2.1 - u1.1).powi(2)).sqrt()) / ALT;
+        assert!(
+            (exact - approx).abs() / approx < 0.01,
+            "{exact} vs {approx}"
+        );
     }
 
     #[test]
@@ -231,7 +242,11 @@ mod tests {
         // 92.3 km / 7.1 km/s ≈ 13 s.
         let center = (w.start_s + w.end_s) / 2.0;
         assert!((center - 14.08).abs() < 0.1, "center {center}");
-        assert!((w.duration_s() - 26.0).abs() < 1.0, "duration {}", w.duration_s());
+        assert!(
+            (w.duration_s() - 26.0).abs() < 1.0,
+            "duration {}",
+            w.duration_s()
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl AbbScheduler {
 
     /// The paper's frame deadline: 15 s.
     pub fn with_frame_deadline() -> Self {
-        AbbScheduler { deadline: Duration::from_secs(15) }
+        AbbScheduler {
+            deadline: Duration::from_secs(15),
+        }
     }
 }
 
@@ -96,7 +98,7 @@ impl SearchCtx<'_> {
                 }
             }
         }
-        children.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite times"));
+        children.sort_by(|a, b| a.2.total_cmp(&b.2));
 
         for (f, j, t) in children {
             if self.timed_out {
@@ -107,7 +109,13 @@ impl SearchCtx<'_> {
             captured[j] = true;
             sequences[f].push(Capture { task: j, time_s: t });
             let tv = self.problem.tasks()[j].value;
-            self.dfs(cursors, captured, sequences, value + tv, remaining_value - tv);
+            self.dfs(
+                cursors,
+                captured,
+                sequences,
+                value + tv,
+                remaining_value - tv,
+            );
             sequences[f].pop();
             captured[j] = false;
             cursors[f] = saved_cursor;
@@ -139,7 +147,13 @@ impl Scheduler for AbbScheduler {
         let mut captured = vec![false; n_tasks];
         let mut sequences = vec![Vec::new(); n_followers];
         let total_value: f64 = problem.tasks().iter().map(|t| t.value).sum();
-        ctx.dfs(&mut cursors, &mut captured, &mut sequences, 0.0, total_value);
+        ctx.dfs(
+            &mut cursors,
+            &mut captured,
+            &mut sequences,
+            0.0,
+            total_value,
+        );
 
         schedule.sequences = ctx.best;
         schedule.total_value = schedule
@@ -180,7 +194,9 @@ mod tests {
     #[test]
     fn abb_schedules_validate() {
         let p = problem(spread_tasks(6), vec![FollowerState::at_start(-100_000.0)]);
-        let s = AbbScheduler::new(Duration::from_secs(5)).schedule(&p).unwrap();
+        let s = AbbScheduler::new(Duration::from_secs(5))
+            .schedule(&p)
+            .unwrap();
         s.validate(&p).unwrap();
         assert!(s.captured_count() > 0);
     }
@@ -188,7 +204,9 @@ mod tests {
     #[test]
     fn abb_at_least_matches_greedy_given_time() {
         let p = problem(spread_tasks(7), vec![FollowerState::at_start(-100_000.0)]);
-        let abb = AbbScheduler::new(Duration::from_secs(10)).schedule(&p).unwrap();
+        let abb = AbbScheduler::new(Duration::from_secs(10))
+            .schedule(&p)
+            .unwrap();
         let greedy = GreedyScheduler.schedule(&p).unwrap();
         assert!(
             abb.total_value >= greedy.total_value - 1e-9,
@@ -204,7 +222,9 @@ mod tests {
         // (possibly poor) incumbent rather than hanging.
         let p = problem(spread_tasks(30), vec![FollowerState::at_start(-100_000.0)]);
         let start = Instant::now();
-        let s = AbbScheduler::new(Duration::from_millis(100)).schedule(&p).unwrap();
+        let s = AbbScheduler::new(Duration::from_millis(100))
+            .schedule(&p)
+            .unwrap();
         assert!(start.elapsed() < Duration::from_secs(2));
         s.validate(&p).unwrap();
     }
@@ -215,7 +235,9 @@ mod tests {
             vec![TaskSpec::new(5_000.0, 50_000.0, 4.0)],
             vec![FollowerState::at_start(-100_000.0)],
         );
-        let s = AbbScheduler::new(Duration::from_secs(1)).schedule(&p).unwrap();
+        let s = AbbScheduler::new(Duration::from_secs(1))
+            .schedule(&p)
+            .unwrap();
         assert_eq!(s.captured_count(), 1);
         assert!((s.total_value - 4.0).abs() < 1e-9);
     }

@@ -72,7 +72,7 @@ impl Scheduler for DpScheduler {
 
         // Sort node indices by time; DP proceeds in time order.
         let mut order: Vec<usize> = (0..nodes.len()).collect();
-        order.sort_by(|&a, &b| nodes[a].time_s.partial_cmp(&nodes[b].time_s).expect("finite"));
+        order.sort_by(|&a, &b| nodes[a].time_s.total_cmp(&nodes[b].time_s));
 
         let n_masks = 1usize << n_tasks;
         const NEG: f64 = f64::NEG_INFINITY;
@@ -143,7 +143,10 @@ impl Scheduler for DpScheduler {
         let mut cur = best.1;
         while let Some((mask, v)) = cur {
             let n = &nodes[v];
-            seq.push(Capture { task: n.task, time_s: n.time_s });
+            seq.push(Capture {
+                task: n.task,
+                time_s: n.time_s,
+            });
             cur = parent[mask * nodes.len() + v];
         }
         seq.reverse();
@@ -185,15 +188,22 @@ mod tests {
 
     #[test]
     fn rejects_oversized_instances() {
-        let tasks: Vec<TaskSpec> =
-            (0..20).map(|i| TaskSpec::new(0.0, i as f64 * 1_000.0, 1.0)).collect();
+        let tasks: Vec<TaskSpec> = (0..20)
+            .map(|i| TaskSpec::new(0.0, i as f64 * 1_000.0, 1.0))
+            .collect();
         assert!(DpScheduler::default().schedule(&problem(tasks)).is_err());
     }
 
     #[test]
     fn dp_solution_validates() {
         let tasks: Vec<TaskSpec> = (0..6)
-            .map(|i| TaskSpec::new(((i * 31) % 120) as f64 * 1_000.0 - 60_000.0, i as f64 * 16_000.0, 1.0))
+            .map(|i| {
+                TaskSpec::new(
+                    ((i * 31) % 120) as f64 * 1_000.0 - 60_000.0,
+                    i as f64 * 16_000.0,
+                    1.0,
+                )
+            })
             .collect();
         let p = problem(tasks);
         let s = DpScheduler::default().schedule(&p).unwrap();
@@ -218,9 +228,12 @@ mod tests {
                 .collect();
             let p = problem(tasks);
             let dp = DpScheduler { slots_per_task: 3 }.schedule(&p).unwrap();
-            let ilp = IlpScheduler { slots_per_task: 3, ..IlpScheduler::default() }
-                .schedule(&p)
-                .unwrap();
+            let ilp = IlpScheduler {
+                slots_per_task: 3,
+                ..IlpScheduler::default()
+            }
+            .schedule(&p)
+            .unwrap();
             dp.validate(&p).unwrap();
             ilp.validate(&p).unwrap();
             assert!(

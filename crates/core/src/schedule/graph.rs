@@ -28,8 +28,10 @@ pub(crate) struct OppNode {
     pub offset: (f64, f64),
 }
 
-/// Endpoint of an arc in the per-follower opportunity graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Endpoint of an arc in the per-follower opportunity graph. `Ord` so
+/// constraint assembly can use ordered maps — ILP model construction
+/// must be deterministic for reproducible schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) enum End {
     /// The follower's initial state.
     Source,
@@ -67,8 +69,10 @@ impl OpportunityGraph {
     ) -> OpportunityGraph {
         let spec = problem.spec();
         let slots = slots.max(1);
-        let t_max =
-            spec.adacs.min_slew_time_s(spec.max_pointing_separation_rad()) + 1e-9;
+        let t_max = spec
+            .adacs
+            .min_slew_time_s(spec.max_pointing_separation_rad())
+            + 1e-9;
 
         let follower_ids: Vec<usize> = match followers {
             Some(ids) => ids.to_vec(),
@@ -83,14 +87,14 @@ impl OpportunityGraph {
                 if *excluded_tasks.get(j).unwrap_or(&false) {
                     continue;
                 }
-                let Some(w) = problem.window(f, j) else { continue };
+                let Some(w) = problem.window(f, j) else {
+                    continue;
+                };
                 let times: Vec<f64> = if slots == 1 || w.duration_s() < 1e-9 {
                     vec![(w.start_s + w.end_s) / 2.0]
                 } else {
                     (0..slots)
-                        .map(|k| {
-                            w.start_s + w.duration_s() * k as f64 / (slots - 1) as f64
-                        })
+                        .map(|k| w.start_s + w.duration_s() * k as f64 / (slots - 1) as f64)
                         .collect()
                 };
                 for t in times {
@@ -110,18 +114,17 @@ impl OpportunityGraph {
             rest_times[n.follower].push(n.time_s);
         }
         for times in rest_times.iter_mut() {
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            times.sort_by(|a, b| a.total_cmp(b));
             times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         }
 
         // Per-follower node indices sorted by time for arc generation.
         let mut arcs = Vec::new();
         for &f in &follower_ids {
-            let mut idx: Vec<usize> =
-                (0..nodes.len()).filter(|&i| nodes[i].follower == f).collect();
-            idx.sort_by(|&a, &b| {
-                nodes[a].time_s.partial_cmp(&nodes[b].time_s).expect("finite")
-            });
+            let mut idx: Vec<usize> = (0..nodes.len())
+                .filter(|&i| nodes[i].follower == f)
+                .collect();
+            idx.sort_by(|&a, &b| nodes[a].time_s.total_cmp(&nodes[b].time_s));
             let rests = &rest_times[f];
             let state = &problem.followers()[f];
 
@@ -134,11 +137,19 @@ impl OpportunityGraph {
                 }
                 let rot = problem.rotation_between(state.pointing_offset, n.offset);
                 if spec.adacs.can_rotate(rot, dt) {
-                    arcs.push(Arc { follower: f, from: End::Source, to: End::Node(v) });
+                    arcs.push(Arc {
+                        follower: f,
+                        from: End::Source,
+                        to: End::Node(v),
+                    });
                 }
             }
             if let Some(q) = first_rest_at_or_after(rests, state.available_from_s + t_max) {
-                arcs.push(Arc { follower: f, from: End::Source, to: End::Rest(f, q) });
+                arcs.push(Arc {
+                    follower: f,
+                    from: End::Source,
+                    to: End::Rest(f, q),
+                });
             }
 
             // Node-to-node arcs within the horizon; node-to-rest beyond.
@@ -158,35 +169,51 @@ impl OpportunityGraph {
                     }
                     let rot = problem.rotation_between(nu.offset, nv.offset);
                     if spec.adacs.can_rotate(rot, dt) {
-                        arcs.push(Arc { follower: f, from: End::Node(u), to: End::Node(v) });
+                        arcs.push(Arc {
+                            follower: f,
+                            from: End::Node(u),
+                            to: End::Node(v),
+                        });
                     }
                 }
                 if let Some(q) = first_rest_at_or_after(rests, nu.time_s + t_max) {
-                    arcs.push(Arc { follower: f, from: End::Node(u), to: End::Rest(f, q) });
+                    arcs.push(Arc {
+                        follower: f,
+                        from: End::Node(u),
+                        to: End::Rest(f, q),
+                    });
                 }
             }
 
             // Rest chain and rest-to-node arcs.
             for q in 0..rests.len().saturating_sub(1) {
-                arcs.push(Arc { follower: f, from: End::Rest(f, q), to: End::Rest(f, q + 1) });
+                arcs.push(Arc {
+                    follower: f,
+                    from: End::Rest(f, q),
+                    to: End::Rest(f, q + 1),
+                });
             }
             for &v in &idx {
                 if let Some(q) = rest_index_at(rests, nodes[v].time_s) {
-                    arcs.push(Arc { follower: f, from: End::Rest(f, q), to: End::Node(v) });
+                    arcs.push(Arc {
+                        follower: f,
+                        from: End::Rest(f, q),
+                        to: End::Node(v),
+                    });
                 }
             }
         }
 
-        OpportunityGraph { nodes, rest_times, arcs }
+        OpportunityGraph {
+            nodes,
+            rest_times,
+            arcs,
+        }
     }
 
     /// Direct pairwise feasibility between two capture nodes of the same
     /// follower (used by the DP oracle, which needs no rest chain).
-    pub(crate) fn pair_feasible(
-        problem: &SchedulingProblem,
-        u: &OppNode,
-        v: &OppNode,
-    ) -> bool {
+    pub(crate) fn pair_feasible(problem: &SchedulingProblem, u: &OppNode, v: &OppNode) -> bool {
         debug_assert_eq!(u.follower, v.follower);
         let dt = v.time_s - u.time_s;
         if dt <= 1e-9 {
@@ -232,7 +259,10 @@ mod tests {
     #[test]
     fn excluded_tasks_get_no_nodes() {
         let p = problem(
-            vec![TaskSpec::new(0.0, 50_000.0, 1.0), TaskSpec::new(0.0, 60_000.0, 1.0)],
+            vec![
+                TaskSpec::new(0.0, 50_000.0, 1.0),
+                TaskSpec::new(0.0, 60_000.0, 1.0),
+            ],
             vec![FollowerState::at_start(-100_000.0)],
         );
         let g = OpportunityGraph::build(&p, 2, None, &[true, false]);
@@ -255,7 +285,9 @@ mod tests {
     #[test]
     fn arcs_are_time_forward() {
         let p = problem(
-            (0..6).map(|i| TaskSpec::new(i as f64 * 8_000.0, 40_000.0 + i as f64 * 9_000.0, 1.0)).collect(),
+            (0..6)
+                .map(|i| TaskSpec::new(i as f64 * 8_000.0, 40_000.0 + i as f64 * 9_000.0, 1.0))
+                .collect(),
             vec![FollowerState::at_start(-100_000.0)],
         );
         let g = OpportunityGraph::build(&p, 3, None, &[false; 6]);
@@ -283,14 +315,12 @@ mod tests {
                 if g.nodes[u].task == 0 && g.nodes[v].task == 1)
         });
         assert!(!has_direct, "400 km apart: beyond the direct horizon");
-        let node_to_rest = g
-            .arcs
-            .iter()
-            .any(|a| matches!((a.from, a.to), (End::Node(u), End::Rest(..)) if g.nodes[u].task == 0));
-        let rest_to_node = g
-            .arcs
-            .iter()
-            .any(|a| matches!((a.from, a.to), (End::Rest(..), End::Node(v)) if g.nodes[v].task == 1));
+        let node_to_rest = g.arcs.iter().any(
+            |a| matches!((a.from, a.to), (End::Node(u), End::Rest(..)) if g.nodes[u].task == 0),
+        );
+        let rest_to_node = g.arcs.iter().any(
+            |a| matches!((a.from, a.to), (End::Rest(..), End::Node(v)) if g.nodes[v].task == 1),
+        );
         assert!(node_to_rest && rest_to_node);
     }
 
@@ -298,7 +328,10 @@ mod tests {
     fn follower_restriction_limits_nodes() {
         let p = problem(
             vec![TaskSpec::new(0.0, 50_000.0, 1.0)],
-            vec![FollowerState::at_start(-100_000.0), FollowerState::at_start(-120_000.0)],
+            vec![
+                FollowerState::at_start(-100_000.0),
+                FollowerState::at_start(-120_000.0),
+            ],
         );
         let g = OpportunityGraph::build(&p, 2, Some(&[1]), &[false]);
         assert!(g.nodes.iter().all(|n| n.follower == 1));
@@ -307,7 +340,10 @@ mod tests {
     #[test]
     fn pair_feasibility_matches_adacs() {
         let p = problem(
-            vec![TaskSpec::new(0.0, 30_000.0, 1.0), TaskSpec::new(0.0, 90_000.0, 1.0)],
+            vec![
+                TaskSpec::new(0.0, 30_000.0, 1.0),
+                TaskSpec::new(0.0, 90_000.0, 1.0),
+            ],
             vec![FollowerState::at_start(-100_000.0)],
         );
         let g = OpportunityGraph::build(&p, 2, None, &[false, false]);

@@ -134,8 +134,9 @@ mod tests {
 
     #[test]
     fn multi_follower_greedy_divides_work() {
-        let tasks: Vec<TaskSpec> =
-            (0..6).map(|i| TaskSpec::new(0.0, 20_000.0 + 22_000.0 * i as f64, 1.0)).collect();
+        let tasks: Vec<TaskSpec> = (0..6)
+            .map(|i| TaskSpec::new(0.0, 20_000.0 + 22_000.0 * i as f64, 1.0))
+            .collect();
         let p = problem(
             tasks,
             vec![

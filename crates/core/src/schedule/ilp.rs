@@ -1,8 +1,8 @@
 use super::graph::{Arc, End, OpportunityGraph};
 use super::{Capture, Schedule, Scheduler, SchedulingProblem};
 use crate::CoreError;
-use eagleeye_ilp::{Model, Sense, SolveOptions, VarId};
-use std::collections::HashMap;
+use eagleeye_ilp::{Model, Sense, SolveOptions, SolveStatus, VarId};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// The paper's ILP-based actuation-aware scheduler (§4.3).
@@ -57,6 +57,32 @@ impl Default for IlpScheduler {
     }
 }
 
+/// Diagnostics from one [`IlpScheduler::schedule_with_stats`] run —
+/// the observability hook the resilient scheduler uses to decide when
+/// the ILP degraded internally and a greedy fallback should be
+/// recorded (or substituted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IlpRunStats {
+    /// Number of ILP subproblems attempted (1, or one per follower
+    /// under sequential decomposition).
+    pub subproblems: usize,
+    /// Subproblems abandoned on the wall-clock deadline.
+    pub deadline_hits: usize,
+    /// Subproblems abandoned on the simplex iteration cap.
+    pub iteration_limit_hits: usize,
+    /// True when the final answer came from the greedy baseline because
+    /// it beat the (coarsely discretized) ILP solution.
+    pub greedy_dominated: bool,
+}
+
+impl IlpRunStats {
+    /// True when every subproblem solved cleanly and the ILP solution
+    /// was kept.
+    pub fn clean(&self) -> bool {
+        self.deadline_hits == 0 && self.iteration_limit_hits == 0 && !self.greedy_dominated
+    }
+}
+
 impl IlpScheduler {
     fn slots_for(&self, n_tasks: usize) -> usize {
         if self.slots_per_task > 0 {
@@ -97,7 +123,10 @@ impl IlpScheduler {
                 match problem.earliest_capture(f, cap.task, t0, u0) {
                     Some(t) => {
                         cursors[f] = (t, problem.capture_offset(f, cap.task, t));
-                        shifted.push(Capture { task: cap.task, time_s: t });
+                        shifted.push(Capture {
+                            task: cap.task,
+                            time_s: t,
+                        });
                     }
                     None => {
                         // Unreachable from the shifted predecessor (its
@@ -140,7 +169,9 @@ impl IlpScheduler {
         problem: &SchedulingProblem,
         followers: &[usize],
         excluded: &[bool],
+        stats: &mut IlpRunStats,
     ) -> Result<Vec<(usize, Vec<Capture>)>, CoreError> {
+        stats.subproblems += 1;
         let slots = self.slots_for(excluded.iter().filter(|e| !**e).count());
         let graph = OpportunityGraph::build(problem, slots, Some(followers), excluded);
         if graph.nodes.is_empty() {
@@ -160,10 +191,13 @@ impl IlpScheduler {
             })
             .collect();
 
-        // Index arcs by endpoint for constraint assembly.
-        let mut out_of: HashMap<End, Vec<usize>> = HashMap::new();
-        let mut into: HashMap<End, Vec<usize>> = HashMap::new();
-        let mut source_out: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Index arcs by endpoint for constraint assembly. Ordered maps:
+        // constraint order must be deterministic so identical problems
+        // produce identical schedules (ties in the simplex are broken by
+        // row order).
+        let mut out_of: BTreeMap<End, Vec<usize>> = BTreeMap::new();
+        let mut into: BTreeMap<End, Vec<usize>> = BTreeMap::new();
+        let mut source_out: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, a) in graph.arcs.iter().enumerate() {
             match a.from {
                 End::Source => source_out.entry(a.follower).or_default().push(i),
@@ -175,11 +209,7 @@ impl IlpScheduler {
         // One unit of flow per follower.
         for &f in followers {
             if let Some(arcs) = source_out.get(&f) {
-                model.add_constraint(
-                    arcs.iter().map(|&i| (arc_vars[i], 1.0)),
-                    Sense::Le,
-                    1.0,
-                )?;
+                model.add_constraint(arcs.iter().map(|&i| (arc_vars[i], 1.0)), Sense::Le, 1.0)?;
             }
         }
 
@@ -204,7 +234,7 @@ impl IlpScheduler {
         }
 
         // Capture-once coupling per task.
-        let mut task_in: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut task_in: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, a) in graph.arcs.iter().enumerate() {
             if let End::Node(v) = a.to {
                 task_in.entry(graph.nodes[v].task).or_default().push(i);
@@ -221,13 +251,24 @@ impl IlpScheduler {
             Ok(sol) => sol,
             // A degenerate instance exhausting the simplex iteration cap
             // degrades to an empty ILP result; the greedy augmentation
-            // and fallback passes still produce a feasible schedule.
-            Err(eagleeye_ilp::IlpError::IterationLimit { .. })
-            | Err(eagleeye_ilp::IlpError::Deadline) => {
+            // and fallback passes still produce a feasible schedule. The
+            // stats record the hit so callers can observe the fallback.
+            Err(eagleeye_ilp::IlpError::IterationLimit { .. }) => {
+                stats.iteration_limit_hits += 1;
+                return Ok(followers.iter().map(|&f| (f, Vec::new())).collect());
+            }
+            Err(eagleeye_ilp::IlpError::Deadline) => {
+                stats.deadline_hits += 1;
                 return Ok(followers.iter().map(|&f| (f, Vec::new())).collect());
             }
             Err(e) => return Err(e.into()),
         };
+        // Branch-and-bound converts an expired deadline into a limit
+        // status (`Feasible` with the incumbent, `Unknown` without one)
+        // rather than an error; count those as deadline hits too.
+        if matches!(sol.status(), SolveStatus::Feasible | SolveStatus::Unknown) {
+            stats.deadline_hits += 1;
+        }
         if !sol.is_usable() {
             return Ok(followers.iter().map(|&f| (f, Vec::new())).collect());
         }
@@ -253,7 +294,10 @@ impl IlpScheduler {
                 match next {
                     Some(End::Node(v)) => {
                         let n = &graph.nodes[v];
-                        seq.push(Capture { task: n.task, time_s: n.time_s });
+                        seq.push(Capture {
+                            task: n.task,
+                            time_s: n.time_s,
+                        });
                         at = End::Node(v);
                     }
                     Some(rest @ End::Rest(..)) => at = rest,
@@ -266,13 +310,28 @@ impl IlpScheduler {
     }
 }
 
-impl Scheduler for IlpScheduler {
-    fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, CoreError> {
+impl IlpScheduler {
+    /// Like [`Scheduler::schedule`] but also returns [`IlpRunStats`]
+    /// describing how the answer was obtained (deadline hits, iteration
+    /// caps, greedy dominance) — the hook `ResilientScheduler` uses to
+    /// report which solver actually produced each horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Solver`] on unrecoverable ILP failures
+    /// (deadline and iteration-cap exhaustion are *recovered*, not
+    /// errored: they degrade to the greedy augmentation and are counted
+    /// in the stats).
+    pub fn schedule_with_stats(
+        &self,
+        problem: &SchedulingProblem,
+    ) -> Result<(Schedule, IlpRunStats), CoreError> {
         let n_followers = problem.followers().len();
         let n_tasks = problem.tasks().len();
         let mut schedule = Schedule::empty(n_followers);
+        let mut stats = IlpRunStats::default();
         if n_followers == 0 || n_tasks == 0 {
-            return Ok(schedule);
+            return Ok((schedule, stats));
         }
 
         let slots = self.slots_for(n_tasks);
@@ -281,14 +340,14 @@ impl Scheduler for IlpScheduler {
 
         if n_followers == 1 || joint_nodes_estimate <= self.joint_node_limit {
             let all: Vec<usize> = (0..n_followers).collect();
-            for (f, seq) in self.solve_subproblem(problem, &all, &excluded)? {
+            for (f, seq) in self.solve_subproblem(problem, &all, &excluded, &mut stats)? {
                 schedule.sequences[f] = seq;
             }
         } else {
             // Sequential decomposition: exact per-follower solves on the
             // remaining tasks.
             for f in 0..n_followers {
-                let result = self.solve_subproblem(problem, &[f], &excluded)?;
+                let result = self.solve_subproblem(problem, &[f], &excluded, &mut stats)?;
                 for (ff, seq) in result {
                     for c in &seq {
                         excluded[c.task] = true;
@@ -310,9 +369,16 @@ impl Scheduler for IlpScheduler {
         // slot grid is very coarse on large instances).
         let greedy = super::GreedyScheduler.schedule(problem)?;
         if greedy.total_value > schedule.total_value + 1e-9 {
-            return Ok(greedy);
+            stats.greedy_dominated = true;
+            return Ok((greedy, stats));
         }
-        Ok(schedule)
+        Ok((schedule, stats))
+    }
+}
+
+impl Scheduler for IlpScheduler {
+    fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, CoreError> {
+        self.schedule_with_stats(problem).map(|(s, _)| s)
     }
 
     fn name(&self) -> &'static str {
@@ -353,7 +419,13 @@ mod tests {
     #[test]
     fn well_spaced_tasks_are_all_captured() {
         let tasks: Vec<TaskSpec> = (0..8)
-            .map(|i| TaskSpec::new((i % 3) as f64 * 10_000.0, 30_000.0 + i as f64 * 20_000.0, 1.0))
+            .map(|i| {
+                TaskSpec::new(
+                    (i % 3) as f64 * 10_000.0,
+                    30_000.0 + i as f64 * 20_000.0,
+                    1.0,
+                )
+            })
             .collect();
         let p = problem(tasks, vec![FollowerState::at_start(-100_000.0)]);
         let s = IlpScheduler::default().schedule(&p).unwrap();
@@ -398,8 +470,9 @@ mod tests {
 
     #[test]
     fn no_task_captured_twice_across_followers() {
-        let tasks: Vec<TaskSpec> =
-            (0..5).map(|i| TaskSpec::new(0.0, 30_000.0 + i as f64 * 25_000.0, 1.0)).collect();
+        let tasks: Vec<TaskSpec> = (0..5)
+            .map(|i| TaskSpec::new(0.0, 30_000.0 + i as f64 * 25_000.0, 1.0))
+            .collect();
         let p = problem(
             tasks,
             vec![
@@ -432,9 +505,12 @@ mod tests {
             ],
         );
         // Force decomposition with a low threshold.
-        let s = IlpScheduler { joint_node_limit: 10, ..IlpScheduler::default() }
-            .schedule(&p)
-            .unwrap();
+        let s = IlpScheduler {
+            joint_node_limit: 10,
+            ..IlpScheduler::default()
+        }
+        .schedule(&p)
+        .unwrap();
         s.validate(&p).unwrap();
         assert!(s.captured_count() > 10);
     }
@@ -445,10 +521,7 @@ mod tests {
         // is infeasible, a later one is fine.
         let mut f = FollowerState::at_start(-20_000.0);
         f.pointing_offset = (-88_000.0, 0.0);
-        let p = problem(
-            vec![TaskSpec::new(88_000.0, -14_000.0, 1.0)],
-            vec![f],
-        );
+        let p = problem(vec![TaskSpec::new(88_000.0, -14_000.0, 1.0)], vec![f]);
         // Window for that task ends almost immediately (the follower is
         // nearly past it); slewing 176 km of cross-track takes ~8 s.
         let s = IlpScheduler::default().schedule(&p).unwrap();

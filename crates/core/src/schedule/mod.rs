@@ -28,6 +28,12 @@
 //! * [`DpScheduler`] — an exact bitmask dynamic program over the same
 //!   opportunity graph, single-follower only; the test oracle that
 //!   certifies the ILP's optimality.
+//!
+//! For degraded operation there is additionally
+//! [`ResilientScheduler`] — a budgeted wrapper around the ILP with
+//! greedy fallback, post-validation ([`validate_schedule`]), and
+//! mid-pass failure repair — whose [`ScheduleOutcome`] records which
+//! solver produced each horizon and why.
 
 mod abb;
 mod dp;
@@ -35,13 +41,16 @@ mod graph;
 mod greedy;
 mod ilp;
 mod problem;
+mod resilient;
 mod types;
 
 pub use abb::AbbScheduler;
 pub use dp::DpScheduler;
 pub use greedy::GreedyScheduler;
-pub use ilp::IlpScheduler;
+pub use ilp::{IlpRunStats, IlpScheduler};
 pub use problem::{FollowerState, SchedulingProblem, TaskSpec};
+pub use resilient::{
+    validate_schedule, FallbackReason, RepairOutcome, ResilientScheduler, ScheduleOutcome,
+    SolverChoice,
+};
 pub use types::{Capture, Schedule, Scheduler};
-
-

@@ -13,7 +13,10 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// Creates a task at `(cross_m, along_m)` with the given value.
     pub fn new(cross_m: f64, along_m: f64, value: f64) -> Self {
-        TaskSpec { point: GroundPoint::new(cross_m, along_m), value }
+        TaskSpec {
+            point: GroundPoint::new(cross_m, along_m),
+            value,
+        }
     }
 }
 
@@ -37,7 +40,11 @@ impl FollowerState {
     /// A nadir-pointed follower available immediately, whose
     /// subsatellite point is at `along_at_0_m` at `t = 0`.
     pub fn at_start(along_at_0_m: f64) -> Self {
-        FollowerState { along_at_0_m, available_from_s: 0.0, pointing_offset: (0.0, 0.0) }
+        FollowerState {
+            along_at_0_m,
+            available_from_s: 0.0,
+            pointing_offset: (0.0, 0.0),
+        }
     }
 
     /// Subsatellite along-track position at time `t`.
@@ -108,7 +115,10 @@ impl SchedulingProblem {
         spec.validate()?;
         for t in &tasks {
             if !t.value.is_finite() {
-                return Err(CoreError::InvalidParameter { name: "task value", value: t.value });
+                return Err(CoreError::InvalidParameter {
+                    name: "task value",
+                    value: t.value,
+                });
             }
         }
         let windows = followers
@@ -139,7 +149,12 @@ impl SchedulingProblem {
                     .collect()
             })
             .collect();
-        Ok(SchedulingProblem { spec, tasks, followers, windows })
+        Ok(SchedulingProblem {
+            spec,
+            tasks,
+            followers,
+            windows,
+        })
     }
 
     /// Sensing configuration.
@@ -171,7 +186,10 @@ impl SchedulingProblem {
     /// at time `t`: `(cross, along_target − along_subsatellite)`.
     pub fn capture_offset(&self, f: usize, j: usize, t_s: f64) -> (f64, f64) {
         let sat = self.followers[f].along_at(t_s, self.spec.ground_speed_m_s);
-        (self.tasks[j].point.cross_m, self.tasks[j].point.along_m - sat)
+        (
+            self.tasks[j].point.cross_m,
+            self.tasks[j].point.along_m - sat,
+        )
     }
 
     /// Exact rotation between two pointing offsets (paper Eq. 1).
@@ -232,12 +250,8 @@ mod tests {
     fn windows_respect_availability() {
         let mut f = FollowerState::at_start(-100_000.0);
         f.available_from_s = 1_000.0;
-        let p = SchedulingProblem::new(
-            spec(),
-            vec![TaskSpec::new(0.0, 50_000.0, 1.0)],
-            vec![f],
-        )
-        .unwrap();
+        let p = SchedulingProblem::new(spec(), vec![TaskSpec::new(0.0, 50_000.0, 1.0)], vec![f])
+            .unwrap();
         // Window would end ~ (50km + 92km + 100km)/7.1km/s ≈ 34 s; with
         // availability at 1000 s the window is gone.
         assert!(p.window(0, 0).is_none());
@@ -279,7 +293,9 @@ mod tests {
         )
         .unwrap();
         let w = p.window(0, 0).unwrap();
-        assert!(p.earliest_capture(0, 0, w.end_s + 100.0, (0.0, 0.0)).is_none());
+        assert!(p
+            .earliest_capture(0, 0, w.end_s + 100.0, (0.0, 0.0))
+            .is_none());
     }
 
     #[test]

@@ -1,5 +1,4 @@
 use super::SchedulingProblem;
-use crate::pointing::off_nadir_rad;
 use crate::CoreError;
 use std::collections::BTreeSet;
 
@@ -24,7 +23,10 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule for `n_followers` followers.
     pub fn empty(n_followers: usize) -> Self {
-        Schedule { sequences: vec![Vec::new(); n_followers], total_value: 0.0 }
+        Schedule {
+            sequences: vec![Vec::new(); n_followers],
+            total_value: 0.0,
+        }
     }
 
     /// Distinct captured task indices.
@@ -77,93 +79,11 @@ impl Schedule {
     ///
     /// Returns [`CoreError::ScheduleViolation`] describing the first
     /// violated condition.
+    ///
+    /// This is a convenience wrapper around the standalone
+    /// [`validate_schedule`](super::validate_schedule) function.
     pub fn validate(&self, problem: &SchedulingProblem) -> Result<(), CoreError> {
-        let spec = problem.spec();
-        if self.sequences.len() != problem.followers().len() {
-            return Err(CoreError::ScheduleViolation {
-                description: format!(
-                    "schedule has {} sequences for {} followers",
-                    self.sequences.len(),
-                    problem.followers().len()
-                ),
-            });
-        }
-        let mut seen = BTreeSet::new();
-        for (f, seq) in self.sequences.iter().enumerate() {
-            let follower = &problem.followers()[f];
-            let mut prev_t = follower.available_from_s;
-            let mut prev_u = follower.pointing_offset;
-            for (k, cap) in seq.iter().enumerate() {
-                if cap.task >= problem.tasks().len() {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!("capture references task {}", cap.task),
-                    });
-                }
-                if !seen.insert(cap.task) {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!("task {} captured twice", cap.task),
-                    });
-                }
-                if cap.time_s < prev_t - 1e-9 {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!(
-                            "follower {f} capture {k} at {} precedes {}",
-                            cap.time_s, prev_t
-                        ),
-                    });
-                }
-                let w = problem.window(f, cap.task).ok_or_else(|| {
-                    CoreError::ScheduleViolation {
-                        description: format!("task {} invisible to follower {f}", cap.task),
-                    }
-                })?;
-                if !w.contains(cap.time_s) {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!(
-                            "capture of task {} at {} outside window [{}, {}]",
-                            cap.task, cap.time_s, w.start_s, w.end_s
-                        ),
-                    });
-                }
-                // C2 re-verified from raw geometry.
-                let sat = follower.along_at(cap.time_s, spec.ground_speed_m_s);
-                let angle =
-                    off_nadir_rad(&problem.tasks()[cap.task].point, sat, spec.altitude_m);
-                if angle > spec.theta_max_rad + 1e-6 {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!(
-                            "off-nadir {:.4} rad exceeds max {:.4}",
-                            angle, spec.theta_max_rad
-                        ),
-                    });
-                }
-                // C1 against the previous configuration.
-                let u = problem.capture_offset(f, cap.task, cap.time_s);
-                let rot = problem.rotation_between(prev_u, u);
-                if !spec.adacs.can_rotate(rot, cap.time_s - prev_t) {
-                    return Err(CoreError::ScheduleViolation {
-                        description: format!(
-                            "follower {f}: rotation {:.4} rad in {:.2} s violates C1",
-                            rot,
-                            cap.time_s - prev_t
-                        ),
-                    });
-                }
-                prev_t = cap.time_s;
-                prev_u = u;
-            }
-        }
-        // Total value consistency.
-        let value: f64 = seen.iter().map(|&j| problem.tasks()[j].value).sum();
-        if (value - self.total_value).abs() > 1e-6 * (1.0 + value.abs()) {
-            return Err(CoreError::ScheduleViolation {
-                description: format!(
-                    "reported value {} != recomputed {}",
-                    self.total_value, value
-                ),
-            });
-        }
-        Ok(())
+        super::resilient::validate_schedule(problem, self)
     }
 }
 
@@ -225,7 +145,10 @@ mod tests {
         let p = one_task_problem();
         let w = p.window(0, 0).unwrap();
         let s = Schedule {
-            sequences: vec![vec![Capture { task: 0, time_s: w.end_s + 10.0 }]],
+            sequences: vec![vec![Capture {
+                task: 0,
+                time_s: w.end_s + 10.0,
+            }]],
             total_value: 2.0,
         };
         assert!(s.validate(&p).is_err());
@@ -238,7 +161,10 @@ mod tests {
         let s = Schedule {
             sequences: vec![vec![
                 Capture { task: 0, time_s: t },
-                Capture { task: 0, time_s: t + 5.0 },
+                Capture {
+                    task: 0,
+                    time_s: t + 5.0,
+                },
             ]],
             total_value: 2.0,
         };
@@ -278,12 +204,24 @@ mod tests {
         let s = Schedule {
             sequences: vec![
                 vec![
-                    Capture { task: 0, time_s: 1.0 },
-                    Capture { task: 1, time_s: 4.0 },
+                    Capture {
+                        task: 0,
+                        time_s: 1.0,
+                    },
+                    Capture {
+                        task: 1,
+                        time_s: 4.0,
+                    },
                 ],
                 vec![
-                    Capture { task: 2, time_s: 10.0 },
-                    Capture { task: 3, time_s: 11.5 },
+                    Capture {
+                        task: 2,
+                        time_s: 10.0,
+                    },
+                    Capture {
+                        task: 3,
+                        time_s: 11.5,
+                    },
                 ],
             ],
             total_value: 4.0,
@@ -307,8 +245,14 @@ mod tests {
         let t0 = p.earliest_capture(0, 0, 0.0, (0.0, 0.0)).unwrap();
         let s = Schedule {
             sequences: vec![vec![
-                Capture { task: 0, time_s: t0 },
-                Capture { task: 1, time_s: t0 + 0.1 },
+                Capture {
+                    task: 0,
+                    time_s: t0,
+                },
+                Capture {
+                    task: 1,
+                    time_s: t0 + 0.1,
+                },
             ]],
             total_value: 2.0,
         };

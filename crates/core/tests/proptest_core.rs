@@ -5,8 +5,8 @@
 use eagleeye_core::clustering::{cluster, covers_all, ClusteringMethod};
 use eagleeye_core::pointing::GroundPoint;
 use eagleeye_core::schedule::{
-    AbbScheduler, DpScheduler, FollowerState, GreedyScheduler, IlpScheduler, Scheduler,
-    SchedulingProblem, TaskSpec,
+    validate_schedule, AbbScheduler, DpScheduler, FollowerState, GreedyScheduler, IlpScheduler,
+    ResilientScheduler, Scheduler, SchedulingProblem, SolverChoice, TaskSpec,
 };
 use eagleeye_core::SensingSpec;
 use proptest::prelude::*;
@@ -17,7 +17,11 @@ fn tasks_strategy(max_n: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
         (-90_000.0f64..90_000.0, -20_000.0f64..140_000.0, 0.1f64..5.0),
         1..max_n,
     )
-    .prop_map(|v| v.into_iter().map(|(x, y, val)| TaskSpec::new(x, y, val)).collect())
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, val)| TaskSpec::new(x, y, val))
+            .collect()
+    })
 }
 
 fn followers_strategy() -> impl Strategy<Value = Vec<FollowerState>> {
@@ -113,6 +117,27 @@ proptest! {
     }
 
     /// Visibility windows always respect the off-nadir cone: sampling the
+    /// The resilient wrapper always returns a validated schedule, for
+    /// any budget — including budgets that force the greedy fallback.
+    #[test]
+    fn resilient_schedules_validate_under_any_budget(
+        tasks in tasks_strategy(10),
+        followers in followers_strategy(),
+        budget_ms in 0u64..50,
+    ) {
+        let p = SchedulingProblem::new(SensingSpec::paper_default(), tasks, followers)
+            .expect("valid problem");
+        let rs = ResilientScheduler::with_budget(Duration::from_millis(budget_ms));
+        let o = rs.schedule_with_outcome(&p).expect("resilient");
+        validate_schedule(&p, &o.schedule).expect("outcome schedule feasible");
+        // Provenance is consistent: a fallback reason implies greedy.
+        if o.fallback.is_some() {
+            prop_assert_eq!(o.solver, SolverChoice::Greedy);
+        } else {
+            prop_assert_eq!(o.solver, SolverChoice::Ilp);
+        }
+    }
+
     /// window interior never exceeds theta_max.
     #[test]
     fn windows_respect_theta_max(

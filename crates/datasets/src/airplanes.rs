@@ -1,7 +1,6 @@
 use crate::target::{Target, TargetSet};
 use crate::world;
 use eagleeye_geo::greatcircle;
-use rand::Rng;
 
 /// Generates an airplane-tracking workload: flights between major
 /// airports, moving at jet ground speeds along great circles.
@@ -69,23 +68,23 @@ impl AirplaneGenerator {
         let mut targets = Vec::with_capacity(self.count);
 
         for _ in 0..self.count {
-            let a = airports[rng.gen_range(0..airports.len())];
-            let mut b = airports[rng.gen_range(0..airports.len())];
+            let a = airports[rng.range_usize(0, airports.len())];
+            let mut b = airports[rng.range_usize(0, airports.len())];
             while b == a {
-                b = airports[rng.gen_range(0..airports.len())];
+                b = airports[rng.range_usize(0, airports.len())];
             }
             let pa = world::fixed_point(a.0, a.1);
             let pb = world::fixed_point(b.0, b.1);
             let route_m = greatcircle::distance_m(&pa, &pb);
             let bearing = greatcircle::initial_bearing_rad(&pa, &pb);
-            let speed = rng.gen_range(self.min_speed_m_s..self.max_speed_m_s);
+            let speed = rng.range_f64(self.min_speed_m_s, self.max_speed_m_s);
             let duration = route_m / speed;
             // Departures uniform over the horizon: flights departing near
             // the end exist only briefly (matching the paper's
             // "targets appear in the later period" effect).
-            let depart = rng.gen_range(0.0..self.horizon_s.max(1.0));
+            let depart = rng.range_f64(0.0, self.horizon_s.max(1.0));
 
-            let mut t = Target::fixed(pa, rng.gen_range(0.5..1.0));
+            let mut t = Target::fixed(pa, rng.range_f64(0.5, 1.0));
             t.motion = Some((speed, bearing));
             t.appears_at_s = depart;
             t.disappears_at_s = depart + duration;
@@ -143,7 +142,10 @@ mod tests {
             .with_count(400)
             .with_horizon_s(86_400.0)
             .generate(5);
-        let late = set.iter().filter(|t| t.appears_at_s > 0.75 * 86_400.0).count();
+        let late = set
+            .iter()
+            .filter(|t| t.appears_at_s > 0.75 * 86_400.0)
+            .count();
         assert!(late > 50, "late departures: {late}");
     }
 
@@ -151,10 +153,7 @@ mod tests {
     fn flights_land_at_their_destination_airport_distance() {
         let set = AirplaneGenerator::new().with_count(50).generate(6);
         for t in set.iter() {
-            let flown = greatcircle::distance_m(
-                &t.position,
-                &t.position_at(t.disappears_at_s),
-            );
+            let flown = greatcircle::distance_m(&t.position, &t.position_at(t.disappears_at_s));
             let expected = t.speed_m_s() * (t.disappears_at_s - t.appears_at_s);
             assert!((flown - expected).abs() < 1_000.0, "{flown} vs {expected}");
         }

@@ -1,6 +1,5 @@
 use crate::target::{Target, TargetSet};
 use crate::world;
-use rand::Rng;
 
 /// The two lake-size bands evaluated in the paper (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,7 +55,10 @@ pub struct LakeGenerator {
 impl LakeGenerator {
     /// Creates a generator at the band's full paper scale.
     pub fn new(band: LakeSizeBand) -> Self {
-        LakeGenerator { band, count: band.paper_count() }
+        LakeGenerator {
+            band,
+            count: band.paper_count(),
+        }
     }
 
     /// Sets the number of lakes.
@@ -83,7 +85,7 @@ impl LakeGenerator {
         for _ in 0..self.count {
             let position = world::sample_in_boxes(&mut rng, world::LAND_BOXES);
             // Pareto-ish area distribution: many small lakes, few large.
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.next_f64();
             let area = a_min * (a_max / a_min).powf(u * u);
             let value = 1.0 + 0.2 * (area - a_min) / (a_max - a_min);
             targets.push(Target::fixed(position, value));
@@ -102,7 +104,10 @@ mod tests {
     #[test]
     fn counts_match_bands() {
         assert_eq!(LakeGenerator::new(LakeSizeBand::OneToTenKm2).count, 166_588);
-        assert_eq!(LakeGenerator::new(LakeSizeBand::TenthToTenKm2).count, 1_410_999);
+        assert_eq!(
+            LakeGenerator::new(LakeSizeBand::TenthToTenKm2).count,
+            1_410_999
+        );
     }
 
     #[test]
@@ -141,8 +146,12 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let a = LakeGenerator::new(LakeSizeBand::OneToTenKm2).with_count(64).generate(5);
-        let b = LakeGenerator::new(LakeSizeBand::OneToTenKm2).with_count(64).generate(5);
+        let a = LakeGenerator::new(LakeSizeBand::OneToTenKm2)
+            .with_count(64)
+            .generate(5);
+        let b = LakeGenerator::new(LakeSizeBand::OneToTenKm2)
+            .with_count(64)
+            .generate(5);
         for i in 0..64 {
             let pa: GeodeticPoint = a.target(i).position;
             let pb: GeodeticPoint = b.target(i).position;
@@ -154,9 +163,12 @@ mod tests {
     fn density_difference_between_bands() {
         // Same spatial structure, ~8.5x the count: per-frame density in
         // the 1.4M band must exceed the 166K band.
-        let small = LakeGenerator::new(LakeSizeBand::OneToTenKm2).with_count(2000).generate(6);
-        let large =
-            LakeGenerator::new(LakeSizeBand::TenthToTenKm2).with_count(17_000).generate(6);
+        let small = LakeGenerator::new(LakeSizeBand::OneToTenKm2)
+            .with_count(2000)
+            .generate(6);
+        let large = LakeGenerator::new(LakeSizeBand::TenthToTenKm2)
+            .with_count(17_000)
+            .generate(6);
         let center = GeodeticPoint::from_degrees(60.0, -100.0, 0.0).unwrap();
         let r = 500_000.0;
         let s = small.query_radius(&center, r, 0.0).len();

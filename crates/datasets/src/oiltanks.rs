@@ -1,7 +1,6 @@
 use crate::target::{Target, TargetSet};
 use crate::world;
 use eagleeye_geo::{greatcircle, GeodeticPoint};
-use rand::Rng;
 
 /// One oil storage tank with ground truth for the volume-estimation
 /// study (paper Fig. 3).
@@ -54,7 +53,11 @@ pub struct OilTankGenerator {
 impl Default for OilTankGenerator {
     fn default() -> Self {
         // ~10,000 images in the paper's Kaggle set; model as ~500 sites.
-        OilTankGenerator { farm_count: 500, min_tanks: 5, max_tanks: 50 }
+        OilTankGenerator {
+            farm_count: 500,
+            min_tanks: 5,
+            max_tanks: 50,
+        }
     }
 }
 
@@ -83,32 +86,28 @@ impl OilTankGenerator {
         let ports = world::PORTS;
         let mut farms = Vec::with_capacity(self.farm_count);
         for _ in 0..self.farm_count {
-            let p = ports[rng.gen_range(0..ports.len())];
+            let p = ports[rng.range_usize(0, ports.len())];
             let port = world::fixed_point(p.0, p.1);
-            let r = rng.gen_range(0.0..1.0f64).sqrt() * 40_000.0;
-            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = rng.next_f64().sqrt() * 40_000.0;
+            let theta = rng.range_f64(0.0, std::f64::consts::TAU);
             let center = greatcircle::destination(&port, theta, r).unwrap_or(port);
 
-            let n = rng.gen_range(self.min_tanks..=self.max_tanks);
+            let n = rng.range_usize_inclusive(self.min_tanks, self.max_tanks);
             let cols = (n as f64).sqrt().ceil() as usize;
-            let pitch = rng.gen_range(80.0..150.0);
+            let pitch = rng.range_f64(80.0, 150.0);
             let mut tanks = Vec::with_capacity(n);
             for k in 0..n {
                 let row = k / cols;
                 let col = k % cols;
                 let east = (col as f64 - cols as f64 / 2.0) * pitch;
                 let north = (row as f64) * pitch;
-                let pos = greatcircle::destination(
-                    &center,
-                    std::f64::consts::FRAC_PI_2,
-                    east,
-                )
-                .and_then(|q| greatcircle::destination(&q, 0.0, north))
-                .unwrap_or(center);
+                let pos = greatcircle::destination(&center, std::f64::consts::FRAC_PI_2, east)
+                    .and_then(|q| greatcircle::destination(&q, 0.0, north))
+                    .unwrap_or(center);
                 tanks.push(OilTank {
                     position: pos,
-                    diameter_m: rng.gen_range(20.0..80.0),
-                    fill_level: rng.gen_range(0.05..0.95),
+                    diameter_m: rng.range_f64(20.0, 80.0),
+                    fill_level: rng.range_f64(0.05, 0.95),
                 });
             }
             farms.push(TankFarm { center, tanks });

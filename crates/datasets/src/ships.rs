@@ -1,7 +1,6 @@
 use crate::target::{Target, TargetSet};
 use crate::world;
 use eagleeye_geo::greatcircle;
-use rand::Rng;
 
 /// Generates a ship-detection workload: a static snapshot of ships
 /// concentrated on great-circle shipping lanes between major ports, with
@@ -66,44 +65,36 @@ impl ShipGenerator {
         let mut targets = Vec::with_capacity(self.count);
 
         for _ in 0..self.count {
-            let value = rng.gen_range(0.5..1.0); // detection-confidence proxy
-            let on_lane = rng.gen_bool(self.lane_fraction);
+            let value = rng.range_f64(0.5, 1.0); // detection-confidence proxy
+            let on_lane = rng.chance(self.lane_fraction);
             let position = if on_lane {
                 // Pick a lane between two distinct ports, a point along it,
                 // and a Gaussian-ish cross-track offset.
-                let a = ports[rng.gen_range(0..ports.len())];
-                let mut b = ports[rng.gen_range(0..ports.len())];
+                let a = ports[rng.range_usize(0, ports.len())];
+                let mut b = ports[rng.range_usize(0, ports.len())];
                 while b == a {
-                    b = ports[rng.gen_range(0..ports.len())];
+                    b = ports[rng.range_usize(0, ports.len())];
                 }
                 let pa = world::fixed_point(a.0, a.1);
                 let pb = world::fixed_point(b.0, b.1);
-                let frac = rng.gen_range(0.0..1.0);
+                let frac = rng.next_f64();
                 let total = greatcircle::distance_m(&pa, &pb);
                 let bearing = greatcircle::initial_bearing_rad(&pa, &pb);
-                let along = greatcircle::destination(&pa, bearing, total * frac)
-                    .unwrap_or(pa);
-                let offset = gaussian(&mut rng) * self.lane_sigma_m;
+                let along = greatcircle::destination(&pa, bearing, total * frac).unwrap_or(pa);
+                let offset = rng.gaussian() * self.lane_sigma_m;
                 let side = bearing + std::f64::consts::FRAC_PI_2;
                 greatcircle::destination(&along, side, offset).unwrap_or(along)
             } else {
-                let p = ports[rng.gen_range(0..ports.len())];
+                let p = ports[rng.range_usize(0, ports.len())];
                 let center = world::fixed_point(p.0, p.1);
-                let r = rng.gen_range(0.0..1.0f64).sqrt() * self.port_sigma_m;
-                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = rng.next_f64().sqrt() * self.port_sigma_m;
+                let theta = rng.range_f64(0.0, std::f64::consts::TAU);
                 greatcircle::destination(&center, theta, r).unwrap_or(center)
             };
             targets.push(Target::fixed(position, value));
         }
         TargetSet::new(targets)
     }
-}
-
-/// Box–Muller standard normal sample.
-fn gaussian(rng: &mut impl Rng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Seed-mixing constant so different generators fed the same user seed
@@ -138,7 +129,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = ShipGenerator::new().with_count(50).generate(1);
         let b = ShipGenerator::new().with_count(50).generate(2);
-        let same = (0..50).filter(|&i| a.target(i).position == b.target(i).position).count();
+        let same = (0..50)
+            .filter(|&i| a.target(i).position == b.target(i).position)
+            .count();
         assert!(same < 5);
     }
 

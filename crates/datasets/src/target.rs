@@ -56,8 +56,7 @@ impl Target {
             Some((speed, bearing)) => {
                 let t = t_s.clamp(self.appears_at_s, self.disappears_at_s);
                 let dist = speed * (t - self.appears_at_s);
-                greatcircle::destination(&self.position, bearing, dist)
-                    .unwrap_or(self.position)
+                greatcircle::destination(&self.position, bearing, dist).unwrap_or(self.position)
             }
         }
     }
@@ -107,9 +106,12 @@ pub struct TargetSet {
 impl TargetSet {
     /// Builds a target set.
     pub fn new(targets: Vec<Target>) -> Self {
-        let max_speed_m_s =
-            targets.iter().map(Target::speed_m_s).fold(0.0, f64::max);
-        TargetSet { targets, max_speed_m_s, bucket_indices: Mutex::new(HashMap::new()) }
+        let max_speed_m_s = targets.iter().map(Target::speed_m_s).fold(0.0, f64::max);
+        TargetSet {
+            targets,
+            max_speed_m_s,
+            bucket_indices: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Number of targets.
@@ -168,7 +170,12 @@ impl TargetSet {
         let midpoint_t = (bucket as f64 + 0.5) * BUCKET_S;
 
         let candidates: Vec<usize> = {
-            let mut map = self.bucket_indices.lock().expect("index lock");
+            // A poisoned lock only means another thread panicked mid-insert;
+            // the cache itself is an optimization, so recover the guard.
+            let mut map = self
+                .bucket_indices
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             let index = map.entry(bucket).or_insert_with(|| {
                 GridIndex::build(
                     2.0,
@@ -190,8 +197,7 @@ impl TargetSet {
             .into_iter()
             .filter(|&i| {
                 let t = &self.targets[i];
-                t.exists_at(t_s)
-                    && greatcircle::distance_m(center, &t.position_at(t_s)) <= radius_m
+                t.exists_at(t_s) && greatcircle::distance_m(center, &t.position_at(t_s)) <= radius_m
             })
             .collect()
     }
@@ -266,9 +272,7 @@ mod tests {
         let center = pt(0.0, 0.0);
         let got = set.query_radius(&center, 2_000_000.0, 0.0);
         let want: Vec<usize> = (0..targets.len())
-            .filter(|&i| {
-                greatcircle::distance_m(&center, &targets[i].position) <= 2_000_000.0
-            })
+            .filter(|&i| greatcircle::distance_m(&center, &targets[i].position) <= 2_000_000.0)
             .collect();
         assert_eq!(got, want);
     }
@@ -298,8 +302,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let set: TargetSet =
-            (0..5).map(|i| Target::fixed(pt(i as f64, 0.0), 1.0)).collect();
+        let set: TargetSet = (0..5)
+            .map(|i| Target::fixed(pt(i as f64, 0.0), 1.0))
+            .collect();
         assert_eq!(set.len(), 5);
         assert_eq!(set.total_value(), 5.0);
     }

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eagleeye_rng::SplitMix64;
 
 /// One detection emitted by the onboard model for a frame.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -137,13 +136,17 @@ impl DetectorModel {
     /// noise, so target priority ordering is (mostly) preserved — the
     /// property the scheduler's objective relies on.
     pub fn detect(&self, targets: &[(f64, f64)], seed: u64) -> Vec<Detection> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut out = Vec::new();
         for (i, &(value, size_m)) in targets.iter().enumerate() {
             let r = self.recall_at_gsd(self.gsd_m, size_m);
-            if rng.gen_bool(r.clamp(0.0, 1.0)) {
-                let confidence = (value * rng.gen_range(0.9..1.0)).clamp(0.0, 1.0);
-                out.push(Detection { target_index: i, confidence, is_false_positive: false });
+            if rng.chance(r.clamp(0.0, 1.0)) {
+                let confidence = (value * rng.range_f64(0.9, 1.0)).clamp(0.0, 1.0);
+                out.push(Detection {
+                    target_index: i,
+                    confidence,
+                    is_false_positive: false,
+                });
             }
         }
         // False positives: emitted at a rate making the requested
@@ -151,11 +154,11 @@ impl DetectorModel {
         let tp = out.len() as f64;
         let fp_expected = tp * (1.0 - self.precision) / self.precision;
         let fp_count = fp_expected.floor() as usize
-            + usize::from(rng.gen_bool(fp_expected.fract().clamp(0.0, 1.0)));
+            + usize::from(rng.chance(fp_expected.fract().clamp(0.0, 1.0)));
         for _ in 0..fp_count {
             out.push(Detection {
                 target_index: usize::MAX,
-                confidence: rng.gen_range(0.3..0.7),
+                confidence: rng.range_f64(0.3, 0.7),
                 is_false_positive: true,
             });
         }
@@ -218,7 +221,9 @@ mod tests {
 
     #[test]
     fn full_recall_detects_everything() {
-        let d = DetectorModel::ship_detector().with_fixed_recall(1.0).with_precision(1.0);
+        let d = DetectorModel::ship_detector()
+            .with_fixed_recall(1.0)
+            .with_precision(1.0);
         let hits = d.detect(&[(1.0, 100.0); 100], 1);
         assert_eq!(hits.len(), 100);
         assert!(hits.iter().all(|h| !h.is_false_positive));
@@ -226,7 +231,9 @@ mod tests {
 
     #[test]
     fn false_positive_rate_tracks_precision() {
-        let d = DetectorModel::ship_detector().with_fixed_recall(1.0).with_precision(0.8);
+        let d = DetectorModel::ship_detector()
+            .with_fixed_recall(1.0)
+            .with_precision(0.8);
         let hits = d.detect(&[(1.0, 100.0); 1000], 2);
         let fp = hits.iter().filter(|h| h.is_false_positive).count();
         // Expected fp = 1000 * 0.25 = 250.

@@ -34,7 +34,9 @@ impl TileElision {
     /// Creates a policy keeping `keep_fraction ∈ [0, 1]` of tiles
     /// (clamped).
     pub fn new(keep_fraction: f64) -> Self {
-        TileElision { keep_fraction: keep_fraction.clamp(0.0, 1.0) }
+        TileElision {
+            keep_fraction: keep_fraction.clamp(0.0, 1.0),
+        }
     }
 
     /// No elision: process every tile (the paper's evaluated leader).

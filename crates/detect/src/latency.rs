@@ -20,7 +20,11 @@ impl TilingConfig {
     /// The paper's default operating point: a 3,333 px frame (100 km at
     /// 30 m/px) in a 10×10 = 100-tile grid.
     pub fn paper_default() -> Self {
-        TilingConfig { frame_px: 3_333, tile_px: 334, tile_factor: 1.0 }
+        TilingConfig {
+            frame_px: 3_333,
+            tile_px: 334,
+            tile_factor: 1.0,
+        }
     }
 
     /// Creates a config; `tile_px` is clamped to at least 1.
@@ -61,8 +65,13 @@ pub enum YoloVariant {
 
 impl YoloVariant {
     /// All variants, smallest first.
-    pub const ALL: [YoloVariant; 5] =
-        [YoloVariant::N, YoloVariant::S, YoloVariant::M, YoloVariant::L, YoloVariant::X];
+    pub const ALL: [YoloVariant; 5] = [
+        YoloVariant::N,
+        YoloVariant::S,
+        YoloVariant::M,
+        YoloVariant::L,
+        YoloVariant::X,
+    ];
 
     /// Per-tile inference latency in seconds.
     pub fn per_tile_latency_s(self) -> f64 {
@@ -125,10 +134,7 @@ mod tests {
         for v in YoloVariant::ALL {
             let t = v.frame_processing_time_s(&tiling);
             let want = v.paper_frame_time_s();
-            assert!(
-                (t - want).abs() / want < 0.25,
-                "{v}: {t} vs paper {want}"
-            );
+            assert!((t - want).abs() / want < 0.25, "{v}: {t} vs paper {want}");
         }
     }
 
@@ -144,8 +150,7 @@ mod tests {
     fn smaller_tiles_mean_more_time() {
         let mut last = 0.0;
         for tile in [1000, 800, 600, 400, 200] {
-            let t = YoloVariant::N
-                .frame_processing_time_s(&TilingConfig::new(3_333, tile, 1.0));
+            let t = YoloVariant::N.frame_processing_time_s(&TilingConfig::new(3_333, tile, 1.0));
             assert!(t >= last, "time not monotone at tile {tile}");
             last = t;
         }
@@ -156,8 +161,7 @@ mod tests {
         // Fig 14b: frame processing stays below the 15 s capture deadline
         // across tile sizes 200..1000 px for the deployed (nano) model.
         for tile in (200..=1000).step_by(100) {
-            let t = YoloVariant::N
-                .frame_processing_time_s(&TilingConfig::new(3_333, tile, 1.0));
+            let t = YoloVariant::N.frame_processing_time_s(&TilingConfig::new(3_333, tile, 1.0));
             assert!(t < 15.0, "tile {tile}: {t} s");
         }
     }

@@ -39,8 +39,8 @@ pub const SECONDS_PER_DAY: f64 = 86_400.0;
 
 /// Total surface area of the Earth in square kilometers (~510 M km²,
 /// quoted in the paper §2.3).
-pub const SURFACE_AREA_KM2: f64 = 4.0 * std::f64::consts::PI * (MEAN_RADIUS_M / 1000.0)
-    * (MEAN_RADIUS_M / 1000.0);
+pub const SURFACE_AREA_KM2: f64 =
+    4.0 * std::f64::consts::PI * (MEAN_RADIUS_M / 1000.0) * (MEAN_RADIUS_M / 1000.0);
 
 #[cfg(test)]
 mod tests {

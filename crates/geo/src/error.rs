@@ -72,8 +72,13 @@ mod tests {
         let variants = [
             GeoError::LatitudeOutOfRange { lat_rad: 4.0 },
             GeoError::LongitudeNotFinite { lon_rad: f64::NAN },
-            GeoError::AltitudeInvalid { alt_m: f64::INFINITY },
-            GeoError::DegenerateRect { width_m: 0.0, height_m: 1.0 },
+            GeoError::AltitudeInvalid {
+                alt_m: f64::INFINITY,
+            },
+            GeoError::DegenerateRect {
+                width_m: 0.0,
+                height_m: 1.0,
+            },
             GeoError::InvalidCellSize { cell_deg: -1.0 },
         ];
         for v in variants {

@@ -35,7 +35,10 @@ pub struct LocalFrame {
 impl LocalFrame {
     /// Creates a frame at `origin` with `heading_rad` clockwise from north.
     pub fn new(origin: GeodeticPoint, heading_rad: f64) -> Self {
-        LocalFrame { origin, heading_rad: crate::wrap_two_pi(heading_rad) }
+        LocalFrame {
+            origin,
+            heading_rad: crate::wrap_two_pi(heading_rad),
+        }
     }
 
     /// The anchor point of the frame.

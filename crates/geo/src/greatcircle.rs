@@ -38,8 +38,8 @@ pub fn distance_m(a: &GeodeticPoint, b: &GeodeticPoint) -> f64 {
 pub fn initial_bearing_rad(a: &GeodeticPoint, b: &GeodeticPoint) -> f64 {
     let dlon = b.lon_rad() - a.lon_rad();
     let y = dlon.sin() * b.lat_rad().cos();
-    let x = a.lat_rad().cos() * b.lat_rad().sin()
-        - a.lat_rad().sin() * b.lat_rad().cos() * dlon.cos();
+    let x =
+        a.lat_rad().cos() * b.lat_rad().sin() - a.lat_rad().sin() * b.lat_rad().cos() * dlon.cos();
     if x.abs() < 1e-15 && y.abs() < 1e-15 {
         return 0.0;
     }
@@ -62,9 +62,10 @@ pub fn destination(
     let delta = distance_m / MEAN_RADIUS_M;
     let (slat, clat) = start.lat_rad().sin_cos();
     let (sdel, cdel) = delta.sin_cos();
-    let lat2 = (slat * cdel + clat * sdel * bearing_rad.cos()).clamp(-1.0, 1.0).asin();
-    let lon2 = start.lon_rad()
-        + (bearing_rad.sin() * sdel * clat).atan2(cdel - slat * lat2.sin());
+    let lat2 = (slat * cdel + clat * sdel * bearing_rad.cos())
+        .clamp(-1.0, 1.0)
+        .asin();
+    let lon2 = start.lon_rad() + (bearing_rad.sin() * sdel * clat).atan2(cdel - slat * lat2.sin());
     GeodeticPoint::new(lat2, lon2, start.alt_m())
 }
 

@@ -52,10 +52,17 @@ impl GridIndex {
         let mut cells: HashMap<(i32, i32), Vec<usize>> = HashMap::new();
         let mut len = 0;
         for (i, (lat, lon)) in points.into_iter().enumerate() {
-            cells.entry(Self::cell_of(cell_deg, lat, lon)).or_default().push(i);
+            cells
+                .entry(Self::cell_of(cell_deg, lat, lon))
+                .or_default()
+                .push(i);
             len = i + 1;
         }
-        Ok(GridIndex { cell_deg, cells, len })
+        Ok(GridIndex {
+            cell_deg,
+            cells,
+            len,
+        })
     }
 
     /// Number of indexed points.

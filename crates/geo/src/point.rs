@@ -166,7 +166,9 @@ impl Ecef {
     pub fn to_geodetic_spherical(&self) -> Result<GeodeticPoint, GeoError> {
         let r = self.0.norm();
         if r < 1e-9 {
-            return Err(GeoError::AltitudeInvalid { alt_m: -earth::MEAN_RADIUS_M });
+            return Err(GeoError::AltitudeInvalid {
+                alt_m: -earth::MEAN_RADIUS_M,
+            });
         }
         let lat = (self.0.z / r).clamp(-1.0, 1.0).asin();
         let lon = self.0.y.atan2(self.0.x);
@@ -184,7 +186,9 @@ impl Ecef {
         let p = (self.0.x * self.0.x + self.0.y * self.0.y).sqrt();
         let r = self.0.norm();
         if r < 1e-9 {
-            return Err(GeoError::AltitudeInvalid { alt_m: -earth::WGS84_A_M });
+            return Err(GeoError::AltitudeInvalid {
+                alt_m: -earth::WGS84_A_M,
+            });
         }
         let lon = self.0.y.atan2(self.0.x);
         if p < 1e-9 {

@@ -43,8 +43,7 @@ impl GroundRect {
         width_m: f64,
         height_m: f64,
     ) -> Result<Self, GeoError> {
-        if !(width_m > 0.0) || !(height_m > 0.0) || !width_m.is_finite() || !height_m.is_finite()
-        {
+        if !(width_m > 0.0) || !(height_m > 0.0) || !width_m.is_finite() || !height_m.is_finite() {
             return Err(GeoError::DegenerateRect { width_m, height_m });
         }
         Ok(GroundRect {
@@ -228,7 +227,9 @@ mod tests {
 
     #[test]
     fn translation_moves_bounds() {
-        let r = GroundRect::from_min_corner(0.0, 0.0, 2.0, 2.0).unwrap().translated(1.0, -1.0);
+        let r = GroundRect::from_min_corner(0.0, 0.0, 2.0, 2.0)
+            .unwrap()
+            .translated(1.0, -1.0);
         assert_eq!(r.min_x(), 1.0);
         assert_eq!(r.min_y(), -1.0);
         assert_eq!(r.max_x(), 3.0);

@@ -34,7 +34,10 @@ impl Default for SolveOptions {
 impl SolveOptions {
     /// Convenience constructor with a wall-clock limit.
     pub fn with_time_limit(limit: Duration) -> Self {
-        SolveOptions { time_limit: Some(limit), ..SolveOptions::default() }
+        SolveOptions {
+            time_limit: Some(limit),
+            ..SolveOptions::default()
+        }
     }
 }
 
@@ -71,7 +74,9 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
 
     let mut stats = SolveStats::default();
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal (minimize) objective
-    let mut stack: Vec<Node> = vec![Node { overrides: Vec::new() }];
+    let mut stack: Vec<Node> = vec![Node {
+        overrides: Vec::new(),
+    }];
     let mut limit_hit = false;
     let deadline = options.time_limit.map(|tl| start + tl);
 
@@ -164,13 +169,21 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
     stats.elapsed = start.elapsed();
     let solution = match incumbent {
         Some((internal_obj, values)) => Solution {
-            status: if limit_hit { SolveStatus::Feasible } else { SolveStatus::Optimal },
+            status: if limit_hit {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Optimal
+            },
             objective: sign * internal_obj,
             values,
             stats,
         },
         None => Solution {
-            status: if limit_hit { SolveStatus::Unknown } else { SolveStatus::Infeasible },
+            status: if limit_hit {
+                SolveStatus::Unknown
+            } else {
+                SolveStatus::Infeasible
+            },
             objective: f64::NAN,
             values: vec![f64::NAN; model.num_vars()],
             stats,
@@ -258,8 +271,10 @@ mod tests {
             }
         }
         for i in 0..3 {
-            m.add_constraint((0..3).map(|j| (x[i][j].unwrap(), 1.0)), Sense::Eq, 1.0).unwrap();
-            m.add_constraint((0..3).map(|j| (x[j][i].unwrap(), 1.0)), Sense::Eq, 1.0).unwrap();
+            m.add_constraint((0..3).map(|j| (x[i][j].unwrap(), 1.0)), Sense::Eq, 1.0)
+                .unwrap();
+            m.add_constraint((0..3).map(|j| (x[j][i].unwrap(), 1.0)), Sense::Eq, 1.0)
+                .unwrap();
         }
         let sol = m.solve(&SolveOptions::default()).unwrap();
         // Optimal assignment: (0,1)=1, (1,0)=2, (2,2)=2 => 5.
@@ -271,9 +286,15 @@ mod tests {
         let values = [10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0, 6.0];
         let weights = [5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0, 3.0];
         let (m, _) = knapsack(&values, &weights, 12.0);
-        let opts = SolveOptions { node_limit: Some(1), ..SolveOptions::default() };
+        let opts = SolveOptions {
+            node_limit: Some(1),
+            ..SolveOptions::default()
+        };
         let sol = m.solve(&opts).unwrap();
-        assert!(matches!(sol.status(), SolveStatus::Feasible | SolveStatus::Unknown));
+        assert!(matches!(
+            sol.status(),
+            SolveStatus::Feasible | SolveStatus::Unknown
+        ));
     }
 
     #[test]
@@ -283,7 +304,10 @@ mod tests {
         let (m, _) = knapsack(&values, &weights, 12.0);
         let opts = SolveOptions::with_time_limit(Duration::from_secs(0));
         let sol = m.solve(&opts).unwrap();
-        assert!(matches!(sol.status(), SolveStatus::Feasible | SolveStatus::Unknown));
+        assert!(matches!(
+            sol.status(),
+            SolveStatus::Feasible | SolveStatus::Unknown
+        ));
     }
 
     #[test]
@@ -293,7 +317,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_integer_var(0.0, 10.0, 2.0).unwrap();
         let y = m.add_integer_var(0.0, 10.0, 3.0).unwrap();
-        m.add_constraint([(x, 4.0), (y, 5.0)], Sense::Le, 17.0).unwrap();
+        m.add_constraint([(x, 4.0), (y, 5.0)], Sense::Le, 17.0)
+            .unwrap();
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() - 9.0).abs() < 1e-6);
         let xv = sol.value(x);
@@ -309,7 +334,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_binary_var(1.0);
         let y = m.add_continuous_var(0.0, 2.5, 1.0).unwrap();
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0)
+            .unwrap();
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() - 3.0).abs() < 1e-6);
         assert!((sol.value(x) - 1.0).abs() < 1e-6);

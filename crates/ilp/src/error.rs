@@ -47,7 +47,10 @@ impl fmt::Display for IlpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IlpError::UnknownVariable { index, var_count } => {
-                write!(f, "variable index {index} out of range (model has {var_count})")
+                write!(
+                    f,
+                    "variable index {index} out of range (model has {var_count})"
+                )
             }
             IlpError::NonFiniteValue { context } => {
                 write!(f, "non-finite value in {context}")
@@ -56,7 +59,10 @@ impl fmt::Display for IlpError {
                 write!(f, "variable domain [{lower}, {upper}] is empty")
             }
             IlpError::UnboundedBelow => {
-                write!(f, "variables without a finite lower bound are not supported")
+                write!(
+                    f,
+                    "variables without a finite lower bound are not supported"
+                )
             }
             IlpError::Unbounded => write!(f, "the linear relaxation is unbounded"),
             IlpError::IterationLimit { limit } => {
@@ -76,9 +82,17 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let errs = [
-            IlpError::UnknownVariable { index: 3, var_count: 1 },
-            IlpError::NonFiniteValue { context: "objective" },
-            IlpError::EmptyDomain { lower: 2.0, upper: 1.0 },
+            IlpError::UnknownVariable {
+                index: 3,
+                var_count: 1,
+            },
+            IlpError::NonFiniteValue {
+                context: "objective",
+            },
+            IlpError::EmptyDomain {
+                lower: 2.0,
+                upper: 1.0,
+            },
             IlpError::UnboundedBelow,
             IlpError::Unbounded,
             IlpError::IterationLimit { limit: 10 },

@@ -109,12 +109,18 @@ impl Model {
 
     /// Creates an empty minimization model.
     pub fn minimize() -> Self {
-        Model { direction: Some(ObjectiveDirection::Minimize), ..Model::default() }
+        Model {
+            direction: Some(ObjectiveDirection::Minimize),
+            ..Model::default()
+        }
     }
 
     /// Creates an empty maximization model.
     pub fn maximize() -> Self {
-        Model { direction: Some(ObjectiveDirection::Maximize), ..Model::default() }
+        Model {
+            direction: Some(ObjectiveDirection::Maximize),
+            ..Model::default()
+        }
     }
 
     /// The optimization direction (defaults to minimize).
@@ -154,12 +160,19 @@ impl Model {
             return Err(IlpError::UnboundedBelow);
         }
         if upper.is_nan() || !obj.is_finite() {
-            return Err(IlpError::NonFiniteValue { context: "variable definition" });
+            return Err(IlpError::NonFiniteValue {
+                context: "variable definition",
+            });
         }
         if lower > upper {
             return Err(IlpError::EmptyDomain { lower, upper });
         }
-        self.vars.push(VarDef { lower, upper, kind, obj });
+        self.vars.push(VarDef {
+            lower,
+            upper,
+            kind,
+            obj,
+        });
         Ok(VarId(self.vars.len() - 1))
     }
 
@@ -193,12 +206,7 @@ impl Model {
     /// # Errors
     ///
     /// Same as [`Model::add_var`].
-    pub fn add_integer_var(
-        &mut self,
-        lower: f64,
-        upper: f64,
-        obj: f64,
-    ) -> Result<VarId, IlpError> {
+    pub fn add_integer_var(&mut self, lower: f64, upper: f64, obj: f64) -> Result<VarId, IlpError> {
         self.add_var(VarKind::Integer, lower, upper, obj)
     }
 
@@ -217,22 +225,33 @@ impl Model {
         rhs: f64,
     ) -> Result<(), IlpError> {
         if !rhs.is_finite() {
-            return Err(IlpError::NonFiniteValue { context: "constraint right-hand side" });
+            return Err(IlpError::NonFiniteValue {
+                context: "constraint right-hand side",
+            });
         }
         let mut merged: Vec<(usize, f64)> = Vec::new();
         for (v, c) in terms {
             if v.0 >= self.vars.len() {
-                return Err(IlpError::UnknownVariable { index: v.0, var_count: self.vars.len() });
+                return Err(IlpError::UnknownVariable {
+                    index: v.0,
+                    var_count: self.vars.len(),
+                });
             }
             if !c.is_finite() {
-                return Err(IlpError::NonFiniteValue { context: "constraint coefficient" });
+                return Err(IlpError::NonFiniteValue {
+                    context: "constraint coefficient",
+                });
             }
             match merged.iter_mut().find(|(j, _)| *j == v.0) {
                 Some((_, acc)) => *acc += c,
                 None => merged.push((v.0, c)),
             }
         }
-        self.rows.push(RowDef { terms: merged, sense, rhs });
+        self.rows.push(RowDef {
+            terms: merged,
+            sense,
+            rhs,
+        });
         Ok(())
     }
 
@@ -314,12 +333,15 @@ impl Model {
             })
             .collect();
 
-        let problem = LpProblem { cost, upper: shifted_upper, rows };
+        let problem = LpProblem {
+            cost,
+            upper: shifted_upper,
+            rows,
+        };
         match simplex::solve_with_deadline(&problem, deadline)? {
             LpResult::Infeasible => Ok(None),
             LpResult::Optimal(s) => {
-                let values: Vec<f64> =
-                    s.values.iter().zip(&lower).map(|(x, lo)| x + lo).collect();
+                let values: Vec<f64> = s.values.iter().zip(&lower).map(|(x, lo)| x + lo).collect();
                 // Internal objective is always "minimize sign * obj".
                 let internal = s.objective + sign * obj_const;
                 Ok(Some((internal, values, s.iterations)))
@@ -436,7 +458,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous_var(0.0, 10.0, 1.0).unwrap();
         // x + x <= 4  =>  x <= 2.
-        m.add_constraint([(x, 1.0), (x, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (x, 1.0)], Sense::Le, 4.0)
+            .unwrap();
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.value(x) - 2.0).abs() < 1e-6);
     }
@@ -448,7 +471,8 @@ mod tests {
         let y = m.add_continuous_var(0.0, f64::INFINITY, 5.0).unwrap();
         m.add_constraint([(x, 1.0)], Sense::Le, 4.0).unwrap();
         m.add_constraint([(y, 2.0)], Sense::Le, 12.0).unwrap();
-        m.add_constraint([(x, 3.0), (y, 2.0)], Sense::Le, 18.0).unwrap();
+        m.add_constraint([(x, 3.0), (y, 2.0)], Sense::Le, 18.0)
+            .unwrap();
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert_eq!(sol.status(), SolveStatus::Optimal);
         assert!((sol.objective() - 36.0).abs() < 1e-6);
@@ -471,7 +495,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous_var(-5.0, 5.0, 1.0).unwrap();
         let y = m.add_continuous_var(-5.0, 5.0, 1.0).unwrap();
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0)
+            .unwrap();
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() - 3.0).abs() < 1e-6);
     }

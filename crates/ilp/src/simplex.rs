@@ -147,16 +147,22 @@ impl Tableau {
     fn new(p: &LpProblem) -> Result<Self, IlpError> {
         let n_struct = p.cost.len();
         if p.upper.len() != n_struct {
-            return Err(IlpError::NonFiniteValue { context: "upper bound vector length" });
+            return Err(IlpError::NonFiniteValue {
+                context: "upper bound vector length",
+            });
         }
         for &c in &p.cost {
             if !c.is_finite() {
-                return Err(IlpError::NonFiniteValue { context: "objective coefficient" });
+                return Err(IlpError::NonFiniteValue {
+                    context: "objective coefficient",
+                });
             }
         }
         for &u in &p.upper {
             if u.is_nan() || u < 0.0 {
-                return Err(IlpError::NonFiniteValue { context: "variable upper bound" });
+                return Err(IlpError::NonFiniteValue {
+                    context: "variable upper bound",
+                });
             }
         }
         let m = p.rows.len();
@@ -166,19 +172,25 @@ impl Tableau {
         let mut norm_rows: Vec<NormRow> = Vec::with_capacity(m);
         for row in &p.rows {
             if !row.rhs.is_finite() {
-                return Err(IlpError::NonFiniteValue { context: "row right-hand side" });
+                return Err(IlpError::NonFiniteValue {
+                    context: "row right-hand side",
+                });
             }
             for &(j, c) in &row.coeffs {
                 if j >= n_struct {
-                    return Err(IlpError::UnknownVariable { index: j, var_count: n_struct });
+                    return Err(IlpError::UnknownVariable {
+                        index: j,
+                        var_count: n_struct,
+                    });
                 }
                 if !c.is_finite() {
-                    return Err(IlpError::NonFiniteValue { context: "row coefficient" });
+                    return Err(IlpError::NonFiniteValue {
+                        context: "row coefficient",
+                    });
                 }
             }
             if row.rhs < 0.0 {
-                let flipped: Vec<(usize, f64)> =
-                    row.coeffs.iter().map(|&(j, c)| (j, -c)).collect();
+                let flipped: Vec<(usize, f64)> = row.coeffs.iter().map(|&(j, c)| (j, -c)).collect();
                 let sense = match row.sense {
                     RowSense::Le => RowSense::Ge,
                     RowSense::Eq => RowSense::Eq,
@@ -303,7 +315,11 @@ impl Tableau {
                 values[j] = self.b[i].max(0.0);
             }
         }
-        Ok(LpResult::Optimal(LpSolution { objective: obj, values, iterations: self.iterations }))
+        Ok(LpResult::Optimal(LpSolution {
+            objective: obj,
+            values,
+            iterations: self.iterations,
+        }))
     }
 
     /// Runs simplex iterations for one phase with the given cost vector.
@@ -338,7 +354,9 @@ impl Tableau {
         loop {
             self.iterations += 1;
             if self.iterations > self.max_iterations {
-                return Err(IlpError::IterationLimit { limit: self.max_iterations });
+                return Err(IlpError::IterationLimit {
+                    limit: self.max_iterations,
+                });
             }
             if self.iterations.is_multiple_of(128) {
                 if let Some(d) = self.deadline {
@@ -360,7 +378,11 @@ impl Tableau {
                     continue;
                 }
                 let dj = d[j];
-                let eligible = if self.at_upper[j] { dj > COST_TOL } else { dj < -COST_TOL };
+                let eligible = if self.at_upper[j] {
+                    dj > COST_TOL
+                } else {
+                    dj < -COST_TOL
+                };
                 if !eligible {
                     continue;
                 }
@@ -387,7 +409,11 @@ impl Tableau {
             let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
 
             // Ratio test.
-            let mut t_limit = if self.upper[j].is_finite() { self.upper[j] } else { f64::INFINITY };
+            let mut t_limit = if self.upper[j].is_finite() {
+                self.upper[j]
+            } else {
+                f64::INFINITY
+            };
             let mut leave: Option<(usize, bool)> = None; // (row, leaves_to_upper)
             for i in 0..self.m {
                 let aij = self.a[i * self.n_cols + j];
@@ -442,8 +468,7 @@ impl Tableau {
                             self.b[i] -= sigma * t * aij;
                         }
                     }
-                    let entering_value =
-                        if sigma > 0.0 { t } else { self.upper[j] - t };
+                    let entering_value = if sigma > 0.0 { t } else { self.upper[j] - t };
                     // Leaving variable bookkeeping.
                     let v = self.basis[r];
                     self.is_basic[v] = false;
@@ -464,8 +489,7 @@ impl Tableau {
                         row_r[j] = 1.0;
                     }
                     // Copy row r once to avoid aliasing during elimination.
-                    let row_r: Vec<f64> =
-                        self.a[r * self.n_cols..(r + 1) * self.n_cols].to_vec();
+                    let row_r: Vec<f64> = self.a[r * self.n_cols..(r + 1) * self.n_cols].to_vec();
                     for i in 0..self.m {
                         if i == r {
                             continue;
@@ -497,7 +521,11 @@ mod tests {
     use super::*;
 
     fn row(coeffs: &[(usize, f64)], sense: RowSense, rhs: f64) -> LpRow {
-        LpRow { coeffs: coeffs.to_vec(), sense, rhs }
+        LpRow {
+            coeffs: coeffs.to_vec(),
+            sense,
+            rhs,
+        }
     }
 
     fn assert_close(a: f64, b: f64) {

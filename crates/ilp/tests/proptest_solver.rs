@@ -7,7 +7,12 @@ use proptest::prelude::*;
 /// Builds a feasible-by-construction LP:
 /// pick a witness point `x0`, set every row's rhs to `a·x0 + slack` so the
 /// witness satisfies all `≤` rows.
-type FeasibleLp = (Model, Vec<eagleeye_ilp::VarId>, Vec<(Vec<f64>, f64)>, Vec<f64>);
+type FeasibleLp = (
+    Model,
+    Vec<eagleeye_ilp::VarId>,
+    Vec<(Vec<f64>, f64)>,
+    Vec<f64>,
+);
 
 fn feasible_lp(
     n: usize,
@@ -24,8 +29,7 @@ fn feasible_lp(
         .collect();
     let mut rows = Vec::new();
     for (a_row, slack) in coeffs.iter().zip(&slacks) {
-        let rhs: f64 =
-            a_row.iter().zip(&witness).map(|(a, x)| a * x).sum::<f64>() + slack.abs();
+        let rhs: f64 = a_row.iter().zip(&witness).map(|(a, x)| a * x).sum::<f64>() + slack.abs();
         m.add_constraint(
             vars.iter().zip(a_row).map(|(&v, &a)| (v, a)),
             Sense::Le,

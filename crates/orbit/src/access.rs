@@ -29,7 +29,10 @@ impl GroundStation {
                 value: min_elevation_rad,
             });
         }
-        Ok(GroundStation { location, min_elevation_rad })
+        Ok(GroundStation {
+            location,
+            min_elevation_rad,
+        })
     }
 
     /// Station location.
@@ -162,7 +165,11 @@ pub fn contact_windows(
     }
     let _ = elev;
     if let Some(s) = start {
-        windows.push(ContactWindow { start_s: s, end_s: t1_s, max_elevation_rad: peak });
+        windows.push(ContactWindow {
+            start_s: s,
+            end_s: t1_s,
+            max_elevation_rad: peak,
+        });
     }
     Ok(windows)
 }
@@ -218,8 +225,7 @@ mod tests {
     fn polar_station_gets_contact_most_orbits() {
         let track = polar_track();
         let s = station(85.0, 0.0, 5.0);
-        let windows =
-            contact_windows(&track, &s, 0.0, 4.0 * 5_640.0, 15.0).unwrap();
+        let windows = contact_windows(&track, &s, 0.0, 4.0 * 5_640.0, 15.0).unwrap();
         // A near-polar station sees a 97 deg orbit on essentially every
         // revolution.
         assert!(windows.len() >= 3, "only {} contacts", windows.len());
@@ -235,8 +241,12 @@ mod tests {
         let polar = station(85.0, 0.0, 5.0);
         let equatorial = station(0.0, 90.0, 5.0);
         let horizon = 8.0 * 5_640.0;
-        let np = contact_windows(&track, &polar, 0.0, horizon, 20.0).unwrap().len();
-        let ne = contact_windows(&track, &equatorial, 0.0, horizon, 20.0).unwrap().len();
+        let np = contact_windows(&track, &polar, 0.0, horizon, 20.0)
+            .unwrap()
+            .len();
+        let ne = contact_windows(&track, &equatorial, 0.0, horizon, 20.0)
+            .unwrap()
+            .len();
         assert!(np > ne, "polar {np} vs equatorial {ne}");
     }
 

@@ -104,7 +104,12 @@ impl ConstellationLayout {
         planes: usize,
     ) -> Result<Self, OrbitError> {
         Self::new_full(
-            vec![GroupSpec { followers: followers_per_group }; groups],
+            vec![
+                GroupSpec {
+                    followers: followers_per_group
+                };
+                groups
+            ],
             altitude_m,
             inclination_rad,
             Self::DEFAULT_LEAD_DISTANCE_M,
@@ -153,10 +158,16 @@ impl ConstellationLayout {
         planes: usize,
     ) -> Result<Self, OrbitError> {
         if planes == 0 {
-            return Err(OrbitError::InvalidElement { name: "planes", value: 0.0 });
+            return Err(OrbitError::InvalidElement {
+                name: "planes",
+                value: 0.0,
+            });
         }
         if groups.is_empty() {
-            return Err(OrbitError::InvalidElement { name: "groups", value: 0.0 });
+            return Err(OrbitError::InvalidElement {
+                name: "groups",
+                value: 0.0,
+            });
         }
         if !(lead_distance_m >= 0.0) {
             return Err(OrbitError::InvalidElement {
@@ -183,8 +194,7 @@ impl ConstellationLayout {
             let raan_rad = std::f64::consts::PI * plane as f64 / planes as f64;
             let in_plane = g / planes;
             let plane_groups = n_groups / planes + usize::from(plane < n_groups % planes);
-            let group_phase =
-                std::f64::consts::TAU * in_plane as f64 / plane_groups.max(1) as f64;
+            let group_phase = std::f64::consts::TAU * in_plane as f64 / plane_groups.max(1) as f64;
             satellites.push(SatelliteSpec {
                 group: g,
                 role: SatelliteRole::Leader,
@@ -343,8 +353,7 @@ mod tests {
         // the follower's track cross-track by up to ω⊕·delay·Re ≈ 6 km —
         // well inside the ±92 km off-nadir pointing range that the
         // scheduler compensates with.
-        let gap =
-            eagleeye_geo::greatcircle::distance_m(&a.subsatellite, &b.subsatellite);
+        let gap = eagleeye_geo::greatcircle::distance_m(&a.subsatellite, &b.subsatellite);
         assert!(gap < 8_000.0, "gap {gap} m");
     }
 

@@ -56,13 +56,23 @@ impl fmt::Display for OrbitError {
             OrbitError::TleLineLength { line, len } => {
                 write!(f, "TLE line {line} has length {len}, expected 69")
             }
-            OrbitError::TleChecksum { line, computed, found } => {
-                write!(f, "TLE line {line} checksum mismatch: computed {computed}, found {found}")
+            OrbitError::TleChecksum {
+                line,
+                computed,
+                found,
+            } => {
+                write!(
+                    f,
+                    "TLE line {line} checksum mismatch: computed {computed}, found {found}"
+                )
             }
             OrbitError::TleField { line, field } => {
                 write!(f, "TLE line {line}: could not parse field {field}")
             }
-            OrbitError::KeplerDivergence { mean_anomaly_rad, eccentricity } => {
+            OrbitError::KeplerDivergence {
+                mean_anomaly_rad,
+                eccentricity,
+            } => {
                 write!(
                     f,
                     "Kepler iteration diverged (M = {mean_anomaly_rad} rad, e = {eccentricity})"
@@ -95,11 +105,24 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            OrbitError::InvalidElement { name: "ecc", value: 2.0 },
+            OrbitError::InvalidElement {
+                name: "ecc",
+                value: 2.0,
+            },
             OrbitError::TleLineLength { line: 1, len: 10 },
-            OrbitError::TleChecksum { line: 2, computed: 3, found: 4 },
-            OrbitError::TleField { line: 1, field: "epoch" },
-            OrbitError::KeplerDivergence { mean_anomaly_rad: 1.0, eccentricity: 0.99 },
+            OrbitError::TleChecksum {
+                line: 2,
+                computed: 3,
+                found: 4,
+            },
+            OrbitError::TleField {
+                line: 1,
+                field: "epoch",
+            },
+            OrbitError::KeplerDivergence {
+                mean_anomaly_rad: 1.0,
+                eccentricity: 0.99,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -255,6 +255,10 @@ mod tests {
         let h = s.heading_rad;
         let to_north = h.min(std::f64::consts::TAU - h);
         let to_south = (h - std::f64::consts::PI).abs();
-        assert!(to_north < 0.45 || to_south < 0.45, "heading {}", h.to_degrees());
+        assert!(
+            to_north < 0.45 || to_south < 0.45,
+            "heading {}",
+            h.to_degrees()
+        );
     }
 }

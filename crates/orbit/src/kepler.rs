@@ -92,7 +92,10 @@ impl KeplerianElements {
             });
         }
         if !(0.0..1.0).contains(&eccentricity) {
-            return Err(OrbitError::InvalidElement { name: "eccentricity", value: eccentricity });
+            return Err(OrbitError::InvalidElement {
+                name: "eccentricity",
+                value: eccentricity,
+            });
         }
         if !(0.0..=std::f64::consts::PI).contains(&inclination_rad) {
             return Err(OrbitError::InvalidElement {
@@ -210,7 +213,10 @@ impl KeplerianElements {
                 return Ok(big_e);
             }
         }
-        Err(OrbitError::KeplerDivergence { mean_anomaly_rad: m, eccentricity: e })
+        Err(OrbitError::KeplerDivergence {
+            mean_anomaly_rad: m,
+            eccentricity: e,
+        })
     }
 
     /// Computes the ECI state at a given mean anomaly (other elements
@@ -289,7 +295,11 @@ mod tests {
     fn period_matches_paper_orbit() {
         // 475 km altitude => ~94 minutes.
         let k = paper_orbit();
-        assert!((k.period_s() / 60.0 - 94.0).abs() < 1.0, "period {}", k.period_s() / 60.0);
+        assert!(
+            (k.period_s() / 60.0 - 94.0).abs() < 1.0,
+            "period {}",
+            k.period_s() / 60.0
+        );
     }
 
     #[test]

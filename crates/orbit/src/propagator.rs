@@ -196,7 +196,10 @@ mod tests {
         let sq = q.state_at(0.0).unwrap();
         let expected = 0.01 * sp.radius_m();
         let sep = (sp.position - sq.position).norm();
-        assert!((sep - expected).abs() / expected < 0.05, "sep {sep} vs {expected}");
+        assert!(
+            (sep - expected).abs() / expected < 0.05,
+            "sep {sep} vs {expected}"
+        );
         // The shifted satellite leads: it is roughly where p will be
         // shortly.
         let dt = 0.01 / p.mean_anomaly_rate_rad_s();

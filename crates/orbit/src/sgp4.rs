@@ -106,7 +106,10 @@ impl Sgp4Propagator {
         }
         let e0 = tle.eccentricity();
         if !(0.0..1.0).contains(&e0) {
-            return Err(OrbitError::InvalidElement { name: "eccentricity", value: e0 });
+            return Err(OrbitError::InvalidElement {
+                name: "eccentricity",
+                value: e0,
+            });
         }
         let period_min = std::f64::consts::TAU / n0;
         if period_min >= 225.0 {
@@ -142,7 +145,11 @@ impl Sgp4Propagator {
         // Perigee-dependent atmospheric parameter s4.
         let perigee_km = (a0dp * (1.0 - e0) - 1.0) * EARTH_RADIUS_KM;
         let (s4, qoms24) = if perigee_km < 156.0 {
-            let s4_km = if perigee_km < 98.0 { 20.0 } else { perigee_km - 78.0 };
+            let s4_km = if perigee_km < 98.0 {
+                20.0
+            } else {
+                perigee_km - 78.0
+            };
             let q = ((120.0 - s4_km) / EARTH_RADIUS_KM).powi(4);
             (s4_km / EARTH_RADIUS_KM + 1.0, q)
         } else {
@@ -160,9 +167,7 @@ impl Sgp4Propagator {
         let c2 = coef1
             * n0dp
             * (a0dp * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
-                + 0.75 * CK2 * tsi / psisq
-                    * x3thm1
-                    * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+                + 0.75 * CK2 * tsi / psisq * x3thm1 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
         let c1 = bstar * c2;
         let c3 = if e0 > 1e-4 {
             coef * tsi * A3OVK2 * n0dp * sinio / e0
@@ -181,11 +186,7 @@ impl Sgp4Propagator {
                             * x1mth2
                             * (2.0 * etasq - eeta * (1.0 + etasq))
                             * (2.0 * omega0).cos()));
-        let c5 = 2.0
-            * coef1
-            * a0dp
-            * betao2
-            * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+        let c5 = 2.0 * coef1 * a0dp * betao2 * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
 
         // Secular rates for M, omega, node.
         let theta4 = theta2 * theta2;
@@ -196,19 +197,26 @@ impl Sgp4Propagator {
             + 0.0625 * temp2 * betao * (13.0 - 78.0 * theta2 + 137.0 * theta4);
         let omgdot = -0.5 * temp1 * (1.0 - 5.0 * theta2)
             + 0.0625 * temp2 * (7.0 - 114.0 * theta2 + 395.0 * theta4);
-        let nodedot = -temp1 * cosio
-            + 0.5 * temp2 * (4.0 - 19.0 * theta2) * cosio;
+        let nodedot = -temp1 * cosio + 0.5 * temp2 * (4.0 - 19.0 * theta2) * cosio;
         let nodecf = 3.5 * betao2 * (-temp1 * cosio) * c1;
         let t2cof = 1.5 * c1;
 
         let omgcof = bstar * c3 * omega0.cos();
-        let xmcof = if e0 > 1e-4 { -(2.0 / 3.0) * coef * bstar / eeta } else { 0.0 };
+        let xmcof = if e0 > 1e-4 {
+            -(2.0 / 3.0) * coef * bstar / eeta
+        } else {
+            0.0
+        };
         let delmo = (1.0 + eta * m0.cos()).powi(3);
         let sinmo = m0.sin();
 
         // Long-period coefficients.
         let xlcof = 0.125 * A3OVK2 * sinio * (3.0 + 5.0 * cosio)
-            / if (1.0 + cosio).abs() > 1.5e-12 { 1.0 + cosio } else { 1.5e-12 };
+            / if (1.0 + cosio).abs() > 1.5e-12 {
+                1.0 + cosio
+            } else {
+                1.5e-12
+            };
         let aycof = 0.25 * A3OVK2 * sinio;
 
         // High-altitude "simple" flag: skip the higher-order drag series
@@ -224,9 +232,8 @@ impl Sgp4Propagator {
             d4 = 0.5 * temp * a0dp * tsi * (221.0 * a0dp + 31.0 * s4) * c1;
             t3cof = d2 + 2.0 * c1sq;
             t4cof = 0.25 * (3.0 * d3 + c1 * (12.0 * d2 + 10.0 * c1sq));
-            t5cof = 0.2
-                * (3.0 * d4 + 12.0 * c1 * d3 + 6.0 * d2 * d2
-                    + 15.0 * c1sq * (2.0 * d2 + c1sq));
+            t5cof =
+                0.2 * (3.0 * d4 + 12.0 * c1 * d3 + 6.0 * d2 * d2 + 15.0 * c1sq * (2.0 * d2 + c1sq));
         }
 
         Ok(Sgp4Propagator {
@@ -297,8 +304,7 @@ impl Sgp4Propagator {
         let mut templ = self.t2cof * t * t;
         if !self.use_simple {
             let delomg = self.omgcof * t;
-            let delm = self.xmcof
-                * ((1.0 + self.eta * xmdf.cos()).powi(3) - self.delmo);
+            let delm = self.xmcof * ((1.0 + self.eta * xmdf.cos()).powi(3) - self.delmo);
             let temp = delomg + delm;
             xmp = xmdf + temp;
             omega = omgadf - temp;
@@ -378,8 +384,7 @@ impl Sgp4Propagator {
         let temp1 = CK2 / pl;
         let temp2 = temp1 / pl;
 
-        let rk = r * (1.0 - 1.5 * temp2 * betal * self.x3thm1)
-            + 0.5 * temp1 * self.x1mth2 * cos2u;
+        let rk = r * (1.0 - 1.5 * temp2 * betal * self.x3thm1) + 0.5 * temp1 * self.x1mth2 * cos2u;
         let uk = u - 0.25 * temp2 * self.x7thm1 * sin2u;
         let nodek = node + 1.5 * temp2 * self.cosio * sin2u;
         let ik = self.i0 + 1.5 * temp2 * self.cosio * self.sinio * cos2u;
@@ -403,9 +408,11 @@ impl Sgp4Propagator {
         let pos_scale = EARTH_RADIUS_KM * 1000.0;
         let vel_scale = EARTH_RADIUS_KM * 1000.0 / 60.0;
         let position = Vec3::new(rk * ux, rk * uy, rk * uz) * pos_scale;
-        let velocity =
-            Vec3::new(rdotk * ux + rfdotk * vx, rdotk * uy + rfdotk * vy, rdotk * uz + rfdotk * vz)
-                * vel_scale;
+        let velocity = Vec3::new(
+            rdotk * ux + rfdotk * vx,
+            rdotk * uy + rfdotk * vy,
+            rdotk * uz + rfdotk * vz,
+        ) * vel_scale;
         Ok(EciState { position, velocity })
     }
 
@@ -417,7 +424,6 @@ impl Sgp4Propagator {
     pub fn state_at(&self, t_s: f64) -> Result<EciState, OrbitError> {
         self.state_at_minutes(t_s / 60.0)
     }
-
 }
 
 #[cfg(test)]
@@ -538,10 +544,7 @@ mod tests {
         for i in 0..100 {
             let t = i as f64 * 60.0;
             let pos = sgp4.state_at(t).unwrap().position;
-            let geo = track
-                .eci_to_ecef(pos, t)
-                .to_geodetic_spherical()
-                .unwrap();
+            let geo = track.eci_to_ecef(pos, t).to_geodetic_spherical().unwrap();
             max_lat = max_lat.max(geo.lat_deg().abs());
         }
         assert!(max_lat > 78.0, "max lat {max_lat}");

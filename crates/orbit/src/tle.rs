@@ -49,10 +49,16 @@ impl Tle {
         let l1 = line1.trim_end();
         let l2 = line2.trim_end();
         if l1.len() != 69 {
-            return Err(OrbitError::TleLineLength { line: 1, len: l1.len() });
+            return Err(OrbitError::TleLineLength {
+                line: 1,
+                len: l1.len(),
+            });
         }
         if l2.len() != 69 {
-            return Err(OrbitError::TleLineLength { line: 2, len: l2.len() });
+            return Err(OrbitError::TleLineLength {
+                line: 2,
+                len: l2.len(),
+            });
         }
         Self::verify_checksum(l1, 1)?;
         Self::verify_checksum(l2, 2)?;
@@ -60,41 +66,74 @@ impl Tle {
         let catalog_number = l1[2..7]
             .trim()
             .parse::<u32>()
-            .map_err(|_| OrbitError::TleField { line: 1, field: "catalog number" })?;
+            .map_err(|_| OrbitError::TleField {
+                line: 1,
+                field: "catalog number",
+            })?;
         let epoch_year = l1[18..20]
             .trim()
             .parse::<u32>()
-            .map_err(|_| OrbitError::TleField { line: 1, field: "epoch year" })?;
+            .map_err(|_| OrbitError::TleField {
+                line: 1,
+                field: "epoch year",
+            })?;
         let epoch_day = l1[20..32]
             .trim()
             .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 1, field: "epoch day" })?;
-        let bstar = Self::parse_exponent_field(&l1[53..61])
-            .ok_or(OrbitError::TleField { line: 1, field: "bstar" })?;
+            .map_err(|_| OrbitError::TleField {
+                line: 1,
+                field: "epoch day",
+            })?;
+        let bstar = Self::parse_exponent_field(&l1[53..61]).ok_or(OrbitError::TleField {
+            line: 1,
+            field: "bstar",
+        })?;
 
-        let inclination_deg = l2[8..16]
-            .trim()
-            .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "inclination" })?;
+        let inclination_deg =
+            l2[8..16]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| OrbitError::TleField {
+                    line: 2,
+                    field: "inclination",
+                })?;
         let raan_deg = l2[17..25]
             .trim()
             .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "raan" })?;
+            .map_err(|_| OrbitError::TleField {
+                line: 2,
+                field: "raan",
+            })?;
         let eccentricity = format!("0.{}", l2[26..33].trim())
             .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "eccentricity" })?;
-        let arg_perigee_deg = l2[34..42]
-            .trim()
-            .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "argument of perigee" })?;
-        let mean_anomaly_deg = l2[43..51]
-            .trim()
-            .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "mean anomaly" })?;
-        let mean_motion_rev_day = l2[52..63]
-            .trim()
-            .parse::<f64>()
-            .map_err(|_| OrbitError::TleField { line: 2, field: "mean motion" })?;
+            .map_err(|_| OrbitError::TleField {
+                line: 2,
+                field: "eccentricity",
+            })?;
+        let arg_perigee_deg =
+            l2[34..42]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| OrbitError::TleField {
+                    line: 2,
+                    field: "argument of perigee",
+                })?;
+        let mean_anomaly_deg =
+            l2[43..51]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| OrbitError::TleField {
+                    line: 2,
+                    field: "mean anomaly",
+                })?;
+        let mean_motion_rev_day =
+            l2[52..63]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| OrbitError::TleField {
+                    line: 2,
+                    field: "mean motion",
+                })?;
 
         Ok(Tle {
             catalog_number,
@@ -144,13 +183,20 @@ impl Tle {
 
     fn verify_checksum(line: &str, which: u8) -> Result<(), OrbitError> {
         let computed = Self::checksum(line);
-        let found = line
-            .chars()
-            .nth(68)
-            .and_then(|c| c.to_digit(10))
-            .ok_or(OrbitError::TleField { line: which, field: "checksum digit" })?;
+        let found =
+            line.chars()
+                .nth(68)
+                .and_then(|c| c.to_digit(10))
+                .ok_or(OrbitError::TleField {
+                    line: which,
+                    field: "checksum digit",
+                })?;
         if computed != found {
-            return Err(OrbitError::TleChecksum { line: which, computed, found });
+            return Err(OrbitError::TleChecksum {
+                line: which,
+                computed,
+                found,
+            });
         }
         Ok(())
     }
@@ -304,10 +350,8 @@ impl fmt::Display for Tle {
 mod tests {
     use super::*;
 
-    const ISS_L1: &str =
-        "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
-    const ISS_L2: &str =
-        "2 25544  51.6400 208.9163 0006317  69.9862  25.2906 15.49560532    19";
+    const ISS_L1: &str = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+    const ISS_L2: &str = "2 25544  51.6400 208.9163 0006317  69.9862  25.2906 15.49560532    19";
 
     #[test]
     fn parses_iss_style_tle() {

@@ -84,8 +84,7 @@ impl ActivityProfile {
         };
         let elision = TileElision::new(keep_fraction);
         ActivityProfile {
-            tiles_processed: Self::FRAMES_PER_ORBIT
-                * elision.tiles_per_frame(&tiling) as f64,
+            tiles_processed: Self::FRAMES_PER_ORBIT * elision.tiles_per_frame(&tiling) as f64,
             ..Self::leader_default(tile_factor)
         }
     }
@@ -153,11 +152,15 @@ mod tests {
         // The paper's infeasible 4x tiling fits the budget once ~60% of
         // tiles are elided (Kodan's regime).
         let power = crate::PowerProfile::cubesat_3u();
-        let dense = crate::simulate_orbit(
-            &power, &ActivityProfile::leader_default(4.0), 0.62, 5_640.0);
+        let dense =
+            crate::simulate_orbit(&power, &ActivityProfile::leader_default(4.0), 0.62, 5_640.0);
         assert!(!dense.is_energy_feasible());
         let elided = crate::simulate_orbit(
-            &power, &ActivityProfile::leader_with_elision(4.0, 0.4), 0.62, 5_640.0);
+            &power,
+            &ActivityProfile::leader_with_elision(4.0, 0.4),
+            0.62,
+            5_640.0,
+        );
         assert!(elided.is_energy_feasible());
     }
 

@@ -24,7 +24,10 @@ impl Battery {
     /// Creates a battery at full charge.
     pub fn new(capacity_j: f64) -> Self {
         let c = capacity_j.max(0.0);
-        Battery { capacity_j: c, charge_j: c }
+        Battery {
+            capacity_j: c,
+            charge_j: c,
+        }
     }
 
     /// Capacity, joules.
@@ -129,7 +132,11 @@ pub fn simulate_battery(
         min_soc = min_soc.min(battery.state_of_charge());
         soc.push(battery.state_of_charge());
     }
-    BatterySeries { soc, depleted_at_s, min_soc }
+    BatterySeries {
+        soc,
+        depleted_at_s,
+        min_soc,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +173,11 @@ mod tests {
             15, // ~one day
             10.0,
         );
-        assert!(s.depleted_at_s.is_none(), "depleted at {:?}", s.depleted_at_s);
+        assert!(
+            s.depleted_at_s.is_none(),
+            "depleted at {:?}",
+            s.depleted_at_s
+        );
         assert!(s.min_soc > 0.0);
     }
 

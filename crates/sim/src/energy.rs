@@ -77,7 +77,13 @@ pub fn simulate_orbit(
     let idle_j = period_s * power.idle_w;
     OrbitEnergyReport {
         harvested_j: power.harvestable_per_orbit_j(sunlit_fraction, period_s),
-        subsystems: SubsystemEnergy { camera_j, adacs_j, compute_j, tx_j, idle_j },
+        subsystems: SubsystemEnergy {
+            camera_j,
+            adacs_j,
+            compute_j,
+            tx_j,
+            idle_j,
+        },
     }
 }
 

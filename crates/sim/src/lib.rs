@@ -19,6 +19,9 @@
 //!   behind the paper's Fig. 16.
 //! * [`Battery`] + [`simulate_battery`] — time-stepped battery state for
 //!   failure analysis (e.g. 4× tiling exhausting the leader's budget).
+//! * [`FaultPlan`] — seeded, reproducible fault injection (outages,
+//!   detector dropout, link/ADACS derating, brownouts) consumed by the
+//!   degraded-mode machinery in `eagleeye-core`.
 //!
 //! # Example
 //!
@@ -39,11 +42,13 @@
 mod activity;
 mod battery;
 mod energy;
+mod fault;
 mod power;
 mod radio;
 
 pub use activity::ActivityProfile;
 pub use battery::{simulate_battery, Battery, BatterySeries};
 pub use energy::{simulate_orbit, OrbitEnergyReport, SubsystemEnergy};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultScenario};
 pub use power::PowerProfile;
 pub use radio::{CrosslinkBudget, DownlinkBudget, RadioModel};

@@ -17,7 +17,9 @@ pub struct RadioModel {
 impl RadioModel {
     /// The paper's S-band operating point: 0.4 MB/s.
     pub fn s_band() -> Self {
-        RadioModel { rate_bytes_s: 0.4e6 }
+        RadioModel {
+            rate_bytes_s: 0.4e6,
+        }
     }
 
     /// Airtime to transfer `bytes`, seconds.
@@ -55,7 +57,10 @@ impl CrosslinkBudget {
         bytes_per_schedule: f64,
     ) -> CrosslinkBudget {
         let bytes = schedules_per_orbit.max(0.0) * bytes_per_schedule.max(0.0);
-        CrosslinkBudget { bytes_per_orbit: bytes, airtime_s: radio.airtime_s(bytes) }
+        CrosslinkBudget {
+            bytes_per_orbit: bytes,
+            airtime_s: radio.airtime_s(bytes),
+        }
     }
 
     /// The paper's §5.3 operating point: ~400 schedules of ≤2 KB.
@@ -143,7 +148,11 @@ mod tests {
         assert!(b.deliverable_fraction() < 1.0);
         // A more selective 100 captures fit comfortably.
         let b2 = DownlinkBudget::compute(&r, 6.0 * 60.0, 100.0, 3_333.0, 0.1);
-        assert!(b2.deliverable_fraction() > 0.9, "{}", b2.deliverable_fraction());
+        assert!(
+            b2.deliverable_fraction() > 0.9,
+            "{}",
+            b2.deliverable_fraction()
+        );
     }
 
     #[test]

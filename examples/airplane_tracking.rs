@@ -21,9 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Lookahead analysis for the paper's parameters.
     let swath = 10_000.0;
     let v_sat = 7_500.0;
-    for (name, speed, gamma) in
-        [("ship", 14.0, 0.1), ("jet (tight slack)", 250.0, 0.1), ("jet (looser slack)", 250.0, 0.35)]
-    {
+    for (name, speed, gamma) in [
+        ("ship", 14.0, 0.1),
+        ("jet (tight slack)", 250.0, 0.1),
+        ("jet (looser slack)", 250.0, 0.35),
+    ] {
         let d = max_lookahead_m(speed, swath, v_sat, gamma)?;
         println!(
             "{name:<20} speed {speed:>5.0} m/s  gamma {gamma:.2}  max lookahead {:>7.1} km  (100 km separation {})",
@@ -39,9 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_count(11_000)
         .with_horizon_s(horizon_s)
         .generate(42);
-    println!("workload: {} flights over {} hours", flights.len(), horizon_s / 3600.0);
+    println!(
+        "workload: {} flights over {} hours",
+        flights.len(),
+        horizon_s / 3600.0
+    );
 
-    let options = CoverageOptions { duration_s: horizon_s, ..CoverageOptions::default() };
+    let options = CoverageOptions {
+        duration_s: horizon_s,
+        ..CoverageOptions::default()
+    };
     let eval = CoverageEvaluator::new(&flights, options);
     for config in [
         ConstellationConfig::LowResOnly { satellites: 8 },

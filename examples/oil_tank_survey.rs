@@ -26,7 +26,10 @@ fn main() {
     let detector = DetectorModel::oiltank_detector();
     let estimator = VolumeEstimator::default();
 
-    println!("{:>10} {:>12} {:>12} {:>12}", "GSD m/px", "detection", "err p50", "err p90");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "GSD m/px", "detection", "err p50", "err p90"
+    );
     for gsd in [0.72, 3.0, 7.5, 11.5, 30.0] {
         let detection: f64 = tanks
             .iter()

@@ -35,13 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Cluster detections so one 10 km capture covers close neighbors.
     let footprint = spec.high_res.swath_m();
     let clusters = cluster(&detections, footprint, footprint, ClusteringMethod::Ilp)?;
-    println!("{} detections -> {} high-res captures", detections.len(), clusters.len());
+    println!(
+        "{} detections -> {} high-res captures",
+        detections.len(),
+        clusters.len()
+    );
 
     // 2. Build the scheduling problem: one follower 100 km behind the
     //    frame, nadir-pointed, free immediately.
     let tasks: Vec<TaskSpec> = clusters
         .iter()
-        .map(|c| TaskSpec { point: c.center, value: c.value })
+        .map(|c| TaskSpec {
+            point: c.center,
+            value: c.value,
+        })
         .collect();
     let follower = FollowerState::at_start(-100_000.0);
     let problem = SchedulingProblem::new(spec, tasks, vec![follower])?;

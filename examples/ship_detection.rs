@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // while preserving the shipping-lane clustering that drives the
     // scheduling behaviour.
     let ships = ShipGenerator::new().with_count(3_824).generate(42);
-    println!("workload: {} ships on synthetic shipping lanes", ships.len());
+    println!(
+        "workload: {} ships on synthetic shipping lanes",
+        ships.len()
+    );
 
-    let options = CoverageOptions { duration_s: 2.0 * 3600.0, ..CoverageOptions::default() };
+    let options = CoverageOptions {
+        duration_s: 2.0 * 3600.0,
+        ..CoverageOptions::default()
+    };
     let eval = CoverageEvaluator::new(&ships, options);
 
     let configs = [

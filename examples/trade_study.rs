@@ -23,12 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lakes = LakeGenerator::new(LakeSizeBand::TenthToTenKm2)
         .with_count(140_000)
         .generate(42);
-    println!("workload: {} small lakes (dense boreal clustering)\n", lakes.len());
+    println!(
+        "workload: {} small lakes (dense boreal clustering)\n",
+        lakes.len()
+    );
     let budget = 12;
 
     // 1. Group/follower split at a fixed budget.
     println!("-- group/follower split ({} satellites) --", budget);
-    let options = CoverageOptions { duration_s: 2.0 * 3600.0, ..CoverageOptions::default() };
+    let options = CoverageOptions {
+        duration_s: 2.0 * 3600.0,
+        ..CoverageOptions::default()
+    };
     let eval = CoverageEvaluator::new(&lakes, options.clone());
     for followers in [1usize, 2, 3, 5] {
         let groups = budget / (followers + 1);
@@ -48,10 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- ADACS slew rate (4 groups x 2 followers) --");
     for rate in [1.0, 3.0, 10.0] {
         let spec = SensingSpec::paper_default().with_adacs(Adacs::new(rate, 0.67)?);
-        let opts = CoverageOptions { spec, ..options.clone() };
+        let opts = CoverageOptions {
+            spec,
+            ..options.clone()
+        };
         let eval = CoverageEvaluator::new(&lakes, opts);
         let report = eval.evaluate(&ConstellationConfig::eagleeye(4, 2))?;
-        println!("  {rate:>4.0} deg/s: coverage {:.2}%", 100.0 * report.coverage_fraction());
+        println!(
+            "  {rate:>4.0} deg/s: coverage {:.2}%",
+            100.0 * report.coverage_fraction()
+        );
     }
 
     // 3. Reliability: leader loss vs follower loss (paper §4.7).
@@ -60,17 +72,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("no failure", None),
         (
             "leader fails",
-            Some(FailurePlan { fail_at_s: 0.0, leader_failed: true, failed_followers: vec![] }),
+            Some(FailurePlan {
+                fail_at_s: 0.0,
+                leader_failed: true,
+                failed_followers: vec![],
+            }),
         ),
         (
             "1 follower fails",
-            Some(FailurePlan { fail_at_s: 0.0, leader_failed: false, failed_followers: vec![0] }),
+            Some(FailurePlan {
+                fail_at_s: 0.0,
+                leader_failed: false,
+                failed_followers: vec![0],
+            }),
         ),
     ] {
-        let opts = CoverageOptions { failure: plan, ..options.clone() };
+        let opts = CoverageOptions {
+            failure: plan,
+            ..options.clone()
+        };
         let eval = CoverageEvaluator::new(&lakes, opts);
         let report = eval.evaluate(&ConstellationConfig::eagleeye(4, 2))?;
-        println!("  {name:<18} coverage {:.2}%", 100.0 * report.coverage_fraction());
+        println!(
+            "  {name:<18} coverage {:.2}%",
+            100.0 * report.coverage_fraction()
+        );
     }
 
     // 4. Energy budget per role.
@@ -80,13 +106,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("leader 1x tiling", ActivityProfile::leader_default(1.0)),
         ("leader 2x tiling", ActivityProfile::leader_default(2.0)),
         ("leader 4x tiling", ActivityProfile::leader_default(4.0)),
-        ("follower (400 captures)", ActivityProfile::follower_default(400.0, 3.0)),
+        (
+            "follower (400 captures)",
+            ActivityProfile::follower_default(400.0, 3.0),
+        ),
     ] {
         let r = simulate_orbit(&power, &activity, 0.62, 5_640.0);
         println!(
             "  {name:<24} {:>5.2} of harvest {}",
             r.normalized_consumption(),
-            if r.is_energy_feasible() { "" } else { "  <- INFEASIBLE" }
+            if r.is_energy_feasible() {
+                ""
+            } else {
+                "  <- INFEASIBLE"
+            }
         );
     }
     Ok(())

@@ -19,4 +19,5 @@ $B/fig15_recall         --fast --hours 2 --scale 0.5 > results/fig15.csv 2> resu
 $B/fig11b_slew_rate     --fast --hours 2 --scale 0.5 > results/fig11b.csv 2> results/fig11b.log
 $B/fig11c_followers     --fast --hours 2 --scale 0.5 > results/fig11c.csv 2> results/fig11c.log
 $B/fig1b_constellation_size --fast --hours 1 --scale 0.3 > results/fig1b.csv 2> results/fig1b.log
+$B/ext_fault_tolerance         > results/ext_fault_tolerance.csv 2> results/ext_fault_tolerance.log
 echo ALL_DONE

@@ -96,14 +96,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 fn get_f64(o: &Flags, key: &str, default: f64) -> Result<f64, String> {
     match o.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: `{v}` is not a number")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: `{v}` is not a number")),
         None => Ok(default),
     }
 }
 
 fn get_usize(o: &Flags, key: &str, default: usize) -> Result<usize, String> {
     match o.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: `{v}` is not an integer")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: `{v}` is not an integer")),
         None => Ok(default),
     }
 }
@@ -152,8 +156,16 @@ fn cmd_coverage(o: &Flags) -> Result<(), String> {
     };
     let eval = CoverageEvaluator::new(&targets, options);
     let report = eval.evaluate(&config).map_err(|e| e.to_string())?;
-    println!("workload:  {} ({} targets at scale {scale})", workload.label(), targets.len());
-    println!("config:    {} ({} satellites)", config.label(), config.total_satellites());
+    println!(
+        "workload:  {} ({} targets at scale {scale})",
+        workload.label(),
+        targets.len()
+    );
+    println!(
+        "config:    {} ({} satellites)",
+        config.label(),
+        config.total_satellites()
+    );
     println!("horizon:   {hours} h");
     println!(
         "coverage:  {:.2}% of targets ({} of {}); value-weighted {:.2}%",
@@ -189,8 +201,8 @@ fn cmd_schedule(o: &Flags) -> Result<(), String> {
     let fs: Vec<FollowerState> = (0..followers.max(1))
         .map(|k| FollowerState::at_start(-100_000.0 - 20_000.0 * k as f64))
         .collect();
-    let problem =
-        SchedulingProblem::new(SensingSpec::paper_default(), tasks, fs).map_err(|e| e.to_string())?;
+    let problem = SchedulingProblem::new(SensingSpec::paper_default(), tasks, fs)
+        .map_err(|e| e.to_string())?;
 
     let schedule = match o.get("solver").map(String::as_str).unwrap_or("ilp") {
         "ilp" => IlpScheduler::default().schedule(&problem),
@@ -239,7 +251,11 @@ fn cmd_energy(o: &Flags) -> Result<(), String> {
         "total:     {:>8.0} J ({:.1}% of harvest) -> {}",
         s.total_j(),
         100.0 * r.normalized_consumption(),
-        if r.is_energy_feasible() { "FEASIBLE" } else { "INFEASIBLE" }
+        if r.is_energy_feasible() {
+            "FEASIBLE"
+        } else {
+            "INFEASIBLE"
+        }
     );
     Ok(())
 }
@@ -252,7 +268,10 @@ fn cmd_orbit(o: &Flags) -> Result<(), String> {
     let track = GroundTrack::new(J2Propagator::from_tle(&tle).map_err(|e| e.to_string())?);
     let sgp4 = Sgp4Propagator::new(&tle).map_err(|e| e.to_string())?;
 
-    println!("t_s,lat_deg,lon_deg,alt_km,sunlit ({})", if use_sgp4 { "sgp4" } else { "j2" });
+    println!(
+        "t_s,lat_deg,lon_deg,alt_km,sunlit ({})",
+        if use_sgp4 { "sgp4" } else { "j2" }
+    );
     let mut t = 0.0;
     while t <= hours * 3600.0 {
         let (pos, lit) = if use_sgp4 {
@@ -284,13 +303,14 @@ fn cmd_dataset(o: &Flags) -> Result<(), String> {
     let seed = get_usize(o, "seed", 7)? as u64;
     let set = workload.generate_scaled(scale, 86_400.0, seed);
     println!("workload: {}", workload.label());
-    println!("targets:  {} (scale {scale} of {})", set.len(), workload.paper_count());
+    println!(
+        "targets:  {} (scale {scale} of {})",
+        set.len(),
+        workload.paper_count()
+    );
     println!("value:    {:.0} total priority", set.total_value());
     println!("moving:   max speed {:.0} m/s", set.max_speed_m_s());
-    let north = set
-        .iter()
-        .filter(|t| t.position.lat_deg() > 50.0)
-        .count();
+    let north = set.iter().filter(|t| t.position.lat_deg() > 50.0).count();
     println!(
         "boreal:   {:.1}% above 50N",
         100.0 * north as f64 / set.len().max(1) as f64
@@ -303,8 +323,7 @@ mod tests {
     use super::*;
 
     fn flags(args: &[&str]) -> Flags {
-        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-            .expect("valid flags")
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("valid flags")
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn meridian_targets(n: usize) -> TargetSet {
 }
 
 fn options(duration_s: f64) -> CoverageOptions {
-    CoverageOptions { duration_s, ..CoverageOptions::default() }
+    CoverageOptions {
+        duration_s,
+        ..CoverageOptions::default()
+    }
 }
 
 #[test]
@@ -40,7 +43,9 @@ fn coverage_is_monotone_in_satellite_count() {
     let eval = CoverageEvaluator::new(&targets, options(3_000.0));
     let mut last = 0;
     for sats in [1usize, 2, 4] {
-        let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: sats }).unwrap();
+        let r = eval
+            .evaluate(&ConstellationConfig::LowResOnly { satellites: sats })
+            .unwrap();
         assert!(
             r.captured >= last,
             "coverage dropped from {last} to {} at {sats} satellites",
@@ -48,7 +53,10 @@ fn coverage_is_monotone_in_satellite_count() {
         );
         last = r.captured;
     }
-    assert!(last > 0, "the meridian workload must be covered by some satellite");
+    assert!(
+        last > 0,
+        "the meridian workload must be covered by some satellite"
+    );
 }
 
 #[test]
@@ -56,11 +64,25 @@ fn configuration_ordering_matches_the_paper() {
     // At equal satellite count: low-res ceiling >= eagleeye > high-res.
     let targets = meridian_targets(120);
     let eval = CoverageEvaluator::new(&targets, options(3_000.0));
-    let low = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 2 }).unwrap();
-    let high = eval.evaluate(&ConstellationConfig::HighResOnly { satellites: 2 }).unwrap();
+    let low = eval
+        .evaluate(&ConstellationConfig::LowResOnly { satellites: 2 })
+        .unwrap();
+    let high = eval
+        .evaluate(&ConstellationConfig::HighResOnly { satellites: 2 })
+        .unwrap();
     let ee = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
-    assert!(low.captured >= ee.captured, "low {} < ee {}", low.captured, ee.captured);
-    assert!(ee.captured >= high.captured, "ee {} < high {}", ee.captured, high.captured);
+    assert!(
+        low.captured >= ee.captured,
+        "low {} < ee {}",
+        low.captured,
+        ee.captured
+    );
+    assert!(
+        ee.captured >= high.captured,
+        "ee {} < high {}",
+        ee.captured,
+        high.captured
+    );
     assert!(ee.captured > 0);
 }
 
@@ -111,13 +133,17 @@ fn recall_sweep_degrades_gracefully() {
     let targets = meridian_targets(150);
     let full = {
         let eval = CoverageEvaluator::new(&targets, options(3_000.0));
-        eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap().captured
+        eval.evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap()
+            .captured
     };
     let half = {
         let mut o = options(3_000.0);
         o.recall = 0.5;
         let eval = CoverageEvaluator::new(&targets, o);
-        eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap().captured
+        eval.evaluate(&ConstellationConfig::eagleeye(1, 1))
+            .unwrap()
+            .captured
     };
     assert!(full > 0);
     assert!(half > 0, "recall 0.5 must still capture something");
@@ -134,7 +160,10 @@ fn mix_camera_degrades_with_compute_time() {
     let mut last = usize::MAX;
     for compute in [1.4, 5.5, 11.8] {
         let r = eval
-            .evaluate(&ConstellationConfig::MixCamera { satellites: 2, compute_time_s: compute })
+            .evaluate(&ConstellationConfig::MixCamera {
+                satellites: 2,
+                compute_time_s: compute,
+            })
             .unwrap();
         assert!(
             r.captured <= last,
@@ -150,7 +179,9 @@ fn failed_follower_reduces_but_failure_free_group_recovers() {
     let targets = meridian_targets(150);
     let healthy = {
         let eval = CoverageEvaluator::new(&targets, options(3_000.0));
-        eval.evaluate(&ConstellationConfig::eagleeye(1, 2)).unwrap().captured
+        eval.evaluate(&ConstellationConfig::eagleeye(1, 2))
+            .unwrap()
+            .captured
     };
     let degraded = {
         let mut o = options(3_000.0);
@@ -160,7 +191,9 @@ fn failed_follower_reduces_but_failure_free_group_recovers() {
             failed_followers: vec![0],
         });
         let eval = CoverageEvaluator::new(&targets, o);
-        eval.evaluate(&ConstellationConfig::eagleeye(1, 2)).unwrap().captured
+        eval.evaluate(&ConstellationConfig::eagleeye(1, 2))
+            .unwrap()
+            .captured
     };
     assert!(degraded <= healthy);
     assert!(degraded > 0, "the surviving follower must keep capturing");
@@ -174,6 +207,8 @@ fn moving_targets_are_captured_at_their_actual_positions() {
     t.motion = Some((50.0, 1.2)); // brisk ship / slow plane
     let set = TargetSet::new(vec![t]);
     let eval = CoverageEvaluator::new(&set, options(3_000.0));
-    let r = eval.evaluate(&ConstellationConfig::LowResOnly { satellites: 4 }).unwrap();
+    let r = eval
+        .evaluate(&ConstellationConfig::LowResOnly { satellites: 4 })
+        .unwrap();
     assert_eq!(r.total, 1);
 }

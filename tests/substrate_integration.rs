@@ -23,8 +23,7 @@ fn tle_round_trip_through_propagation() {
 
 #[test]
 fn follower_lags_leader_by_the_design_distance() {
-    let layout =
-        ConstellationLayout::uniform(1, 1, 475_000.0, 97.2_f64.to_radians()).unwrap();
+    let layout = ConstellationLayout::uniform(1, 1, 475_000.0, 97.2_f64.to_radians()).unwrap();
     let sats = layout.satellites();
     let leader = layout.ground_track(&sats[0]).unwrap();
     let follower = layout.ground_track(&sats[1]).unwrap();
@@ -32,22 +31,27 @@ fn follower_lags_leader_by_the_design_distance() {
     for t in [0.0, 600.0, 2_000.0] {
         let a = leader.state_at(t).unwrap().subsatellite;
         let b = follower.state_at(t).unwrap().subsatellite;
-        let d = greatcircle::distance_m(&a.with_altitude(0.0).unwrap(), &b.with_altitude(0.0).unwrap());
-        assert!(
-            (d - 100_000.0).abs() < 5_000.0,
-            "separation {d} m at t={t}"
+        let d = greatcircle::distance_m(
+            &a.with_altitude(0.0).unwrap(),
+            &b.with_altitude(0.0).unwrap(),
         );
+        assert!((d - 100_000.0).abs() < 5_000.0, "separation {d} m at t={t}");
     }
 }
 
 #[test]
 fn constellation_roles_partition_satellites() {
-    let layout =
-        ConstellationLayout::uniform(3, 2, 475_000.0, 97.2_f64.to_radians()).unwrap();
-    let leaders =
-        layout.satellites().iter().filter(|s| s.role == SatelliteRole::Leader).count();
-    let followers =
-        layout.satellites().iter().filter(|s| s.role == SatelliteRole::Follower).count();
+    let layout = ConstellationLayout::uniform(3, 2, 475_000.0, 97.2_f64.to_radians()).unwrap();
+    let leaders = layout
+        .satellites()
+        .iter()
+        .filter(|s| s.role == SatelliteRole::Leader)
+        .count();
+    let followers = layout
+        .satellites()
+        .iter()
+        .filter(|s| s.role == SatelliteRole::Follower)
+        .count();
     assert_eq!(leaders, 3);
     assert_eq!(followers, 6);
 }
@@ -65,7 +69,10 @@ fn ground_track_sunlight_feeds_energy_model() {
         track.propagator().period_s(),
     );
     // The measured sunlit fraction must keep the nominal leader feasible.
-    assert!(report.is_energy_feasible(), "sunlit {sunlit}: leader infeasible");
+    assert!(
+        report.is_energy_feasible(),
+        "sunlit {sunlit}: leader infeasible"
+    );
 }
 
 #[test]
@@ -114,7 +121,10 @@ fn airplanes_move_between_queries() {
     let b = t.position_at(1_800.0);
     let moved = greatcircle::distance_m(&a, &b);
     let expected = t.speed_m_s() * 1_200.0;
-    assert!((moved - expected).abs() < 2_000.0, "moved {moved}, expected {expected}");
+    assert!(
+        (moved - expected).abs() < 2_000.0,
+        "moved {moved}, expected {expected}"
+    );
 }
 
 #[test]
@@ -130,5 +140,8 @@ fn ship_lanes_produce_multi_target_frames() {
             dense_neighborhoods += 1;
         }
     }
-    assert!(dense_neighborhoods > 20, "only {dense_neighborhoods} dense neighborhoods");
+    assert!(
+        dense_neighborhoods > 20,
+        "only {dense_neighborhoods} dense neighborhoods"
+    );
 }
