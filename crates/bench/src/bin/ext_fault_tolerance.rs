@@ -23,6 +23,7 @@ use eagleeye_core::coverage::{
 };
 use eagleeye_datasets::Workload;
 use eagleeye_sim::{FaultPlan, FaultScenario};
+use std::sync::Arc;
 
 const FOLLOWERS: usize = 4;
 
@@ -47,7 +48,7 @@ fn main() {
         scheduler,
         clustering: ClusteringMethod::Ilp,
     };
-    let options = |plan: Option<FaultPlan>, mode: DegradedMode| CoverageOptions {
+    let options = |plan: Option<Arc<FaultPlan>>, mode: DegradedMode| CoverageOptions {
         duration_s: cli.duration_s,
         seed: cli.seed,
         fault_plan: plan,
@@ -62,27 +63,56 @@ fn main() {
     let c0 = nofault.coverage_fraction();
     eprintln!("healthy ceiling: {:.2}% coverage", 100.0 * c0);
 
+    // Every (rate, seed) cell is independent: the fault plan is a pure
+    // function of its seed and the evaluations are deterministic, so
+    // the Monte-Carlo grid fans out across `--threads` workers.
+    let grid: Vec<(f64, u64)> = rates
+        .iter()
+        .flat_map(|&rate| seeds.iter().map(move |&seed| (rate, seed)))
+        .collect();
+    let cells = cli.par_sweep(&grid, |&(rate, seed)| {
+        let scenario = FaultScenario {
+            follower_outage_rate: rate,
+            ..FaultScenario::none()
+        };
+        // One Arc'd plan shared by both evaluations — no per-run copy.
+        let plan = Arc::new(FaultPlan::monte_carlo(
+            seed,
+            &scenario,
+            FOLLOWERS,
+            cli.duration_s,
+        ));
+        let outages = plan.faults().len();
+
+        let naive =
+            CoverageEvaluator::new(&targets, options(Some(plan.clone()), DegradedMode::Naive))
+                .evaluate(&config(SchedulerKind::Ilp))
+                .expect("naive evaluation");
+        let resilient =
+            CoverageEvaluator::new(&targets, options(Some(plan), DegradedMode::Resilient))
+                .evaluate(&config(SchedulerKind::Resilient))
+                .expect("resilient evaluation");
+        eprintln!(
+            "done: rate={rate} seed={seed} outages={outages} captured \
+             {}/{}/{} (nofault/naive/resilient), naive lost {} commanded captures \
+             ({} fallbacks, {} repairs)",
+            nofault.captured,
+            naive.captured,
+            resilient.captured,
+            naive.captures_lost_to_faults,
+            resilient.greedy_fallbacks,
+            resilient.repairs_attempted,
+        );
+        (outages, naive, resilient)
+    });
+
     let mut rows = Vec::new();
-    for &rate in &rates {
+    for (r_idx, &rate) in rates.iter().enumerate() {
+        let base = r_idx * seeds.len();
         let mut lost_sum = 0.0;
         let mut recovered_sum = 0.0;
-        for &seed in &seeds {
-            let scenario = FaultScenario {
-                follower_outage_rate: rate,
-                ..FaultScenario::none()
-            };
-            let plan = FaultPlan::monte_carlo(seed, &scenario, FOLLOWERS, cli.duration_s);
-            let outages = plan.faults().len();
-
-            let naive =
-                CoverageEvaluator::new(&targets, options(Some(plan.clone()), DegradedMode::Naive))
-                    .evaluate(&config(SchedulerKind::Ilp))
-                    .expect("naive evaluation");
-            let resilient =
-                CoverageEvaluator::new(&targets, options(Some(plan), DegradedMode::Resilient))
-                    .evaluate(&config(SchedulerKind::Resilient))
-                    .expect("resilient evaluation");
-
+        for (s_idx, &seed) in seeds.iter().enumerate() {
+            let (outages, naive, resilient) = &cells[base + s_idx];
             let cn = naive.coverage_fraction();
             let cr = resilient.coverage_fraction();
             let lost = (c0 - cn).max(0.0);
@@ -101,17 +131,6 @@ fn main() {
                 resilient.repairs_attempted,
                 resilient.tasks_reassigned,
             ));
-            eprintln!(
-                "done: rate={rate} seed={seed} outages={outages} captured \
-                 {}/{}/{} (nofault/naive/resilient), naive lost {} commanded captures \
-                 (recovery {recovery:.2}; {} fallbacks, {} repairs)",
-                nofault.captured,
-                naive.captured,
-                resilient.captured,
-                naive.captures_lost_to_faults,
-                resilient.greedy_fallbacks,
-                resilient.repairs_attempted,
-            );
         }
         if lost_sum > 1e-12 {
             eprintln!(

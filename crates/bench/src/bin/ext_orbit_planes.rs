@@ -12,36 +12,42 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let mut rows = Vec::new();
-    for workload in [Workload::ShipDetection, Workload::LakeMonitoring166K] {
-        let targets = cli.workload(workload);
+    let workloads: Vec<(Workload, _)> = [Workload::ShipDetection, Workload::LakeMonitoring166K]
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
         for groups in [4usize, 8] {
             for planes in [1usize, 2, 4] {
-                let opts = CoverageOptions {
-                    duration_s: cli.duration_s,
-                    seed: cli.seed,
-                    orbital_planes: planes,
-                    ..CoverageOptions::default()
-                };
-                let eval = CoverageEvaluator::new(&targets, opts);
-                let report = eval
-                    .evaluate(&ConstellationConfig::eagleeye(groups, 1))
-                    .expect("coverage evaluation");
-                rows.push(format!(
-                    "{},{},{},{:.4}",
-                    workload.label(),
-                    groups * 2,
-                    planes,
-                    report.coverage_fraction()
-                ));
-                eprintln!(
-                    "done: {} sats={} planes={planes} -> {:.2}%",
-                    workload.label(),
-                    groups * 2,
-                    100.0 * report.coverage_fraction()
-                );
+                grid.push((wi, groups, planes));
             }
         }
     }
+    let rows = cli.par_sweep(&grid, |&(wi, groups, planes)| {
+        let (workload, ref targets) = workloads[wi];
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            orbital_planes: planes,
+            ..CoverageOptions::default()
+        };
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(groups, 1))
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} sats={} planes={planes} -> {:.2}%",
+            workload.label(),
+            groups * 2,
+            100.0 * report.coverage_fraction()
+        );
+        format!(
+            "{},{},{},{:.4}",
+            workload.label(),
+            groups * 2,
+            planes,
+            report.coverage_fraction()
+        )
+    });
     print_csv("workload,satellites,planes,coverage", rows);
 }

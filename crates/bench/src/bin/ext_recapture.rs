@@ -12,38 +12,43 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
-        for (label, penalty) in [
-            ("paper (no re-id)", None),
-            ("deprioritize 0.1", Some(0.1)),
-            ("ignore captured", Some(0.0)),
-        ] {
-            let opts = CoverageOptions {
-                duration_s: cli.duration_s,
-                seed: cli.seed,
-                recapture_penalty: penalty,
-                ..CoverageOptions::default()
-            };
-            let eval = CoverageEvaluator::new(&targets, opts);
-            let report = eval
-                .evaluate(&ConstellationConfig::eagleeye(2, 1))
-                .expect("coverage evaluation");
-            rows.push(format!(
-                "{},{},{:.4},{}",
-                workload.label(),
-                label,
-                report.coverage_fraction(),
-                report.captures_commanded
-            ));
-            eprintln!(
-                "done: {} {} -> {:.2}%",
-                workload.label(),
-                label,
-                100.0 * report.coverage_fraction()
-            );
-        }
-    }
+    const POLICIES: [(&str, Option<f64>); 3] = [
+        ("paper (no re-id)", None),
+        ("deprioritize 0.1", Some(0.1)),
+        ("ignore captured", Some(0.0)),
+    ];
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let grid: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..POLICIES.len()).map(move |pi| (wi, pi)))
+        .collect();
+    let rows = cli.par_sweep(&grid, |&(wi, pi)| {
+        let (workload, ref targets) = workloads[wi];
+        let (label, penalty) = POLICIES[pi];
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            recapture_penalty: penalty,
+            ..CoverageOptions::default()
+        };
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(2, 1))
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} {} -> {:.2}%",
+            workload.label(),
+            label,
+            100.0 * report.coverage_fraction()
+        );
+        format!(
+            "{},{},{:.4},{}",
+            workload.label(),
+            label,
+            report.coverage_fraction(),
+            report.captures_commanded
+        )
+    });
     print_csv("workload,policy,unique_coverage,captures_commanded", rows);
 }

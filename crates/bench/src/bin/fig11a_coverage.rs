@@ -16,51 +16,66 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
+    // Generate the four workloads once, then fan the independent
+    // (workload, satellites, config) evaluations out across --threads
+    // workers; par_sweep returns rows in grid order, so the CSV is
+    // identical to the sequential run.
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let mut grid: Vec<(usize, usize, ConstellationConfig)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for sats in cli.sat_counts() {
+            let groups = (sats / 2).max(1);
+            grid.push((
+                wi,
+                sats,
+                ConstellationConfig::LowResOnly { satellites: sats },
+            ));
+            grid.push((
+                wi,
+                sats,
+                ConstellationConfig::HighResOnly { satellites: sats },
+            ));
+            for scheduler in [SchedulerKind::Ilp, SchedulerKind::Greedy] {
+                grid.push((
+                    wi,
+                    sats,
+                    ConstellationConfig::EagleEye {
+                        groups,
+                        followers_per_group: 1,
+                        scheduler,
+                        clustering: ClusteringMethod::Ilp,
+                    },
+                ));
+            }
+        }
+    }
+    let rows = cli.par_sweep(&grid, |&(wi, sats, config)| {
+        let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             ..CoverageOptions::default()
         };
-        let eval = CoverageEvaluator::new(&targets, opts);
-        for sats in cli.sat_counts() {
-            let groups = (sats / 2).max(1);
-            let configs = [
-                ConstellationConfig::LowResOnly { satellites: sats },
-                ConstellationConfig::HighResOnly { satellites: sats },
-                ConstellationConfig::EagleEye {
-                    groups,
-                    followers_per_group: 1,
-                    scheduler: SchedulerKind::Ilp,
-                    clustering: ClusteringMethod::Ilp,
-                },
-                ConstellationConfig::EagleEye {
-                    groups,
-                    followers_per_group: 1,
-                    scheduler: SchedulerKind::Greedy,
-                    clustering: ClusteringMethod::Ilp,
-                },
-            ];
-            for config in configs {
-                let report = eval.evaluate(&config).expect("coverage evaluation");
-                rows.push(format!(
-                    "{},{},{},{:.4}",
-                    workload.label(),
-                    sats,
-                    config.label(),
-                    report.coverage_fraction()
-                ));
-                eprintln!(
-                    "done: {} sats={} {} -> {:.1}%",
-                    workload.label(),
-                    sats,
-                    config.label(),
-                    100.0 * report.coverage_fraction()
-                );
-            }
-        }
-    }
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&config)
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} sats={} {} -> {:.1}%",
+            workload.label(),
+            sats,
+            config.label(),
+            100.0 * report.coverage_fraction()
+        );
+        format!(
+            "{},{},{},{:.4}",
+            workload.label(),
+            sats,
+            config.label(),
+            report.coverage_fraction()
+        )
+    });
     print_csv("workload,satellites,config,coverage", rows);
 }

@@ -13,58 +13,69 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    // (workload, slew rate or None for the high-res baseline, sats):
+    // every cell is an independent evaluation, fanned out on --threads.
+    let mut grid: Vec<(usize, Option<f64>, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
         for rate_deg_s in [1.0, 3.0, 10.0] {
-            let spec = SensingSpec::paper_default()
-                .with_adacs(Adacs::new(rate_deg_s, 0.67).expect("valid ADACS"));
-            let opts = CoverageOptions {
-                duration_s: cli.duration_s,
-                seed: cli.seed,
-                spec,
-                ..CoverageOptions::default()
-            };
-            let eval = CoverageEvaluator::new(&targets, opts);
             for sats in cli.sat_counts() {
-                let groups = (sats / 2).max(1);
-                let report = eval
-                    .evaluate(&ConstellationConfig::eagleeye(groups, 1))
-                    .expect("coverage evaluation");
-                rows.push(format!(
-                    "{},{},{},{:.4}",
-                    workload.label(),
-                    sats,
-                    rate_deg_s,
-                    report.coverage_fraction()
-                ));
+                grid.push((wi, Some(rate_deg_s), sats));
+            }
+        }
+        // High-res baseline for the crossover comparison.
+        for sats in cli.sat_counts() {
+            grid.push((wi, None, sats));
+        }
+    }
+    let rows = cli.par_sweep(&grid, |&(wi, rate, sats)| {
+        let (workload, ref targets) = workloads[wi];
+        let spec = match rate {
+            Some(r) => {
+                SensingSpec::paper_default().with_adacs(Adacs::new(r, 0.67).expect("valid ADACS"))
+            }
+            None => SensingSpec::paper_default(),
+        };
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            spec,
+            ..CoverageOptions::default()
+        };
+        let config = match rate {
+            Some(_) => ConstellationConfig::eagleeye((sats / 2).max(1), 1),
+            None => ConstellationConfig::HighResOnly { satellites: sats },
+        };
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&config)
+            .expect("coverage evaluation");
+        match rate {
+            Some(r) => {
                 eprintln!(
                     "done: {} sats={} rate={} -> {:.1}%",
                     workload.label(),
                     sats,
-                    rate_deg_s,
+                    r,
                     100.0 * report.coverage_fraction()
                 );
+                format!(
+                    "{},{},{},{:.4}",
+                    workload.label(),
+                    sats,
+                    r,
+                    report.coverage_fraction()
+                )
             }
-        }
-        // High-res baseline for the crossover comparison.
-        let opts = CoverageOptions {
-            duration_s: cli.duration_s,
-            seed: cli.seed,
-            ..CoverageOptions::default()
-        };
-        let eval = CoverageEvaluator::new(&targets, opts);
-        for sats in cli.sat_counts() {
-            let report = eval
-                .evaluate(&ConstellationConfig::HighResOnly { satellites: sats })
-                .expect("coverage evaluation");
-            rows.push(format!(
+            None => format!(
                 "{},{},high-res-only,{:.4}",
                 workload.label(),
                 sats,
                 report.coverage_fraction()
-            ));
+            ),
         }
-    }
+    });
     print_csv("workload,satellites,slew_rate_deg_s,coverage", rows);
 }

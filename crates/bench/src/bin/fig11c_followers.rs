@@ -17,41 +17,47 @@ fn main() {
     } else {
         vec![1, 2, 3, 4, 5, 6]
     };
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for sats in cli.sat_counts() {
+            for &followers in &follower_counts {
+                let group_size = followers + 1;
+                if sats / group_size > 0 {
+                    grid.push((wi, sats, followers));
+                }
+            }
+        }
+    }
+    let rows = cli.par_sweep(&grid, |&(wi, sats, followers)| {
+        let (workload, ref targets) = workloads[wi];
+        let group_size = followers + 1;
+        let groups = sats / group_size;
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             ..CoverageOptions::default()
         };
-        let eval = CoverageEvaluator::new(&targets, opts);
-        for sats in cli.sat_counts() {
-            for &followers in &follower_counts {
-                let group_size = followers + 1;
-                let groups = sats / group_size;
-                if groups == 0 {
-                    continue;
-                }
-                let report = eval
-                    .evaluate(&ConstellationConfig::eagleeye(groups, followers))
-                    .expect("coverage evaluation");
-                rows.push(format!(
-                    "{},{},{},{:.4}",
-                    workload.label(),
-                    groups * group_size,
-                    followers,
-                    report.coverage_fraction()
-                ));
-                eprintln!(
-                    "done: {} sats={} followers={} -> {:.1}%",
-                    workload.label(),
-                    groups * group_size,
-                    followers,
-                    100.0 * report.coverage_fraction()
-                );
-            }
-        }
-    }
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(groups, followers))
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} sats={} followers={} -> {:.1}%",
+            workload.label(),
+            groups * group_size,
+            followers,
+            100.0 * report.coverage_fraction()
+        );
+        format!(
+            "{},{},{},{:.4}",
+            workload.label(),
+            groups * group_size,
+            followers,
+            report.coverage_fraction()
+        )
+    });
     print_csv("workload,satellites,followers_per_group,coverage", rows);
 }

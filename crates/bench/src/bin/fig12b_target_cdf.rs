@@ -8,19 +8,22 @@ use eagleeye_datasets::Workload;
 
 fn main() {
     let cli = BenchCli::parse();
-    let mut rows = Vec::new();
-    let mut summary = Vec::new();
-    for workload in Workload::ALL {
+    // One evaluation per workload, all four fanned out on --threads.
+    let workloads: Vec<Workload> = Workload::ALL.into_iter().collect();
+    let reports = cli.par_sweep(&workloads, |&workload| {
         let targets = cli.workload(workload);
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             ..CoverageOptions::default()
         };
-        let eval = CoverageEvaluator::new(&targets, opts);
-        let report = eval
+        CoverageEvaluator::new(&targets, opts)
             .evaluate(&ConstellationConfig::eagleeye(1, 1))
-            .expect("coverage evaluation");
+            .expect("coverage evaluation")
+    });
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for (workload, report) in workloads.iter().zip(&reports) {
         let mut counts = report.per_frame_target_counts.clone();
         counts.sort_unstable();
         if counts.is_empty() {

@@ -15,61 +15,76 @@ use eagleeye_detect::YoloVariant;
 fn main() {
     let cli = BenchCli::parse();
     let sats = 4; // Fig. 5's running example size
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    // One grid cell per (workload, row): the leader-follower baseline
+    // or one YOLO variant (whose equal-sats and equal-groups runs stay
+    // together so each row is produced by a single worker).
+    let mut grid: Vec<(usize, Option<YoloVariant>)> = Vec::new();
+    for wi in 0..workloads.len() {
+        grid.push((wi, None));
+        for variant in YoloVariant::ALL {
+            grid.push((wi, Some(variant)));
+        }
+    }
+    let rows = cli.par_sweep(&grid, |&(wi, variant)| {
+        let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             ..CoverageOptions::default()
         };
-        let eval = CoverageEvaluator::new(&targets, opts);
-
-        let lf = eval
-            .evaluate(&ConstellationConfig::eagleeye(sats / 2, 1))
-            .expect("coverage evaluation");
-        rows.push(format!(
-            "{},leader-follower,0,{:.4},{:.4}",
-            workload.label(),
-            lf.coverage_fraction(),
-            lf.coverage_fraction()
-        ));
-
-        for variant in YoloVariant::ALL {
-            let compute = variant.paper_frame_time_s();
-            // Equal satellite count: 4 mix satellites fly 4 tracks (twice
-            // the leader-follower ground coverage) but each loses capture
-            // time to compute.
-            let mix_sats = eval
-                .evaluate(&ConstellationConfig::MixCamera {
-                    satellites: sats,
-                    compute_time_s: compute,
-                })
-                .expect("coverage evaluation");
-            // Equal group count: isolates the compute-delay mechanism of
-            // the paper's Fig. 9 (one mix satellite per leader-follower
-            // group).
-            let mix_groups = eval
-                .evaluate(&ConstellationConfig::MixCamera {
-                    satellites: sats / 2,
-                    compute_time_s: compute,
-                })
-                .expect("coverage evaluation");
-            rows.push(format!(
-                "{},mix-camera({variant}),{compute},{:.4},{:.4}",
-                workload.label(),
-                mix_sats.coverage_fraction(),
-                mix_groups.coverage_fraction()
-            ));
-            eprintln!(
-                "done: {} {variant} ({}s) -> {:.1}% / {:.1}%",
-                workload.label(),
-                compute,
-                100.0 * mix_sats.coverage_fraction(),
-                100.0 * mix_groups.coverage_fraction()
-            );
+        let eval = CoverageEvaluator::new(targets, opts);
+        match variant {
+            None => {
+                let lf = eval
+                    .evaluate(&ConstellationConfig::eagleeye(sats / 2, 1))
+                    .expect("coverage evaluation");
+                format!(
+                    "{},leader-follower,0,{:.4},{:.4}",
+                    workload.label(),
+                    lf.coverage_fraction(),
+                    lf.coverage_fraction()
+                )
+            }
+            Some(variant) => {
+                let compute = variant.paper_frame_time_s();
+                // Equal satellite count: 4 mix satellites fly 4 tracks (twice
+                // the leader-follower ground coverage) but each loses capture
+                // time to compute.
+                let mix_sats = eval
+                    .evaluate(&ConstellationConfig::MixCamera {
+                        satellites: sats,
+                        compute_time_s: compute,
+                    })
+                    .expect("coverage evaluation");
+                // Equal group count: isolates the compute-delay mechanism of
+                // the paper's Fig. 9 (one mix satellite per leader-follower
+                // group).
+                let mix_groups = eval
+                    .evaluate(&ConstellationConfig::MixCamera {
+                        satellites: sats / 2,
+                        compute_time_s: compute,
+                    })
+                    .expect("coverage evaluation");
+                eprintln!(
+                    "done: {} {variant} ({}s) -> {:.1}% / {:.1}%",
+                    workload.label(),
+                    compute,
+                    100.0 * mix_sats.coverage_fraction(),
+                    100.0 * mix_groups.coverage_fraction()
+                );
+                format!(
+                    "{},mix-camera({variant}),{compute},{:.4},{:.4}",
+                    workload.label(),
+                    mix_sats.coverage_fraction(),
+                    mix_groups.coverage_fraction()
+                )
+            }
         }
-    }
+    });
     print_csv(
         "workload,config,compute_time_s,coverage_equal_sats,coverage_equal_groups",
         rows,

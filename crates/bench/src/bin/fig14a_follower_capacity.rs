@@ -37,17 +37,21 @@ fn main() {
         (1..=20).chain([25, 30, 40, 50, 75, 100]).collect()
     };
     let reps = if cli.fast { 3 } else { 8 };
-    let scheduler = IlpScheduler::default();
 
+    // Each (count, rep) cell is one independent scheduler run; fan them
+    // all out and reduce per-count afterwards.
+    let grid: Vec<(usize, usize)> = counts
+        .iter()
+        .flat_map(|&n| (0..reps).map(move |rep| (n, rep)))
+        .collect();
+    let fracs = cli.par_sweep(&grid, |&(n, rep)| {
+        let p = frame_with(n, cli.seed + rep as u64 * 977);
+        let s = IlpScheduler::default().schedule(&p).expect("scheduler run");
+        s.captured_count() as f64 / n as f64
+    });
     let mut rows = Vec::new();
-    for &n in &counts {
-        let mut frac_sum = 0.0;
-        for rep in 0..reps {
-            let p = frame_with(n, cli.seed + rep as u64 * 977);
-            let s = scheduler.schedule(&p).expect("scheduler run");
-            frac_sum += s.captured_count() as f64 / n as f64;
-        }
-        let frac = frac_sum / reps as f64;
+    for (i, &n) in counts.iter().enumerate() {
+        let frac: f64 = fracs[i * reps..(i + 1) * reps].iter().sum::<f64>() / reps as f64;
         rows.push(format!("{n},{:.4}", frac));
         eprintln!("n={n}: covered fraction {:.2}", frac);
     }

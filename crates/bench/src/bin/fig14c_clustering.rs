@@ -14,37 +14,44 @@ use eagleeye_datasets::Workload;
 fn main() {
     let cli = BenchCli::parse();
     let sats_groups = if cli.fast { 2 } else { 6 };
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
+    const METHODS: [ClusteringMethod; 3] = [
+        ClusteringMethod::None,
+        ClusteringMethod::Greedy,
+        ClusteringMethod::Ilp,
+    ];
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let grid: Vec<(usize, ClusteringMethod)> = (0..workloads.len())
+        .flat_map(|wi| METHODS.iter().map(move |&m| (wi, m)))
+        .collect();
+    let coverages = cli.par_sweep(&grid, |&(wi, clustering)| {
+        let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             ..CoverageOptions::default()
         };
-        let eval = CoverageEvaluator::new(&targets, opts);
-        let mut values = Vec::new();
-        for clustering in [
-            ClusteringMethod::None,
-            ClusteringMethod::Greedy,
-            ClusteringMethod::Ilp,
-        ] {
-            let report = eval
-                .evaluate(&ConstellationConfig::EagleEye {
-                    groups: sats_groups,
-                    followers_per_group: 1,
-                    scheduler: SchedulerKind::Ilp,
-                    clustering,
-                })
-                .expect("coverage evaluation");
-            values.push(report.coverage_fraction());
-            eprintln!(
-                "done: {} {:?} -> {:.1}%",
-                workload.label(),
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&ConstellationConfig::EagleEye {
+                groups: sats_groups,
+                followers_per_group: 1,
+                scheduler: SchedulerKind::Ilp,
                 clustering,
-                100.0 * report.coverage_fraction()
-            );
-        }
+            })
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} {:?} -> {:.1}%",
+            workload.label(),
+            clustering,
+            100.0 * report.coverage_fraction()
+        );
+        report.coverage_fraction()
+    });
+    let mut rows = Vec::new();
+    for (wi, (workload, _)) in workloads.iter().enumerate() {
+        let values = &coverages[wi * METHODS.len()..(wi + 1) * METHODS.len()];
         let improvement = if values[0] > 0.0 {
             (values[2] - values[0]) / values[0] * 100.0
         } else {

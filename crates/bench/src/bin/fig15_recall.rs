@@ -17,35 +17,48 @@ fn main() {
         vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
     };
     let groups = if cli.fast { 2 } else { 4 };
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    // All (workload, recall) evaluations are independent; the recall=1
+    // baseline each row normalizes against is just another cell, so the
+    // normalization happens after the parallel sweep.
+    let grid: Vec<(usize, f64)> = (0..workloads.len())
+        .flat_map(|wi| recalls.iter().rev().map(move |&r| (wi, r)))
+        .collect();
+    let coverages = cli.par_sweep(&grid, |&(wi, recall)| {
+        let (workload, ref targets) = workloads[wi];
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            recall,
+            ..CoverageOptions::default()
+        };
+        let report = CoverageEvaluator::new(targets, opts)
+            .evaluate(&ConstellationConfig::eagleeye(groups, 1))
+            .expect("coverage evaluation");
+        eprintln!(
+            "done: {} recall={recall} -> {:.1}%",
+            workload.label(),
+            100.0 * report.coverage_fraction()
+        );
+        report.coverage_fraction()
+    });
     let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
-        let mut baseline = None;
-        for &recall in recalls.iter().rev() {
-            let opts = CoverageOptions {
-                duration_s: cli.duration_s,
-                seed: cli.seed,
-                recall,
-                ..CoverageOptions::default()
-            };
-            let eval = CoverageEvaluator::new(&targets, opts);
-            let report = eval
-                .evaluate(&ConstellationConfig::eagleeye(groups, 1))
-                .expect("coverage evaluation");
-            let cov = report.coverage_fraction();
-            let base = *baseline.get_or_insert(cov.max(1e-9));
+    for (wi, (workload, _)) in workloads.iter().enumerate() {
+        let base_idx = wi * recalls.len();
+        // Grid order is descending recall, so the first cell of each
+        // workload block is the recall-1.0 baseline.
+        let base = coverages[base_idx].max(1e-9);
+        for (j, &recall) in recalls.iter().rev().enumerate() {
+            let cov = coverages[base_idx + j];
             rows.push(format!(
                 "{},{recall},{:.4},{:.4}",
                 workload.label(),
                 cov,
                 cov / base
             ));
-            eprintln!(
-                "done: {} recall={recall} -> {:.1}% (normalized {:.2})",
-                workload.label(),
-                100.0 * cov,
-                cov / base
-            );
         }
     }
     print_csv("workload,recall,coverage,normalized_coverage", rows);

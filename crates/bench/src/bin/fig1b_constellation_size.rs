@@ -39,56 +39,60 @@ fn satellites_to_reach(
 fn main() {
     let cli = BenchCli::parse();
     let max_sats = if cli.fast { 48 } else { 160 };
-    let mut rows = Vec::new();
-    for workload in Workload::ALL {
-        let targets = cli.workload(workload);
-        let opts = CoverageOptions {
-            duration_s: cli.duration_s,
-            seed: cli.seed,
-            ..CoverageOptions::default()
-        };
-        let eval = CoverageEvaluator::new(&targets, opts);
+    let workloads: Vec<(Workload, _)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, cli.workload(w)))
+        .collect();
+    let options = || CoverageOptions {
+        duration_s: cli.duration_s,
+        seed: cli.seed,
+        ..CoverageOptions::default()
+    };
 
-        // Physical ceiling within the horizon (Low-Res at max size),
-        // mirroring the paper's 90% absolute bar at 24 h.
-        let ceiling = eval
+    // Stage 1: each workload's physical ceiling within the horizon
+    // (Low-Res at max size), mirroring the paper's 90% absolute bar at
+    // 24 h — four independent evaluations.
+    let ceilings = cli.par_sweep(&workloads, |(workload, targets)| {
+        let ceiling = CoverageEvaluator::new(targets, options())
             .evaluate(&ConstellationConfig::LowResOnly {
                 satellites: max_sats,
             })
             .expect("coverage evaluation")
             .coverage_fraction();
-        let threshold = 0.9 * ceiling;
         eprintln!("{}: ceiling {:.1}%", workload.label(), 100.0 * ceiling);
+        ceiling
+    });
 
-        let low = satellites_to_reach(
-            &eval,
-            |s| ConstellationConfig::LowResOnly { satellites: s },
-            threshold,
-            max_sats,
-        );
-        let high = satellites_to_reach(
-            &eval,
-            |s| ConstellationConfig::HighResOnly { satellites: s },
-            threshold,
-            max_sats,
-        );
-        let eagle = satellites_to_reach(
-            &eval,
-            |s| ConstellationConfig::eagleeye((s / 2).max(1), 1),
-            threshold,
-            max_sats,
-        );
-        let fmt = |o: Option<usize>| {
-            o.map(|v| v.to_string())
-                .unwrap_or_else(|| format!(">{max_sats}"))
+    // Stage 2: the (workload, configuration family) searches. Each
+    // search is adaptive (the next size depends on the last result) so
+    // it stays sequential inside its cell; the twelve cells fan out.
+    let grid: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..3).map(move |family| (wi, family)))
+        .collect();
+    let found = cli.par_sweep(&grid, |&(wi, family)| {
+        let (_, ref targets) = workloads[wi];
+        let eval = CoverageEvaluator::new(targets, options());
+        let threshold = 0.9 * ceilings[wi];
+        let make: &dyn Fn(usize) -> ConstellationConfig = match family {
+            0 => &|s| ConstellationConfig::LowResOnly { satellites: s },
+            1 => &|s| ConstellationConfig::HighResOnly { satellites: s },
+            _ => &|s| ConstellationConfig::eagleeye((s / 2).max(1), 1),
         };
-        rows.push(format!(
+        satellites_to_reach(&eval, make, threshold, max_sats)
+    });
+
+    let fmt = |o: Option<usize>| {
+        o.map(|v| v.to_string())
+            .unwrap_or_else(|| format!(">{max_sats}"))
+    };
+    let rows = workloads.iter().enumerate().map(|(wi, (workload, _))| {
+        format!(
             "{},{},{},{}",
             workload.label(),
-            fmt(low),
-            fmt(high),
-            fmt(eagle)
-        ));
-    }
+            fmt(found[wi * 3]),
+            fmt(found[wi * 3 + 1]),
+            fmt(found[wi * 3 + 2])
+        )
+    });
     print_csv("workload,low_res_only,high_res_only,eagleeye", rows);
 }

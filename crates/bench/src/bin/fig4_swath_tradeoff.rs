@@ -24,26 +24,26 @@ fn main() {
     // Right panel: coverage vs. satellites for the two operating points,
     // on the ship workload (the paper's motivating example).
     let targets = cli.workload(Workload::ShipDetection);
-    let opts = CoverageOptions {
-        duration_s: cli.duration_s,
-        seed: cli.seed,
-        ..CoverageOptions::default()
-    };
-    let eval = CoverageEvaluator::new(&targets, opts);
-    let mut rows = Vec::new();
-    for sats in cli.sat_counts() {
+    let sat_counts = cli.sat_counts();
+    let rows = cli.par_sweep(&sat_counts, |&sats| {
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            ..CoverageOptions::default()
+        };
+        let eval = CoverageEvaluator::new(&targets, opts);
         let low = eval
             .evaluate(&ConstellationConfig::LowResOnly { satellites: sats })
             .expect("coverage evaluation");
         let high = eval
             .evaluate(&ConstellationConfig::HighResOnly { satellites: sats })
             .expect("coverage evaluation");
-        rows.push(format!(
+        format!(
             "{sats},{:.4},{:.4}",
             low.coverage_fraction(),
             high.coverage_fraction()
-        ));
-    }
+        )
+    });
     print_csv(
         "satellites,only_low_res_coverage,only_high_res_coverage",
         rows,

@@ -1,0 +1,166 @@
+//! Perf trajectory — end-to-end coverage-evaluation wall time vs.
+//! evaluator thread count, writing `results/BENCH_eval.json`.
+//!
+//! Times a multi-group EagleEye evaluation (the Fig. 11 inner loop) at
+//! 1/2/4/8 evaluator threads ([`CoverageOptions::threads`]), asserting
+//! that every thread count produces a [`CoverageReport`] identical to
+//! the sequential one (modulo wall-clock timing fields — the
+//! determinism contract of DESIGN.md §8) before recording:
+//!
+//! * wall-clock seconds per evaluation (best of `--reps`, default 3);
+//! * speedup vs. 1 thread;
+//! * leader frames processed per second.
+//!
+//! The JSON records `available_parallelism` alongside the measurements:
+//! speedups are only meaningful up to the machine's core count (a
+//! 1-core container measures ≈ 1× at every thread count — that is the
+//! honest reading, not a regression). CI regenerates and uploads this
+//! file on multi-core runners.
+//!
+//! Usage: `cargo run -p eagleeye-bench --release --bin perf_eval -- [--fast]`
+//! (`--threads` is ignored here; the sweep IS the thread axis).
+
+use eagleeye_bench::BenchCli;
+use eagleeye_core::coverage::{
+    ConstellationConfig, CoverageEvaluator, CoverageOptions, CoverageReport,
+};
+use eagleeye_datasets::Workload;
+use eagleeye_orbit::{ConstellationLayout, EpochGrid};
+use std::time::Instant;
+
+const GROUPS: usize = 8;
+const FOLLOWERS_PER_GROUP: usize = 1;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let targets = cli.workload(Workload::ShipDetection);
+    let config = ConstellationConfig::eagleeye(GROUPS, FOLLOWERS_PER_GROUP);
+    let parallelism = eagleeye_exec::available_parallelism();
+    eprintln!(
+        "perf_eval: {} targets, {} groups, horizon {:.0}s, {} cores",
+        targets.len(),
+        GROUPS,
+        cli.duration_s,
+        parallelism
+    );
+
+    let run = |threads: usize| -> (f64, CoverageReport) {
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            threads,
+            ..CoverageOptions::default()
+        };
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let r = eval.evaluate(&config).expect("coverage evaluation");
+            best = best.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        (best, report.expect("at least one rep"))
+    };
+
+    let (base_wall, base_report) = run(THREAD_COUNTS[0]);
+    let mut rows = Vec::new();
+    rows.push((THREAD_COUNTS[0], base_wall, base_report.clone()));
+    for &threads in &THREAD_COUNTS[1..] {
+        let (wall, report) = run(threads);
+        // The determinism contract: identical report at any thread
+        // count (wall-clock timing fields excluded).
+        assert!(
+            base_report.same_outcome(&report),
+            "threads={threads} diverged from sequential:\n  seq: {base_report:?}\n  par: {report:?}"
+        );
+        rows.push((threads, wall, report));
+    }
+
+    // Thread-count-independent measurement: batch propagation through
+    // the EpochGrid's memoized sidereal trig vs. direct per-frame
+    // `state_at` calls, over the same constellation and horizon. This
+    // is the caching win the evaluator's frame loop now gets for free,
+    // and it reproduces on a single core.
+    let spec = CoverageOptions::default().spec;
+    let layout = ConstellationLayout::uniform(
+        GROUPS,
+        FOLLOWERS_PER_GROUP,
+        spec.altitude_m,
+        CoverageOptions::default().inclination_rad,
+    )
+    .expect("constellation layout");
+    let grid = EpochGrid::for_horizon(0.0, cli.duration_s, spec.frame_cadence_s);
+    let tracks: Vec<_> = layout
+        .satellites()
+        .iter()
+        .map(|s| layout.ground_track(s).expect("ground track"))
+        .collect();
+    let mut direct_wall = f64::INFINITY;
+    let mut cached_wall = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for track in &tracks {
+            for &t in grid.epochs() {
+                std::hint::black_box(track.state_at(t).expect("state"));
+            }
+        }
+        direct_wall = direct_wall.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for track in &tracks {
+            std::hint::black_box(grid.propagate(track).expect("propagate"));
+        }
+        cached_wall = cached_wall.min(start.elapsed().as_secs_f64());
+    }
+    let prop_speedup = direct_wall / cached_wall;
+    eprintln!(
+        "propagation: direct {direct_wall:.4}s, cached {cached_wall:.4}s ({prop_speedup:.2}x)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"eval\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{}\",\n",
+        Workload::ShipDetection.label()
+    ));
+    json.push_str(&format!("  \"targets\": {},\n", targets.len()));
+    json.push_str(&format!("  \"groups\": {GROUPS},\n"));
+    json.push_str(&format!(
+        "  \"followers_per_group\": {FOLLOWERS_PER_GROUP},\n"
+    ));
+    json.push_str(&format!("  \"duration_s\": {},\n", cli.duration_s));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"scale\": {},\n", cli.scale));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    json.push_str("  \"reports_identical_across_threads\": true,\n");
+    json.push_str(&format!(
+        "  \"propagation\": {{\"direct_wall_s\": {direct_wall:.6}, \"cached_wall_s\": {cached_wall:.6}, \
+         \"speedup\": {prop_speedup:.4}, \"satellites\": {}, \"epochs\": {}}},\n",
+        tracks.len(),
+        grid.len()
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, (threads, wall, report)) in rows.iter().enumerate() {
+        let speedup = base_wall / wall;
+        let frames_per_s = report.frames_processed as f64 / wall;
+        eprintln!(
+            "threads={threads}: {wall:.3}s wall, {speedup:.2}x vs 1 thread, {frames_per_s:.0} frames/s"
+        );
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"speedup_vs_1\": {speedup:.4}, \
+             \"frames_per_s\": {frames_per_s:.2}, \"frames_processed\": {}, \"captured\": {}}}{}\n",
+            report.frames_processed,
+            report.captured,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("{json}");
+    eprintln!("wrote results/BENCH_eval.json");
+}

@@ -11,16 +11,20 @@
 //! * `--scale <f>` — dataset scale factor in `(0, 1]` (1 = the paper's
 //!   full target counts).
 //! * `--seed <n>` — RNG seed.
+//! * `--threads <n>` — worker threads for the sweep's independent
+//!   configurations (0 or omitted = all available cores). Results are
+//!   identical at any thread count; see DESIGN.md §8.
 //!
 //! Run e.g.:
 //!
 //! ```text
-//! cargo run -p eagleeye-bench --release --bin fig11a_coverage -- --fast
+//! cargo run -p eagleeye-bench --release --bin fig11a_coverage -- --fast --threads 4
 //! ```
 
 #![deny(missing_docs)]
 
 use eagleeye_datasets::{TargetSet, Workload};
+use eagleeye_exec::ExecPool;
 
 /// Parsed command-line options shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +37,11 @@ pub struct BenchCli {
     pub scale: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for independent sweep configurations
+    /// (`available_parallelism` by default). The figure binaries
+    /// parallelize the *outer* sweep — each evaluation inside keeps the
+    /// sequential default — so output is identical at any value.
+    pub threads: usize,
 }
 
 impl Default for BenchCli {
@@ -42,6 +51,7 @@ impl Default for BenchCli {
             duration_s: 3.0 * 3600.0,
             scale: 1.0,
             seed: 7,
+            threads: eagleeye_exec::available_parallelism(),
         }
     }
 }
@@ -75,8 +85,17 @@ impl BenchCli {
                     let v = args.next().expect("--seed needs a value");
                     cli.seed = v.parse().expect("integer seed");
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    let n: usize = v.parse().expect("integer thread count");
+                    cli.threads = if n == 0 {
+                        eagleeye_exec::available_parallelism()
+                    } else {
+                        n
+                    };
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n>"
+                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n> --threads <n>"
                 ),
             }
         }
@@ -96,6 +115,18 @@ impl BenchCli {
         } else {
             vec![2, 4, 8, 12, 20, 28, 40]
         }
+    }
+
+    /// Runs `f` over every sweep configuration on `--threads` workers,
+    /// returning results in input order (deterministic regardless of
+    /// which worker ran which configuration).
+    ///
+    /// This parallelizes the figure binaries' *outer* loop — workload ×
+    /// satellite-count × seed grids whose evaluations are mutually
+    /// independent — which scales better than intra-evaluation
+    /// parallelism and lets each inner evaluation stay sequential.
+    pub fn par_sweep<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        ExecPool::new(self.threads).par_map(items, |_, item| f(item))
     }
 }
 
@@ -126,6 +157,19 @@ mod tests {
         };
         let set = cli.workload(Workload::ShipDetection);
         assert_eq!(set.len(), 191);
+    }
+
+    #[test]
+    fn par_sweep_preserves_input_order() {
+        for threads in [1, 3, 8] {
+            let cli = BenchCli {
+                threads,
+                ..BenchCli::default()
+            };
+            let items: Vec<usize> = (0..23).collect();
+            let out = cli.par_sweep(&items, |&i| i * i);
+            assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+        }
     }
 
     #[test]

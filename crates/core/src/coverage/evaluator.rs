@@ -7,9 +7,11 @@ use crate::schedule::{
 };
 use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
+use eagleeye_exec::ExecPool;
 use eagleeye_geo::LocalFrame;
-use eagleeye_orbit::ConstellationLayout;
+use eagleeye_orbit::{ConstellationLayout, EpochGrid, SatelliteSpec};
 use eagleeye_sim::FaultPlan;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Options controlling a coverage evaluation.
@@ -44,11 +46,22 @@ pub struct CoverageOptions {
     pub orbital_planes: usize,
     /// Optional seeded fault-injection plan (satellite outages,
     /// detector dropout, radio/ADACS derating, brownouts). `None`
-    /// reproduces the fault-free paper evaluation.
-    pub fault_plan: Option<FaultPlan>,
+    /// reproduces the fault-free paper evaluation. Shared by `Arc` so
+    /// Monte-Carlo sweep loops can evaluate one large plan under many
+    /// configurations without copying it per evaluation.
+    pub fault_plan: Option<Arc<FaultPlan>>,
     /// How the constellation reacts to injected faults; irrelevant when
     /// `fault_plan` is `None`.
     pub degraded_mode: DegradedMode,
+    /// Worker threads for the per-group frame loops inside one
+    /// evaluation: `1` (default) runs sequentially, `0` uses
+    /// [`eagleeye_exec::available_parallelism`]. Leader groups share no
+    /// mutable state and every random draw is a pure function of
+    /// `(seed, target, frame)`, so the resulting [`CoverageReport`] is
+    /// identical at any thread count (see DESIGN.md §8). Keep the
+    /// default when an outer sweep already parallelizes whole
+    /// evaluations.
+    pub threads: usize,
 }
 
 impl Default for CoverageOptions {
@@ -65,6 +78,7 @@ impl Default for CoverageOptions {
             orbital_planes: 1,
             fault_plan: None,
             degraded_mode: DegradedMode::default(),
+            threads: 1,
         }
     }
 }
@@ -134,7 +148,33 @@ impl<'a> CoverageEvaluator<'a> {
         }
     }
 
+    /// Effective worker count for intra-evaluation parallelism.
+    fn effective_threads(&self) -> usize {
+        if self.options.threads == 0 {
+            eagleeye_exec::available_parallelism()
+        } else {
+            self.options.threads
+        }
+    }
+
+    /// Folds a per-satellite captured bitmap into the evaluation-wide
+    /// one and finalizes the captured totals.
+    fn finalize_captured(&self, report: &mut CoverageReport, captured: &[bool]) {
+        report.captured = captured.iter().filter(|c| **c).count();
+        report.captured_value = captured
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .map(|(i, _)| self.targets.target(i).value)
+            .sum();
+    }
+
     /// Homogeneous constellation: coverage = swath membership over time.
+    ///
+    /// Satellites never interact (capture marking is idempotent), so the
+    /// per-satellite passes run in parallel when
+    /// [`CoverageOptions::threads`] allows, OR-ing the bitmaps in
+    /// satellite order — identical to the sequential result.
     fn swath_membership(
         &self,
         satellites: usize,
@@ -156,15 +196,16 @@ impl<'a> CoverageEvaluator<'a> {
             self.options.inclination_rad,
             self.options.orbital_planes.max(1),
         )?;
+        let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
         let frame_len = spec.frame_length_m();
         let bound = ((swath_m / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
         let mut captured = vec![false; self.targets.len()];
 
-        for sat in layout.satellites() {
-            let track = layout.ground_track(sat)?;
-            let mut t = 0.0;
-            while t < self.options.duration_s {
-                let state = track.state_at(t)?;
+        let pass = |sat: &SatelliteSpec, captured: &mut [bool]| -> Result<usize, CoreError> {
+            // Batch-propagate this satellite over the horizon once; the
+            // frame loop reads cached states.
+            let states = grid.propagate(&layout.ground_track(sat)?)?;
+            for (state, &t) in states.iter().zip(grid.epochs()) {
                 let frame =
                     LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
                 for idx in
@@ -180,21 +221,43 @@ impl<'a> CoverageEvaluator<'a> {
                         captured[idx] = true;
                     }
                 }
-                report.frames_processed += 1;
-                t += spec.frame_cadence_s;
+            }
+            Ok(states.len())
+        };
+
+        let threads = self.effective_threads();
+        if threads > 1 && layout.satellites().len() > 1 {
+            let pool = ExecPool::new(threads);
+            let parts = pool.try_par_map(layout.satellites(), |_, sat| {
+                let mut own = vec![false; self.targets.len()];
+                let frames = pass(sat, &mut own)?;
+                Ok::<_, CoreError>((frames, own))
+            })?;
+            for (frames, own) in parts {
+                report.frames_processed += frames;
+                for (c, o) in captured.iter_mut().zip(&own) {
+                    *c |= *o;
+                }
+            }
+        } else {
+            for sat in layout.satellites() {
+                report.frames_processed += pass(sat, &mut captured)?;
             }
         }
-        report.captured = captured.iter().filter(|c| **c).count();
-        report.captured_value = captured
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| **c)
-            .map(|(i, _)| self.targets.target(i).value)
-            .sum();
+        self.finalize_captured(&mut report, &captured);
         Ok(report)
     }
 
     /// Leader-follower (EagleEye) and mix-camera evaluation.
+    ///
+    /// Each group's frame loop is independent — followers only ever
+    /// serve their own leader, capture marking is idempotent, and every
+    /// stochastic draw is a pure function of `(seed, target, frame)` —
+    /// so the per-leader passes run in parallel when
+    /// [`CoverageOptions::threads`] allows, merging partial reports and
+    /// OR-ing captured bitmaps in leader order. The one coupling is
+    /// recapture deprioritization, which reads the shared captured set;
+    /// that path stays sequential to preserve its exact semantics.
     fn leader_follower(
         &self,
         groups: usize,
@@ -226,6 +289,82 @@ impl<'a> CoverageEvaluator<'a> {
             self.options.inclination_rad,
             self.options.orbital_planes.max(1),
         )?;
+        // Frame epochs plus per-epoch sidereal trig, computed once and
+        // shared by every leader's batch propagation.
+        let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
+
+        let leaders: Vec<_> = layout
+            .satellites()
+            .iter()
+            .filter(|s| s.role == eagleeye_orbit::SatelliteRole::Leader)
+            .copied()
+            .collect();
+
+        let threads = self.effective_threads();
+        let mut captured = vec![false; self.targets.len()];
+        if threads > 1 && leaders.len() > 1 && self.options.recapture_penalty.is_none() {
+            let pool = ExecPool::new(threads);
+            let parts = pool.try_par_map(&leaders, |_, leader| {
+                let mut part = CoverageReport::default();
+                let mut own = vec![false; self.targets.len()];
+                self.leader_pass(
+                    leader,
+                    &layout,
+                    n_followers,
+                    mix_compute_s,
+                    scheduler_kind,
+                    clustering_method,
+                    &grid,
+                    &mut own,
+                    &mut part,
+                )?;
+                Ok::<_, CoreError>((part, own))
+            })?;
+            for (part, own) in parts {
+                report.absorb(part);
+                for (c, o) in captured.iter_mut().zip(&own) {
+                    *c |= *o;
+                }
+            }
+        } else {
+            for leader in &leaders {
+                let mut part = CoverageReport::default();
+                self.leader_pass(
+                    leader,
+                    &layout,
+                    n_followers,
+                    mix_compute_s,
+                    scheduler_kind,
+                    clustering_method,
+                    &grid,
+                    &mut captured,
+                    &mut part,
+                )?;
+                report.absorb(part);
+            }
+        }
+        self.finalize_captured(&mut report, &captured);
+        Ok(report)
+    }
+
+    /// One leader group's full pass over the horizon: detection,
+    /// clustering, follower scheduling, and capture execution, writing
+    /// marks into `captured` and counters into `report`.
+    #[allow(clippy::too_many_arguments)]
+    fn leader_pass(
+        &self,
+        leader: &SatelliteSpec,
+        layout: &ConstellationLayout,
+        n_followers: usize,
+        mix_compute_s: Option<f64>,
+        scheduler_kind: SchedulerKind,
+        clustering_method: ClusteringMethod,
+        grid: &EpochGrid,
+        captured: &mut [bool],
+        report: &mut CoverageReport,
+    ) -> Result<(), CoreError> {
+        let spec = self.options.spec;
+        let is_mix = mix_compute_s.is_some();
         // The resilient scheduler is held concretely (not behind the
         // trait object) so per-horizon outcomes and repairs can be
         // recorded in the report.
@@ -241,7 +380,7 @@ impl<'a> CoverageEvaluator<'a> {
             }
             SchedulerKind::Resilient => ActiveScheduler::Resilient(ResilientScheduler::default()),
         };
-        let fault_plan = self.options.fault_plan.as_ref();
+        let fault_plan = self.options.fault_plan.as_deref();
         let fault_aware = self.options.degraded_mode == DegradedMode::Resilient;
 
         let frame_len = spec.frame_length_m();
@@ -250,304 +389,277 @@ impl<'a> CoverageEvaluator<'a> {
         let v = spec.ground_speed_m_s;
         let bound = ((low_swath / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
         let return_slew_s = spec.adacs.min_slew_time_s(spec.theta_max_rad);
-        let mut captured = vec![false; self.targets.len()];
 
-        let leaders: Vec<_> = layout
-            .satellites()
-            .iter()
-            .filter(|s| s.role == eagleeye_orbit::SatelliteRole::Leader)
-            .copied()
+        // Batch-propagate this leader over the horizon once (shared
+        // per-epoch trig); the frame loop reads cached states.
+        let states = grid.propagate(&layout.ground_track(leader)?)?;
+
+        // Follower runtime state carried across frames.
+        let trails: Vec<f64> = (0..n_followers)
+            .map(|k| {
+                if is_mix {
+                    0.0
+                } else {
+                    ConstellationLayout::DEFAULT_LEAD_DISTANCE_M
+                        + k as f64 * ConstellationLayout::DEFAULT_FOLLOWER_SPACING_M
+                }
+            })
             .collect();
+        let mut avail: Vec<f64> = vec![0.0; n_followers];
+        let mut pointing: Vec<(f64, f64)> = vec![(0.0, 0.0); n_followers];
 
-        for leader in &leaders {
-            let track = layout.ground_track(leader)?;
-            // Follower runtime state carried across frames.
-            let trails: Vec<f64> = (0..n_followers)
-                .map(|k| {
-                    if is_mix {
-                        0.0
-                    } else {
-                        ConstellationLayout::DEFAULT_LEAD_DISTANCE_M
-                            + k as f64 * ConstellationLayout::DEFAULT_FOLLOWER_SPACING_M
+        // Per-frame scratch, hoisted out of the loop and cleared each
+        // frame instead of reallocated.
+        let mut in_frame: Vec<(usize, f64, f64)> = Vec::new();
+        let mut detected: Vec<(usize, f64, f64)> = Vec::new();
+        let mut points: Vec<(crate::pointing::GroundPoint, f64)> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+
+        for (frame_idx, state) in states.iter().enumerate() {
+            let t = grid.epochs()[frame_idx];
+            let frame_id = frame_idx as u64;
+            report.frames_processed += 1;
+            let subsat = state.subsatellite.with_altitude(0.0)?;
+            let frame = LocalFrame::new(subsat, state.heading_rad);
+
+            let legacy_leader_failed = self
+                .options
+                .failure
+                .as_ref()
+                .map(|f| f.leader_failed && t >= f.fail_at_s)
+                .unwrap_or(false);
+            let fault_leader_out = fault_plan.map(|p| p.leader_out(t)).unwrap_or(false);
+            if fault_leader_out {
+                report.frames_leader_down += 1;
+            }
+            let leader_failed = legacy_leader_failed || fault_leader_out;
+
+            // Targets inside the low-resolution frame.
+            in_frame.clear();
+            for idx in self.targets.query_radius(&subsat, bound, t) {
+                let p = self.targets.target(idx).position_at(t);
+                let (x, y) = frame.project(&p);
+                if x.abs() <= low_swath / 2.0 && y.abs() <= frame_len / 2.0 {
+                    in_frame.push((idx, x, y));
+                }
+            }
+            if in_frame.is_empty() {
+                continue;
+            }
+            report.frames_with_targets += 1;
+
+            if leader_failed {
+                // §4.7 fallback: followers capture nadir high-res.
+                for &(idx, x, _) in &in_frame {
+                    if x.abs() <= high_swath / 2.0 {
+                        captured[idx] = true;
                     }
+                }
+                continue;
+            }
+
+            // A battery brownout inhibits all follower capture; a
+            // fully derated radio cannot uplink any tasks. Either
+            // way the frame produces no scheduled captures.
+            let radio_factor = fault_plan
+                .map(|p| p.radio_capacity_factor(t))
+                .unwrap_or(1.0);
+            let task_cap =
+                ((self.options.max_tasks_per_frame as f64) * radio_factor).floor() as usize;
+            if fault_plan.map(|p| p.brownout(t)).unwrap_or(false) || task_cap == 0 {
+                continue;
+            }
+
+            // Onboard detection with the recall model, plus any
+            // active detector-dropout fault (extra, independently
+            // rolled false negatives).
+            detected.clear();
+            detected.extend(in_frame.iter().copied().filter(|&(idx, _, _)| {
+                detection_roll(self.options.seed, idx as u64, frame_id) < self.options.recall
+                    && !fault_plan
+                        .map(|p| p.detector_drops(idx as u64, frame_id, t))
+                        .unwrap_or(false)
+            }));
+            report.per_frame_target_counts.push(detected.len());
+            if detected.is_empty() {
+                continue;
+            }
+
+            // Target clustering (§4.1), with optional recapture
+            // deprioritization (§4.7 extension): already-captured
+            // targets get their priority scaled down so followers
+            // favor new ones.
+            points.clear();
+            points.extend(detected.iter().map(|&(idx, x, y)| {
+                let mut value = self.targets.target(idx).value;
+                if let Some(p) = self.options.recapture_penalty {
+                    if captured[idx] {
+                        value *= p.clamp(0.0, 1.0);
+                    }
+                }
+                (crate::pointing::GroundPoint::new(x, y), value)
+            }));
+            let clu_start = Instant::now();
+            let mut clusters = cluster(&points, high_swath, high_swath, clustering_method)?;
+            report.clustering_time += clu_start.elapsed();
+            report.per_frame_cluster_counts.push(clusters.len());
+
+            // Keep the most valuable clusters up to the cap (shrunk
+            // further when a radio-derate fault limits task uplink).
+            if clusters.len() > task_cap {
+                clusters.sort_by(|a, b| b.value.total_cmp(&a.value));
+                clusters.truncate(task_cap);
+            }
+
+            // Build the scheduling problem in absolute along-track
+            // coordinates so follower state carries across frames.
+            let along_origin = v * t;
+            // `tasks` and `follower_states` are consumed by value by the
+            // scheduling problem, so their allocations cannot be reused
+            // across frames the way the scratch buffers above are.
+            let tasks: Vec<TaskSpec> = clusters
+                .iter()
+                .map(|c| TaskSpec::new(c.center.cross_m, along_origin + c.center.along_m, c.value))
+                .collect();
+            failed.clear();
+            if let Some(f) = self.options.failure.as_ref().filter(|f| t >= f.fail_at_s) {
+                failed.extend_from_slice(&f.failed_followers);
+            }
+            // A fault-aware leader also excludes followers it knows
+            // to be out; a naive one keeps tasking them and loses
+            // those captures at execution time.
+            if fault_aware {
+                if let Some(p) = fault_plan {
+                    for k in 0..n_followers {
+                        if p.follower_out(k, t) && !failed.contains(&k) {
+                            failed.push(k);
+                        }
+                    }
+                }
+            }
+            let follower_states: Vec<FollowerState> = (0..n_followers)
+                .filter(|k| !failed.contains(k))
+                .map(|k| FollowerState {
+                    along_at_0_m: -trails[k],
+                    available_from_s: avail[k],
+                    pointing_offset: pointing[k],
                 })
                 .collect();
-            let mut avail: Vec<f64> = vec![0.0; n_followers];
-            let mut pointing: Vec<(f64, f64)> = vec![(0.0, 0.0); n_followers];
+            if follower_states.is_empty() {
+                continue;
+            }
+            active.clear();
+            active.extend((0..n_followers).filter(|k| !failed.contains(k)));
 
-            let mut frame_id: u64 = 0;
-            let mut t = 0.0;
-            while t < self.options.duration_s {
-                report.frames_processed += 1;
-                let state = track.state_at(t)?;
-                let subsat = state.subsatellite.with_altitude(0.0)?;
-                let frame = LocalFrame::new(subsat, state.heading_rad);
+            // An active slew-derate fault slows every follower's
+            // reaction wheels for this horizon.
+            let slew_factor = fault_plan
+                .map(|p| p.slew_rate_factor(t))
+                .unwrap_or(1.0)
+                .clamp(0.01, 1.0);
+            let frame_spec = if slew_factor < 1.0 {
+                spec.with_adacs(Adacs::new(
+                    spec.adacs.rate_rad_s().to_degrees() * slew_factor,
+                    spec.adacs.overhead_s(),
+                )?)
+            } else {
+                spec
+            };
 
-                let legacy_leader_failed = self
-                    .options
-                    .failure
-                    .as_ref()
-                    .map(|f| f.leader_failed && t >= f.fail_at_s)
-                    .unwrap_or(false);
-                let fault_leader_out = fault_plan.map(|p| p.leader_out(t)).unwrap_or(false);
-                if fault_leader_out {
-                    report.frames_leader_down += 1;
+            let clip = mix_compute_s.map(|d| TimeWindow {
+                start_s: t + d,
+                end_s: t + spec.frame_cadence_s - return_slew_s,
+            });
+            let problem =
+                SchedulingProblem::new_with_clip(frame_spec, tasks, follower_states, clip)?;
+            let sched_start = Instant::now();
+            let mut schedule = match &scheduler {
+                ActiveScheduler::Plain(s) => s.schedule(&problem)?,
+                ActiveScheduler::Resilient(rs) => {
+                    let outcome = rs.schedule_with_outcome(&problem)?;
+                    match outcome.solver {
+                        SolverChoice::Ilp => report.ilp_horizons += 1,
+                        SolverChoice::Greedy => {
+                            report.greedy_fallbacks += 1;
+                            if matches!(
+                                outcome.fallback,
+                                Some(crate::schedule::FallbackReason::Deadline)
+                            ) {
+                                report.deadline_fallbacks += 1;
+                            }
+                        }
+                    }
+                    outcome.schedule
                 }
-                let leader_failed = legacy_leader_failed || fault_leader_out;
+            };
+            report.scheduler_time += sched_start.elapsed();
+            report.scheduler_calls += 1;
 
-                // Targets inside the low-resolution frame.
-                let mut in_frame: Vec<(usize, f64, f64)> = Vec::new();
-                for idx in self.targets.query_radius(&subsat, bound, t) {
-                    let p = self.targets.target(idx).position_at(t);
-                    let (x, y) = frame.project(&p);
-                    if x.abs() <= low_swath / 2.0 && y.abs() <= frame_len / 2.0 {
-                        in_frame.push((idx, x, y));
+            // Mid-horizon follower failures: a fault-aware leader
+            // running the resilient scheduler truncates the failed
+            // follower's plan at the outage onset and re-plans the
+            // dropped tasks onto the survivors.
+            if fault_aware {
+                if let (Some(p), ActiveScheduler::Resilient(rs)) = (fault_plan, &scheduler) {
+                    let failures: Vec<(usize, f64)> = active
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(slot, &k)| {
+                            p.follower_outage_onset(k, t, t + spec.frame_cadence_s)
+                                .map(|onset| (slot, onset))
+                        })
+                        .collect();
+                    if !failures.is_empty() {
+                        let repaired = rs.repair(&problem, &schedule, &failures)?;
+                        report.repairs_attempted += failures.len();
+                        report.tasks_dropped_by_failures += repaired.dropped_tasks;
+                        report.tasks_reassigned += repaired.reassigned_tasks;
+                        schedule = repaired.schedule;
                     }
                 }
-                if in_frame.is_empty() {
-                    t += spec.frame_cadence_s;
-                    frame_id += 1;
-                    continue;
-                }
-                report.frames_with_targets += 1;
+            }
 
-                if leader_failed {
-                    // §4.7 fallback: followers capture nadir high-res.
-                    for &(idx, x, _) in &in_frame {
-                        if x.abs() <= high_swath / 2.0 {
+            // Execute captures: mark every target inside each
+            // captured footprint (including undetected ones — the
+            // serendipity effect behind Fig. 15).
+            for (slot, seq) in schedule.sequences.iter().enumerate() {
+                let k = active[slot];
+                for cap in seq {
+                    // A capture commanded to a follower that is out
+                    // of service at capture time never happens.
+                    if fault_plan
+                        .map(|p| p.follower_out(k, cap.time_s))
+                        .unwrap_or(false)
+                    {
+                        report.captures_lost_to_faults += 1;
+                        continue;
+                    }
+                    let c = &clusters[cap.task];
+                    let cx = c.center.cross_m;
+                    let cy_abs = along_origin + c.center.along_m;
+                    for &(idx, _, _) in &in_frame {
+                        if captured[idx] {
+                            continue;
+                        }
+                        // Re-evaluate the target position at capture
+                        // time (moving targets may have drifted).
+                        let p = self.targets.target(idx).position_at(cap.time_s);
+                        let (x2, y2) = frame.project(&p);
+                        let y2_abs = along_origin + y2;
+                        if (x2 - cx).abs() <= high_swath / 2.0
+                            && (y2_abs - cy_abs).abs() <= high_swath / 2.0
+                        {
                             captured[idx] = true;
                         }
                     }
-                    t += spec.frame_cadence_s;
-                    frame_id += 1;
-                    continue;
+                    report.captures_commanded += 1;
+                    avail[k] = cap.time_s;
+                    pointing[k] = problem.capture_offset(slot, cap.task, cap.time_s);
                 }
-
-                // A battery brownout inhibits all follower capture; a
-                // fully derated radio cannot uplink any tasks. Either
-                // way the frame produces no scheduled captures.
-                let radio_factor = fault_plan
-                    .map(|p| p.radio_capacity_factor(t))
-                    .unwrap_or(1.0);
-                let task_cap =
-                    ((self.options.max_tasks_per_frame as f64) * radio_factor).floor() as usize;
-                if fault_plan.map(|p| p.brownout(t)).unwrap_or(false) || task_cap == 0 {
-                    t += spec.frame_cadence_s;
-                    frame_id += 1;
-                    continue;
-                }
-
-                // Onboard detection with the recall model, plus any
-                // active detector-dropout fault (extra, independently
-                // rolled false negatives).
-                let detected: Vec<(usize, f64, f64)> = in_frame
-                    .iter()
-                    .copied()
-                    .filter(|&(idx, _, _)| {
-                        detection_roll(self.options.seed, idx as u64, frame_id)
-                            < self.options.recall
-                            && !fault_plan
-                                .map(|p| p.detector_drops(idx as u64, frame_id, t))
-                                .unwrap_or(false)
-                    })
-                    .collect();
-                report.per_frame_target_counts.push(detected.len());
-                if detected.is_empty() {
-                    t += spec.frame_cadence_s;
-                    frame_id += 1;
-                    continue;
-                }
-
-                // Target clustering (§4.1), with optional recapture
-                // deprioritization (§4.7 extension): already-captured
-                // targets get their priority scaled down so followers
-                // favor new ones.
-                let points: Vec<(crate::pointing::GroundPoint, f64)> = detected
-                    .iter()
-                    .map(|&(idx, x, y)| {
-                        let mut value = self.targets.target(idx).value;
-                        if let Some(p) = self.options.recapture_penalty {
-                            if captured[idx] {
-                                value *= p.clamp(0.0, 1.0);
-                            }
-                        }
-                        (crate::pointing::GroundPoint::new(x, y), value)
-                    })
-                    .collect();
-                let clu_start = Instant::now();
-                let mut clusters = cluster(&points, high_swath, high_swath, clustering_method)?;
-                report.clustering_time += clu_start.elapsed();
-                report.per_frame_cluster_counts.push(clusters.len());
-
-                // Keep the most valuable clusters up to the cap (shrunk
-                // further when a radio-derate fault limits task uplink).
-                if clusters.len() > task_cap {
-                    clusters.sort_by(|a, b| b.value.total_cmp(&a.value));
-                    clusters.truncate(task_cap);
-                }
-
-                // Build the scheduling problem in absolute along-track
-                // coordinates so follower state carries across frames.
-                let along_origin = v * t;
-                let tasks: Vec<TaskSpec> = clusters
-                    .iter()
-                    .map(|c| {
-                        TaskSpec::new(c.center.cross_m, along_origin + c.center.along_m, c.value)
-                    })
-                    .collect();
-                let mut failed: Vec<usize> = self
-                    .options
-                    .failure
-                    .as_ref()
-                    .filter(|f| t >= f.fail_at_s)
-                    .map(|f| f.failed_followers.clone())
-                    .unwrap_or_default();
-                // A fault-aware leader also excludes followers it knows
-                // to be out; a naive one keeps tasking them and loses
-                // those captures at execution time.
-                if fault_aware {
-                    if let Some(p) = fault_plan {
-                        for k in 0..n_followers {
-                            if p.follower_out(k, t) && !failed.contains(&k) {
-                                failed.push(k);
-                            }
-                        }
-                    }
-                }
-                let follower_states: Vec<FollowerState> = (0..n_followers)
-                    .filter(|k| !failed.contains(k))
-                    .map(|k| FollowerState {
-                        along_at_0_m: -trails[k],
-                        available_from_s: avail[k],
-                        pointing_offset: pointing[k],
-                    })
-                    .collect();
-                if follower_states.is_empty() {
-                    t += spec.frame_cadence_s;
-                    frame_id += 1;
-                    continue;
-                }
-                let active: Vec<usize> = (0..n_followers).filter(|k| !failed.contains(k)).collect();
-
-                // An active slew-derate fault slows every follower's
-                // reaction wheels for this horizon.
-                let slew_factor = fault_plan
-                    .map(|p| p.slew_rate_factor(t))
-                    .unwrap_or(1.0)
-                    .clamp(0.01, 1.0);
-                let frame_spec = if slew_factor < 1.0 {
-                    spec.with_adacs(Adacs::new(
-                        spec.adacs.rate_rad_s().to_degrees() * slew_factor,
-                        spec.adacs.overhead_s(),
-                    )?)
-                } else {
-                    spec
-                };
-
-                let clip = mix_compute_s.map(|d| TimeWindow {
-                    start_s: t + d,
-                    end_s: t + spec.frame_cadence_s - return_slew_s,
-                });
-                let problem =
-                    SchedulingProblem::new_with_clip(frame_spec, tasks, follower_states, clip)?;
-                let sched_start = Instant::now();
-                let mut schedule = match &scheduler {
-                    ActiveScheduler::Plain(s) => s.schedule(&problem)?,
-                    ActiveScheduler::Resilient(rs) => {
-                        let outcome = rs.schedule_with_outcome(&problem)?;
-                        match outcome.solver {
-                            SolverChoice::Ilp => report.ilp_horizons += 1,
-                            SolverChoice::Greedy => {
-                                report.greedy_fallbacks += 1;
-                                if matches!(
-                                    outcome.fallback,
-                                    Some(crate::schedule::FallbackReason::Deadline)
-                                ) {
-                                    report.deadline_fallbacks += 1;
-                                }
-                            }
-                        }
-                        outcome.schedule
-                    }
-                };
-                report.scheduler_time += sched_start.elapsed();
-                report.scheduler_calls += 1;
-
-                // Mid-horizon follower failures: a fault-aware leader
-                // running the resilient scheduler truncates the failed
-                // follower's plan at the outage onset and re-plans the
-                // dropped tasks onto the survivors.
-                if fault_aware {
-                    if let (Some(p), ActiveScheduler::Resilient(rs)) = (fault_plan, &scheduler) {
-                        let failures: Vec<(usize, f64)> = active
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(slot, &k)| {
-                                p.follower_outage_onset(k, t, t + spec.frame_cadence_s)
-                                    .map(|onset| (slot, onset))
-                            })
-                            .collect();
-                        if !failures.is_empty() {
-                            let repaired = rs.repair(&problem, &schedule, &failures)?;
-                            report.repairs_attempted += failures.len();
-                            report.tasks_dropped_by_failures += repaired.dropped_tasks;
-                            report.tasks_reassigned += repaired.reassigned_tasks;
-                            schedule = repaired.schedule;
-                        }
-                    }
-                }
-
-                // Execute captures: mark every target inside each
-                // captured footprint (including undetected ones — the
-                // serendipity effect behind Fig. 15).
-                for (slot, seq) in schedule.sequences.iter().enumerate() {
-                    let k = active[slot];
-                    for cap in seq {
-                        // A capture commanded to a follower that is out
-                        // of service at capture time never happens.
-                        if fault_plan
-                            .map(|p| p.follower_out(k, cap.time_s))
-                            .unwrap_or(false)
-                        {
-                            report.captures_lost_to_faults += 1;
-                            continue;
-                        }
-                        let c = &clusters[cap.task];
-                        let cx = c.center.cross_m;
-                        let cy_abs = along_origin + c.center.along_m;
-                        for &(idx, _, _) in &in_frame {
-                            if captured[idx] {
-                                continue;
-                            }
-                            // Re-evaluate the target position at capture
-                            // time (moving targets may have drifted).
-                            let p = self.targets.target(idx).position_at(cap.time_s);
-                            let (x2, y2) = frame.project(&p);
-                            let y2_abs = along_origin + y2;
-                            if (x2 - cx).abs() <= high_swath / 2.0
-                                && (y2_abs - cy_abs).abs() <= high_swath / 2.0
-                            {
-                                captured[idx] = true;
-                            }
-                        }
-                        report.captures_commanded += 1;
-                        avail[k] = cap.time_s;
-                        pointing[k] = problem.capture_offset(slot, cap.task, cap.time_s);
-                    }
-                }
-
-                t += spec.frame_cadence_s;
-                frame_id += 1;
             }
         }
-        report.captured = captured.iter().filter(|c| **c).count();
-        report.captured_value = captured
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| **c)
-            .map(|(i, _)| self.targets.target(i).value)
-            .sum();
-        Ok(report)
+        Ok(())
     }
 }
 
@@ -590,6 +702,61 @@ mod tests {
             duration_s: 1_800.0,
             ..CoverageOptions::default()
         }
+    }
+
+    #[test]
+    fn multithreaded_evaluation_is_deterministic() {
+        // The full gauntlet: imperfect recall (stochastic detection),
+        // an active fault plan, resilient scheduling, and several
+        // leader groups — everything that could plausibly diverge under
+        // parallel execution. The report must be identical (modulo
+        // wall-clock timing) at every thread count.
+        let targets = meridian_targets(80);
+        let config = ConstellationConfig::EagleEye {
+            groups: 3,
+            followers_per_group: 2,
+            scheduler: SchedulerKind::Resilient,
+            clustering: ClusteringMethod::Ilp,
+        };
+        let plan = Arc::new(FaultPlan::new(11).with_fault(
+            eagleeye_sim::FaultKind::FollowerOutage { follower: 1 },
+            600.0,
+            f64::INFINITY,
+        ));
+        let report_at = |threads: usize| {
+            let mut opts = quick_options();
+            opts.recall = 0.8;
+            opts.fault_plan = Some(plan.clone());
+            opts.degraded_mode = DegradedMode::Resilient;
+            opts.threads = threads;
+            CoverageEvaluator::new(&targets, opts)
+                .evaluate(&config)
+                .unwrap()
+        };
+        let sequential = report_at(1);
+        assert!(sequential.captured > 0, "workload must exercise captures");
+        for threads in [2, 4, 8] {
+            let parallel = report_at(threads);
+            assert!(
+                sequential.same_outcome(&parallel),
+                "threads={threads} diverged:\n  seq: {sequential:?}\n  par: {parallel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swath_membership_is_deterministic_across_threads() {
+        let targets = meridian_targets(50);
+        let report_at = |threads: usize| {
+            let mut opts = quick_options();
+            opts.threads = threads;
+            CoverageEvaluator::new(&targets, opts)
+                .evaluate(&ConstellationConfig::LowResOnly { satellites: 5 })
+                .unwrap()
+        };
+        let sequential = report_at(1);
+        assert!(sequential.captured > 0);
+        assert!(sequential.same_outcome(&report_at(4)));
     }
 
     #[test]
@@ -728,11 +895,11 @@ mod tests {
     #[test]
     fn fault_follower_outage_naive_loses_resilient_recovers() {
         let targets = meridian_targets(60);
-        let plan = FaultPlan::new(1).with_fault(
+        let plan = Arc::new(FaultPlan::new(1).with_fault(
             eagleeye_sim::FaultKind::FollowerOutage { follower: 0 },
             0.0,
             f64::INFINITY,
-        );
+        ));
 
         let mut naive_opts = quick_options();
         naive_opts.fault_plan = Some(plan.clone());
@@ -791,11 +958,11 @@ mod tests {
     fn mid_pass_outage_repair_counters_are_consistent() {
         let targets = meridian_targets(60);
         let mut opts = quick_options();
-        opts.fault_plan = Some(FaultPlan::new(2).with_fault(
+        opts.fault_plan = Some(Arc::new(FaultPlan::new(2).with_fault(
             eagleeye_sim::FaultKind::FollowerOutage { follower: 1 },
             300.0,
             f64::INFINITY,
-        ));
+        )));
         let eval = CoverageEvaluator::new(&targets, opts);
         let r = eval
             .evaluate(&ConstellationConfig::EagleEye {
@@ -813,11 +980,11 @@ mod tests {
     fn fault_leader_outage_suppresses_scheduling() {
         let targets = meridian_targets(30);
         let mut opts = quick_options();
-        opts.fault_plan = Some(FaultPlan::new(3).with_fault(
+        opts.fault_plan = Some(Arc::new(FaultPlan::new(3).with_fault(
             eagleeye_sim::FaultKind::LeaderOutage,
             0.0,
             f64::INFINITY,
-        ));
+        )));
         let eval = CoverageEvaluator::new(&targets, opts);
         let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
         assert_eq!(r.captures_commanded, 0);
@@ -828,13 +995,13 @@ mod tests {
     fn fault_total_detector_dropout_captures_nothing() {
         let targets = meridian_targets(30);
         let mut opts = quick_options();
-        opts.fault_plan = Some(FaultPlan::new(4).with_fault(
+        opts.fault_plan = Some(Arc::new(FaultPlan::new(4).with_fault(
             eagleeye_sim::FaultKind::DetectorDropout {
                 false_negative_rate: 1.0,
             },
             0.0,
             f64::INFINITY,
-        ));
+        )));
         let eval = CoverageEvaluator::new(&targets, opts);
         let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
         assert_eq!(r.captured, 0);
@@ -844,11 +1011,11 @@ mod tests {
     fn fault_brownout_suppresses_captures_inside_window() {
         let targets = meridian_targets(30);
         let mut opts = quick_options();
-        opts.fault_plan = Some(FaultPlan::new(5).with_fault(
+        opts.fault_plan = Some(Arc::new(FaultPlan::new(5).with_fault(
             eagleeye_sim::FaultKind::BatteryBrownout,
             0.0,
             f64::INFINITY,
-        ));
+        )));
         let eval = CoverageEvaluator::new(&targets, opts);
         let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
         assert_eq!(r.captures_commanded, 0);
@@ -861,11 +1028,11 @@ mod tests {
             .evaluate(&ConstellationConfig::eagleeye(1, 1))
             .unwrap();
         let mut opts = quick_options();
-        opts.fault_plan = Some(FaultPlan::new(6).with_fault(
+        opts.fault_plan = Some(Arc::new(FaultPlan::new(6).with_fault(
             eagleeye_sim::FaultKind::SlewDerate { rate_factor: 0.25 },
             0.0,
             f64::INFINITY,
-        ));
+        )));
         let derated = CoverageEvaluator::new(&targets, opts)
             .evaluate(&ConstellationConfig::eagleeye(1, 1))
             .unwrap();

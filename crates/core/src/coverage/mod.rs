@@ -22,9 +22,9 @@
 //! excluded from scheduling.
 //!
 //! Beyond the paper, richer fault timelines can be injected via
-//! [`CoverageOptions::fault_plan`] (an `eagleeye_sim::FaultPlan`:
-//! satellite outages, detector dropout, radio/ADACS derating, battery
-//! brownouts). [`DegradedMode`] selects whether the leader reacts to
+//! [`CoverageOptions::fault_plan`] (an `Arc`-shared
+//! `eagleeye_sim::FaultPlan`: satellite outages, detector dropout,
+//! radio/ADACS derating, battery brownouts). [`DegradedMode`] selects whether the leader reacts to
 //! those faults (excluding dead followers, repairing mid-pass failures
 //! with [`SchedulerKind::Resilient`]) or naively keeps tasking dead
 //! satellites — the baseline for the fault-tolerance study.

@@ -81,6 +81,52 @@ impl CoverageReport {
         }
     }
 
+    /// Folds a partial report (one leader pass) into this one: counters
+    /// and timers are summed, per-frame series appended in call order.
+    ///
+    /// Capture totals (`captured`, `total`, `captured_value`,
+    /// `total_value`) are deliberately left alone — captures are marked
+    /// idempotently in a shared (or merged) bitmap, so summing per-pass
+    /// counts would double-count targets seen by several leaders. The
+    /// evaluator derives them from the final bitmap instead.
+    ///
+    /// Parallel evaluation merges partial reports in leader order, so a
+    /// multi-threaded run produces a report identical to a sequential
+    /// one (modulo the wall-clock `*_time` fields).
+    pub fn absorb(&mut self, part: CoverageReport) {
+        self.frames_processed += part.frames_processed;
+        self.frames_with_targets += part.frames_with_targets;
+        self.per_frame_target_counts
+            .extend(part.per_frame_target_counts);
+        self.per_frame_cluster_counts
+            .extend(part.per_frame_cluster_counts);
+        self.scheduler_calls += part.scheduler_calls;
+        self.scheduler_time += part.scheduler_time;
+        self.clustering_time += part.clustering_time;
+        self.captures_commanded += part.captures_commanded;
+        self.ilp_horizons += part.ilp_horizons;
+        self.greedy_fallbacks += part.greedy_fallbacks;
+        self.deadline_fallbacks += part.deadline_fallbacks;
+        self.repairs_attempted += part.repairs_attempted;
+        self.tasks_dropped_by_failures += part.tasks_dropped_by_failures;
+        self.tasks_reassigned += part.tasks_reassigned;
+        self.captures_lost_to_faults += part.captures_lost_to_faults;
+        self.frames_leader_down += part.frames_leader_down;
+    }
+
+    /// True when two reports agree on everything except the wall-clock
+    /// timing fields (`scheduler_time`, `clustering_time`), which vary
+    /// run to run even for identical work. This is the determinism
+    /// contract checked across thread counts.
+    pub fn same_outcome(&self, other: &CoverageReport) -> bool {
+        let strip = |r: &CoverageReport| CoverageReport {
+            scheduler_time: Duration::ZERO,
+            clustering_time: Duration::ZERO,
+            ..r.clone()
+        };
+        strip(self) == strip(other)
+    }
+
     /// Fraction of nonempty frames with more than `threshold` detected
     /// targets (the paper's Fig. 12b observation: up to 32 % of images
     /// hold more than 19 targets).
@@ -125,6 +171,51 @@ mod tests {
             CoverageReport::default().mean_scheduler_latency(),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_preserves_capture_totals() {
+        let mut acc = CoverageReport {
+            captured: 7,
+            total: 10,
+            frames_processed: 3,
+            per_frame_target_counts: vec![1],
+            scheduler_calls: 2,
+            scheduler_time: Duration::from_millis(5),
+            ..CoverageReport::default()
+        };
+        acc.absorb(CoverageReport {
+            captured: 99, // must be ignored
+            frames_processed: 4,
+            per_frame_target_counts: vec![2, 3],
+            scheduler_calls: 1,
+            scheduler_time: Duration::from_millis(7),
+            greedy_fallbacks: 2,
+            ..CoverageReport::default()
+        });
+        assert_eq!(acc.captured, 7);
+        assert_eq!(acc.total, 10);
+        assert_eq!(acc.frames_processed, 7);
+        assert_eq!(acc.per_frame_target_counts, vec![1, 2, 3]);
+        assert_eq!(acc.scheduler_calls, 3);
+        assert_eq!(acc.scheduler_time, Duration::from_millis(12));
+        assert_eq!(acc.greedy_fallbacks, 2);
+    }
+
+    #[test]
+    fn same_outcome_ignores_only_timing() {
+        let a = CoverageReport {
+            captured: 4,
+            scheduler_time: Duration::from_millis(3),
+            clustering_time: Duration::from_millis(1),
+            ..CoverageReport::default()
+        };
+        let mut b = a.clone();
+        b.scheduler_time = Duration::from_secs(9);
+        b.clustering_time = Duration::ZERO;
+        assert!(a.same_outcome(&b));
+        b.captured = 5;
+        assert!(!a.same_outcome(&b));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Dependency-free parallel execution layer for the EagleEye pipeline.
+//!
+//! The paper's evaluation is embarrassingly parallel at two levels: every
+//! sweep point of a figure is an independent
+//! `CoverageEvaluator::evaluate` call, and within one evaluation every
+//! leader group schedules its followers independently. This crate is the
+//! scaling substrate for both, built purely on [`std::thread::scope`] and
+//! atomics — the workspace is deliberately offline, so no `rayon`.
+//!
+//! # Determinism
+//!
+//! Work items are self-scheduled (workers race on an atomic cursor — the
+//! cheap cousin of work stealing), but **results are indexed by input
+//! position**, so the output `Vec` is bit-identical at any thread count,
+//! including `threads = 1` which runs inline without spawning. Callers
+//! must only supply closures that are themselves pure functions of
+//! `(index, item)`; every closure in this workspace derives its
+//! randomness from seeded counter-based generators, so that holds.
+//!
+//! # Example
+//!
+//! ```
+//! use eagleeye_exec::ExecPool;
+//!
+//! let pool = ExecPool::new(4);
+//! let squares = pool.par_map(&[1, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads available to this process (at least 1).
+///
+/// Falls back to 1 when the platform cannot report parallelism (e.g.
+/// restricted sandboxes).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scoped worker pool with deterministic result ordering.
+///
+/// The pool holds no threads between calls: each `par_*` invocation
+/// spawns scoped workers that self-schedule items off a shared atomic
+/// cursor and exit when the input is drained. For the coarse work items
+/// this workspace parallelizes (whole coverage evaluations, per-group
+/// frame loops), spawn cost is noise; what matters is that results come
+/// back ordered by input index regardless of completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl Default for ExecPool {
+    /// A pool sized to [`available_parallelism`].
+    fn default() -> Self {
+        ExecPool::new(0)
+    }
+}
+
+impl ExecPool {
+    /// Creates a pool with `threads` workers; `0` means
+    /// [`available_parallelism`].
+    pub fn new(threads: usize) -> Self {
+        ExecPool {
+            threads: if threads == 0 {
+                available_parallelism()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// Configured worker count (never 0).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f(index, item)` to every item, returning results in
+    /// input order. Runs inline when one worker suffices.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is propagated to the caller after all workers
+    /// stop.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+
+        // Reassemble in input order: position-indexed, not
+        // completion-ordered.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in buckets.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index scheduled exactly once"))
+            .collect()
+    }
+
+    /// Fallible [`ExecPool::par_map`]: applies `f` to every item and
+    /// returns all results, or the error of the **lowest-indexed**
+    /// failing item.
+    ///
+    /// All items are evaluated even after a failure so the returned
+    /// error does not depend on scheduling order (determinism over
+    /// early-exit; errors are exceptional in this workspace).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error by input index.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut ok = Vec::with_capacity(items.len());
+        for r in self.par_map(items, f) {
+            ok.push(r?);
+        }
+        Ok(ok)
+    }
+
+    /// Applies `f(chunk_index, chunk)` to consecutive chunks of at most
+    /// `chunk_size` items, returning per-chunk results in chunk order.
+    /// Use instead of [`ExecPool::par_map`] when items are so cheap that
+    /// per-item cursor traffic would dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`; a panic in `f` is propagated.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.par_map(&chunks, |i, c| f(i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert_eq!(ExecPool::new(0).threads(), available_parallelism());
+        assert!(ExecPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ExecPool::new(threads).par_map(&items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_matching_indices() {
+        let items = vec![10usize; 100];
+        let got = ExecPool::new(4).par_map(&items, |i, &x| i + x);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i + 10);
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let got: Vec<i32> = ExecPool::new(8).par_map(&[] as &[i32], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 1000];
+        ExecPool::new(7).par_map(&items, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4] {
+            let r: Result<Vec<usize>, usize> = ExecPool::new(threads)
+                .try_par_map(&items, |_, &x| if x % 7 == 3 { Err(x) } else { Ok(x) });
+            assert_eq!(r.unwrap_err(), 3, "threads={threads}");
+        }
+        let ok: Result<Vec<usize>, ()> = ExecPool::new(4).try_par_map(&items, |_, &x| Ok(x * 2));
+        assert_eq!(ok.unwrap()[50], 100);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_chunk_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums =
+            ExecPool::new(4).par_chunks(&items, 10, |ci, c| (ci, c.iter().sum::<usize>(), c.len()));
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums[0], (0, 45, 10));
+        assert_eq!(sums[10].2, 3); // tail chunk
+        let total: usize = sums.iter().map(|&(_, s, _)| s).sum();
+        assert_eq!(total, 103 * 102 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        ExecPool::new(4).par_map(&items, |_, &x| {
+            if x == 11 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -83,6 +83,10 @@ const PIVOT_TOL: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-7;
 /// Consecutive non-improving iterations before switching to Bland's rule.
 const STALL_LIMIT: usize = 64;
+/// Pivot iterations between deadline checks. `Instant::now()` in the
+/// pivot loop is pure overhead at this granularity; checking every
+/// 128 iterations keeps overshoot well under a millisecond.
+const DEADLINE_CHECK_STRIDE: usize = 128;
 
 /// Solves the LP.
 ///
@@ -358,7 +362,7 @@ impl Tableau {
                     limit: self.max_iterations,
                 });
             }
-            if self.iterations.is_multiple_of(128) {
+            if self.iterations.is_multiple_of(DEADLINE_CHECK_STRIDE) {
                 if let Some(d) = self.deadline {
                     if Instant::now() >= d {
                         return Err(IlpError::Deadline);

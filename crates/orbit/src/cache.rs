@@ -1,0 +1,264 @@
+//! Batched orbit propagation with per-epoch trig memoization.
+//!
+//! The coverage evaluator steps every satellite over the same frame
+//! epochs (`t = 0, c, 2c, …`). Propagating lazily inside the frame loop
+//! recomputes, per satellite per frame, the Greenwich-sidereal-angle
+//! sine/cosine for the ECI→ECEF rotation — values that depend only on
+//! the epoch, not the satellite. [`EpochGrid`] hoists that trig out of
+//! the loop (one pair per epoch, shared by the whole constellation) and
+//! [`PropagationCache`] batch-propagates each satellite over the grid
+//! once, so the frame loop reads precomputed [`TrackState`]s instead of
+//! re-deriving orbit state.
+//!
+//! Cached and direct propagation are **bit-identical**: the grid
+//! evaluates [`GroundTrack::gmst_at`] — the same function `state_at`
+//! uses — at the same epochs, and feeds the results through
+//! [`GroundTrack::state_at_with_trig`].
+//!
+//! # Invalidation
+//!
+//! A cache is immutable and valid only for the exact `(tracks, grid)`
+//! it was built from. Anything that changes the propagation inputs —
+//! constellation layout, altitude, inclination, RAAN/phase, GMST epoch,
+//! frame cadence, or horizon — requires building a new cache; there is
+//! deliberately no partial-update API.
+
+use crate::{GroundTrack, OrbitError, TrackState};
+
+/// The frame epochs of an evaluation horizon, exactly as the coverage
+/// evaluator's `while t < duration { t += cadence }` loop produces them
+/// (accumulated, not multiplied, so cached runs match historical
+/// float-for-float behaviour).
+///
+/// Returns an empty grid for non-positive cadence or duration.
+pub fn frame_epochs(duration_s: f64, cadence_s: f64) -> Vec<f64> {
+    let mut epochs = Vec::new();
+    if !(cadence_s > 0.0) {
+        return epochs;
+    }
+    let mut t = 0.0;
+    while t < duration_s {
+        epochs.push(t);
+        t += cadence_s;
+    }
+    epochs
+}
+
+/// Epoch times plus the memoized sidereal-angle trig shared by every
+/// satellite propagated over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochGrid {
+    gmst_epoch_rad: f64,
+    epochs: Vec<f64>,
+    /// Per epoch: `(sin, cos)` of the sidereal angle at `t` and at
+    /// `t + FD_DT_S` (the heading finite-difference point).
+    trig: Vec<((f64, f64), (f64, f64))>,
+}
+
+impl EpochGrid {
+    /// Builds a grid for tracks whose GMST epoch angle is
+    /// `gmst_epoch_rad` (0 for every [`crate::ConstellationLayout`]
+    /// track).
+    pub fn new(gmst_epoch_rad: f64, epochs: Vec<f64>) -> Self {
+        let trig = epochs
+            .iter()
+            .map(|&t| {
+                (
+                    GroundTrack::gmst_at(gmst_epoch_rad, t).sin_cos(),
+                    GroundTrack::gmst_at(gmst_epoch_rad, t + GroundTrack::FD_DT_S).sin_cos(),
+                )
+            })
+            .collect();
+        EpochGrid {
+            gmst_epoch_rad,
+            epochs,
+            trig,
+        }
+    }
+
+    /// Grid over an evaluation horizon (see [`frame_epochs`]).
+    pub fn for_horizon(gmst_epoch_rad: f64, duration_s: f64, cadence_s: f64) -> Self {
+        Self::new(gmst_epoch_rad, frame_epochs(duration_s, cadence_s))
+    }
+
+    /// The epoch times, seconds past epoch.
+    #[inline]
+    pub fn epochs(&self) -> &[f64] {
+        &self.epochs
+    }
+
+    /// Number of epochs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True when the grid holds no epochs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The GMST epoch angle the trig was memoized for.
+    #[inline]
+    pub fn gmst_epoch_rad(&self) -> f64 {
+        self.gmst_epoch_rad
+    }
+
+    /// Propagates one track over every epoch, reusing the memoized trig
+    /// when the track shares the grid's GMST epoch and falling back to
+    /// direct propagation (same results, no sharing) when it does not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation and geodetic conversion failures.
+    pub fn propagate(&self, track: &GroundTrack) -> Result<Vec<TrackState>, OrbitError> {
+        if track.gmst_epoch_rad() == self.gmst_epoch_rad {
+            self.epochs
+                .iter()
+                .zip(&self.trig)
+                .map(|(&t, &(sc, sc_fd))| track.state_at_with_trig(t, sc, sc_fd))
+                .collect()
+        } else {
+            self.epochs.iter().map(|&t| track.state_at(t)).collect()
+        }
+    }
+}
+
+/// Batch-propagated [`TrackState`]s for a set of satellites over one
+/// epoch grid, indexed `[satellite][frame]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationCache {
+    grid: EpochGrid,
+    states: Vec<Vec<TrackState>>,
+}
+
+impl PropagationCache {
+    /// Propagates every track over the grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation and geodetic conversion failures.
+    pub fn build(tracks: &[GroundTrack], grid: EpochGrid) -> Result<Self, OrbitError> {
+        let states = tracks
+            .iter()
+            .map(|tr| grid.propagate(tr))
+            .collect::<Result<_, _>>()?;
+        Ok(PropagationCache { grid, states })
+    }
+
+    /// Assembles a cache from rows propagated elsewhere (e.g. in
+    /// parallel, one worker per satellite via `EpochGrid::propagate`).
+    /// Row `i` must be `grid.propagate(&tracks[i])` for the cache to be
+    /// meaningful; each row's length must equal the grid's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row length disagrees with the grid.
+    pub fn from_rows(grid: EpochGrid, states: Vec<Vec<TrackState>>) -> Self {
+        for (i, row) in states.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                grid.len(),
+                "row {i} has {} states for {} epochs",
+                row.len(),
+                grid.len()
+            );
+        }
+        PropagationCache { grid, states }
+    }
+
+    /// The epoch grid the cache was built over.
+    #[inline]
+    pub fn grid(&self) -> &EpochGrid {
+        &self.grid
+    }
+
+    /// Number of cached satellites.
+    #[inline]
+    pub fn satellite_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// All cached states of one satellite, in epoch order.
+    #[inline]
+    pub fn row(&self, satellite: usize) -> &[TrackState] {
+        &self.states[satellite]
+    }
+
+    /// Cached state of `satellite` at epoch index `frame`.
+    #[inline]
+    pub fn state(&self, satellite: usize, frame: usize) -> &TrackState {
+        &self.states[satellite][frame]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstellationLayout, J2Propagator};
+
+    fn paper_track(phase: f64) -> GroundTrack {
+        GroundTrack::new(
+            J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, phase).unwrap(),
+        )
+    }
+
+    #[test]
+    fn frame_epochs_match_accumulation_loop() {
+        let epochs = frame_epochs(100.0, 15.0);
+        // Replicate the evaluator's historical loop.
+        let mut expected = Vec::new();
+        let mut t = 0.0;
+        while t < 100.0 {
+            expected.push(t);
+            t += 15.0;
+        }
+        assert_eq!(epochs, expected);
+        assert!(frame_epochs(10.0, 0.0).is_empty());
+        assert!(frame_epochs(10.0, -1.0).is_empty());
+        assert!(frame_epochs(0.0, 15.0).is_empty());
+    }
+
+    #[test]
+    fn cached_states_are_bit_identical_to_direct_propagation() {
+        let tracks = vec![paper_track(0.0), paper_track(1.3)];
+        let grid = EpochGrid::for_horizon(0.0, 3_600.0, 14.7);
+        let cache = PropagationCache::build(&tracks, grid.clone()).unwrap();
+        assert_eq!(cache.satellite_count(), 2);
+        for (i, track) in tracks.iter().enumerate() {
+            for (k, &t) in grid.epochs().iter().enumerate() {
+                let direct = track.state_at(t).unwrap();
+                assert_eq!(cache.state(i, k), &direct, "sat {i} frame {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_gmst_epoch_falls_back_and_still_matches() {
+        let track = paper_track(0.0).with_gmst_epoch(0.7);
+        let grid = EpochGrid::for_horizon(0.0, 600.0, 15.0);
+        let row = grid.propagate(&track).unwrap();
+        for (k, &t) in grid.epochs().iter().enumerate() {
+            assert_eq!(row[k], track.state_at(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn layout_tracks_share_the_zero_gmst_grid() {
+        let layout = ConstellationLayout::uniform(2, 1, 475_000.0, 97.2_f64.to_radians()).unwrap();
+        let grid = EpochGrid::for_horizon(0.0, 1_000.0, 15.0);
+        for sat in layout.satellites() {
+            let track = layout.ground_track(sat).unwrap();
+            assert_eq!(track.gmst_epoch_rad(), 0.0);
+            assert_eq!(grid.propagate(&track).unwrap().len(), grid.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0")]
+    fn from_rows_rejects_length_mismatch() {
+        let grid = EpochGrid::for_horizon(0.0, 100.0, 15.0);
+        PropagationCache::from_rows(grid, vec![vec![]]);
+    }
+}

@@ -52,6 +52,10 @@ pub struct GroundTrack {
 }
 
 impl GroundTrack {
+    /// Step used for the finite-difference heading/ground-speed
+    /// derivative in [`GroundTrack::state_at`], seconds.
+    pub const FD_DT_S: f64 = 1.0;
+
     /// Creates a ground track with GMST₀ = 0 and the sun along +X (ECI).
     pub fn new(propagator: J2Propagator) -> Self {
         GroundTrack {
@@ -80,21 +84,42 @@ impl GroundTrack {
         &self.propagator
     }
 
+    /// Greenwich sidereal angle at epoch (the `θ₀` set by
+    /// [`GroundTrack::with_gmst_epoch`]).
+    #[inline]
+    pub fn gmst_epoch_rad(&self) -> f64 {
+        self.gmst_epoch_rad
+    }
+
+    /// Greenwich sidereal angle at `t_s` seconds past an epoch angle of
+    /// `gmst_epoch_rad`. [`crate::EpochGrid`] memoizes the sine/cosine
+    /// of exactly this angle, so cached and direct propagation agree
+    /// bit-for-bit.
+    #[inline]
+    pub fn gmst_at(gmst_epoch_rad: f64, t_s: f64) -> f64 {
+        eagleeye_geo::wrap_two_pi(gmst_epoch_rad + OMEGA_EARTH_RAD_S * t_s)
+    }
+
     /// Greenwich sidereal angle at `t_s` seconds past epoch.
     #[inline]
     pub fn gmst_rad(&self, t_s: f64) -> f64 {
-        eagleeye_geo::wrap_two_pi(self.gmst_epoch_rad + OMEGA_EARTH_RAD_S * t_s)
+        Self::gmst_at(self.gmst_epoch_rad, t_s)
     }
 
-    /// Rotates an ECI position into ECEF at time `t_s`.
-    pub fn eci_to_ecef(&self, position: Vec3, t_s: f64) -> Ecef {
-        let theta = self.gmst_rad(t_s);
-        let (s, c) = theta.sin_cos();
+    /// Rotates an ECI position into ECEF given the precomputed
+    /// `(sin θ, cos θ)` of the Greenwich sidereal angle.
+    #[inline]
+    pub fn eci_to_ecef_with_trig(position: Vec3, (s, c): (f64, f64)) -> Ecef {
         Ecef(Vec3::new(
             c * position.x + s * position.y,
             -s * position.x + c * position.y,
             position.z,
         ))
+    }
+
+    /// Rotates an ECI position into ECEF at time `t_s`.
+    pub fn eci_to_ecef(&self, position: Vec3, t_s: f64) -> Ecef {
+        Self::eci_to_ecef_with_trig(position, self.gmst_rad(t_s).sin_cos())
     }
 
     /// Full ground-relative state at `t_s` seconds past epoch.
@@ -103,14 +128,41 @@ impl GroundTrack {
     ///
     /// Propagates propagation and geodetic conversion failures.
     pub fn state_at(&self, t_s: f64) -> Result<TrackState, OrbitError> {
+        self.state_at_with_trig(
+            t_s,
+            self.gmst_rad(t_s).sin_cos(),
+            self.gmst_rad(t_s + Self::FD_DT_S).sin_cos(),
+        )
+    }
+
+    /// Like [`GroundTrack::state_at`], with the sidereal-angle
+    /// sine/cosine at `t_s` and `t_s + FD_DT_S` supplied by the caller.
+    ///
+    /// This is the memoization seam used by
+    /// [`crate::PropagationCache`]: the sidereal angle depends only on
+    /// the epoch time, not the satellite, so one `(sin, cos)` pair per
+    /// epoch serves an entire constellation instead of being recomputed
+    /// per satellite per frame. Passing trig values computed from
+    /// [`GroundTrack::gmst_rad`] at the same times makes this identical
+    /// to `state_at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation and geodetic conversion failures.
+    pub fn state_at_with_trig(
+        &self,
+        t_s: f64,
+        gmst_sc: (f64, f64),
+        gmst_fd_sc: (f64, f64),
+    ) -> Result<TrackState, OrbitError> {
         let eci = self.propagator.state_at(t_s)?;
-        let sub = self.subsatellite_at(eci.position, t_s)?;
+        let sub = Self::subsatellite_with_trig(eci.position, gmst_sc)?;
 
         // Heading and ground speed from a small finite difference of the
         // subsatellite point (captures Earth-rotation coupling exactly).
-        let dt = 1.0;
+        let dt = Self::FD_DT_S;
         let eci2 = self.propagator.state_at(t_s + dt)?;
-        let sub2 = self.subsatellite_at(eci2.position, t_s + dt)?;
+        let sub2 = Self::subsatellite_with_trig(eci2.position, gmst_fd_sc)?;
         let heading_rad = greatcircle::initial_bearing_rad(&sub, &sub2);
         let ground_speed_m_s = greatcircle::distance_m(&sub, &sub2) / dt;
 
@@ -128,8 +180,11 @@ impl GroundTrack {
         })
     }
 
-    fn subsatellite_at(&self, eci_pos: Vec3, t_s: f64) -> Result<GeodeticPoint, OrbitError> {
-        let ecef = self.eci_to_ecef(eci_pos, t_s);
+    fn subsatellite_with_trig(
+        eci_pos: Vec3,
+        gmst_sc: (f64, f64),
+    ) -> Result<GeodeticPoint, OrbitError> {
+        let ecef = Self::eci_to_ecef_with_trig(eci_pos, gmst_sc);
         let geo = ecef.to_geodetic_spherical()?;
         Ok(geo.with_altitude(0.0)?)
     }
