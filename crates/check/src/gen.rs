@@ -1,0 +1,318 @@
+//! Generators and combinators over [`Source`] choice streams.
+//!
+//! Every primitive generator maps smaller raw choices to simpler
+//! values (ranges collapse toward their lower bound, collections
+//! toward fewer elements), which is what lets the generic choice-level
+//! shrinker in [`crate::check`] produce minimal counterexamples
+//! without per-type shrink implementations.
+
+use crate::source::Source;
+
+/// How many fresh draws a [`Filter`] attempts before flagging the case
+/// invalid (discarded by the runner).
+const FILTER_RETRIES: usize = 64;
+
+/// A value generator over a [`Source`] choice stream.
+///
+/// Implementations must derive the value **only** from
+/// [`Source::draw`] calls — never from ambient state — so cases
+/// replay and shrink deterministically.
+pub trait Gen {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value, consuming choices from `src`.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Maps generated values through `f` (shrinking still operates on
+    /// this generator's choices, so mapped values shrink for free).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying with fresh
+    /// choices a bounded number of times before discarding the case.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for Map<G, F>
+where
+    G: Gen,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// See [`Gen::filter`].
+pub struct Filter<G, F> {
+    inner: G,
+    pred: F,
+}
+
+impl<G, F> Gen for Filter<G, F>
+where
+    G: Gen,
+    F: Fn(&G::Value) -> bool,
+{
+    type Value = G::Value;
+
+    fn generate(&self, src: &mut Source) -> G::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(src);
+            if src.is_invalid() || (self.pred)(&v) {
+                return v;
+            }
+        }
+        src.mark_invalid();
+        self.inner.generate(src)
+    }
+}
+
+/// Uniform `f64` in the half-open range `[lo, hi)`; see [`f64_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[lo, hi)` with 53 bits of precision. The raw
+/// choice `0` maps to exactly `lo`, so values shrink toward the lower
+/// bound.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and both are finite.
+pub fn f64_range(lo: f64, hi: f64) -> F64Range {
+    assert!(
+        lo < hi && lo.is_finite() && hi.is_finite(),
+        "f64_range requires finite lo < hi, got [{lo}, {hi})"
+    );
+    F64Range { lo, hi }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, src: &mut Source) -> f64 {
+        let frac = (src.draw() >> 11) as f64 / (1u64 << 53) as f64;
+        self.lo + (self.hi - self.lo) * frac
+    }
+}
+
+/// Uniform `usize` in a half-open range; see [`usize_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize` in `[lo, hi)` (multiply-shift mapping; the bias is
+/// `< span / 2^64`). The raw choice `0` maps to exactly `lo`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn usize_range(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "usize_range requires lo < hi, got [{lo}, {hi})");
+    UsizeRange { lo, hi }
+}
+
+impl Gen for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, src: &mut Source) -> usize {
+        let span = (self.hi - self.lo) as u64;
+        self.lo + (((src.draw() as u128 * span as u128) >> 64) as u64) as usize
+    }
+}
+
+/// Uniform `u64` in a half-open range; see [`u64_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `[lo, hi)`. The raw choice `0` maps to exactly
+/// `lo`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn u64_range(lo: u64, hi: u64) -> U64Range {
+    assert!(lo < hi, "u64_range requires lo < hi, got [{lo}, {hi})");
+    U64Range { lo, hi }
+}
+
+impl Gen for U64Range {
+    type Value = u64;
+
+    fn generate(&self, src: &mut Source) -> u64 {
+        let span = (self.hi - self.lo) as u128;
+        self.lo + ((src.draw() as u128 * span) >> 64) as u64
+    }
+}
+
+/// Uniform `bool`; see [`any_bool`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolGen;
+
+/// Uniform `bool`. The raw choice `0` maps to `false`.
+pub fn any_bool() -> BoolGen {
+    BoolGen
+}
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, src: &mut Source) -> bool {
+        // Use the top bit: multiply-shift keeps "smaller raw = false".
+        src.draw() >= 1 << 63
+    }
+}
+
+/// A vector of values from an element generator; see [`vec_of`].
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+/// A `Vec` of `elem`-generated values with length uniform in
+/// `[min, max)` (mirroring `proptest::collection::vec(g, min..max)`).
+/// The length choice is drawn first, so zeroing it shrinks toward
+/// `min` elements.
+///
+/// # Panics
+///
+/// Panics unless `min < max`.
+pub fn vec_of<G: Gen>(elem: G, min: usize, max: usize) -> VecGen<G> {
+    assert!(min < max, "vec_of requires min < max, got [{min}, {max})");
+    VecGen { elem, min, max }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, src: &mut Source) -> Vec<G::Value> {
+        let len = usize_range(self.min, self.max).generate(src);
+        (0..len).map(|_| self.elem.generate(src)).collect()
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident . $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$idx.generate(src),)+)
+            }
+        }
+    };
+}
+
+tuple_gen!(A.0);
+tuple_gen!(A.0, B.1);
+tuple_gen!(A.0, B.1, C.2);
+tuple_gen!(A.0, B.1, C.2, D.3);
+tuple_gen!(A.0, B.1, C.2, D.3, E.4);
+tuple_gen!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_gen!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagleeye_rng::SplitMix64;
+
+    fn live(seed: u64) -> Source {
+        Source::live(SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_zero_means_lo() {
+        let mut src = live(3);
+        for _ in 0..500 {
+            let x = f64_range(-4.0, 9.5).generate(&mut src);
+            assert!((-4.0..9.5).contains(&x));
+            let n = usize_range(2, 7).generate(&mut src);
+            assert!((2..7).contains(&n));
+            let u = u64_range(10, 20).generate(&mut src);
+            assert!((10..20).contains(&u));
+        }
+        let mut zeros = Source::replay(vec![]);
+        assert_eq!(f64_range(-4.0, 9.5).generate(&mut zeros), -4.0);
+        assert_eq!(usize_range(2, 7).generate(&mut zeros), 2);
+        assert_eq!(u64_range(10, 20).generate(&mut zeros), 10);
+        assert!(!any_bool().generate(&mut zeros));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let g = (f64_range(0.0, 1.0), vec_of(usize_range(0, 9), 1, 6));
+        let a = g.generate(&mut live(42));
+        let b = g.generate(&mut live(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let g = usize_range(0, 100)
+            .filter(|&n| n % 2 == 0)
+            .map(|n| n as f64 / 2.0);
+        let mut src = live(11);
+        for _ in 0..100 {
+            let v = g.generate(&mut src);
+            assert!(!src.is_invalid());
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn impossible_filter_marks_invalid() {
+        let g = usize_range(0, 10).filter(|_| false);
+        let mut src = live(1);
+        let _ = g.generate(&mut src);
+        assert!(src.is_invalid());
+    }
+
+    #[test]
+    fn vec_lengths_cover_the_range() {
+        let g = vec_of(any_bool(), 1, 5);
+        let mut seen = [false; 5];
+        let mut src = live(9);
+        for _ in 0..200 {
+            seen[g.generate(&mut src).len()] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    fn replayed_choices_reproduce_the_value() {
+        let g = (f64_range(-1.0, 1.0), vec_of(u64_range(0, 50), 2, 9));
+        let mut src = live(77);
+        let original = g.generate(&mut src);
+        let replayed = g.generate(&mut Source::replay(src.into_data()));
+        assert_eq!(original, replayed);
+    }
+}

@@ -1,0 +1,337 @@
+//! The property runner: seeded case loop, discard budget, failure
+//! shrinking, and replayable-seed reporting.
+
+use crate::shrink;
+use crate::source::Source;
+use crate::Gen;
+use eagleeye_rng::{mix64, SplitMix64};
+use std::fmt::Debug;
+
+/// Default case count per property when neither the caller nor
+/// `EAGLEEYE_CHECK_CASES` says otherwise.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Workspace-wide base seed all per-case seeds are forked from.
+const BASE_SEED: u64 = 0x00EA_61EE_C11E_C4ED;
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The property's assertion failed with this message.
+    Fail(String),
+    /// A precondition did not hold ([`crate::prop_assume!`]); the case
+    /// is discarded, not failed.
+    Discard,
+}
+
+impl Failure {
+    /// A [`Failure::Fail`] from anything string-like.
+    pub fn fail(message: impl Into<String>) -> Failure {
+        Failure::Fail(message.into())
+    }
+}
+
+/// What a property returns per case: `Ok(())` to pass, or a
+/// [`Failure`] (usually via the [`crate::prop_assert!`] family).
+pub type PropResult = Result<(), Failure>;
+
+/// Runs `prop` against [`DEFAULT_CASES`] generated cases (scaled by
+/// `EAGLEEYE_CHECK_CASES`, replayed by `EAGLEEYE_CHECK_SEED`).
+///
+/// # Panics
+///
+/// Panics when a case fails — after shrinking, with the minimal
+/// counterexample and a replayable seed in the message — or when the
+/// discard budget is exhausted.
+pub fn check<G>(name: &str, gen: G, prop: impl Fn(&G::Value) -> PropResult)
+where
+    G: Gen,
+    G::Value: Debug,
+{
+    check_cases(DEFAULT_CASES, name, gen, prop);
+}
+
+/// [`check`] with an explicit case count (still scaled by
+/// `EAGLEEYE_CHECK_CASES`, which takes precedence).
+///
+/// # Panics
+///
+/// Same conditions as [`check`].
+pub fn check_cases<G>(cases: u32, name: &str, gen: G, prop: impl Fn(&G::Value) -> PropResult)
+where
+    G: Gen,
+    G::Value: Debug,
+{
+    let cases = env_cases().unwrap_or(cases).max(1);
+    run(RunPlan {
+        name,
+        cases,
+        seed_override: env_seed(),
+        gen,
+        prop,
+    });
+}
+
+struct RunPlan<'a, G, P> {
+    name: &'a str,
+    cases: u32,
+    seed_override: Option<u64>,
+    gen: G,
+    prop: P,
+}
+
+/// Deterministic, platform-independent hash of the property name.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var("EAGLEEYE_CHECK_CASES").ok()?;
+    match raw.trim().parse::<u32>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!("EAGLEEYE_CHECK_CASES must be a positive integer, got {raw:?}"),
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("EAGLEEYE_CHECK_SEED").ok()?;
+    let t = raw.trim();
+    let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse::<u64>(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("EAGLEEYE_CHECK_SEED must be a u64 (decimal or 0x-hex), got {raw:?}"),
+    }
+}
+
+fn run<G, P>(plan: RunPlan<'_, G, P>)
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(&G::Value) -> PropResult,
+{
+    // Explicit replay: run exactly the requested case.
+    if let Some(seed) = plan.seed_override {
+        run_one(&plan, seed, 0, 1);
+        return;
+    }
+
+    let root = SplitMix64::new(BASE_SEED).fork(name_hash(plan.name));
+    let max_discards = (plan.cases as u64).saturating_mul(20).max(400);
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < plan.cases {
+        if attempt.saturating_sub(u64::from(passed)) > max_discards {
+            panic!(
+                "[eagleeye-check] property '{}' gave up: {} of {} cases passed \
+                 before exhausting the discard budget ({max_discards}); weaken the \
+                 filter/prop_assume preconditions or widen the generator",
+                plan.name, passed, plan.cases
+            );
+        }
+        let case_seed = root.fork(attempt).state();
+        if run_one(&plan, case_seed, passed, plan.cases) {
+            passed += 1;
+        }
+        attempt += 1;
+    }
+}
+
+/// Runs one case from `case_seed`. Returns `true` when the case
+/// passed, `false` when it was discarded; panics (after shrinking)
+/// when it failed.
+fn run_one<G, P>(plan: &RunPlan<'_, G, P>, case_seed: u64, case_index: u32, cases: u32) -> bool
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(&G::Value) -> PropResult,
+{
+    let mut src = Source::live(SplitMix64::new(case_seed));
+    let value = plan.gen.generate(&mut src);
+    if src.is_invalid() {
+        return false;
+    }
+    match (plan.prop)(&value) {
+        Ok(()) => true,
+        Err(Failure::Discard) => false,
+        Err(Failure::Fail(message)) => {
+            let minimized =
+                shrink::minimize(&plan.gen, &plan.prop, src.into_data(), value, message);
+            panic!(
+                "[eagleeye-check] property '{name}' failed at case {case}/{cases}\
+                 \n  counterexample: {value:?}\
+                 \n  error: {error}\
+                 \n  ({steps} shrink steps from the original failure)\
+                 \n  replay: EAGLEEYE_CHECK_SEED={seed:#018x} cargo test -q {name}",
+                name = plan.name,
+                case = case_index + 1,
+                value = minimized.value,
+                error = minimized.message,
+                steps = minimized.steps,
+                seed = case_seed,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{any_bool, f64_range, usize_range, vec_of};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runs a plan without consulting the environment, so tests stay
+    /// independent of ambient `EAGLEEYE_CHECK_*` variables.
+    fn run_isolated<G>(
+        cases: u32,
+        seed_override: Option<u64>,
+        name: &str,
+        gen: G,
+        prop: impl Fn(&G::Value) -> PropResult,
+    ) where
+        G: Gen,
+        G::Value: Debug,
+    {
+        run(RunPlan {
+            name,
+            cases,
+            seed_override,
+            gen,
+            prop,
+        });
+    }
+
+    #[test]
+    fn passing_property_runs_quietly() {
+        run_isolated(128, None, "tautology", usize_range(0, 10), |&n| {
+            if n < 10 {
+                Ok(())
+            } else {
+                Err(Failure::fail("impossible"))
+            }
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_minimal_counterexample() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_isolated(
+                256,
+                None,
+                "all_bools_false",
+                (any_bool(), usize_range(0, 5)),
+                |&(b, _)| {
+                    if b {
+                        Err(Failure::fail("got true"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("property 'all_bools_false' failed"), "{msg}");
+        assert!(msg.contains("EAGLEEYE_CHECK_SEED=0x"), "{msg}");
+        assert!(msg.contains("got true"), "{msg}");
+        // The usize component shrank to its minimum.
+        assert!(msg.contains("(true, 0)"), "{msg}");
+    }
+
+    #[test]
+    fn reported_seed_replays_the_same_failure() {
+        let prop = |v: &Vec<usize>| -> PropResult {
+            if v.iter().sum::<usize>() < 40 {
+                Ok(())
+            } else {
+                Err(Failure::fail(format!("sum {}", v.iter().sum::<usize>())))
+            }
+        };
+        let gen = || vec_of(usize_range(0, 30), 1, 8);
+        let msg_of = |seed_override: Option<u64>| -> String {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                run_isolated(512, seed_override, "bounded_sum", gen(), prop);
+            }));
+            *r.unwrap_err().downcast::<String>().expect("string panic")
+        };
+        let first = msg_of(None);
+        let seed_hex = first
+            .split("EAGLEEYE_CHECK_SEED=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("seed in message");
+        let seed = u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16).expect("hex seed");
+        let replayed = msg_of(Some(seed));
+        // Same minimal counterexample and message, case renumbered.
+        let tail = |m: &str| m.split("counterexample:").nth(1).unwrap().to_string();
+        let (a, b) = (tail(&first), tail(&replayed));
+        let strip_case = |m: &str| m.replace("case 1/1", "").replace("failed at", "");
+        assert_eq!(strip_case(&a), strip_case(&b));
+    }
+
+    #[test]
+    fn discards_do_not_count_as_passes() {
+        use std::cell::Cell;
+        let executed = Cell::new(0u32);
+        run_isolated(50, None, "half_discarded", usize_range(0, 100), |&n| {
+            if n % 2 == 1 {
+                return Err(Failure::Discard);
+            }
+            executed.set(executed.get() + 1);
+            Ok(())
+        });
+        assert_eq!(executed.get(), 50);
+    }
+
+    #[test]
+    fn exhausted_discard_budget_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_isolated(10, None, "always_discarded", any_bool(), |_| {
+                Err(Failure::Discard)
+            });
+        }));
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("gave up"), "{msg}");
+    }
+
+    #[test]
+    fn float_counterexamples_shrink_toward_the_boundary() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_isolated(256, None, "below_half", f64_range(0.0, 1.0), |&x| {
+                if x < 0.5 {
+                    Ok(())
+                } else {
+                    Err(Failure::fail(format!("{x}")))
+                }
+            });
+        }));
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        let shrunk: f64 = msg
+            .split("counterexample: ")
+            .nth(1)
+            .and_then(|s| s.split('\n').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("parse counterexample");
+        assert!((0.5..0.5001).contains(&shrunk), "shrunk to {shrunk}");
+    }
+
+    #[test]
+    fn name_hash_separates_properties() {
+        assert_ne!(name_hash("a"), name_hash("b"));
+        assert_eq!(name_hash("same"), name_hash("same"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Generic choice-level shrinking: edit the recorded `u64` choice
+//! sequence of a failing case and replay generation, keeping any edit
+//! that still fails the property. Because primitive generators map
+//! smaller choices to simpler values, this shrinks *through* every
+//! combinator without per-type shrink code.
+
+use crate::runner::{Failure, PropResult};
+use crate::source::Source;
+use crate::Gen;
+
+/// Hard cap on candidate evaluations per shrink (each evaluation
+/// regenerates the value and re-runs the property).
+const MAX_EVALS: u32 = 2_000;
+
+/// Span sizes tried by the deletion and zeroing passes, coarse to
+/// fine.
+const SPANS: [usize; 5] = [32, 8, 4, 2, 1];
+
+/// A minimized failing case.
+pub struct Minimized<V> {
+    /// The smallest failing value found.
+    pub value: V,
+    /// Its failure message.
+    pub message: String,
+    /// Number of accepted shrink steps.
+    pub steps: u32,
+}
+
+/// Replays `data` through `gen` and the property. `None` when the
+/// candidate is invalid or passes; `Some(value, message)` when it
+/// still fails.
+fn eval_candidate<G, P>(gen: &G, prop: &P, data: &[u64]) -> Option<(G::Value, String)>
+where
+    G: Gen,
+    P: Fn(&G::Value) -> PropResult,
+{
+    let mut src = Source::replay(data.to_vec());
+    let value = gen.generate(&mut src);
+    if src.is_invalid() {
+        return None;
+    }
+    match prop(&value) {
+        Err(Failure::Fail(message)) => Some((value, message)),
+        Ok(()) | Err(Failure::Discard) => None,
+    }
+}
+
+/// Minimizes a failing choice sequence. `value`/`message` are the
+/// original failure, returned unchanged if no edit still fails.
+pub fn minimize<G, P>(
+    gen: &G,
+    prop: &P,
+    mut data: Vec<u64>,
+    value: G::Value,
+    message: String,
+) -> Minimized<G::Value>
+where
+    G: Gen,
+    P: Fn(&G::Value) -> PropResult,
+{
+    let mut best = Minimized {
+        value,
+        message,
+        steps: 0,
+    };
+    let evals = std::cell::Cell::new(0u32);
+    let accept =
+        |data: &mut Vec<u64>, candidate: Vec<u64>, best: &mut Minimized<G::Value>| -> bool {
+            evals.set(evals.get() + 1);
+            if evals.get() > MAX_EVALS {
+                return false;
+            }
+            if let Some((v, m)) = eval_candidate(gen, prop, &candidate) {
+                *data = candidate;
+                best.value = v;
+                best.message = m;
+                best.steps += 1;
+                true
+            } else {
+                false
+            }
+        };
+
+    loop {
+        let steps_before = best.steps;
+
+        // Pass 1: delete spans of choices (drops trailing vec elements
+        // and unused draws; coarse to fine, scanning from the tail so
+        // indices stay valid after a deletion).
+        for &span in &SPANS {
+            let mut start = data.len().saturating_sub(span);
+            loop {
+                if start < data.len() {
+                    let mut candidate = data.clone();
+                    candidate.drain(start..(start + span).min(candidate.len()));
+                    accept(&mut data, candidate, &mut best);
+                }
+                if start == 0 || evals.get() > MAX_EVALS {
+                    break;
+                }
+                start = start.saturating_sub(span);
+            }
+        }
+
+        // Pass 2: zero spans (collapses ranges to their lower bounds).
+        for &span in &SPANS {
+            let mut start = 0;
+            while start < data.len() && evals.get() <= MAX_EVALS {
+                let end = (start + span).min(data.len());
+                if data[start..end].iter().any(|&v| v != 0) {
+                    let mut candidate = data.clone();
+                    candidate[start..end].iter_mut().for_each(|v| *v = 0);
+                    accept(&mut data, candidate, &mut best);
+                }
+                start += span;
+            }
+        }
+
+        // Pass 3: minimize individual choices by binary search for the
+        // smallest still-failing value (exact boundary counterexamples
+        // for monotone failure sets).
+        for i in 0..data.len() {
+            if evals.get() > MAX_EVALS {
+                break;
+            }
+            if data[i] == 0 {
+                continue;
+            }
+            let mut candidate = data.clone();
+            candidate[i] = 0;
+            if accept(&mut data, candidate, &mut best) {
+                continue;
+            }
+            let mut passing_below = 0u64; // 0 just passed
+            for _ in 0..64 {
+                let cur = data[i];
+                if cur - passing_below <= 1 || evals.get() > MAX_EVALS {
+                    break;
+                }
+                let mid = passing_below + (cur - passing_below) / 2;
+                let mut candidate = data.clone();
+                candidate[i] = mid;
+                if !accept(&mut data, candidate, &mut best) {
+                    passing_below = mid;
+                }
+            }
+        }
+
+        if best.steps == steps_before || evals.get() > MAX_EVALS {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{f64_range, usize_range, vec_of};
+
+    #[test]
+    fn shrinks_scalar_to_the_boundary() {
+        // Property: n < 500. Failing cases are n >= 500; the minimal
+        // counterexample is exactly 500.
+        let gen = usize_range(0, 10_000);
+        let prop = |&n: &usize| -> PropResult {
+            if n < 500 {
+                Ok(())
+            } else {
+                Err(Failure::fail(format!("{n} too big")))
+            }
+        };
+        // Build a failing choice sequence by searching live draws.
+        let mut rng = eagleeye_rng::SplitMix64::new(4);
+        let (data, value) = loop {
+            let salt = rng.next_u64();
+            let mut src = Source::live(rng.fork(salt));
+            let v = gen.generate(&mut src);
+            if v >= 500 {
+                break (src.into_data(), v);
+            }
+        };
+        let min = minimize(&gen, &prop, data, value, "seed".into());
+        assert_eq!(min.value, 500, "after {} steps", min.steps);
+        assert!(min.steps > 0);
+    }
+
+    #[test]
+    fn shrinks_vectors_to_minimal_length() {
+        // Property: the vec sum stays below 10. Minimal failing case
+        // is a single element of exactly 10 (length floor is 1).
+        let gen = vec_of(usize_range(0, 100), 1, 20);
+        let prop = |v: &Vec<usize>| -> PropResult {
+            if v.iter().sum::<usize>() < 10 {
+                Ok(())
+            } else {
+                Err(Failure::fail("sum too big"))
+            }
+        };
+        let mut rng = eagleeye_rng::SplitMix64::new(9);
+        let (data, value) = loop {
+            let salt = rng.next_u64();
+            let mut src = Source::live(rng.fork(salt));
+            let v = gen.generate(&mut src);
+            if v.iter().sum::<usize>() >= 10 {
+                break (src.into_data(), v);
+            }
+        };
+        let min = minimize(&gen, &prop, data, value, "seed".into());
+        assert_eq!(min.value, vec![10]);
+    }
+
+    #[test]
+    fn shrinking_a_float_approaches_the_threshold() {
+        let gen = f64_range(0.0, 1_000.0);
+        let prop = |&x: &f64| -> PropResult {
+            if x < 250.0 {
+                Ok(())
+            } else {
+                Err(Failure::fail(format!("{x}")))
+            }
+        };
+        let mut rng = eagleeye_rng::SplitMix64::new(2);
+        let (data, value) = loop {
+            let salt = rng.next_u64();
+            let mut src = Source::live(rng.fork(salt));
+            let v = gen.generate(&mut src);
+            if v >= 250.0 {
+                break (src.into_data(), v);
+            }
+        };
+        let min = minimize(&gen, &prop, data, value, "seed".into());
+        assert!(
+            (250.0..250.001).contains(&min.value),
+            "shrunk to {}",
+            min.value
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The choice stream generators draw from: live (recording) or replay.
+
+use eagleeye_rng::SplitMix64;
+
+enum Mode {
+    /// Draws come from the PRNG and are recorded.
+    Live(SplitMix64),
+    /// Draws come from a recorded (possibly shrinker-edited) sequence;
+    /// reads past the end yield `0`, the simplest choice.
+    Replay { pos: usize },
+}
+
+/// A stream of `u64` choices consumed by [`crate::Gen::generate`].
+///
+/// Generators must obtain **all** randomness through [`Source::draw`];
+/// that is what makes recorded cases replayable and shrinkable. A
+/// source can be flagged [invalid](Source::mark_invalid) when
+/// generation cannot produce a value (e.g. a `filter` whose predicate
+/// keeps rejecting); the runner discards such cases rather than
+/// running the property.
+pub struct Source {
+    mode: Mode,
+    data: Vec<u64>,
+    invalid: bool,
+}
+
+impl Source {
+    /// A live source drawing fresh choices from `rng` and recording
+    /// them for later shrinking.
+    pub fn live(rng: SplitMix64) -> Self {
+        Source {
+            mode: Mode::Live(rng),
+            data: Vec::new(),
+            invalid: false,
+        }
+    }
+
+    /// A replay source feeding back `data`; draws past the end return
+    /// `0`.
+    pub fn replay(data: Vec<u64>) -> Self {
+        Source {
+            mode: Mode::Replay { pos: 0 },
+            data,
+            invalid: false,
+        }
+    }
+
+    /// The next raw choice.
+    pub fn draw(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Live(rng) => {
+                let v = rng.next_u64();
+                self.data.push(v);
+                v
+            }
+            Mode::Replay { pos } => {
+                let v = self.data.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// Flags the value under construction as invalid (generation could
+    /// not satisfy its own constraints). The runner discards the case.
+    pub fn mark_invalid(&mut self) {
+        self.invalid = true;
+    }
+
+    /// True when [`Source::mark_invalid`] was called during generation.
+    pub fn is_invalid(&self) -> bool {
+        self.invalid
+    }
+
+    /// The recorded (live) or source (replay) choice sequence.
+    pub fn into_data(self) -> Vec<u64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_records_what_it_draws() {
+        let mut s = Source::live(SplitMix64::new(7));
+        let a = s.draw();
+        let b = s.draw();
+        let data = s.into_data();
+        assert_eq!(data, vec![a, b]);
+        let mut r = SplitMix64::new(7);
+        assert_eq!(a, r.next_u64());
+        assert_eq!(b, r.next_u64());
+    }
+
+    #[test]
+    fn replay_feeds_back_then_zero_pads() {
+        let mut s = Source::replay(vec![5, 6]);
+        assert_eq!(s.draw(), 5);
+        assert_eq!(s.draw(), 6);
+        assert_eq!(s.draw(), 0);
+        assert_eq!(s.draw(), 0);
+        assert!(!s.is_invalid());
+    }
+
+    #[test]
+    fn invalid_flag_sticks() {
+        let mut s = Source::replay(vec![]);
+        s.mark_invalid();
+        assert!(s.is_invalid());
+    }
+}

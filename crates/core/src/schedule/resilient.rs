@@ -192,7 +192,7 @@ pub struct RepairOutcome {
 }
 
 /// Budgeted, validating, repairing wrapper around [`IlpScheduler`].
-/// See the [module docs](self) for the three safety layers.
+/// See the module-level docs for the three safety layers.
 ///
 /// # Example
 ///

@@ -1,91 +1,125 @@
-//! Property-based tests for the detector behaviour model.
+//! Property-based tests for the detector behaviour model, on the
+//! `eagleeye-check` harness (replay with `EAGLEEYE_CHECK_SEED`, scale
+//! with `EAGLEEYE_CHECK_CASES`).
 
+use eagleeye_check::{check_cases, f64_range, prop_assert, prop_assert_eq, u64_range, usize_range};
 use eagleeye_detect::{DetectorModel, TileElision, TilingConfig, VolumeEstimator, YoloVariant};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    /// Recall is monotone: coarser imagery never detects better, and
-    /// bigger targets never detect worse.
-    #[test]
-    fn recall_monotonicity(
-        gsd_a in 0.5f64..100.0,
-        gsd_factor in 1.0f64..50.0,
-        size in 5.0f64..500.0,
-        size_factor in 1.0f64..10.0,
-    ) {
-        let d = DetectorModel::ship_detector();
-        let coarse = d.recall_at_gsd(gsd_a * gsd_factor, size);
-        let fine = d.recall_at_gsd(gsd_a, size);
-        prop_assert!(coarse <= fine + 1e-12);
-        let small = d.recall_at_gsd(gsd_a, size);
-        let large = d.recall_at_gsd(gsd_a, size * size_factor);
-        prop_assert!(large >= small - 1e-12);
-        prop_assert!((0.0..=1.0).contains(&fine));
-    }
+/// Recall is monotone: coarser imagery never detects better, and
+/// bigger targets never detect worse.
+#[test]
+fn recall_monotonicity() {
+    check_cases(
+        CASES,
+        "recall_monotonicity",
+        (
+            f64_range(0.5, 100.0),
+            f64_range(1.0, 50.0),
+            f64_range(5.0, 500.0),
+            f64_range(1.0, 10.0),
+        ),
+        |&(gsd_a, gsd_factor, size, size_factor)| {
+            let d = DetectorModel::ship_detector();
+            let coarse = d.recall_at_gsd(gsd_a * gsd_factor, size);
+            let fine = d.recall_at_gsd(gsd_a, size);
+            prop_assert!(coarse <= fine + 1e-12);
+            let small = d.recall_at_gsd(gsd_a, size);
+            let large = d.recall_at_gsd(gsd_a, size * size_factor);
+            prop_assert!(large >= small - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&fine));
+            Ok(())
+        },
+    );
+}
 
-    /// Detection output never exceeds the candidate count in true
-    /// positives and confidences stay in the unit interval.
-    #[test]
-    fn detections_are_well_formed(
-        n in 0usize..200,
-        recall in 0.0f64..1.0,
-        precision in 0.05f64..1.0,
-        seed in 0u64..1000,
-    ) {
-        let d = DetectorModel::ship_detector()
-            .with_fixed_recall(recall)
-            .with_precision(precision);
-        let targets = vec![(0.8, 120.0); n];
-        let hits = d.detect(&targets, seed);
-        let tp = hits.iter().filter(|h| !h.is_false_positive).count();
-        prop_assert!(tp <= n);
-        for h in &hits {
-            prop_assert!((0.0..=1.0).contains(&h.confidence));
-            if !h.is_false_positive {
-                prop_assert!(h.target_index < n);
+/// Detection output never exceeds the candidate count in true
+/// positives and confidences stay in the unit interval.
+#[test]
+fn detections_are_well_formed() {
+    check_cases(
+        CASES,
+        "detections_are_well_formed",
+        (
+            usize_range(0, 200),
+            f64_range(0.0, 1.0),
+            f64_range(0.05, 1.0),
+            u64_range(0, 1000),
+        ),
+        |&(n, recall, precision, seed)| {
+            let d = DetectorModel::ship_detector()
+                .with_fixed_recall(recall)
+                .with_precision(precision);
+            let targets = vec![(0.8, 120.0); n];
+            let hits = d.detect(&targets, seed);
+            let tp = hits.iter().filter(|h| !h.is_false_positive).count();
+            prop_assert!(tp <= n);
+            for h in &hits {
+                prop_assert!((0.0..=1.0).contains(&h.confidence));
+                if !h.is_false_positive {
+                    prop_assert!(h.target_index < n);
+                }
             }
-        }
-        // Determinism.
-        prop_assert_eq!(hits, d.detect(&targets, seed));
-    }
+            // Determinism.
+            prop_assert_eq!(hits, d.detect(&targets, seed));
+            Ok(())
+        },
+    );
+}
 
-    /// Frame time is monotone in model size and in tile count, and
-    /// elision never increases it.
-    #[test]
-    fn latency_monotonicity(
-        frame_px in 500u32..5_000,
-        tile_px in 100u32..1_000,
-        keep in 0.0f64..1.0,
-    ) {
-        let tiling = TilingConfig::new(frame_px, tile_px, 1.0);
-        let mut last = 0.0;
-        for v in YoloVariant::ALL {
-            let t = v.frame_processing_time_s(&tiling);
-            prop_assert!(t >= last);
-            last = t;
-        }
-        let full = YoloVariant::M.frame_processing_time_s(&tiling);
-        let elided = TileElision::new(keep).frame_processing_time_s(YoloVariant::M, &tiling);
-        prop_assert!(elided <= full + 1e-12);
-    }
+/// Frame time is monotone in model size and in tile count, and
+/// elision never increases it.
+#[test]
+fn latency_monotonicity() {
+    check_cases(
+        CASES,
+        "latency_monotonicity",
+        (
+            usize_range(500, 5_000),
+            usize_range(100, 1_000),
+            f64_range(0.0, 1.0),
+        ),
+        |&(frame_px, tile_px, keep)| {
+            let tiling = TilingConfig::new(frame_px as u32, tile_px as u32, 1.0);
+            let mut last = 0.0;
+            for v in YoloVariant::ALL {
+                let t = v.frame_processing_time_s(&tiling);
+                prop_assert!(t >= last);
+                last = t;
+            }
+            let full = YoloVariant::M.frame_processing_time_s(&tiling);
+            let elided = TileElision::new(keep).frame_processing_time_s(YoloVariant::M, &tiling);
+            prop_assert!(elided <= full + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Volume estimation error grows with GSD and estimates stay in the
-    /// physical range.
-    #[test]
-    fn volume_error_properties(
-        gsd in 0.5f64..30.0,
-        factor in 1.0f64..20.0,
-        diameter in 15.0f64..90.0,
-        fill in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
-        let e = VolumeEstimator::default();
-        prop_assert!(e.expected_relative_error(gsd * factor, diameter)
-            >= e.expected_relative_error(gsd, diameter));
-        let est = e.estimate(fill, gsd, diameter, seed);
-        prop_assert!((0.0..=1.0).contains(&est));
-        prop_assert_eq!(est, e.estimate(fill, gsd, diameter, seed));
-    }
+/// Volume estimation error grows with GSD and estimates stay in the
+/// physical range.
+#[test]
+fn volume_error_properties() {
+    check_cases(
+        CASES,
+        "volume_error_properties",
+        (
+            f64_range(0.5, 30.0),
+            f64_range(1.0, 20.0),
+            f64_range(15.0, 90.0),
+            f64_range(0.0, 1.0),
+            u64_range(0, 500),
+        ),
+        |&(gsd, factor, diameter, fill, seed)| {
+            let e = VolumeEstimator::default();
+            prop_assert!(
+                e.expected_relative_error(gsd * factor, diameter)
+                    >= e.expected_relative_error(gsd, diameter)
+            );
+            let est = e.estimate(fill, gsd, diameter, seed);
+            prop_assert!((0.0..=1.0).contains(&est));
+            prop_assert_eq!(est, e.estimate(fill, gsd, diameter, seed));
+            Ok(())
+        },
+    );
 }

@@ -1,92 +1,180 @@
-//! Property-based tests for the geometry substrate.
+//! Property-based tests for the geometry substrate, on the
+//! `eagleeye-check` harness (see that crate's docs for seed replay via
+//! `EAGLEEYE_CHECK_SEED` and case scaling via `EAGLEEYE_CHECK_CASES`).
+//!
+//! Property bodies are plain functions so the pinned regression cases
+//! at the bottom (former `.proptest-regressions` entries) exercise the
+//! exact same code as the random cases.
 
+use eagleeye_check::{
+    check_cases, f64_range, prop_assert, prop_assert_eq, vec_of, Gen, PropResult,
+};
 use eagleeye_geo::{greatcircle, GeodeticPoint, GridIndex, LocalFrame};
-use proptest::prelude::*;
 
-fn point_strategy() -> impl Strategy<Value = GeodeticPoint> {
-    (-89.0f64..89.0, -179.9f64..179.9)
-        .prop_map(|(lat, lon)| GeodeticPoint::from_degrees(lat, lon, 0.0).expect("valid"))
+const CASES: u32 = 128;
+
+fn point_gen() -> impl Gen<Value = GeodeticPoint> {
+    (f64_range(-89.0, 89.0), f64_range(-179.9, 179.9))
+        .map(|(lat, lon)| GeodeticPoint::from_degrees(lat, lon, 0.0).expect("valid"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn check_wgs84_round_trip(lat: f64, lon: f64, alt: f64) -> PropResult {
+    let p = GeodeticPoint::from_degrees(lat, lon, alt).expect("valid");
+    let q = p.to_ecef_wgs84().to_geodetic_wgs84().expect("convertible");
+    prop_assert!((p.lat_deg() - q.lat_deg()).abs() < 1e-6);
+    prop_assert!((p.alt_m() - q.alt_m()).abs() < 0.1);
+    Ok(())
+}
 
-    /// WGS-84 geodetic <-> ECEF round trip.
-    #[test]
-    fn wgs84_round_trip(lat in -89.9f64..89.9, lon in -180.0f64..180.0, alt in 0.0f64..1e6) {
-        let p = GeodeticPoint::from_degrees(lat, lon, alt).expect("valid");
-        let q = p.to_ecef_wgs84().to_geodetic_wgs84().expect("convertible");
-        prop_assert!((p.lat_deg() - q.lat_deg()).abs() < 1e-6);
-        prop_assert!((p.alt_m() - q.alt_m()).abs() < 0.1);
-    }
+/// WGS-84 geodetic <-> ECEF round trip.
+#[test]
+fn wgs84_round_trip() {
+    check_cases(
+        CASES,
+        "wgs84_round_trip",
+        (
+            f64_range(-89.9, 89.9),
+            f64_range(-180.0, 180.0),
+            f64_range(0.0, 1e6),
+        ),
+        |&(lat, lon, alt)| check_wgs84_round_trip(lat, lon, alt),
+    );
+}
 
-    /// Spherical geodetic <-> ECEF round trip.
-    #[test]
-    fn spherical_round_trip(lat in -90.0f64..90.0, lon in -180.0f64..180.0, alt in 0.0f64..1e6) {
-        let p = GeodeticPoint::from_degrees(lat, lon, alt).expect("valid");
-        let q = p.to_ecef_spherical().to_geodetic_spherical().expect("convertible");
-        prop_assert!((p.lat_deg() - q.lat_deg()).abs() < 1e-7);
-        prop_assert!((p.alt_m() - q.alt_m()).abs() < 1e-3);
-    }
+/// Spherical geodetic <-> ECEF round trip.
+#[test]
+fn spherical_round_trip() {
+    check_cases(
+        CASES,
+        "spherical_round_trip",
+        (
+            f64_range(-90.0, 90.0),
+            f64_range(-180.0, 180.0),
+            f64_range(0.0, 1e6),
+        ),
+        |&(lat, lon, alt)| {
+            let p = GeodeticPoint::from_degrees(lat, lon, alt).expect("valid");
+            let q = p
+                .to_ecef_spherical()
+                .to_geodetic_spherical()
+                .expect("convertible");
+            prop_assert!((p.lat_deg() - q.lat_deg()).abs() < 1e-7);
+            prop_assert!((p.alt_m() - q.alt_m()).abs() < 1e-3);
+            Ok(())
+        },
+    );
+}
 
-    /// Great-circle distance is symmetric and satisfies the triangle
-    /// inequality.
-    #[test]
-    fn distance_metric_properties(a in point_strategy(), b in point_strategy(), c in point_strategy()) {
-        let ab = greatcircle::distance_m(&a, &b);
-        let ba = greatcircle::distance_m(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-6);
-        let ac = greatcircle::distance_m(&a, &c);
-        let cb = greatcircle::distance_m(&c, &b);
-        prop_assert!(ab <= ac + cb + 1e-6);
-        prop_assert!(ab >= 0.0);
-    }
+/// Great-circle distance is symmetric and satisfies the triangle
+/// inequality.
+#[test]
+fn distance_metric_properties() {
+    check_cases(
+        CASES,
+        "distance_metric_properties",
+        (point_gen(), point_gen(), point_gen()),
+        |(a, b, c)| {
+            let ab = greatcircle::distance_m(a, b);
+            let ba = greatcircle::distance_m(b, a);
+            prop_assert!((ab - ba).abs() < 1e-6);
+            let ac = greatcircle::distance_m(a, c);
+            let cb = greatcircle::distance_m(c, b);
+            prop_assert!(ab <= ac + cb + 1e-6);
+            prop_assert!(ab >= 0.0);
+            Ok(())
+        },
+    );
+}
 
-    /// Traveling `d` along any bearing lands exactly `d` away.
-    #[test]
-    fn destination_distance_is_exact(
-        start in point_strategy(),
-        bearing in 0.0f64..std::f64::consts::TAU,
-        dist in 0.0f64..5_000_000.0,
-    ) {
-        let end = greatcircle::destination(&start, bearing, dist).expect("valid");
-        let measured = greatcircle::distance_m(&start, &end);
-        prop_assert!((measured - dist).abs() < 1.0, "{measured} vs {dist}");
-    }
+/// Traveling `d` along any bearing lands exactly `d` away.
+#[test]
+fn destination_distance_is_exact() {
+    check_cases(
+        CASES,
+        "destination_distance_is_exact",
+        (
+            point_gen(),
+            f64_range(0.0, std::f64::consts::TAU),
+            f64_range(0.0, 5_000_000.0),
+        ),
+        |(start, bearing, dist)| {
+            let end = greatcircle::destination(start, *bearing, *dist).expect("valid");
+            let measured = greatcircle::distance_m(start, &end);
+            prop_assert!((measured - dist).abs() < 1.0, "{measured} vs {dist}");
+            Ok(())
+        },
+    );
+}
 
-    /// Local-frame projection round-trips.
-    #[test]
-    fn frame_project_unproject(
-        origin in point_strategy(),
-        heading in 0.0f64..std::f64::consts::TAU,
-        x in -200_000.0f64..200_000.0,
-        y in -200_000.0f64..200_000.0,
-    ) {
-        let frame = LocalFrame::new(origin, heading);
-        let p = frame.unproject(x, y).expect("valid");
-        let (x2, y2) = frame.project(&p);
-        prop_assert!((x - x2).abs() < 1.0, "x {x} vs {x2}");
-        prop_assert!((y - y2).abs() < 1.0, "y {y} vs {y2}");
-    }
+/// Local-frame projection round-trips.
+#[test]
+fn frame_project_unproject() {
+    check_cases(
+        CASES,
+        "frame_project_unproject",
+        (
+            point_gen(),
+            f64_range(0.0, std::f64::consts::TAU),
+            f64_range(-200_000.0, 200_000.0),
+            f64_range(-200_000.0, 200_000.0),
+        ),
+        |&(origin, heading, x, y)| {
+            let frame = LocalFrame::new(origin, heading);
+            let p = frame.unproject(x, y).expect("valid");
+            let (x2, y2) = frame.project(&p);
+            prop_assert!((x - x2).abs() < 1.0, "x {x} vs {x2}");
+            prop_assert!((y - y2).abs() < 1.0, "y {y} vs {y2}");
+            Ok(())
+        },
+    );
+}
 
-    /// Grid-index radius queries agree with brute force.
-    #[test]
-    fn grid_index_matches_brute_force(
-        pts in proptest::collection::vec((-80.0f64..80.0, -180.0f64..180.0), 1..80),
-        center in point_strategy(),
-        radius_km in 10.0f64..3_000.0,
-    ) {
-        let points: Vec<GeodeticPoint> = pts
-            .into_iter()
-            .map(|(lat, lon)| GeodeticPoint::from_degrees(lat, lon, 0.0).expect("valid"))
-            .collect();
-        let idx = GridIndex::build(2.0, points.iter().map(|p| (p.lat_deg(), p.lon_deg())))
-            .expect("valid index");
-        let radius = radius_km * 1000.0;
-        let got = idx.query_radius(&center, radius, |i| points[i]);
-        let want: Vec<usize> = (0..points.len())
-            .filter(|&i| greatcircle::distance_m(&center, &points[i]) <= radius)
-            .collect();
-        prop_assert_eq!(got, want);
-    }
+fn check_grid_index_matches_brute_force(
+    pts: &[(f64, f64)],
+    center: &GeodeticPoint,
+    radius_km: f64,
+) -> PropResult {
+    let points: Vec<GeodeticPoint> = pts
+        .iter()
+        .map(|&(lat, lon)| GeodeticPoint::from_degrees(lat, lon, 0.0).expect("valid"))
+        .collect();
+    let idx = GridIndex::build(2.0, points.iter().map(|p| (p.lat_deg(), p.lon_deg())))
+        .expect("valid index");
+    let radius = radius_km * 1000.0;
+    let got = idx.query_radius(center, radius, |i| points[i]);
+    let want: Vec<usize> = (0..points.len())
+        .filter(|&i| greatcircle::distance_m(center, &points[i]) <= radius)
+        .collect();
+    prop_assert_eq!(got, want);
+    Ok(())
+}
+
+/// Grid-index radius queries agree with brute force.
+#[test]
+fn grid_index_matches_brute_force() {
+    check_cases(
+        CASES,
+        "grid_index_matches_brute_force",
+        (
+            vec_of((f64_range(-80.0, 80.0), f64_range(-180.0, 180.0)), 1, 80),
+            point_gen(),
+            f64_range(10.0, 3_000.0),
+        ),
+        |(pts, center, radius_km)| check_grid_index_matches_brute_force(pts, center, *radius_km),
+    );
+}
+
+/// Pinned regression case from the retired `.proptest-regressions`
+/// file: a single point near the antimeridian whose grid cell once
+/// disagreed with brute force at a ~2200 km radius.
+#[test]
+fn regression_grid_index_antimeridian_cell() {
+    let center = GeodeticPoint::from_degrees(-1.342_895_230_715_296_2_f64.to_degrees(), 0.0, 0.0)
+        .expect("valid");
+    check_grid_index_matches_brute_force(
+        &[(-79.733_503_332_607_38, 94.866_469_682_289_2)],
+        &center,
+        2_198.127_453_908_176_4,
+    )
+    .expect("regression case must pass");
 }

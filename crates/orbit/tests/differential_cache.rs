@@ -1,0 +1,123 @@
+//! Differential oracle: `PropagationCache` / `EpochGrid` batched
+//! propagation must be **bit-identical** to direct per-epoch
+//! `GroundTrack::state_at` calls, across random constellations, frame
+//! cadences, horizons, and GMST epochs — including the grid's
+//! trig-memoization fast path and its mismatched-epoch fallback.
+//! On the `eagleeye-check` harness (replay with `EAGLEEYE_CHECK_SEED`,
+//! scale with `EAGLEEYE_CHECK_CASES`).
+
+use eagleeye_check::{check_cases, f64_range, prop_assert, prop_assert_eq, vec_of, Gen};
+use eagleeye_orbit::{EpochGrid, GroundTrack, J2Propagator, PropagationCache};
+
+const CASES: u32 = 64;
+
+fn tracks_gen() -> impl Gen<Value = Vec<GroundTrack>> {
+    (
+        f64_range(350_000.0, 1_200_000.0),
+        f64_range(20.0, 160.0),
+        vec_of(f64_range(0.0, std::f64::consts::TAU), 1, 5),
+    )
+        .map(|(alt_m, incl_deg, phases)| {
+            phases
+                .into_iter()
+                .map(|phase| {
+                    GroundTrack::new(
+                        J2Propagator::circular(alt_m, incl_deg.to_radians(), 0.0, phase)
+                            .expect("valid orbit"),
+                    )
+                })
+                .collect()
+        })
+}
+
+/// Cached states equal direct `state_at` results exactly (`==`, not
+/// within-epsilon) on the shared-trig fast path.
+#[test]
+fn cache_matches_direct_propagation_bitwise() {
+    check_cases(
+        CASES,
+        "cache_matches_direct_propagation_bitwise",
+        (tracks_gen(), f64_range(1.0, 60.0), f64_range(30.0, 4_000.0)),
+        |(tracks, cadence_s, duration_s)| {
+            let grid = EpochGrid::for_horizon(0.0, *duration_s, *cadence_s);
+            prop_assert!(!grid.is_empty(), "horizon {duration_s} produced no epochs");
+            let cache = PropagationCache::build(tracks, grid.clone()).expect("cache builds");
+            prop_assert_eq!(cache.satellite_count(), tracks.len());
+            for (i, track) in tracks.iter().enumerate() {
+                let row = cache.row(i);
+                prop_assert_eq!(row.len(), grid.len());
+                for (k, &t) in grid.epochs().iter().enumerate() {
+                    let direct = track.state_at(t).expect("direct propagation");
+                    prop_assert!(
+                        cache.state(i, k) == &direct,
+                        "sat {} frame {} (t={}) diverges from direct propagation",
+                        i,
+                        k,
+                        t
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A track whose GMST epoch differs from the grid's takes the
+/// fallback (non-memoized) path — and must still match `state_at`
+/// exactly.
+#[test]
+fn gmst_mismatch_fallback_matches_direct_propagation() {
+    check_cases(
+        CASES,
+        "gmst_mismatch_fallback_matches_direct_propagation",
+        (
+            f64_range(400_000.0, 900_000.0),
+            f64_range(30.0, 150.0),
+            f64_range(1e-6, std::f64::consts::TAU),
+            f64_range(5.0, 60.0),
+            f64_range(60.0, 2_000.0),
+        ),
+        |&(alt_m, incl_deg, gmst_rad, cadence_s, duration_s)| {
+            let track = GroundTrack::new(
+                J2Propagator::circular(alt_m, incl_deg.to_radians(), 0.0, 0.0)
+                    .expect("valid orbit"),
+            )
+            .with_gmst_epoch(gmst_rad);
+            let grid = EpochGrid::for_horizon(0.0, duration_s, cadence_s);
+            prop_assert!(track.gmst_epoch_rad() != grid.gmst_epoch_rad());
+            let row = grid.propagate(&track).expect("fallback propagation");
+            for (k, &t) in grid.epochs().iter().enumerate() {
+                let direct = track.state_at(t).expect("direct propagation");
+                prop_assert!(
+                    row[k] == direct,
+                    "fallback frame {} (t={}) diverges from direct propagation",
+                    k,
+                    t
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `frame_epochs` reproduces the evaluator's historical accumulation
+/// loop float-for-float, for arbitrary cadences and horizons.
+#[test]
+fn frame_epochs_match_the_accumulation_loop() {
+    check_cases(
+        CASES,
+        "frame_epochs_match_the_accumulation_loop",
+        (f64_range(0.1, 90.0), f64_range(0.0, 5_000.0)),
+        |&(cadence_s, duration_s)| {
+            let epochs = eagleeye_orbit::frame_epochs(duration_s, cadence_s);
+            let mut expected = Vec::new();
+            let mut t = 0.0;
+            while t < duration_s {
+                expected.push(t);
+                t += cadence_s;
+            }
+            prop_assert_eq!(&epochs, &expected);
+            Ok(())
+        },
+    );
+}

@@ -1,8 +1,12 @@
-//! Property-based tests for the orbital mechanics substrate.
+//! Property-based tests for the orbital mechanics substrate, on the
+//! `eagleeye-check` harness (replay with `EAGLEEYE_CHECK_SEED`, scale
+//! with `EAGLEEYE_CHECK_CASES`).
 
+use eagleeye_check::{check_cases, f64_range, prop_assert, prop_assume, PropResult};
 use eagleeye_geo::earth::{MEAN_RADIUS_M, MU_M3_S2};
 use eagleeye_orbit::{GroundTrack, J2Propagator, KeplerianElements, Sgp4Propagator, Tle};
-use proptest::prelude::*;
+
+const CASES: u32 = 64;
 
 /// Builds a checksum-valid TLE for a near-circular LEO with the given
 /// inclination (deg) and mean motion (rev/day), drag-free.
@@ -22,115 +26,190 @@ fn leo_tle(incl_deg: f64, mean_motion: f64, raan_deg: f64, mean_anom_deg: f64) -
     Tle::parse(&l1, &l2).expect("synthesized TLE is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Two-body states from the element set conserve energy and angular
+/// momentum along the whole orbit.
+#[test]
+fn two_body_invariants() {
+    check_cases(
+        CASES,
+        "two_body_invariants",
+        (
+            f64_range(300.0, 2_000.0),
+            f64_range(0.0, 0.3),
+            f64_range(0.0, std::f64::consts::PI),
+            f64_range(0.0, std::f64::consts::TAU),
+        ),
+        |&(alt_km, ecc, incl, m0)| {
+            let a = MEAN_RADIUS_M + alt_km * 1000.0;
+            // Keep perigee above the surface.
+            prop_assume!(a * (1.0 - ecc) > MEAN_RADIUS_M + 100_000.0);
+            let k = KeplerianElements::new(a, ecc, incl, 1.0, 0.5, m0).expect("valid");
+            let s0 = k.eci_state_at_mean_anomaly(m0).expect("propagates");
+            let e0 = s0.specific_energy();
+            let h0 = s0.specific_angular_momentum();
+            for i in 1..8 {
+                let s = k
+                    .eci_state_at_mean_anomaly(m0 + i as f64 * 0.7)
+                    .expect("propagates");
+                prop_assert!((s.specific_energy() - e0).abs() / e0.abs() < 1e-8);
+                prop_assert!((s.specific_angular_momentum() - h0).norm() / h0.norm() < 1e-8);
+            }
+            // Vis-viva at epoch.
+            let vis_viva = (MU_M3_S2 * (2.0 / s0.radius_m() - 1.0 / a)).sqrt();
+            prop_assert!((s0.speed_m_s() - vis_viva).abs() / vis_viva < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Two-body states from the element set conserve energy and angular
-    /// momentum along the whole orbit.
-    #[test]
-    fn two_body_invariants(
-        alt_km in 300.0f64..2_000.0,
-        ecc in 0.0f64..0.3,
-        incl in 0.0f64..std::f64::consts::PI,
-        m0 in 0.0f64..std::f64::consts::TAU,
-    ) {
-        let a = MEAN_RADIUS_M + alt_km * 1000.0;
-        // Keep perigee above the surface.
-        prop_assume!(a * (1.0 - ecc) > MEAN_RADIUS_M + 100_000.0);
-        let k = KeplerianElements::new(a, ecc, incl, 1.0, 0.5, m0).expect("valid");
-        let s0 = k.eci_state_at_mean_anomaly(m0).expect("propagates");
-        let e0 = s0.specific_energy();
-        let h0 = s0.specific_angular_momentum();
-        for i in 1..8 {
-            let s = k.eci_state_at_mean_anomaly(m0 + i as f64 * 0.7).expect("propagates");
-            prop_assert!((s.specific_energy() - e0).abs() / e0.abs() < 1e-8);
-            prop_assert!((s.specific_angular_momentum() - h0).norm() / h0.norm() < 1e-8);
-        }
-        // Vis-viva at epoch.
-        let vis_viva = (MU_M3_S2 * (2.0 / s0.radius_m() - 1.0 / a)).sqrt();
-        prop_assert!((s0.speed_m_s() - vis_viva).abs() / vis_viva < 1e-9);
-    }
+/// Kepler's equation solutions satisfy the defining identity.
+#[test]
+fn kepler_identity() {
+    check_cases(
+        CASES,
+        "kepler_identity",
+        (f64_range(0.0, 0.95), f64_range(0.0, std::f64::consts::TAU)),
+        |&(ecc, m)| {
+            let k = KeplerianElements::new(7e6, ecc, 1.0, 0.0, 0.0, 0.0).expect("valid");
+            let e_anom = k.eccentric_anomaly_rad(m).expect("converges");
+            let recon = eagleeye_geo::wrap_two_pi(e_anom - ecc * e_anom.sin());
+            let want = eagleeye_geo::wrap_two_pi(m);
+            let diff = (recon - want)
+                .abs()
+                .min(std::f64::consts::TAU - (recon - want).abs());
+            prop_assert!(diff < 1e-9, "identity residual {diff}");
+            Ok(())
+        },
+    );
+}
 
-    /// Kepler's equation solutions satisfy the defining identity.
-    #[test]
-    fn kepler_identity(ecc in 0.0f64..0.95, m in 0.0f64..std::f64::consts::TAU) {
-        let k = KeplerianElements::new(7e6, ecc, 1.0, 0.0, 0.0, 0.0).expect("valid");
-        let e_anom = k.eccentric_anomaly_rad(m).expect("converges");
-        let recon = eagleeye_geo::wrap_two_pi(e_anom - ecc * e_anom.sin());
-        let want = eagleeye_geo::wrap_two_pi(m);
-        let diff = (recon - want).abs().min(std::f64::consts::TAU - (recon - want).abs());
-        prop_assert!(diff < 1e-9, "identity residual {diff}");
-    }
+/// The subsatellite latitude never exceeds the inclination (or its
+/// supplement for retrograde orbits).
+#[test]
+fn ground_track_latitude_is_bounded() {
+    check_cases(
+        CASES,
+        "ground_track_latitude_is_bounded",
+        (f64_range(10.0, 170.0), f64_range(0.0, 86_400.0)),
+        |&(incl_deg, t)| {
+            let incl = incl_deg.to_radians();
+            let max_lat = incl.min(std::f64::consts::PI - incl).to_degrees();
+            let track =
+                GroundTrack::new(J2Propagator::circular(500_000.0, incl, 0.3, 0.7).expect("valid"));
+            let s = track.state_at(t).expect("propagates");
+            prop_assert!(
+                s.subsatellite.lat_deg().abs() <= max_lat + 0.5,
+                "lat {} exceeds bound {}",
+                s.subsatellite.lat_deg(),
+                max_lat
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The subsatellite latitude never exceeds the inclination (or its
-    /// supplement for retrograde orbits).
-    #[test]
-    fn ground_track_latitude_is_bounded(
-        incl_deg in 10.0f64..170.0,
-        t in 0.0f64..86_400.0,
-    ) {
-        let incl = incl_deg.to_radians();
-        let max_lat = incl.min(std::f64::consts::PI - incl).to_degrees();
-        let track = GroundTrack::new(
-            J2Propagator::circular(500_000.0, incl, 0.3, 0.7).expect("valid"));
-        let s = track.state_at(t).expect("propagates");
-        prop_assert!(s.subsatellite.lat_deg().abs() <= max_lat + 0.5,
-            "lat {} exceeds bound {}", s.subsatellite.lat_deg(), max_lat);
-    }
+/// Circular-orbit altitude stays fixed under J2 propagation (secular
+/// J2 perturbs angles, not energy).
+#[test]
+fn circular_altitude_is_stable() {
+    check_cases(
+        CASES,
+        "circular_altitude_is_stable",
+        (
+            f64_range(350.0, 1_500.0),
+            f64_range(20.0, 160.0),
+            f64_range(0.0, 86_400.0),
+        ),
+        |&(alt_km, incl_deg, t)| {
+            let p = J2Propagator::circular(alt_km * 1000.0, incl_deg.to_radians(), 0.0, 0.0)
+                .expect("valid");
+            let s = p.state_at(t).expect("propagates");
+            let alt = s.radius_m() - MEAN_RADIUS_M;
+            prop_assert!(
+                (alt - alt_km * 1000.0).abs() < 5_000.0,
+                "altitude drifted to {alt}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Circular-orbit altitude stays fixed under J2 propagation (secular
-    /// J2 perturbs angles, not energy).
-    #[test]
-    fn circular_altitude_is_stable(
-        alt_km in 350.0f64..1_500.0,
-        incl_deg in 20.0f64..160.0,
-        t in 0.0f64..86_400.0,
-    ) {
-        let p = J2Propagator::circular(alt_km * 1000.0, incl_deg.to_radians(), 0.0, 0.0)
-            .expect("valid");
-        let s = p.state_at(t).expect("propagates");
-        let alt = s.radius_m() - MEAN_RADIUS_M;
-        prop_assert!((alt - alt_km * 1000.0).abs() < 5_000.0,
-            "altitude drifted to {alt}");
-    }
+fn check_sgp4_agrees_with_j2(
+    incl_deg: f64,
+    mean_motion: f64,
+    raan_deg: f64,
+    mean_anom_deg: f64,
+    t: f64,
+) -> PropResult {
+    let tle = leo_tle(incl_deg, mean_motion, raan_deg, mean_anom_deg);
+    let sgp4 = Sgp4Propagator::new(&tle).expect("LEO is supported");
+    let j2 = J2Propagator::from_tle(&tle).expect("valid elements");
+    let a = sgp4.state_at(t).expect("propagates").position;
+    let b = j2.state_at(t).expect("propagates").position;
+    let sep_km = (a - b).norm() / 1000.0;
+    prop_assert!(sep_km < 80.0, "separation {sep_km} km at t={t}");
+    // Both stay at LEO altitude.
+    let alt_km = a.norm() / 1000.0 - 6378.135;
+    prop_assert!(alt_km > 250.0 && alt_km < 1_400.0, "altitude {alt_km}");
+    Ok(())
+}
 
-    /// SGP4 and the J2 propagator agree to within tens of kilometers on
-    /// drag-free near-circular LEOs over an hour — the cross-validation
-    /// bound documented in `orbit::sgp4`.
-    #[test]
-    fn sgp4_agrees_with_j2_on_leo(
-        incl_deg in 30.0f64..110.0,
-        mean_motion in 13.0f64..16.0, // rev/day: ~450-900 km LEO
-        raan_deg in 0.0f64..359.0,
-        mean_anom_deg in 0.0f64..359.0,
-        t in 0.0f64..3_600.0,
-    ) {
-        let tle = leo_tle(incl_deg, mean_motion, raan_deg, mean_anom_deg);
-        let sgp4 = Sgp4Propagator::new(&tle).expect("LEO is supported");
-        let j2 = J2Propagator::from_tle(&tle).expect("valid elements");
-        let a = sgp4.state_at(t).expect("propagates").position;
-        let b = j2.state_at(t).expect("propagates").position;
-        let sep_km = (a - b).norm() / 1000.0;
-        prop_assert!(sep_km < 80.0, "separation {sep_km} km at t={t}");
-        // Both stay at LEO altitude.
-        let alt_km = a.norm() / 1000.0 - 6378.135;
-        prop_assert!(alt_km > 250.0 && alt_km < 1_400.0, "altitude {alt_km}");
-    }
+/// SGP4 and the J2 propagator agree to within tens of kilometers on
+/// drag-free near-circular LEOs over an hour — the cross-validation
+/// bound documented in `orbit::sgp4`.
+#[test]
+fn sgp4_agrees_with_j2_on_leo() {
+    check_cases(
+        CASES,
+        "sgp4_agrees_with_j2_on_leo",
+        (
+            f64_range(30.0, 110.0),
+            f64_range(13.0, 16.0), // rev/day: ~450-900 km LEO
+            f64_range(0.0, 359.0),
+            f64_range(0.0, 359.0),
+            f64_range(0.0, 3_600.0),
+        ),
+        |&(incl_deg, mean_motion, raan_deg, mean_anom_deg, t)| {
+            check_sgp4_agrees_with_j2(incl_deg, mean_motion, raan_deg, mean_anom_deg, t)
+        },
+    );
+}
 
-    /// Phase-shifting satellites preserves their angular separation over
-    /// time (rigid constellation rotation).
-    #[test]
-    fn phase_separation_is_preserved(
-        delta in 0.01f64..1.0,
-        t in 0.0f64..40_000.0,
-    ) {
-        let a = J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0)
-            .expect("valid");
-        let b = a.phase_shifted(delta);
-        let sa = a.state_at(t).expect("propagates");
-        let sb = b.state_at(t).expect("propagates");
-        let angle = sa.position.angle_to(sb.position);
-        prop_assert!((angle - delta).abs() < 2e-3,
-            "separation {angle} vs {delta}");
-    }
+/// Phase-shifting satellites preserves their angular separation over
+/// time (rigid constellation rotation).
+#[test]
+fn phase_separation_is_preserved() {
+    check_cases(
+        CASES,
+        "phase_separation_is_preserved",
+        (f64_range(0.01, 1.0), f64_range(0.0, 40_000.0)),
+        |&(delta, t)| {
+            let a =
+                J2Propagator::circular(475_000.0, 97.2_f64.to_radians(), 0.0, 0.0).expect("valid");
+            let b = a.phase_shifted(delta);
+            let sa = a.state_at(t).expect("propagates");
+            let sb = b.state_at(t).expect("propagates");
+            let angle = sa.position.angle_to(sb.position);
+            prop_assert!(
+                (angle - delta).abs() < 2e-3,
+                "separation {angle} vs {delta}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Pinned regression cases from the retired `.proptest-regressions`
+/// file: SGP4-vs-J2 agreement at the low corner of the inclination and
+/// mean-motion ranges, where the epoch-state discrepancy peaked.
+#[test]
+fn regression_sgp4_vs_j2_low_inclination_epoch() {
+    check_sgp4_agrees_with_j2(30.0, 13.0, 0.0, 0.0, 0.0).expect("regression case must pass");
+}
+
+/// Second pinned seed: near the fast-orbit boundary (15.94 rev/day).
+#[test]
+fn regression_sgp4_vs_j2_fast_orbit_epoch() {
+    check_sgp4_agrees_with_j2(30.0, 15.939_504_969_680_362, 0.0, 0.0, 0.0)
+        .expect("regression case must pass");
 }

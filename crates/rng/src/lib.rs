@@ -66,6 +66,15 @@ impl SplitMix64 {
         }
     }
 
+    /// Current internal state. `SplitMix64::new(self.state())` yields a
+    /// generator that continues this exact stream — the mechanism
+    /// behind `eagleeye-check`'s replayable failure seeds.
+    #[inline]
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -157,7 +157,7 @@ impl FaultScenario {
     }
 }
 
-/// A concrete, seeded fault timeline. See the [module docs](self) for
+/// A concrete, seeded fault timeline. See the module-level docs for
 /// the construction and query model.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

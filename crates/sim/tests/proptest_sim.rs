@@ -1,93 +1,128 @@
-//! Property-based tests for the energy simulator.
+//! Property-based tests for the energy simulator, on the
+//! `eagleeye-check` harness (replay with `EAGLEEYE_CHECK_SEED`, scale
+//! with `EAGLEEYE_CHECK_CASES`).
 
+use eagleeye_check::{
+    any_bool, check_cases, f64_range, prop_assert, prop_assert_eq, prop_assume, usize_range, vec_of,
+};
 use eagleeye_sim::{simulate_battery, simulate_orbit, ActivityProfile, Battery, PowerProfile};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    /// Battery charge is conserved: deposits minus withdrawals equal the
-    /// charge delta, and the state of charge stays in [0, 1].
-    #[test]
-    fn battery_accounting_is_conservative(
-        capacity in 1.0f64..1e6,
-        ops in proptest::collection::vec((any::<bool>(), 0.0f64..1e5), 1..64),
-    ) {
-        let mut b = Battery::new(capacity);
-        let mut expected = capacity;
-        for (is_deposit, amount) in ops {
-            if is_deposit {
-                let stored = b.deposit(amount);
-                prop_assert!(stored <= amount + 1e-9);
-                expected = (expected + stored).min(capacity);
-            } else {
-                let unmet = b.withdraw(amount);
-                prop_assert!(unmet <= amount + 1e-9);
-                expected = (expected - (amount - unmet)).max(0.0);
+/// Battery charge is conserved: deposits minus withdrawals equal the
+/// charge delta, and the state of charge stays in [0, 1].
+#[test]
+fn battery_accounting_is_conservative() {
+    check_cases(
+        CASES,
+        "battery_accounting_is_conservative",
+        (
+            f64_range(1.0, 1e6),
+            vec_of((any_bool(), f64_range(0.0, 1e5)), 1, 64),
+        ),
+        |(capacity, ops)| {
+            let capacity = *capacity;
+            let mut b = Battery::new(capacity);
+            let mut expected = capacity;
+            for &(is_deposit, amount) in ops {
+                if is_deposit {
+                    let stored = b.deposit(amount);
+                    prop_assert!(stored <= amount + 1e-9);
+                    expected = (expected + stored).min(capacity);
+                } else {
+                    let unmet = b.withdraw(amount);
+                    prop_assert!(unmet <= amount + 1e-9);
+                    expected = (expected - (amount - unmet)).max(0.0);
+                }
+                prop_assert!((b.charge_j() - expected).abs() < 1e-6);
+                prop_assert!((0.0..=1.0).contains(&b.state_of_charge()));
             }
-            prop_assert!((b.charge_j() - expected).abs() < 1e-6);
-            prop_assert!((0.0..=1.0).contains(&b.state_of_charge()));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Orbit energy reports scale monotonically with activity: more
-    /// tiles, slewing, or transmit time never reduces consumption.
-    #[test]
-    fn consumption_is_monotone_in_activity(
-        frames in 0.0f64..500.0,
-        tiles in 0.0f64..50_000.0,
-        slew in 0.0f64..2_000.0,
-        tx in 0.0f64..600.0,
-        extra in 1.0f64..2.0,
-    ) {
-        let power = PowerProfile::cubesat_3u();
-        let base = ActivityProfile {
-            frames_captured: frames,
-            tiles_processed: tiles,
-            per_tile_latency_s: 0.014,
-            slew_s: slew,
-            tx_s: tx,
-        };
-        let more = ActivityProfile {
-            frames_captured: frames * extra,
-            tiles_processed: tiles * extra,
-            slew_s: slew * extra,
-            tx_s: tx * extra,
-            ..base
-        };
-        let r1 = simulate_orbit(&power, &base, 0.62, 5_640.0);
-        let r2 = simulate_orbit(&power, &more, 0.62, 5_640.0);
-        prop_assert!(r2.subsystems.total_j() >= r1.subsystems.total_j() - 1e-9);
-        prop_assert_eq!(r1.harvested_j, r2.harvested_j);
-    }
+/// Orbit energy reports scale monotonically with activity: more
+/// tiles, slewing, or transmit time never reduces consumption.
+#[test]
+fn consumption_is_monotone_in_activity() {
+    check_cases(
+        CASES,
+        "consumption_is_monotone_in_activity",
+        (
+            f64_range(0.0, 500.0),
+            f64_range(0.0, 50_000.0),
+            f64_range(0.0, 2_000.0),
+            f64_range(0.0, 600.0),
+            f64_range(1.0, 2.0),
+        ),
+        |&(frames, tiles, slew, tx, extra)| {
+            let power = PowerProfile::cubesat_3u();
+            let base = ActivityProfile {
+                frames_captured: frames,
+                tiles_processed: tiles,
+                per_tile_latency_s: 0.014,
+                slew_s: slew,
+                tx_s: tx,
+            };
+            let more = ActivityProfile {
+                frames_captured: frames * extra,
+                tiles_processed: tiles * extra,
+                slew_s: slew * extra,
+                tx_s: tx * extra,
+                ..base
+            };
+            let r1 = simulate_orbit(&power, &base, 0.62, 5_640.0);
+            let r2 = simulate_orbit(&power, &more, 0.62, 5_640.0);
+            prop_assert!(r2.subsystems.total_j() >= r1.subsystems.total_j() - 1e-9);
+            prop_assert_eq!(r1.harvested_j, r2.harvested_j);
+            Ok(())
+        },
+    );
+}
 
-    /// Feasible-on-average activities never brown out in the stepped
-    /// battery simulation when the battery buffers at least one eclipse.
-    #[test]
-    fn average_feasibility_with_margin_implies_no_brownout(
-        tile_factor in 0.2f64..1.4,
-        orbits in 2usize..10,
-    ) {
-        let power = PowerProfile::cubesat_3u();
-        let activity = ActivityProfile::leader_default(tile_factor);
-        let report = simulate_orbit(&power, &activity, 0.62, 5_640.0);
-        // Only assert when there is ≥10% average margin — right at the
-        // boundary the eclipse phase can still dip.
-        prop_assume!(report.normalized_consumption() < 0.9);
-        let series = simulate_battery(&power, &activity, 0.62, 5_640.0, orbits, 10.0);
-        prop_assert!(series.depleted_at_s.is_none(),
-            "browned out at {:?} with margin {:.2}",
-            series.depleted_at_s, report.normalized_consumption());
-    }
+/// Feasible-on-average activities never brown out in the stepped
+/// battery simulation when the battery buffers at least one eclipse.
+#[test]
+fn average_feasibility_with_margin_implies_no_brownout() {
+    check_cases(
+        CASES,
+        "average_feasibility_with_margin_implies_no_brownout",
+        (f64_range(0.2, 1.4), usize_range(2, 10)),
+        |&(tile_factor, orbits)| {
+            let power = PowerProfile::cubesat_3u();
+            let activity = ActivityProfile::leader_default(tile_factor);
+            let report = simulate_orbit(&power, &activity, 0.62, 5_640.0);
+            // Only assert when there is ≥10% average margin — right at the
+            // boundary the eclipse phase can still dip.
+            prop_assume!(report.normalized_consumption() < 0.9);
+            let series = simulate_battery(&power, &activity, 0.62, 5_640.0, orbits, 10.0);
+            prop_assert!(
+                series.depleted_at_s.is_none(),
+                "browned out at {:?} with margin {:.2}",
+                series.depleted_at_s,
+                report.normalized_consumption()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Infeasible activities always brown out eventually.
-    #[test]
-    fn sustained_deficit_browns_out(tile_factor in 3.5f64..6.0) {
-        let power = PowerProfile::cubesat_3u();
-        let activity = ActivityProfile::leader_default(tile_factor);
-        let report = simulate_orbit(&power, &activity, 0.62, 5_640.0);
-        prop_assert!(!report.is_energy_feasible());
-        let series = simulate_battery(&power, &activity, 0.62, 5_640.0, 20, 20.0);
-        prop_assert!(series.depleted_at_s.is_some());
-    }
+/// Infeasible activities always brown out eventually.
+#[test]
+fn sustained_deficit_browns_out() {
+    check_cases(
+        CASES,
+        "sustained_deficit_browns_out",
+        f64_range(3.5, 6.0),
+        |&tile_factor| {
+            let power = PowerProfile::cubesat_3u();
+            let activity = ActivityProfile::leader_default(tile_factor);
+            let report = simulate_orbit(&power, &activity, 0.62, 5_640.0);
+            prop_assert!(!report.is_energy_feasible());
+            let series = simulate_battery(&power, &activity, 0.62, 5_640.0, 20, 20.0);
+            prop_assert!(series.depleted_at_s.is_some());
+            Ok(())
+        },
+    );
 }
