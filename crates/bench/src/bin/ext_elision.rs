@@ -6,15 +6,21 @@
 //! harvestable-energy line (Fig. 16's dashed ceiling).
 
 use eagleeye_bench::print_csv;
+use eagleeye_obs::Metrics;
 use eagleeye_sim::{simulate_orbit, ActivityProfile, PowerProfile};
 
 fn main() {
+    let metrics = Metrics::from_env();
     let power = PowerProfile::cubesat_3u();
     let mut rows = Vec::new();
     for tile_factor in [1.0, 2.0, 4.0] {
         for keep in [1.0, 0.7, 0.4, 0.2] {
             let activity = ActivityProfile::leader_with_elision(tile_factor, keep);
             let r = simulate_orbit(&power, &activity, 0.62, 5_640.0);
+            metrics.incr("sim/orbit_simulations");
+            if !r.is_energy_feasible() {
+                metrics.incr("sim/energy_infeasible_configs");
+            }
             rows.push(format!(
                 "{tile_factor},{keep},{:.0},{:.3},{}",
                 r.subsystems.compute_j,
@@ -31,4 +37,7 @@ fn main() {
         "tile_factor,keep_fraction,compute_j,normalized,status",
         rows,
     );
+    if let Err(e) = eagleeye_obs::export::write_run("ext_elision", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
 }

@@ -22,6 +22,7 @@ use eagleeye_core::coverage::{
     ConstellationConfig, CoverageEvaluator, CoverageOptions, DegradedMode, SchedulerKind,
 };
 use eagleeye_datasets::Workload;
+use eagleeye_obs::Metrics;
 use eagleeye_sim::{FaultPlan, FaultScenario};
 use std::sync::Arc;
 
@@ -48,18 +49,23 @@ fn main() {
         scheduler,
         clustering: ClusteringMethod::Ilp,
     };
-    let options = |plan: Option<Arc<FaultPlan>>, mode: DegradedMode| CoverageOptions {
-        duration_s: cli.duration_s,
-        seed: cli.seed,
-        fault_plan: plan,
-        degraded_mode: mode,
-        ..CoverageOptions::default()
-    };
+    let options =
+        |plan: Option<Arc<FaultPlan>>, mode: DegradedMode, metrics: &Metrics| CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            fault_plan: plan,
+            degraded_mode: mode,
+            metrics: metrics.clone(),
+            ..CoverageOptions::default()
+        };
 
     // Healthy ceiling, computed once (fault-free, exact ILP).
-    let nofault = CoverageEvaluator::new(&targets, options(None, DegradedMode::Resilient))
-        .evaluate(&config(SchedulerKind::Ilp))
-        .expect("nofault evaluation");
+    let nofault = CoverageEvaluator::new(
+        &targets,
+        options(None, DegradedMode::Resilient, &cli.metrics),
+    )
+    .evaluate(&config(SchedulerKind::Ilp))
+    .expect("nofault evaluation");
     let c0 = nofault.coverage_fraction();
     eprintln!("healthy ceiling: {:.2}% coverage", 100.0 * c0);
 
@@ -70,7 +76,7 @@ fn main() {
         .iter()
         .flat_map(|&rate| seeds.iter().map(move |&seed| (rate, seed)))
         .collect();
-    let cells = cli.par_sweep(&grid, |&(rate, seed)| {
+    let cells = cli.par_sweep_observed(&grid, |&(rate, seed), metrics| {
         let scenario = FaultScenario {
             follower_outage_rate: rate,
             ..FaultScenario::none()
@@ -84,14 +90,18 @@ fn main() {
         ));
         let outages = plan.faults().len();
 
-        let naive =
-            CoverageEvaluator::new(&targets, options(Some(plan.clone()), DegradedMode::Naive))
-                .evaluate(&config(SchedulerKind::Ilp))
-                .expect("naive evaluation");
-        let resilient =
-            CoverageEvaluator::new(&targets, options(Some(plan), DegradedMode::Resilient))
-                .evaluate(&config(SchedulerKind::Resilient))
-                .expect("resilient evaluation");
+        let naive = CoverageEvaluator::new(
+            &targets,
+            options(Some(plan.clone()), DegradedMode::Naive, metrics),
+        )
+        .evaluate(&config(SchedulerKind::Ilp))
+        .expect("naive evaluation");
+        let resilient = CoverageEvaluator::new(
+            &targets,
+            options(Some(plan), DegradedMode::Resilient, metrics),
+        )
+        .evaluate(&config(SchedulerKind::Resilient))
+        .expect("resilient evaluation");
         eprintln!(
             "done: rate={rate} seed={seed} outages={outages} captured \
              {}/{}/{} (nofault/naive/resilient), naive lost {} commanded captures \
@@ -145,4 +155,5 @@ fn main() {
          recovery,ilp_horizons,greedy_fallbacks,repairs_attempted,tasks_reassigned",
         rows,
     );
+    cli.finish("ext_fault_tolerance");
 }

@@ -24,12 +24,13 @@ fn main() {
             }
         }
     }
-    let rows = cli.par_sweep(&grid, |&(wi, groups, planes)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, groups, planes), metrics| {
         let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             orbital_planes: planes,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -50,4 +51,5 @@ fn main() {
         )
     });
     print_csv("workload,satellites,planes,coverage", rows);
+    cli.finish("ext_orbit_planes");
 }

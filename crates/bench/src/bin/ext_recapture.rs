@@ -24,13 +24,14 @@ fn main() {
     let grid: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|wi| (0..POLICIES.len()).map(move |pi| (wi, pi)))
         .collect();
-    let rows = cli.par_sweep(&grid, |&(wi, pi)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, pi), metrics| {
         let (workload, ref targets) = workloads[wi];
         let (label, penalty) = POLICIES[pi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             recapture_penalty: penalty,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -51,4 +52,5 @@ fn main() {
         )
     });
     print_csv("workload,policy,unique_coverage,captures_commanded", rows);
+    cli.finish("ext_recapture");
 }

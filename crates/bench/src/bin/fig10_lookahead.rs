@@ -4,14 +4,17 @@
 
 use eagleeye_bench::print_csv;
 use eagleeye_core::lookahead::max_lookahead_m;
+use eagleeye_obs::Metrics;
 
 fn main() {
+    let metrics = Metrics::from_env();
     let swath_m = 10_000.0;
     let sat_speed = 7_500.0;
     let gamma = 0.1;
     let mut rows = Vec::new();
     for speed in (10..=300).step_by(10) {
         let d = max_lookahead_m(speed as f64, swath_m, sat_speed, gamma).expect("valid parameters");
+        metrics.incr("core/lookahead_evaluations");
         rows.push(format!("{speed},{:.1}", d / 1000.0));
     }
     print_csv("target_speed_m_s,max_lookahead_km", rows);
@@ -26,4 +29,7 @@ fn main() {
             format!("plane,250,{:.1}", plane / 1000.0),
         ],
     );
+    if let Err(e) = eagleeye_obs::export::write_run("fig10_lookahead", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
 }

@@ -52,11 +52,12 @@ fn main() {
             }
         }
     }
-    let rows = cli.par_sweep(&grid, |&(wi, sats, config)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, sats, config), metrics| {
         let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -78,4 +79,5 @@ fn main() {
         )
     });
     print_csv("workload,satellites,config,coverage", rows);
+    cli.finish("fig11a_coverage");
 }

@@ -31,7 +31,7 @@ fn main() {
             grid.push((wi, None, sats));
         }
     }
-    let rows = cli.par_sweep(&grid, |&(wi, rate, sats)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, rate, sats), metrics| {
         let (workload, ref targets) = workloads[wi];
         let spec = match rate {
             Some(r) => {
@@ -43,6 +43,7 @@ fn main() {
             duration_s: cli.duration_s,
             seed: cli.seed,
             spec,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let config = match rate {
@@ -78,4 +79,5 @@ fn main() {
         }
     });
     print_csv("workload,satellites,slew_rate_deg_s,coverage", rows);
+    cli.finish("fig11b_slew_rate");
 }

@@ -32,13 +32,14 @@ fn main() {
             }
         }
     }
-    let rows = cli.par_sweep(&grid, |&(wi, sats, followers)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, sats, followers), metrics| {
         let (workload, ref targets) = workloads[wi];
         let group_size = followers + 1;
         let groups = sats / group_size;
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -60,4 +61,5 @@ fn main() {
         )
     });
     print_csv("workload,satellites,followers_per_group,coverage", rows);
+    cli.finish("fig11c_followers");
 }

@@ -10,11 +10,12 @@ fn main() {
     let cli = BenchCli::parse();
     // One evaluation per workload, all four fanned out on --threads.
     let workloads: Vec<Workload> = Workload::ALL.into_iter().collect();
-    let reports = cli.par_sweep(&workloads, |&workload| {
+    let reports = cli.par_sweep_observed(&workloads, |&workload, metrics| {
         let targets = cli.workload(workload);
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         CoverageEvaluator::new(&targets, opts)
@@ -43,4 +44,5 @@ fn main() {
     print_csv("workload,percentile,targets_per_image", rows);
     println!();
     print_csv("workload,fraction_above_19,max_targets_per_image", summary);
+    cli.finish("fig12b_target_cdf");
 }

@@ -29,11 +29,12 @@ fn main() {
             grid.push((wi, Some(variant)));
         }
     }
-    let rows = cli.par_sweep(&grid, |&(wi, variant)| {
+    let rows = cli.par_sweep_observed(&grid, |&(wi, variant), metrics| {
         let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let eval = CoverageEvaluator::new(targets, opts);
@@ -89,4 +90,5 @@ fn main() {
         "workload,config,compute_time_s,coverage_equal_sats,coverage_equal_groups",
         rows,
     );
+    cli.finish("fig13_mix_camera");
 }

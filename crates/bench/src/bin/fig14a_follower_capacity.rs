@@ -4,9 +4,7 @@
 //! workloads prefer more groups and dense workloads need more followers.
 
 use eagleeye_bench::{print_csv, BenchCli};
-use eagleeye_core::schedule::{
-    FollowerState, IlpScheduler, Scheduler, SchedulingProblem, TaskSpec,
-};
+use eagleeye_core::schedule::{FollowerState, IlpScheduler, SchedulingProblem, TaskSpec};
 use eagleeye_core::SensingSpec;
 
 fn frame_with(n: usize, seed: u64) -> SchedulingProblem {
@@ -44,9 +42,17 @@ fn main() {
         .iter()
         .flat_map(|&n| (0..reps).map(move |rep| (n, rep)))
         .collect();
-    let fracs = cli.par_sweep(&grid, |&(n, rep)| {
+    let fracs = cli.par_sweep_observed(&grid, |&(n, rep), metrics| {
         let p = frame_with(n, cli.seed + rep as u64 * 977);
-        let s = IlpScheduler::default().schedule(&p).expect("scheduler run");
+        let (s, stats) = IlpScheduler::default()
+            .schedule_with_stats(&p)
+            .expect("scheduler run");
+        if metrics.is_enabled() {
+            metrics.add("ilp/subproblems", stats.subproblems as u64);
+            metrics.add("ilp/nodes_explored", stats.nodes_explored as u64);
+            metrics.add("ilp/lp_iterations", stats.lp_iterations as u64);
+            metrics.add("ilp/deadline_hits", stats.deadline_hits as u64);
+        }
         s.captured_count() as f64 / n as f64
     });
     let mut rows = Vec::new();
@@ -56,4 +62,5 @@ fn main() {
         eprintln!("n={n}: covered fraction {:.2}", frac);
     }
     print_csv("targets_per_image,fraction_covered_by_one_follower", rows);
+    cli.finish("fig14a_follower_capacity");
 }

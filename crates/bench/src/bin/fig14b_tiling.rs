@@ -6,8 +6,10 @@
 
 use eagleeye_bench::print_csv;
 use eagleeye_detect::{TilingConfig, YoloVariant};
+use eagleeye_obs::Metrics;
 
 fn main() {
+    let metrics = Metrics::from_env();
     let frame_px = 3_333; // 100 km at 30 m/px
     let deadline_s = 15.0;
     let mut rows = Vec::new();
@@ -16,6 +18,10 @@ fn main() {
         let scaled4 = TilingConfig::new(frame_px, tile_px, 4.0);
         let t1 = YoloVariant::N.frame_processing_time_s(&unscaled);
         let t4 = YoloVariant::N.frame_processing_time_s(&scaled4);
+        metrics.incr("core/tiling_configs_evaluated");
+        if t1 > deadline_s {
+            metrics.incr("core/tiling_deadline_misses");
+        }
         rows.push(format!(
             "{tile_px},{:.3},{:.3},{}",
             t1,
@@ -27,4 +33,7 @@ fn main() {
         "tile_px,time_unscaled_s,time_4x_scaled_s,deadline_15s",
         rows,
     );
+    if let Err(e) = eagleeye_obs::export::write_run("fig14b_tiling", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
 }

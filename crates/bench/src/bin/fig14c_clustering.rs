@@ -26,11 +26,12 @@ fn main() {
     let grid: Vec<(usize, ClusteringMethod)> = (0..workloads.len())
         .flat_map(|wi| METHODS.iter().map(move |&m| (wi, m)))
         .collect();
-    let coverages = cli.par_sweep(&grid, |&(wi, clustering)| {
+    let coverages = cli.par_sweep_observed(&grid, |&(wi, clustering), metrics| {
         let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -70,4 +71,5 @@ fn main() {
         "workload,no_clustering,greedy_clustering,ilp_clustering,ilp_gain_pct",
         rows,
     );
+    cli.finish("fig14c_clustering");
 }

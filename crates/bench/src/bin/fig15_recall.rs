@@ -27,12 +27,13 @@ fn main() {
     let grid: Vec<(usize, f64)> = (0..workloads.len())
         .flat_map(|wi| recalls.iter().rev().map(move |&r| (wi, r)))
         .collect();
-    let coverages = cli.par_sweep(&grid, |&(wi, recall)| {
+    let coverages = cli.par_sweep_observed(&grid, |&(wi, recall), metrics| {
         let (workload, ref targets) = workloads[wi];
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
             recall,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let report = CoverageEvaluator::new(targets, opts)
@@ -62,4 +63,5 @@ fn main() {
         }
     }
     print_csv("workload,recall,coverage,normalized_coverage", rows);
+    cli.finish("fig15_recall");
 }

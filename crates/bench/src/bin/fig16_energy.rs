@@ -9,9 +9,11 @@
 //! instead of downlinking imagery.
 
 use eagleeye_bench::print_csv;
+use eagleeye_obs::Metrics;
 use eagleeye_sim::{simulate_orbit, ActivityProfile, PowerProfile};
 
 fn main() {
+    let metrics = Metrics::from_env();
     let power = PowerProfile::cubesat_3u();
     let period_s = 5_640.0;
     let sunlit = 0.62;
@@ -36,6 +38,10 @@ fn main() {
         ];
         for (name, activity) in roles {
             let r = simulate_orbit(&power, &activity, sunlit, period_s);
+            metrics.incr("sim/orbit_simulations");
+            if !r.is_energy_feasible() {
+                metrics.incr("sim/energy_infeasible_configs");
+            }
             let s = r.subsystems;
             rows.push(format!(
                 "{tile_factor},{name},{:.0},{:.0},{:.0},{:.0},{:.0},{:.0},{:.3},{}",
@@ -58,4 +64,7 @@ fn main() {
         "tile_factor,role,camera_j,adacs_j,compute_j,tx_j,idle_j,harvested_j,normalized,status",
         rows,
     );
+    if let Err(e) = eagleeye_obs::export::write_run("fig16_energy", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
 }

@@ -11,6 +11,7 @@
 use eagleeye_bench::{print_csv, BenchCli};
 use eagleeye_core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
 use eagleeye_datasets::Workload;
+use eagleeye_obs::Metrics;
 
 fn satellites_to_reach(
     eval: &CoverageEvaluator<'_>,
@@ -43,17 +44,18 @@ fn main() {
         .into_iter()
         .map(|w| (w, cli.workload(w)))
         .collect();
-    let options = || CoverageOptions {
+    let options = |metrics: &Metrics| CoverageOptions {
         duration_s: cli.duration_s,
         seed: cli.seed,
+        metrics: metrics.clone(),
         ..CoverageOptions::default()
     };
 
     // Stage 1: each workload's physical ceiling within the horizon
     // (Low-Res at max size), mirroring the paper's 90% absolute bar at
     // 24 h — four independent evaluations.
-    let ceilings = cli.par_sweep(&workloads, |(workload, targets)| {
-        let ceiling = CoverageEvaluator::new(targets, options())
+    let ceilings = cli.par_sweep_observed(&workloads, |(workload, targets), metrics| {
+        let ceiling = CoverageEvaluator::new(targets, options(metrics))
             .evaluate(&ConstellationConfig::LowResOnly {
                 satellites: max_sats,
             })
@@ -69,9 +71,9 @@ fn main() {
     let grid: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|wi| (0..3).map(move |family| (wi, family)))
         .collect();
-    let found = cli.par_sweep(&grid, |&(wi, family)| {
+    let found = cli.par_sweep_observed(&grid, |&(wi, family), metrics| {
         let (_, ref targets) = workloads[wi];
-        let eval = CoverageEvaluator::new(targets, options());
+        let eval = CoverageEvaluator::new(targets, options(metrics));
         let threshold = 0.9 * ceilings[wi];
         let make: &dyn Fn(usize) -> ConstellationConfig = match family {
             0 => &|s| ConstellationConfig::LowResOnly { satellites: s },
@@ -95,4 +97,5 @@ fn main() {
         )
     });
     print_csv("workload,low_res_only,high_res_only,eagleeye", rows);
+    cli.finish("fig1b_constellation_size");
 }

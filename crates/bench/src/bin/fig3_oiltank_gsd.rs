@@ -41,4 +41,5 @@ fn main() {
         "gsd_m_px,detection_accuracy,volume_err_p50,volume_err_p90",
         rows,
     );
+    cli.finish("fig3_oiltank_gsd");
 }

@@ -25,10 +25,11 @@ fn main() {
     // on the ship workload (the paper's motivating example).
     let targets = cli.workload(Workload::ShipDetection);
     let sat_counts = cli.sat_counts();
-    let rows = cli.par_sweep(&sat_counts, |&sats| {
+    let rows = cli.par_sweep_observed(&sat_counts, |&sats, metrics| {
         let opts = CoverageOptions {
             duration_s: cli.duration_s,
             seed: cli.seed,
+            metrics: metrics.clone(),
             ..CoverageOptions::default()
         };
         let eval = CoverageEvaluator::new(&targets, opts);
@@ -48,4 +49,5 @@ fn main() {
         "satellites,only_low_res_coverage,only_high_res_coverage",
         rows,
     );
+    cli.finish("fig4_swath_tradeoff");
 }

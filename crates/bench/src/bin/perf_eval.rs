@@ -51,6 +51,7 @@ fn main() {
             duration_s: cli.duration_s,
             seed: cli.seed,
             threads,
+            metrics: cli.metrics.clone(),
             ..CoverageOptions::default()
         };
         let eval = CoverageEvaluator::new(&targets, opts);
@@ -163,4 +164,5 @@ fn main() {
     std::fs::write("results/BENCH_eval.json", &json).expect("write BENCH_eval.json");
     println!("{json}");
     eprintln!("wrote results/BENCH_eval.json");
+    cli.finish("perf_eval");
 }

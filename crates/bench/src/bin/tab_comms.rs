@@ -3,10 +3,12 @@
 
 use eagleeye_bench::print_csv;
 use eagleeye_geo::GeodeticPoint;
+use eagleeye_obs::Metrics;
 use eagleeye_orbit::{access, GroundTrack, J2Propagator};
 use eagleeye_sim::{CrosslinkBudget, DownlinkBudget, RadioModel};
 
 fn main() {
+    let metrics = Metrics::from_env();
     // Crosslink: leader -> follower schedules.
     let xl = CrosslinkBudget::paper_default();
     print_csv(
@@ -50,6 +52,7 @@ fn main() {
     let windows = access::contact_windows(&track, &station, 0.0, 8.0 * 5_640.0, 15.0)
         .expect("contact computation");
     let total_s: f64 = windows.iter().map(|w| w.duration_s()).sum();
+    metrics.add("orbit/contact_windows", windows.len() as u64);
     print_csv(
         "contacts_in_8_orbits,total_contact_min,mean_contact_min",
         [format!(
@@ -59,4 +62,7 @@ fn main() {
             total_s / 60.0 / windows.len().max(1) as f64
         )],
     );
+    if let Err(e) = eagleeye_obs::export::write_run("tab_comms", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
 }

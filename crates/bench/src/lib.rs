@@ -25,6 +25,7 @@
 
 use eagleeye_datasets::{TargetSet, Workload};
 use eagleeye_exec::ExecPool;
+use eagleeye_obs::Metrics;
 
 /// Parsed command-line options shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,12 @@ pub struct BenchCli {
     /// parallelize the *outer* sweep — each evaluation inside keeps the
     /// sequential default — so output is identical at any value.
     pub threads: usize,
+    /// Observability sink, enabled by `EAGLEEYE_TRACE=1` (see
+    /// `eagleeye-obs`): [`BenchCli::parse`] reads the environment,
+    /// [`BenchCli::par_sweep_observed`] forks it per configuration, and
+    /// [`BenchCli::finish`] writes `results/METRICS_<run>.json` plus a
+    /// stderr summary. Disabled (free) by default.
+    pub metrics: Metrics,
 }
 
 impl Default for BenchCli {
@@ -52,6 +59,7 @@ impl Default for BenchCli {
             scale: 1.0,
             seed: 7,
             threads: eagleeye_exec::available_parallelism(),
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -64,7 +72,10 @@ impl BenchCli {
     /// Panics with a usage message on malformed flags — these are
     /// developer-facing binaries.
     pub fn parse() -> Self {
-        let mut cli = BenchCli::default();
+        let mut cli = BenchCli {
+            metrics: Metrics::from_env(),
+            ..BenchCli::default()
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -127,6 +138,29 @@ impl BenchCli {
     /// parallelism and lets each inner evaluation stay sequential.
     pub fn par_sweep<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
         ExecPool::new(self.threads).par_map(items, |_, item| f(item))
+    }
+
+    /// [`BenchCli::par_sweep`] with observability: each configuration
+    /// runs against a fork of [`BenchCli::metrics`] (pass it into the
+    /// evaluation's `CoverageOptions`), and the forks merge back in
+    /// input order, so recorded counters and histograms are identical
+    /// at any thread count.
+    pub fn par_sweep_observed<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T, &Metrics) -> R + Sync,
+    ) -> Vec<R> {
+        ExecPool::new(self.threads).par_map_observed(&self.metrics, items, |_, item, m| f(item, m))
+    }
+
+    /// Exports the run's metrics to `results/METRICS_<run>.json` and
+    /// prints the stderr summary. A no-op unless `EAGLEEYE_TRACE` was
+    /// set at parse time; export failures warn rather than abort (the
+    /// figure's CSV already reached stdout).
+    pub fn finish(&self, run: &str) {
+        if let Err(e) = eagleeye_obs::export::write_run(run, &self.metrics) {
+            eprintln!("warning: failed to write metrics for {run}: {e}");
+        }
     }
 }
 

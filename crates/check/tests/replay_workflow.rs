@@ -1,0 +1,78 @@
+//! Integration test for the replay workflow (DESIGN.md §9): a failing
+//! property prints a `EAGLEEYE_CHECK_SEED=0x...` replay line, and
+//! re-running with that seed set reproduces the identical minimal
+//! counterexample — across *processes*, the way a developer actually
+//! uses it (the in-process variant lives in the runner's unit tests).
+
+use eagleeye_check::{check_cases, prop_assert, u64_range, vec_of};
+use std::process::Command;
+
+/// The deliberately failing property the orchestrator spawns. Gated on
+/// an env var so plain `cargo test` runs it as a quiet no-op.
+#[test]
+fn replay_helper_property() {
+    if std::env::var("EAGLEEYE_REPLAY_HELPER").is_err() {
+        return;
+    }
+    check_cases(512, "replay_helper", vec_of(u64_range(0, 100), 1, 6), |v| {
+        let sum: u64 = v.iter().sum();
+        prop_assert!(sum < 50, "sum {sum} reached the bound");
+        Ok(())
+    });
+}
+
+fn run_helper(seed: Option<&str>) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "replay_helper_property",
+        "--exact",
+        "--nocapture",
+        "--test-threads=1",
+    ])
+    .env("EAGLEEYE_REPLAY_HELPER", "1")
+    .env_remove("EAGLEEYE_CHECK_SEED")
+    .env_remove("EAGLEEYE_CHECK_CASES");
+    if let Some(s) = seed {
+        cmd.env("EAGLEEYE_CHECK_SEED", s);
+    }
+    let out = cmd.output().expect("spawn test binary");
+    assert!(
+        !out.status.success(),
+        "the helper property must fail (seed {seed:?})"
+    );
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+fn line_with<'a>(text: &'a str, marker: &str) -> &'a str {
+    text.lines()
+        .find(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("no line containing {marker:?} in:\n{text}"))
+        .trim()
+}
+
+#[test]
+fn replay_reproduces_the_identical_minimal_counterexample() {
+    let first = run_helper(None);
+    let counterexample = line_with(&first, "counterexample:").to_string();
+    let error = line_with(&first, "error:").to_string();
+    let seed = line_with(&first, "EAGLEEYE_CHECK_SEED=")
+        .split("EAGLEEYE_CHECK_SEED=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("seed value after EAGLEEYE_CHECK_SEED=")
+        .to_string();
+    assert!(seed.starts_with("0x"), "seed {seed:?} is not 0x-hex");
+
+    let replayed = run_helper(Some(&seed));
+    assert_eq!(
+        line_with(&replayed, "counterexample:"),
+        counterexample,
+        "replay produced a different minimal counterexample"
+    );
+    assert_eq!(line_with(&replayed, "error:"), error);
+}

@@ -9,6 +9,7 @@ use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
 use eagleeye_exec::ExecPool;
 use eagleeye_geo::LocalFrame;
+use eagleeye_obs::Metrics;
 use eagleeye_orbit::{ConstellationLayout, EpochGrid, SatelliteSpec};
 use eagleeye_sim::FaultPlan;
 use std::sync::Arc;
@@ -62,6 +63,15 @@ pub struct CoverageOptions {
     /// default when an outer sweep already parallelizes whole
     /// evaluations.
     pub threads: usize,
+    /// Observability sink (see `eagleeye-obs`). The default disabled
+    /// handle costs one branch per instrumentation site; an enabled
+    /// handle records `core/*`, `ilp/*`, `orbit/*`, and `sim/*`
+    /// counters, per-phase timers, and histograms. Parallel leader
+    /// passes record into per-worker forks absorbed in leader order,
+    /// so counters and histograms are identical at any thread count
+    /// (timers and gauges are wall-clock/pool-shape and are exempt;
+    /// see DESIGN.md §10).
+    pub metrics: Metrics,
 }
 
 impl Default for CoverageOptions {
@@ -79,6 +89,7 @@ impl Default for CoverageOptions {
             fault_plan: None,
             degraded_mode: DegradedMode::default(),
             threads: 1,
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -122,7 +133,8 @@ impl<'a> CoverageEvaluator<'a> {
     /// configurations return an empty report rather than erroring.
     pub fn evaluate(&self, config: &ConstellationConfig) -> Result<CoverageReport, CoreError> {
         self.options.spec.validate()?;
-        match *config {
+        let _span = self.options.metrics.span("core/evaluate");
+        let report = match *config {
             ConstellationConfig::LowResOnly { satellites } => {
                 self.swath_membership(satellites, self.options.spec.low_res.swath_m())
             }
@@ -145,7 +157,9 @@ impl<'a> CoverageEvaluator<'a> {
                 ClusteringMethod::Ilp,
                 Some(compute_time_s),
             ),
-        }
+        }?;
+        report.record_metrics(&self.options.metrics);
+        Ok(report)
     }
 
     /// Effective worker count for intra-evaluation parallelism.
@@ -201,10 +215,15 @@ impl<'a> CoverageEvaluator<'a> {
         let bound = ((swath_m / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
         let mut captured = vec![false; self.targets.len()];
 
-        let pass = |sat: &SatelliteSpec, captured: &mut [bool]| -> Result<usize, CoreError> {
+        let pass = |sat: &SatelliteSpec,
+                    captured: &mut [bool],
+                    metrics: &Metrics|
+         -> Result<(usize, std::time::Duration), CoreError> {
             // Batch-propagate this satellite over the horizon once; the
             // frame loop reads cached states.
-            let states = grid.propagate(&layout.ground_track(sat)?)?;
+            let prop_start = Instant::now();
+            let states = grid.propagate_observed(&layout.ground_track(sat)?, metrics)?;
+            let prop_elapsed = prop_start.elapsed();
             for (state, &t) in states.iter().zip(grid.epochs()) {
                 let frame =
                     LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
@@ -222,26 +241,33 @@ impl<'a> CoverageEvaluator<'a> {
                     }
                 }
             }
-            Ok(states.len())
+            Ok((states.len(), prop_elapsed))
         };
 
         let threads = self.effective_threads();
         if threads > 1 && layout.satellites().len() > 1 {
             let pool = ExecPool::new(threads);
-            let parts = pool.try_par_map(layout.satellites(), |_, sat| {
-                let mut own = vec![false; self.targets.len()];
-                let frames = pass(sat, &mut own)?;
-                Ok::<_, CoreError>((frames, own))
-            })?;
-            for (frames, own) in parts {
+            let parts = pool.try_par_map_observed(
+                &self.options.metrics,
+                layout.satellites(),
+                |_, sat, metrics| {
+                    let mut own = vec![false; self.targets.len()];
+                    let (frames, prop) = pass(sat, &mut own, metrics)?;
+                    Ok::<_, CoreError>((frames, prop, own))
+                },
+            )?;
+            for (frames, prop, own) in parts {
                 report.frames_processed += frames;
+                report.propagate_time += prop;
                 for (c, o) in captured.iter_mut().zip(&own) {
                     *c |= *o;
                 }
             }
         } else {
             for sat in layout.satellites() {
-                report.frames_processed += pass(sat, &mut captured)?;
+                let (frames, prop) = pass(sat, &mut captured, &self.options.metrics)?;
+                report.frames_processed += frames;
+                report.propagate_time += prop;
             }
         }
         self.finalize_captured(&mut report, &captured);
@@ -304,22 +330,27 @@ impl<'a> CoverageEvaluator<'a> {
         let mut captured = vec![false; self.targets.len()];
         if threads > 1 && leaders.len() > 1 && self.options.recapture_penalty.is_none() {
             let pool = ExecPool::new(threads);
-            let parts = pool.try_par_map(&leaders, |_, leader| {
-                let mut part = CoverageReport::default();
-                let mut own = vec![false; self.targets.len()];
-                self.leader_pass(
-                    leader,
-                    &layout,
-                    n_followers,
-                    mix_compute_s,
-                    scheduler_kind,
-                    clustering_method,
-                    &grid,
-                    &mut own,
-                    &mut part,
-                )?;
-                Ok::<_, CoreError>((part, own))
-            })?;
+            let parts = pool.try_par_map_observed(
+                &self.options.metrics,
+                &leaders,
+                |_, leader, metrics| {
+                    let mut part = CoverageReport::default();
+                    let mut own = vec![false; self.targets.len()];
+                    self.leader_pass(
+                        leader,
+                        &layout,
+                        n_followers,
+                        mix_compute_s,
+                        scheduler_kind,
+                        clustering_method,
+                        &grid,
+                        metrics,
+                        &mut own,
+                        &mut part,
+                    )?;
+                    Ok::<_, CoreError>((part, own))
+                },
+            )?;
             for (part, own) in parts {
                 report.absorb(part);
                 for (c, o) in captured.iter_mut().zip(&own) {
@@ -337,6 +368,7 @@ impl<'a> CoverageEvaluator<'a> {
                     scheduler_kind,
                     clustering_method,
                     &grid,
+                    &self.options.metrics,
                     &mut captured,
                     &mut part,
                 )?;
@@ -360,20 +392,22 @@ impl<'a> CoverageEvaluator<'a> {
         scheduler_kind: SchedulerKind,
         clustering_method: ClusteringMethod,
         grid: &EpochGrid,
+        metrics: &Metrics,
         captured: &mut [bool],
         report: &mut CoverageReport,
     ) -> Result<(), CoreError> {
         let spec = self.options.spec;
         let is_mix = mix_compute_s.is_some();
-        // The resilient scheduler is held concretely (not behind the
-        // trait object) so per-horizon outcomes and repairs can be
-        // recorded in the report.
+        // The ILP and resilient schedulers are held concretely (not
+        // behind the trait object) so per-horizon solver diagnostics,
+        // outcomes, and repairs can be recorded in the report.
         enum ActiveScheduler {
             Plain(Box<dyn Scheduler>),
+            Ilp(IlpScheduler),
             Resilient(ResilientScheduler),
         }
         let scheduler = match scheduler_kind {
-            SchedulerKind::Ilp => ActiveScheduler::Plain(Box::new(IlpScheduler::default())),
+            SchedulerKind::Ilp => ActiveScheduler::Ilp(IlpScheduler::default()),
             SchedulerKind::Greedy => ActiveScheduler::Plain(Box::new(GreedyScheduler)),
             SchedulerKind::Abb => {
                 ActiveScheduler::Plain(Box::new(AbbScheduler::with_frame_deadline()))
@@ -392,7 +426,13 @@ impl<'a> CoverageEvaluator<'a> {
 
         // Batch-propagate this leader over the horizon once (shared
         // per-epoch trig); the frame loop reads cached states.
-        let states = grid.propagate(&layout.ground_track(leader)?)?;
+        let prop_start = Instant::now();
+        let states = grid.propagate_observed(&layout.ground_track(leader)?, metrics)?;
+        report.propagate_time += prop_start.elapsed();
+        // Per-frame detection timing costs two clock reads per frame,
+        // so it only runs under enabled metrics (the report field stays
+        // zero otherwise; timers are exempt from `same_outcome`).
+        let time_detection = metrics.is_enabled();
 
         // Follower runtime state carried across frames.
         let trails: Vec<f64> = (0..n_followers)
@@ -420,6 +460,9 @@ impl<'a> CoverageEvaluator<'a> {
             let t = grid.epochs()[frame_idx];
             let frame_id = frame_idx as u64;
             report.frames_processed += 1;
+            if let Some(p) = fault_plan {
+                p.record_frame_activity(t, metrics);
+            }
             let subsat = state.subsatellite.with_altitude(0.0)?;
             let frame = LocalFrame::new(subsat, state.heading_rad);
 
@@ -474,6 +517,7 @@ impl<'a> CoverageEvaluator<'a> {
             // Onboard detection with the recall model, plus any
             // active detector-dropout fault (extra, independently
             // rolled false negatives).
+            let det_start = time_detection.then(Instant::now);
             detected.clear();
             detected.extend(in_frame.iter().copied().filter(|&(idx, _, _)| {
                 detection_roll(self.options.seed, idx as u64, frame_id) < self.options.recall
@@ -481,6 +525,9 @@ impl<'a> CoverageEvaluator<'a> {
                         .map(|p| p.detector_drops(idx as u64, frame_id, t))
                         .unwrap_or(false)
             }));
+            if let Some(s) = det_start {
+                report.detect_time += s.elapsed();
+            }
             report.per_frame_target_counts.push(detected.len());
             if detected.is_empty() {
                 continue;
@@ -576,8 +623,16 @@ impl<'a> CoverageEvaluator<'a> {
             let sched_start = Instant::now();
             let mut schedule = match &scheduler {
                 ActiveScheduler::Plain(s) => s.schedule(&problem)?,
+                ActiveScheduler::Ilp(s) => {
+                    let (schedule, stats) = s.schedule_with_stats(&problem)?;
+                    report.add_ilp_stats(&stats);
+                    schedule
+                }
                 ActiveScheduler::Resilient(rs) => {
                     let outcome = rs.schedule_with_outcome(&problem)?;
+                    if let Some(stats) = outcome.ilp_stats.as_ref() {
+                        report.add_ilp_stats(stats);
+                    }
                     match outcome.solver {
                         SolverChoice::Ilp => report.ilp_horizons += 1,
                         SolverChoice::Greedy => {
@@ -742,6 +797,83 @@ mod tests {
                 "threads={threads} diverged:\n  seq: {sequential:?}\n  par: {parallel:?}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_counters_are_deterministic_across_threads() {
+        // Counters and histograms recorded under enabled metrics must
+        // be bit-identical at every thread count, except the `exec/*`
+        // keys, which describe the execution mechanism itself (pool
+        // dispatches never happen in a sequential run). Gauges and
+        // timers are exempt by contract (DESIGN.md §10).
+        let targets = meridian_targets(80);
+        let config = ConstellationConfig::EagleEye {
+            groups: 3,
+            followers_per_group: 2,
+            scheduler: SchedulerKind::Resilient,
+            clustering: ClusteringMethod::Ilp,
+        };
+        let plan = Arc::new(FaultPlan::new(11).with_fault(
+            eagleeye_sim::FaultKind::FollowerOutage { follower: 1 },
+            600.0,
+            f64::INFINITY,
+        ));
+        let snapshot_at = |threads: usize| {
+            let mut opts = quick_options();
+            opts.recall = 0.8;
+            opts.fault_plan = Some(plan.clone());
+            opts.degraded_mode = DegradedMode::Resilient;
+            opts.threads = threads;
+            opts.metrics = Metrics::enabled();
+            let metrics = opts.metrics.clone();
+            CoverageEvaluator::new(&targets, opts)
+                .evaluate(&config)
+                .unwrap();
+            metrics.snapshot()
+        };
+        let stable_counters = |snap: &eagleeye_obs::MetricsRegistry| {
+            snap.counters()
+                .filter(|(k, _)| !k.starts_with("exec/"))
+                .map(|(k, v)| (k.to_string(), v))
+                .collect::<Vec<_>>()
+        };
+        let seq = snapshot_at(1);
+        assert!(seq.counter("core/frames_processed") > 0);
+        assert!(seq.counter("core/evaluations") == 1);
+        assert!(seq.counter("orbit/propagation_calls") > 0);
+        assert!(seq.counter("orbit/trig_hits") > 0);
+        assert!(seq.counter("ilp/nodes_explored") > 0);
+        assert!(seq.counter("sim/fault_active_frames") > 0);
+        assert!(seq.histogram("core/frame_targets").is_some());
+        for threads in [2, 4] {
+            let par = snapshot_at(threads);
+            assert_eq!(
+                stable_counters(&seq),
+                stable_counters(&par),
+                "threads={threads} diverged"
+            );
+            assert_eq!(
+                seq.histograms()
+                    .map(|(k, h)| (k.to_string(), h.clone()))
+                    .collect::<Vec<_>>(),
+                par.histograms()
+                    .map(|(k, h)| (k.to_string(), h.clone()))
+                    .collect::<Vec<_>>(),
+                "threads={threads} histograms diverged"
+            );
+            assert!(par.counter("exec/par_maps") > 0);
+        }
+    }
+
+    #[test]
+    fn ilp_scheduler_reports_solver_diagnostics() {
+        let targets = meridian_targets(60);
+        let eval = CoverageEvaluator::new(&targets, quick_options());
+        let r = eval.evaluate(&ConstellationConfig::eagleeye(1, 1)).unwrap();
+        assert!(r.ilp_subproblems > 0, "the default scheduler is the ILP");
+        assert!(r.ilp_nodes_explored >= r.ilp_subproblems);
+        assert!(r.ilp_lp_pivots <= r.ilp_lp_iterations);
+        assert!(r.ilp_incumbent_updates > 0);
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use crate::schedule::IlpRunStats;
+use eagleeye_obs::Metrics;
 use std::time::Duration;
 
 /// Result of a coverage evaluation run.
@@ -49,6 +51,31 @@ pub struct CoverageReport {
     pub captures_lost_to_faults: usize,
     /// Frames during which an injected fault kept the leader down.
     pub frames_leader_down: usize,
+    /// Total wall-clock time spent batch-propagating orbits.
+    pub propagate_time: Duration,
+    /// Total wall-clock time spent in the detection model (recorded
+    /// only when the evaluation carries enabled
+    /// [`Metrics`](eagleeye_obs::Metrics); zero otherwise so the
+    /// per-frame clock reads cost nothing in production sweeps).
+    pub detect_time: Duration,
+    /// ILP subproblems attempted, summed over every horizon that ran
+    /// the exact solver (under both `SchedulerKind::Ilp` and the
+    /// resilient wrapper).
+    pub ilp_subproblems: usize,
+    /// Branch-and-bound nodes whose LP relaxation was solved.
+    pub ilp_nodes_explored: usize,
+    /// Branch-and-bound nodes discarded by the incumbent bound.
+    pub ilp_nodes_pruned: usize,
+    /// Total simplex iterations (bound flips included).
+    pub ilp_lp_iterations: usize,
+    /// Total basis-changing simplex pivots (`<= ilp_lp_iterations`).
+    pub ilp_lp_pivots: usize,
+    /// Incumbent replacements across all branch-and-bound runs.
+    pub ilp_incumbent_updates: usize,
+    /// ILP subproblems abandoned on the wall-clock deadline.
+    pub ilp_deadline_hits: usize,
+    /// ILP subproblems abandoned on the simplex iteration cap.
+    pub ilp_iteration_limit_hits: usize,
 }
 
 impl CoverageReport {
@@ -112,16 +139,94 @@ impl CoverageReport {
         self.tasks_reassigned += part.tasks_reassigned;
         self.captures_lost_to_faults += part.captures_lost_to_faults;
         self.frames_leader_down += part.frames_leader_down;
+        self.propagate_time += part.propagate_time;
+        self.detect_time += part.detect_time;
+        self.ilp_subproblems += part.ilp_subproblems;
+        self.ilp_nodes_explored += part.ilp_nodes_explored;
+        self.ilp_nodes_pruned += part.ilp_nodes_pruned;
+        self.ilp_lp_iterations += part.ilp_lp_iterations;
+        self.ilp_lp_pivots += part.ilp_lp_pivots;
+        self.ilp_incumbent_updates += part.ilp_incumbent_updates;
+        self.ilp_deadline_hits += part.ilp_deadline_hits;
+        self.ilp_iteration_limit_hits += part.ilp_iteration_limit_hits;
+    }
+
+    /// Folds one horizon's ILP solver diagnostics into the report.
+    pub fn add_ilp_stats(&mut self, stats: &IlpRunStats) {
+        self.ilp_subproblems += stats.subproblems;
+        self.ilp_nodes_explored += stats.nodes_explored;
+        self.ilp_nodes_pruned += stats.nodes_pruned;
+        self.ilp_lp_iterations += stats.lp_iterations;
+        self.ilp_lp_pivots += stats.lp_pivots;
+        self.ilp_incumbent_updates += stats.incumbent_updates;
+        self.ilp_deadline_hits += stats.deadline_hits;
+        self.ilp_iteration_limit_hits += stats.iteration_limit_hits;
+    }
+
+    /// Mirrors the report into a metrics registry under the `core/*`
+    /// and `ilp/*` key namespaces (see DESIGN.md §10). A no-op when
+    /// `metrics` is disabled. Counter and histogram values are exact
+    /// integers derived from the deterministic report fields; only the
+    /// `core/evaluate/*` timers vary run to run.
+    pub fn record_metrics(&self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.incr("core/evaluations");
+        metrics.add("core/frames_processed", self.frames_processed as u64);
+        metrics.add("core/frames_with_targets", self.frames_with_targets as u64);
+        metrics.add("core/scheduler_calls", self.scheduler_calls as u64);
+        metrics.add("core/captures_commanded", self.captures_commanded as u64);
+        metrics.add("core/captured_targets", self.captured as u64);
+        metrics.add("core/ilp_horizons", self.ilp_horizons as u64);
+        metrics.add("core/greedy_fallbacks", self.greedy_fallbacks as u64);
+        metrics.add("core/deadline_fallbacks", self.deadline_fallbacks as u64);
+        metrics.add("core/repairs_attempted", self.repairs_attempted as u64);
+        metrics.add(
+            "core/tasks_dropped_by_failures",
+            self.tasks_dropped_by_failures as u64,
+        );
+        metrics.add("core/tasks_reassigned", self.tasks_reassigned as u64);
+        metrics.add(
+            "core/captures_lost_to_faults",
+            self.captures_lost_to_faults as u64,
+        );
+        metrics.add("core/frames_leader_down", self.frames_leader_down as u64);
+        metrics.add("ilp/subproblems", self.ilp_subproblems as u64);
+        metrics.add("ilp/nodes_explored", self.ilp_nodes_explored as u64);
+        metrics.add("ilp/nodes_pruned", self.ilp_nodes_pruned as u64);
+        metrics.add("ilp/lp_iterations", self.ilp_lp_iterations as u64);
+        metrics.add("ilp/lp_pivots", self.ilp_lp_pivots as u64);
+        metrics.add("ilp/incumbent_updates", self.ilp_incumbent_updates as u64);
+        metrics.add("ilp/deadline_hits", self.ilp_deadline_hits as u64);
+        metrics.add(
+            "ilp/iteration_limit_hits",
+            self.ilp_iteration_limit_hits as u64,
+        );
+        const FRAME_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50];
+        for &n in &self.per_frame_target_counts {
+            metrics.observe("core/frame_targets", n as u64, FRAME_BUCKETS);
+        }
+        for &n in &self.per_frame_cluster_counts {
+            metrics.observe("core/frame_clusters", n as u64, FRAME_BUCKETS);
+        }
+        metrics.record_duration("core/evaluate/propagate", self.propagate_time);
+        metrics.record_duration("core/evaluate/detect", self.detect_time);
+        metrics.record_duration("core/evaluate/cluster", self.clustering_time);
+        metrics.record_duration("core/evaluate/schedule", self.scheduler_time);
     }
 
     /// True when two reports agree on everything except the wall-clock
-    /// timing fields (`scheduler_time`, `clustering_time`), which vary
-    /// run to run even for identical work. This is the determinism
-    /// contract checked across thread counts.
+    /// timing fields (`scheduler_time`, `clustering_time`,
+    /// `propagate_time`, `detect_time`), which vary run to run even for
+    /// identical work. This is the determinism contract checked across
+    /// thread counts.
     pub fn same_outcome(&self, other: &CoverageReport) -> bool {
         let strip = |r: &CoverageReport| CoverageReport {
             scheduler_time: Duration::ZERO,
             clustering_time: Duration::ZERO,
+            propagate_time: Duration::ZERO,
+            detect_time: Duration::ZERO,
             ..r.clone()
         };
         strip(self) == strip(other)
@@ -215,6 +320,76 @@ mod tests {
         b.clustering_time = Duration::ZERO;
         assert!(a.same_outcome(&b));
         b.captured = 5;
+        assert!(!a.same_outcome(&b));
+    }
+
+    #[test]
+    fn ilp_stats_fold_into_report_and_absorb() {
+        let stats = IlpRunStats {
+            subproblems: 2,
+            deadline_hits: 1,
+            iteration_limit_hits: 0,
+            nodes_explored: 10,
+            nodes_pruned: 4,
+            lp_iterations: 90,
+            lp_pivots: 60,
+            incumbent_updates: 3,
+            greedy_dominated: false,
+        };
+        let mut part = CoverageReport::default();
+        part.add_ilp_stats(&stats);
+        part.add_ilp_stats(&stats);
+        let mut acc = CoverageReport::default();
+        acc.absorb(part);
+        assert_eq!(acc.ilp_subproblems, 4);
+        assert_eq!(acc.ilp_nodes_explored, 20);
+        assert_eq!(acc.ilp_nodes_pruned, 8);
+        assert_eq!(acc.ilp_lp_iterations, 180);
+        assert_eq!(acc.ilp_lp_pivots, 120);
+        assert_eq!(acc.ilp_incumbent_updates, 6);
+        assert_eq!(acc.ilp_deadline_hits, 2);
+        assert_eq!(acc.ilp_iteration_limit_hits, 0);
+    }
+
+    #[test]
+    fn record_metrics_mirrors_counters_and_histograms() {
+        let report = CoverageReport {
+            frames_processed: 9,
+            frames_with_targets: 3,
+            per_frame_target_counts: vec![1, 6, 30],
+            per_frame_cluster_counts: vec![1, 4, 12],
+            scheduler_calls: 3,
+            scheduler_time: Duration::from_millis(4),
+            captures_commanded: 5,
+            ilp_subproblems: 3,
+            ilp_nodes_explored: 11,
+            ..CoverageReport::default()
+        };
+        let metrics = Metrics::enabled();
+        report.record_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("core/evaluations"), 1);
+        assert_eq!(snap.counter("core/frames_processed"), 9);
+        assert_eq!(snap.counter("core/scheduler_calls"), 3);
+        assert_eq!(snap.counter("ilp/subproblems"), 3);
+        assert_eq!(snap.counter("ilp/nodes_explored"), 11);
+        let h = snap.histogram("core/frame_targets").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 37);
+        let t = snap.timer("core/evaluate/schedule").unwrap();
+        assert_eq!(t.total, Duration::from_millis(4));
+        // Disabled metrics: a silent no-op.
+        report.record_metrics(&Metrics::disabled());
+    }
+
+    #[test]
+    fn same_outcome_ignores_all_four_timers() {
+        let a = CoverageReport::default();
+        let mut b = a.clone();
+        b.propagate_time = Duration::from_secs(1);
+        b.detect_time = Duration::from_secs(2);
+        assert!(a.same_outcome(&b));
+        b.ilp_nodes_explored = 1;
         assert!(!a.same_outcome(&b));
     }
 

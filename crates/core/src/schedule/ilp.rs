@@ -70,6 +70,18 @@ pub struct IlpRunStats {
     pub deadline_hits: usize,
     /// Subproblems abandoned on the simplex iteration cap.
     pub iteration_limit_hits: usize,
+    /// Branch-and-bound nodes whose LP relaxation was solved, summed
+    /// over all subproblems.
+    pub nodes_explored: usize,
+    /// Nodes discarded by the incumbent bound, summed over all
+    /// subproblems.
+    pub nodes_pruned: usize,
+    /// Total simplex iterations across all subproblems.
+    pub lp_iterations: usize,
+    /// Total basis-changing simplex pivots across all subproblems.
+    pub lp_pivots: usize,
+    /// Incumbent replacements across all subproblems.
+    pub incumbent_updates: usize,
     /// True when the final answer came from the greedy baseline because
     /// it beat the (coarsely discretized) ILP solution.
     pub greedy_dominated: bool,
@@ -263,6 +275,12 @@ impl IlpScheduler {
             }
             Err(e) => return Err(e.into()),
         };
+        let solver = *sol.stats();
+        stats.nodes_explored += solver.nodes_explored;
+        stats.nodes_pruned += solver.nodes_pruned;
+        stats.lp_iterations += solver.lp_iterations;
+        stats.lp_pivots += solver.lp_pivots;
+        stats.incumbent_updates += solver.incumbent_updates;
         // Branch-and-bound converts an expired deadline into a limit
         // status (`Feasible` with the incumbent, `Unknown` without one)
         // rather than an error; count those as deadline hits too.
@@ -513,6 +531,23 @@ mod tests {
         .unwrap();
         s.validate(&p).unwrap();
         assert!(s.captured_count() > 10);
+    }
+
+    #[test]
+    fn run_stats_aggregate_solver_counters() {
+        let tasks: Vec<TaskSpec> = (0..6)
+            .map(|i| TaskSpec::new(0.0, 30_000.0 + i as f64 * 20_000.0, 1.0))
+            .collect();
+        let p = problem(tasks, vec![FollowerState::at_start(-100_000.0)]);
+        let (s, stats) = IlpScheduler::default().schedule_with_stats(&p).unwrap();
+        s.validate(&p).unwrap();
+        assert_eq!(stats.subproblems, 1);
+        assert!(stats.nodes_explored >= 1);
+        assert!(stats.lp_iterations >= 1);
+        assert!(stats.lp_pivots <= stats.lp_iterations);
+        // A feasible instance always produces at least one incumbent.
+        assert!(stats.incumbent_updates >= 1);
+        assert!(stats.clean());
     }
 
     #[test]

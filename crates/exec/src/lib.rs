@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+use eagleeye_obs::Metrics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -160,6 +161,85 @@ impl ExecPool {
         Ok(ok)
     }
 
+    /// [`ExecPool::par_map`] with deterministic metrics collection:
+    /// every work item gets a private [`Metrics::fork`] (so workers
+    /// never contend on the shared registry), and the forks are
+    /// absorbed back into `metrics` **in input order** after the pool
+    /// drains. Because registry merge is exactly associative and
+    /// commutative, the absorbed totals are bit-identical at any
+    /// thread count. When `metrics` is disabled the forks are free and
+    /// this is [`ExecPool::par_map`] plus a few never-taken branches.
+    ///
+    /// Also records the pool shape under `exec/*`: `exec/par_maps`,
+    /// `exec/items`, and the `exec/threads` max-gauge.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is propagated to the caller after all workers
+    /// stop.
+    pub fn par_map_observed<T, R, F>(&self, metrics: &Metrics, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &Metrics) -> R + Sync,
+    {
+        if metrics.is_enabled() {
+            metrics.incr("exec/par_maps");
+            metrics.add("exec/items", items.len() as u64);
+            metrics.gauge_max("exec/threads", self.threads as f64);
+        }
+        let pairs = self.par_map(items, |i, x| {
+            let fork = metrics.fork();
+            let r = f(i, x, &fork);
+            (r, fork)
+        });
+        let mut out = Vec::with_capacity(pairs.len());
+        for (r, fork) in pairs {
+            metrics.absorb(&fork);
+            out.push(r);
+        }
+        out
+    }
+
+    /// Fallible [`ExecPool::par_map_observed`]: like
+    /// [`ExecPool::try_par_map`], all items are evaluated and the
+    /// lowest-indexed error is returned; every fork is absorbed in
+    /// input order (even on failure, so the metrics of an errored run
+    /// are deterministic too).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error by input index.
+    pub fn try_par_map_observed<T, R, E, F>(
+        &self,
+        metrics: &Metrics,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T, &Metrics) -> Result<R, E> + Sync,
+    {
+        let mut err: Option<E> = None;
+        let mut ok = Vec::with_capacity(items.len());
+        for r in self.par_map_observed(metrics, items, f) {
+            match r {
+                Ok(v) => ok.push(v),
+                Err(e) => {
+                    if err.is_none() {
+                        err = Some(e);
+                    }
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(ok),
+        }
+    }
+
     /// Applies `f(chunk_index, chunk)` to consecutive chunks of at most
     /// `chunk_size` items, returning per-chunk results in chunk order.
     /// Use instead of [`ExecPool::par_map`] when items are so cheap that
@@ -248,6 +328,83 @@ mod tests {
         assert_eq!(sums[10].2, 3); // tail chunk
         let total: usize = sums.iter().map(|&(_, s, _)| s).sum();
         assert_eq!(total, 103 * 102 / 2);
+    }
+
+    #[test]
+    fn observed_map_merges_deterministically_across_thread_counts() {
+        let items: Vec<u64> = (0..97).collect();
+        let run = |threads: usize| {
+            let metrics = Metrics::enabled();
+            let got = ExecPool::new(threads).par_map_observed(&metrics, &items, |_, &x, m| {
+                m.add("work/value_sum", x);
+                m.incr("work/calls");
+                m.observe("work/values", x, &[16, 48, 96]);
+                x * 2
+            });
+            (got, metrics.snapshot())
+        };
+        let (base_out, base_snap) = run(1);
+        assert_eq!(base_snap.counter("work/calls"), 97);
+        assert_eq!(base_snap.counter("work/value_sum"), 96 * 97 / 2);
+        for threads in [2, 4, 8] {
+            let (out, snap) = run(threads);
+            assert_eq!(out, base_out, "threads={threads}");
+            // Counters and histograms are bit-identical at any thread
+            // count; only the pool-shape gauge (`exec/threads`)
+            // legitimately differs between runs.
+            let counters: Vec<_> = snap.counters().collect();
+            assert_eq!(
+                counters,
+                base_snap.counters().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            let hists: Vec<_> = snap.histograms().collect();
+            assert_eq!(
+                hists,
+                base_snap.histograms().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(snap.gauge("exec/threads"), Some(threads as f64));
+        }
+    }
+
+    #[test]
+    fn observed_map_records_pool_shape() {
+        let metrics = Metrics::enabled();
+        ExecPool::new(3).par_map_observed(&metrics, &[1, 2, 3, 4], |_, &x: &i32, _| x);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("exec/par_maps"), 1);
+        assert_eq!(snap.counter("exec/items"), 4);
+        assert_eq!(snap.gauge("exec/threads"), Some(3.0));
+    }
+
+    #[test]
+    fn observed_map_with_disabled_metrics_is_plain_par_map() {
+        let metrics = Metrics::disabled();
+        let got = ExecPool::new(4).par_map_observed(&metrics, &[1u64, 2, 3], |_, &x, m| {
+            m.incr("ignored");
+            x + 1
+        });
+        assert_eq!(got, vec![2, 3, 4]);
+        assert!(metrics.snapshot().is_empty());
+    }
+
+    #[test]
+    fn try_observed_map_keeps_metrics_on_error() {
+        let metrics = Metrics::enabled();
+        let items: Vec<usize> = (0..50).collect();
+        let r: Result<Vec<usize>, usize> =
+            ExecPool::new(4).try_par_map_observed(&metrics, &items, |_, &x, m| {
+                m.incr("attempts");
+                if x % 9 == 5 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(r.unwrap_err(), 5);
+        // All items were evaluated and all forks absorbed.
+        assert_eq!(metrics.snapshot().counter("attempts"), 50);
     }
 
     #[test]

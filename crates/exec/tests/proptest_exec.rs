@@ -1,0 +1,61 @@
+//! Property suite for metric recording through the worker pool: both
+//! the fork/absorb discipline of `par_map_observed` and concurrent
+//! recording through a shared handle lose no updates at any thread
+//! count.
+
+use eagleeye_check::{check_cases, prop_assert, prop_assert_eq};
+use eagleeye_check::{u64_range, usize_range, vec_of};
+use eagleeye_exec::ExecPool;
+use eagleeye_obs::Metrics;
+
+#[test]
+fn forked_recording_through_the_pool_loses_no_updates() {
+    check_cases(
+        48,
+        "exec_forked_counts",
+        (usize_range(1, 9), vec_of(u64_range(0, 200), 1, 33)),
+        |(threads, increments)| {
+            let pool = ExecPool::new(*threads);
+            let metrics = Metrics::enabled();
+            let order = pool.par_map_observed(&metrics, increments, |i, &n, m| {
+                for _ in 0..n {
+                    m.incr("prop/hits");
+                }
+                m.observe("prop/n", n, &[4, 64]);
+                i
+            });
+            prop_assert_eq!(order, (0..increments.len()).collect::<Vec<_>>());
+            let snap = metrics.snapshot();
+            prop_assert_eq!(snap.counter("prop/hits"), increments.iter().sum::<u64>());
+            let h = snap.histogram("prop/n");
+            prop_assert!(h.is_some(), "histogram must survive absorb");
+            let h = h.unwrap();
+            prop_assert_eq!(h.count(), increments.len() as u64);
+            prop_assert_eq!(h.sum(), u128::from(increments.iter().sum::<u64>()));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shared_handle_concurrent_increments_lose_no_updates() {
+    check_cases(
+        48,
+        "exec_shared_counts",
+        (usize_range(1, 9), vec_of(u64_range(0, 200), 1, 33)),
+        |(threads, increments)| {
+            let pool = ExecPool::new(*threads);
+            let metrics = Metrics::enabled();
+            pool.par_map(increments, |_, &n| {
+                for _ in 0..n {
+                    metrics.incr("prop/shared");
+                }
+            });
+            prop_assert_eq!(
+                metrics.snapshot().counter("prop/shared"),
+                increments.iter().sum::<u64>()
+            );
+            Ok(())
+        },
+    );
+}

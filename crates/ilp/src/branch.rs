@@ -48,6 +48,18 @@ pub struct SolveStats {
     pub nodes_explored: usize,
     /// Total simplex iterations across all nodes.
     pub lp_iterations: usize,
+    /// Total basis-changing simplex pivots across all nodes (bound
+    /// flips are counted in `lp_iterations` only).
+    pub lp_pivots: usize,
+    /// Nodes whose LP relaxation was solved but that were discarded by
+    /// the incumbent bound (never branched).
+    pub nodes_pruned: usize,
+    /// How many times a new best integral solution replaced the
+    /// incumbent (1 = the first feasible solution was already optimal).
+    pub incumbent_updates: usize,
+    /// Wall-clock time from solve start until the first incumbent was
+    /// found; `None` when the search ended with no feasible solution.
+    pub time_to_first_incumbent: Option<Duration>,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }
@@ -108,14 +120,16 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
             }
             Err(e) => return Err(e),
         };
-        let Some((obj, values, iters)) = relaxed else {
+        let Some((obj, values, iters, pivots)) = relaxed else {
             continue; // infeasible node
         };
         stats.lp_iterations += iters;
+        stats.lp_pivots += pivots;
 
         // Bound pruning.
         if let Some((best, _)) = &incumbent {
             if obj >= *best - options.absolute_gap {
+                stats.nodes_pruned += 1;
                 continue;
             }
         }
@@ -142,6 +156,10 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
                     None => true,
                 };
                 if better {
+                    stats.incumbent_updates += 1;
+                    if stats.time_to_first_incumbent.is_none() {
+                        stats.time_to_first_incumbent = Some(start.elapsed());
+                    }
                     incumbent = Some((obj, values));
                 }
             }
@@ -345,6 +363,24 @@ mod tests {
     fn stats_are_populated() {
         let (m, _) = knapsack(&[3.0, 5.0, 4.0], &[2.0, 3.0, 3.0], 5.0);
         let sol = m.solve(&SolveOptions::default()).unwrap();
-        assert!(sol.stats().nodes_explored >= 1);
+        let stats = sol.stats();
+        assert!(stats.nodes_explored >= 1);
+        assert!(stats.lp_pivots <= stats.lp_iterations);
+        // This knapsack has a feasible optimum, so the incumbent was
+        // set at least once and its discovery time was stamped.
+        assert!(stats.incumbent_updates >= 1);
+        assert!(stats.time_to_first_incumbent.is_some());
+        assert!(stats.time_to_first_incumbent.unwrap() <= stats.elapsed);
+    }
+
+    #[test]
+    fn infeasible_solve_has_no_incumbent_stats() {
+        let mut m = Model::minimize();
+        let x = m.add_binary_var(1.0);
+        m.add_constraint([(x, 1.0)], crate::Sense::Ge, 2.0).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(sol.status(), SolveStatus::Infeasible);
+        assert_eq!(sol.stats().incumbent_updates, 0);
+        assert_eq!(sol.stats().time_to_first_incumbent, None);
     }
 }

@@ -3,6 +3,10 @@ use crate::simplex::{self, LpProblem, LpResult, LpRow, RowSense};
 use crate::IlpError;
 use std::fmt;
 
+/// LP-relaxation outcome: `None` when infeasible, otherwise
+/// `(objective, variable values, simplex iterations, pivots)`.
+pub(crate) type Relaxation = Option<(f64, Vec<f64>, usize, usize)>;
+
 /// Handle to a variable in a [`Model`].
 ///
 /// `VarId`s are only meaningful for the model that created them; using one
@@ -270,12 +274,13 @@ impl Model {
     }
 
     /// Solves the LP relaxation with per-variable bound overrides
-    /// (used by branch-and-bound). Returns `None` if infeasible.
+    /// (used by branch-and-bound). Returns `None` if infeasible,
+    /// otherwise `(objective, values, iterations, pivots)`.
     pub(crate) fn solve_relaxation(
         &self,
         bound_overrides: &[(usize, f64, f64)],
         deadline: Option<std::time::Instant>,
-    ) -> Result<Option<(f64, Vec<f64>, usize)>, IlpError> {
+    ) -> Result<Relaxation, IlpError> {
         // Effective bounds.
         let mut lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
         let mut upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
@@ -344,7 +349,7 @@ impl Model {
                 let values: Vec<f64> = s.values.iter().zip(&lower).map(|(x, lo)| x + lo).collect();
                 // Internal objective is always "minimize sign * obj".
                 let internal = s.objective + sign * obj_const;
-                Ok(Some((internal, values, s.iterations)))
+                Ok(Some((internal, values, s.iterations, s.pivots)))
             }
         }
     }

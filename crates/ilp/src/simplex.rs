@@ -76,6 +76,11 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Total simplex iterations across both phases.
     pub iterations: usize,
+    /// Basis-changing pivots across both phases. Iterations that
+    /// resolve as bound flips (the entering variable runs to its other
+    /// bound without a basis change) are counted in `iterations` but
+    /// not here, so `pivots <= iterations`.
+    pub pivots: usize,
 }
 
 const COST_TOL: f64 = 1e-9;
@@ -141,6 +146,8 @@ struct Tableau {
     cost: Vec<f64>,
     /// Iterations used so far.
     iterations: usize,
+    /// Basis-changing pivots so far (excludes bound flips).
+    pivots: usize,
     /// Iteration cap.
     max_iterations: usize,
     /// Optional wall-clock deadline.
@@ -279,6 +286,7 @@ impl Tableau {
             art_start,
             cost,
             iterations: 0,
+            pivots: 0,
             max_iterations,
             deadline: None,
         })
@@ -323,6 +331,7 @@ impl Tableau {
             objective: obj,
             values,
             iterations: self.iterations,
+            pivots: self.pivots,
         }))
     }
 
@@ -465,6 +474,7 @@ impl Tableau {
                     self.at_upper[j] = !self.at_upper[j];
                 }
                 Some((r, to_upper)) => {
+                    self.pivots += 1;
                     // Update basic values for the step.
                     for i in 0..self.m {
                         if i != r {
@@ -751,6 +761,40 @@ mod tests {
             LpResult::Optimal(s) => {
                 assert_close(s.objective, -1.0);
                 assert_close(s.values[1], 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pivot_count_separates_bound_flips_from_basis_changes() {
+        // Bound-flip-only problem: iterations advance but no basis change.
+        let flips = LpProblem {
+            cost: vec![-1.0, -2.0],
+            upper: vec![1.0, 1.0],
+            rows: vec![],
+        };
+        match solve(&flips).unwrap() {
+            LpResult::Optimal(s) => {
+                assert_eq!(s.pivots, 0);
+                assert!(s.iterations >= 2, "two flips expected");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A problem with rows needs real pivots to reach the vertex.
+        let vertex = LpProblem {
+            cost: vec![-3.0, -5.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], RowSense::Le, 4.0),
+                row(&[(1, 2.0)], RowSense::Le, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], RowSense::Le, 18.0),
+            ],
+        };
+        match solve(&vertex).unwrap() {
+            LpResult::Optimal(s) => {
+                assert!(s.pivots >= 1);
+                assert!(s.pivots <= s.iterations);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -1,0 +1,132 @@
+//! `eagleeye-check` property suite pinning the merge semantics that
+//! make parallel metric recording deterministic (DESIGN.md §10):
+//! registry merge is exactly associative and commutative, and chunked
+//! fork/absorb in any order equals sequential recording.
+
+use eagleeye_check::{check, prop_assert_eq, u64_range, usize_range, vec_of, Gen};
+use eagleeye_obs::MetricsRegistry;
+use std::time::Duration;
+
+/// One recording operation: `(kind, key index, value)` where kind
+/// selects counter / gauge / timer / histogram.
+type Op = (usize, usize, u64);
+
+const KEYS: [&str; 3] = ["core/a", "ilp/b", "orbit/c"];
+/// Histogram bounds are fixed per key (the registry panics on
+/// mismatched bounds, which would make merges partial).
+const BOUNDS: [&[u64]; 3] = [&[4, 16], &[1, 2, 5, 50], &[100]];
+
+fn ops() -> impl Gen<Value = Vec<Op>> {
+    vec_of(
+        (
+            usize_range(0, 4),
+            usize_range(0, KEYS.len()),
+            u64_range(0, 1_000),
+        ),
+        0,
+        40,
+    )
+}
+
+fn apply(reg: &mut MetricsRegistry, &(kind, key, value): &Op) {
+    let k = KEYS[key];
+    match kind {
+        0 => reg.add(k, value),
+        // value/8 is exact in f64, so max-merge comparisons are
+        // bit-exact.
+        1 => reg.gauge_max(k, value as f64 / 8.0),
+        2 => reg.record_duration(k, Duration::from_nanos(value)),
+        _ => reg.observe(k, value, BOUNDS[key]),
+    }
+}
+
+fn build(ops: &[Op]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for op in ops {
+        apply(&mut reg, op);
+    }
+    reg
+}
+
+fn merged(a: &MetricsRegistry, b: &MetricsRegistry) -> MetricsRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+#[test]
+fn merge_is_commutative() {
+    check("obs_merge_commutative", (ops(), ops()), |(a, b)| {
+        let (ra, rb) = (build(a), build(b));
+        prop_assert_eq!(merged(&ra, &rb), merged(&rb, &ra));
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_is_associative() {
+    check(
+        "obs_merge_associative",
+        (ops(), ops(), ops()),
+        |(a, b, c)| {
+            let (ra, rb, rc) = (build(a), build(b), build(c));
+            prop_assert_eq!(
+                merged(&merged(&ra, &rb), &rc),
+                merged(&ra, &merged(&rb, &rc))
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chunked_merge_in_any_order_matches_sequential_recording() {
+    // Split one op stream at two generated cut points, build a registry
+    // per chunk, and absorb the chunks in a generated permutation: the
+    // result must equal applying the whole stream to one registry. This
+    // is exactly the evaluator's fork/absorb discipline, so it is what
+    // makes metrics bit-identical at any thread count.
+    check(
+        "obs_merge_order_independent",
+        (
+            ops(),
+            usize_range(0, 41),
+            usize_range(0, 41),
+            usize_range(0, 6),
+        ),
+        |(stream, cut_a, cut_b, perm)| {
+            let i = (*cut_a).min(stream.len());
+            let j = (*cut_b).min(stream.len());
+            let (lo, hi) = (i.min(j), i.max(j));
+            let chunks = [
+                build(&stream[..lo]),
+                build(&stream[lo..hi]),
+                build(&stream[hi..]),
+            ];
+            const ORDERS: [[usize; 3]; 6] = [
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
+            let mut out = MetricsRegistry::new();
+            for &k in &ORDERS[*perm] {
+                out.merge(&chunks[k]);
+            }
+            prop_assert_eq!(out, build(stream));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    check("obs_merge_identity", ops(), |stream| {
+        let reg = build(stream);
+        prop_assert_eq!(merged(&reg, &MetricsRegistry::new()), reg.clone());
+        prop_assert_eq!(merged(&MetricsRegistry::new(), &reg), reg.clone());
+        Ok(())
+    });
+}

@@ -24,6 +24,7 @@
 //! deliberately no partial-update API.
 
 use crate::{GroundTrack, OrbitError, TrackState};
+use eagleeye_obs::Metrics;
 
 /// The frame epochs of an evaluation horizon, exactly as the coverage
 /// evaluator's `while t < duration { t += cadence }` loop produces them
@@ -113,13 +114,35 @@ impl EpochGrid {
     ///
     /// Propagates propagation and geodetic conversion failures.
     pub fn propagate(&self, track: &GroundTrack) -> Result<Vec<TrackState>, OrbitError> {
+        self.propagate_observed(track, &Metrics::disabled())
+    }
+
+    /// [`EpochGrid::propagate`] with observability: counts propagation
+    /// calls and whether the memoized trig was shared (`orbit/trig_hits`)
+    /// or the track fell back to direct propagation
+    /// (`orbit/trig_misses`). Identical results either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EpochGrid::propagate`].
+    pub fn propagate_observed(
+        &self,
+        track: &GroundTrack,
+        metrics: &Metrics,
+    ) -> Result<Vec<TrackState>, OrbitError> {
+        if metrics.is_enabled() {
+            metrics.incr("orbit/grid_propagations");
+            metrics.add("orbit/propagation_calls", self.len() as u64);
+        }
         if track.gmst_epoch_rad() == self.gmst_epoch_rad {
+            metrics.incr("orbit/trig_hits");
             self.epochs
                 .iter()
                 .zip(&self.trig)
                 .map(|(&t, &(sc, sc_fd))| track.state_at_with_trig(t, sc, sc_fd))
                 .collect()
         } else {
+            metrics.incr("orbit/trig_misses");
             self.epochs.iter().map(|&t| track.state_at(t)).collect()
         }
     }
@@ -140,9 +163,25 @@ impl PropagationCache {
     ///
     /// Propagates propagation and geodetic conversion failures.
     pub fn build(tracks: &[GroundTrack], grid: EpochGrid) -> Result<Self, OrbitError> {
+        Self::build_observed(tracks, grid, &Metrics::disabled())
+    }
+
+    /// [`PropagationCache::build`] with observability: counts one cache
+    /// build (`orbit/cache_builds`) plus the per-track propagation
+    /// counters of [`EpochGrid::propagate_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PropagationCache::build`].
+    pub fn build_observed(
+        tracks: &[GroundTrack],
+        grid: EpochGrid,
+        metrics: &Metrics,
+    ) -> Result<Self, OrbitError> {
+        metrics.incr("orbit/cache_builds");
         let states = tracks
             .iter()
-            .map(|tr| grid.propagate(tr))
+            .map(|tr| grid.propagate_observed(tr, metrics))
             .collect::<Result<_, _>>()?;
         Ok(PropagationCache { grid, states })
     }
@@ -253,6 +292,31 @@ mod tests {
             assert_eq!(track.gmst_epoch_rad(), 0.0);
             assert_eq!(grid.propagate(&track).unwrap().len(), grid.len());
         }
+    }
+
+    #[test]
+    fn observed_propagation_counts_hits_and_misses() {
+        let metrics = Metrics::enabled();
+        let grid = EpochGrid::for_horizon(0.0, 600.0, 15.0);
+        let shared = paper_track(0.0);
+        let shifted = paper_track(0.0).with_gmst_epoch(0.7);
+        let a = grid.propagate_observed(&shared, &metrics).unwrap();
+        let b = grid.propagate_observed(&shifted, &metrics).unwrap();
+        assert_eq!(a, grid.propagate(&shared).unwrap());
+        assert_eq!(b, grid.propagate(&shifted).unwrap());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("orbit/trig_hits"), 1);
+        assert_eq!(snap.counter("orbit/trig_misses"), 1);
+        assert_eq!(snap.counter("orbit/grid_propagations"), 2);
+        assert_eq!(
+            snap.counter("orbit/propagation_calls"),
+            2 * grid.len() as u64
+        );
+
+        let cache =
+            PropagationCache::build_observed(&[paper_track(0.0)], grid.clone(), &metrics).unwrap();
+        assert_eq!(cache.satellite_count(), 1);
+        assert_eq!(metrics.snapshot().counter("orbit/cache_builds"), 1);
     }
 
     #[test]

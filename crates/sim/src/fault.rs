@@ -38,6 +38,7 @@
 //! assert_eq!(a.faults().len(), b.faults().len()); // same seed, same plan
 //! ```
 
+use eagleeye_obs::Metrics;
 use eagleeye_rng::{mix64, SplitMix64};
 
 /// One class of injected fault. Each variant carries the parameters
@@ -385,6 +386,43 @@ impl FaultPlan {
             .any(|f| matches!(f.kind, FaultKind::BatteryBrownout) && f.active_at(t_s))
     }
 
+    /// Records per-class fault activity for one evaluation frame at
+    /// time `t_s` under `sim/*` counters: how many faults of each
+    /// class are active, plus `sim/fault_active_frames` when any
+    /// fault is active at all. No-op when `metrics` is disabled.
+    pub fn record_frame_activity(&self, t_s: f64, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let mut follower_out = 0u64;
+        let mut leader_out = 0u64;
+        let mut dropout = 0u64;
+        let mut radio = 0u64;
+        let mut slew = 0u64;
+        let mut brownout = 0u64;
+        for f in self.faults.iter().filter(|f| f.active_at(t_s)) {
+            match f.kind {
+                FaultKind::FollowerOutage { .. } => follower_out += 1,
+                FaultKind::LeaderOutage => leader_out += 1,
+                FaultKind::DetectorDropout { .. } => dropout += 1,
+                FaultKind::RadioDerate { .. } => radio += 1,
+                FaultKind::SlewDerate { .. } => slew += 1,
+                FaultKind::BatteryBrownout => brownout += 1,
+            }
+        }
+        let total = follower_out + leader_out + dropout + radio + slew + brownout;
+        if total > 0 {
+            metrics.incr("sim/fault_active_frames");
+            metrics.add("sim/follower_outage_frames", follower_out.min(1));
+            metrics.add("sim/leader_outage_frames", leader_out.min(1));
+            metrics.add("sim/detector_dropout_frames", dropout.min(1));
+            metrics.add("sim/radio_derate_frames", radio.min(1));
+            metrics.add("sim/slew_derate_frames", slew.min(1));
+            metrics.add("sim/brownout_frames", brownout.min(1));
+            metrics.add("sim/active_faults", total);
+        }
+    }
+
     fn min_factor(&self, t_s: f64, pick: impl Fn(FaultKind) -> Option<f64>) -> f64 {
         self.faults
             .iter()
@@ -572,6 +610,108 @@ mod tests {
         assert!((plan.detector_pass_rate(75.0) - 0.25).abs() < 1e-12);
         assert!((plan.detector_pass_rate(25.0) - 0.5).abs() < 1e-12);
         assert_eq!(plan.detector_pass_rate(150.0), 1.0);
+    }
+
+    #[test]
+    fn overlapping_same_kind_windows_compose() {
+        // Two overlapping slew derates: the *minimum* factor wins inside
+        // the overlap, each window's own factor outside it, and two
+        // overlapping outages for the same follower cover the union of
+        // their windows.
+        let plan = FaultPlan::new(1)
+            .with_fault(FaultKind::SlewDerate { rate_factor: 0.8 }, 0.0, 300.0)
+            .with_fault(FaultKind::SlewDerate { rate_factor: 0.3 }, 200.0, 500.0)
+            .with_fault(FaultKind::FollowerOutage { follower: 0 }, 100.0, 250.0)
+            .with_fault(FaultKind::FollowerOutage { follower: 0 }, 200.0, 400.0);
+
+        assert_eq!(plan.slew_rate_factor(100.0), 0.8); // first window only
+        assert_eq!(plan.slew_rate_factor(250.0), 0.3); // overlap: min wins
+        assert_eq!(plan.slew_rate_factor(400.0), 0.3); // second window only
+        assert_eq!(plan.slew_rate_factor(500.0), 1.0); // both ended
+
+        // Union coverage of the two outage windows, including the seam at
+        // t = 250 (first ends, second already active) and a point covered
+        // by only one of them.
+        for t in [100.0, 199.0, 249.9, 250.0, 399.9] {
+            assert!(plan.follower_out(0, t), "expected outage at t={t}");
+        }
+        assert!(!plan.follower_out(0, 99.9));
+        assert!(!plan.follower_out(0, 400.0));
+
+        // Overlapping radio derates compose the same way.
+        let radio = FaultPlan::new(2)
+            .with_fault(
+                FaultKind::RadioDerate {
+                    capacity_factor: 0.6,
+                },
+                0.0,
+                100.0,
+            )
+            .with_fault(
+                FaultKind::RadioDerate {
+                    capacity_factor: 0.9,
+                },
+                50.0,
+                150.0,
+            );
+        assert_eq!(radio.radio_capacity_factor(75.0), 0.6);
+        assert_eq!(radio.radio_capacity_factor(125.0), 0.9);
+    }
+
+    #[test]
+    fn radio_and_slew_derates_compose_independently() {
+        // Simultaneous radio + slew derating: each channel sees only its
+        // own class, so one fault class never leaks into the other's
+        // factor.
+        let plan = FaultPlan::new(1)
+            .with_fault(
+                FaultKind::RadioDerate {
+                    capacity_factor: 0.25,
+                },
+                100.0,
+                400.0,
+            )
+            .with_fault(FaultKind::SlewDerate { rate_factor: 0.5 }, 200.0, 300.0);
+
+        // Only radio active.
+        assert_eq!(plan.radio_capacity_factor(150.0), 0.25);
+        assert_eq!(plan.slew_rate_factor(150.0), 1.0);
+        // Both active: each keeps its own factor.
+        assert_eq!(plan.radio_capacity_factor(250.0), 0.25);
+        assert_eq!(plan.slew_rate_factor(250.0), 0.5);
+        // Slew window over, radio persists.
+        assert_eq!(plan.radio_capacity_factor(350.0), 0.25);
+        assert_eq!(plan.slew_rate_factor(350.0), 1.0);
+        // Neither class affects detection or brownout.
+        assert_eq!(plan.detector_pass_rate(250.0), 1.0);
+        assert!(!plan.brownout(250.0));
+    }
+
+    #[test]
+    fn frame_activity_counters_record_active_classes() {
+        let plan = FaultPlan::new(1)
+            .with_fault(
+                FaultKind::RadioDerate {
+                    capacity_factor: 0.5,
+                },
+                0.0,
+                100.0,
+            )
+            .with_fault(FaultKind::SlewDerate { rate_factor: 0.5 }, 0.0, 100.0)
+            .with_fault(FaultKind::BatteryBrownout, 50.0, 100.0);
+        let metrics = Metrics::enabled();
+        plan.record_frame_activity(25.0, &metrics); // radio + slew
+        plan.record_frame_activity(75.0, &metrics); // radio + slew + brownout
+        plan.record_frame_activity(200.0, &metrics); // nothing active
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("sim/fault_active_frames"), 2);
+        assert_eq!(snap.counter("sim/radio_derate_frames"), 2);
+        assert_eq!(snap.counter("sim/slew_derate_frames"), 2);
+        assert_eq!(snap.counter("sim/brownout_frames"), 1);
+        assert_eq!(snap.counter("sim/leader_outage_frames"), 0);
+        assert_eq!(snap.counter("sim/active_faults"), 5);
+        // Disabled handle records nothing and costs nothing.
+        plan.record_frame_activity(75.0, &Metrics::disabled());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use eagleeye::core::schedule::{
 };
 use eagleeye::core::SensingSpec;
 use eagleeye::datasets::Workload;
+use eagleeye::obs::Metrics;
 use eagleeye::orbit::{GroundTrack, J2Propagator, Sgp4Propagator, Tle};
 use eagleeye::sim::{simulate_orbit, ActivityProfile, PowerProfile};
 use std::collections::HashMap;
@@ -147,15 +148,20 @@ fn cmd_coverage(o: &Flags) -> Result<(), String> {
     };
 
     let targets = workload.generate_scaled(scale, hours * 3600.0, seed);
+    let metrics = Metrics::from_env();
     let options = CoverageOptions {
         duration_s: hours * 3600.0,
         seed,
         recall,
         orbital_planes: planes,
+        metrics: metrics.clone(),
         ..CoverageOptions::default()
     };
     let eval = CoverageEvaluator::new(&targets, options);
     let report = eval.evaluate(&config).map_err(|e| e.to_string())?;
+    if let Err(e) = eagleeye::obs::export::write_run("eagleeye", &metrics) {
+        eprintln!("warning: failed to write metrics: {e}");
+    }
     println!(
         "workload:  {} ({} targets at scale {scale})",
         workload.label(),

@@ -12,6 +12,7 @@
 //! * [`sim`] — energy, battery, and radio-link models.
 //! * [`datasets`] — the four synthetic evaluation workloads.
 //! * [`detect`] — the analytic ML detector behaviour model.
+//! * [`obs`] — opt-in metrics/tracing (`EAGLEEYE_TRACE=1`).
 //!
 //! See the repository README for a walkthrough, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -36,5 +37,6 @@ pub use eagleeye_datasets as datasets;
 pub use eagleeye_detect as detect;
 pub use eagleeye_geo as geo;
 pub use eagleeye_ilp as ilp;
+pub use eagleeye_obs as obs;
 pub use eagleeye_orbit as orbit;
 pub use eagleeye_sim as sim;
