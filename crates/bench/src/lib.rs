@@ -22,6 +22,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use eagleeye_datasets::{TargetSet, Workload};
 use eagleeye_exec::ExecPool;

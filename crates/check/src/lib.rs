@@ -52,6 +52,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod gen;
 mod runner;

@@ -35,7 +35,7 @@
 use crate::pointing::GroundPoint;
 use crate::CoreError;
 use eagleeye_ilp::{Model, Sense, SolveOptions};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// How to cluster targets into capture footprints.
@@ -144,7 +144,7 @@ fn candidates(points: &[(GroundPoint, f64)], w: f64, h: f64) -> Vec<Candidate> {
     let mut by_x: Vec<usize> = (0..n).collect();
     by_x.sort_by(|&a, &b| points[a].0.cross_m.total_cmp(&points[b].0.cross_m));
 
-    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
     let mut out = Vec::new();
     for (rank, &i) in by_x.iter().enumerate() {
         let min_x = points[i].0.cross_m;
@@ -188,7 +188,7 @@ fn candidates(points: &[(GroundPoint, f64)], w: f64, h: f64) -> Vec<Candidate> {
 /// Greedy set cover: repeatedly take the candidate covering the most
 /// uncovered points.
 fn greedy_cover(n_points: usize, candidates: &[Candidate]) -> Vec<usize> {
-    let mut uncovered: HashSet<usize> = (0..n_points).collect();
+    let mut uncovered: BTreeSet<usize> = (0..n_points).collect();
     let mut chosen = Vec::new();
     while !uncovered.is_empty() {
         let best = candidates
@@ -415,9 +415,19 @@ mod tests {
             })
             .collect();
         let p = pts(&coords);
-        let start = std::time::Instant::now();
-        let c = cluster(&p, 10_000.0, 10_000.0, ClusteringMethod::Ilp).unwrap();
-        let elapsed = start.elapsed();
+        // Timing goes through an obs timer: `core` contains no direct
+        // wall-clock reads (lint rule `clock`).
+        let m = eagleeye_obs::Metrics::enabled();
+        let c = m
+            .time("core/test/cluster_500", || {
+                cluster(&p, 10_000.0, 10_000.0, ClusteringMethod::Ilp)
+            })
+            .unwrap();
+        let elapsed = m
+            .snapshot()
+            .timer("core/test/cluster_500")
+            .expect("timer recorded")
+            .total;
         assert!(covers_all(&p, &c, 10_000.0, 10_000.0));
         assert!(c.len() < 200, "clusters {}", c.len());
         assert!(elapsed.as_secs() < 30, "took {elapsed:?}");

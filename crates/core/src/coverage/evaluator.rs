@@ -9,11 +9,10 @@ use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
 use eagleeye_exec::ExecPool;
 use eagleeye_geo::LocalFrame;
-use eagleeye_obs::Metrics;
+use eagleeye_obs::{Metrics, Stopwatch};
 use eagleeye_orbit::{ConstellationLayout, EpochGrid, SatelliteSpec};
 use eagleeye_sim::FaultPlan;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Options controlling a coverage evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,9 +220,9 @@ impl<'a> CoverageEvaluator<'a> {
          -> Result<(usize, std::time::Duration), CoreError> {
             // Batch-propagate this satellite over the horizon once; the
             // frame loop reads cached states.
-            let prop_start = Instant::now();
+            let prop_sw = Stopwatch::start();
             let states = grid.propagate_observed(&layout.ground_track(sat)?, metrics)?;
-            let prop_elapsed = prop_start.elapsed();
+            let prop_elapsed = prop_sw.elapsed();
             for (state, &t) in states.iter().zip(grid.epochs()) {
                 let frame =
                     LocalFrame::new(state.subsatellite.with_altitude(0.0)?, state.heading_rad);
@@ -426,9 +425,9 @@ impl<'a> CoverageEvaluator<'a> {
 
         // Batch-propagate this leader over the horizon once (shared
         // per-epoch trig); the frame loop reads cached states.
-        let prop_start = Instant::now();
+        let prop_sw = Stopwatch::start();
         let states = grid.propagate_observed(&layout.ground_track(leader)?, metrics)?;
-        report.propagate_time += prop_start.elapsed();
+        report.propagate_time += prop_sw.elapsed();
         // Per-frame detection timing costs two clock reads per frame,
         // so it only runs under enabled metrics (the report field stays
         // zero otherwise; timers are exempt from `same_outcome`).
@@ -517,7 +516,7 @@ impl<'a> CoverageEvaluator<'a> {
             // Onboard detection with the recall model, plus any
             // active detector-dropout fault (extra, independently
             // rolled false negatives).
-            let det_start = time_detection.then(Instant::now);
+            let det_sw = time_detection.then(Stopwatch::start);
             detected.clear();
             detected.extend(in_frame.iter().copied().filter(|&(idx, _, _)| {
                 detection_roll(self.options.seed, idx as u64, frame_id) < self.options.recall
@@ -525,8 +524,8 @@ impl<'a> CoverageEvaluator<'a> {
                         .map(|p| p.detector_drops(idx as u64, frame_id, t))
                         .unwrap_or(false)
             }));
-            if let Some(s) = det_start {
-                report.detect_time += s.elapsed();
+            if let Some(sw) = det_sw {
+                report.detect_time += sw.elapsed();
             }
             report.per_frame_target_counts.push(detected.len());
             if detected.is_empty() {
@@ -547,9 +546,9 @@ impl<'a> CoverageEvaluator<'a> {
                 }
                 (crate::pointing::GroundPoint::new(x, y), value)
             }));
-            let clu_start = Instant::now();
+            let clu_sw = Stopwatch::start();
             let mut clusters = cluster(&points, high_swath, high_swath, clustering_method)?;
-            report.clustering_time += clu_start.elapsed();
+            report.clustering_time += clu_sw.elapsed();
             report.per_frame_cluster_counts.push(clusters.len());
 
             // Keep the most valuable clusters up to the cap (shrunk
@@ -620,7 +619,7 @@ impl<'a> CoverageEvaluator<'a> {
             });
             let problem =
                 SchedulingProblem::new_with_clip(frame_spec, tasks, follower_states, clip)?;
-            let sched_start = Instant::now();
+            let sched_sw = Stopwatch::start();
             let mut schedule = match &scheduler {
                 ActiveScheduler::Plain(s) => s.schedule(&problem)?,
                 ActiveScheduler::Ilp(s) => {
@@ -648,7 +647,7 @@ impl<'a> CoverageEvaluator<'a> {
                     outcome.schedule
                 }
             };
-            report.scheduler_time += sched_start.elapsed();
+            report.scheduler_time += sched_sw.elapsed();
             report.scheduler_calls += 1;
 
             // Mid-horizon follower failures: a fault-aware leader

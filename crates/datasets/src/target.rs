@@ -184,9 +184,11 @@ impl TargetSet {
                         (p.lat_deg(), p.lon_deg())
                     }),
                 )
+                // eagleeye-lint: allow(no-unwrap): cell size is the constant 2.0 above
                 .expect("positive cell size")
             });
             index.query_radius(
+                // eagleeye-lint: allow(no-unwrap): altitude 0.0 is always in range
                 &center.with_altitude(0.0).expect("valid altitude"),
                 radius_m + pad,
                 |i| self.targets[i].position_at(midpoint_t),

@@ -127,12 +127,14 @@ pub(crate) fn sample_in_boxes(
     let s_max = lat_max.to_radians().sin();
     let lat = rng.range_f64(s_min, s_max).asin().to_degrees();
     let lon = rng.range_f64(lon_min, lon_max);
+    // eagleeye-lint: allow(no-unwrap): lat comes from asin (so |lat| <= 90) and lon from the table's validated boxes
     GeodeticPoint::from_degrees(lat, lon, 0.0).expect("boxes are within valid ranges")
 }
 
 /// Converts `(lat, lon)` degrees to a `GeodeticPoint` (panics only on
 /// malformed compile-time tables).
 pub(crate) fn fixed_point(lat: f64, lon: f64) -> GeodeticPoint {
+    // eagleeye-lint: allow(no-unwrap): panicking on a malformed compile-time table is this helper's documented contract
     GeodeticPoint::from_degrees(lat, lon, 0.0).expect("table coordinates are valid")
 }
 

@@ -28,6 +28,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use eagleeye_obs::Metrics;
 use std::num::NonZeroUsize;
@@ -132,7 +133,12 @@ impl ExecPool {
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every index scheduled exactly once"))
+            .map(|s| match s {
+                Some(r) => r,
+                // The strided scheduler assigns every index to exactly
+                // one worker, so every slot is filled.
+                None => unreachable!("every index scheduled exactly once"),
+            })
             .collect()
     }
 

@@ -71,6 +71,7 @@ struct Node {
 }
 
 pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
+    // eagleeye-lint: allow(clock): anchors the optional B&B wall-clock deadline; deterministic whenever no deadline is set
     let start = Instant::now();
     let sign = match model.direction() {
         ObjectiveDirection::Minimize => 1.0,

@@ -343,6 +343,7 @@ impl Tableau {
         let mut d = cost.to_vec();
         for (i, &bj) in self.basis.iter().enumerate() {
             let cb = cost[bj];
+            // eagleeye-lint: allow(float-eq): exact-zero sparsity skip; basis costs are copied, never computed, so 0.0 is exact
             if cb != 0.0 {
                 let row = self.row(i).to_vec();
                 for (dj, &aij) in d.iter_mut().zip(&row) {
@@ -373,6 +374,7 @@ impl Tableau {
             }
             if self.iterations.is_multiple_of(DEADLINE_CHECK_STRIDE) {
                 if let Some(d) = self.deadline {
+                    // eagleeye-lint: allow(clock): strided deadline poll is wall-clock by design (DESIGN.md §8); deterministic whenever no deadline is set
                     if Instant::now() >= d {
                         return Err(IlpError::Deadline);
                     }

@@ -1,0 +1,154 @@
+//! Diagnostics, rule metadata, and output rendering (text + JSON).
+
+use std::fmt;
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (one of [`RULES`], or `"suppression"` for problems
+    /// with suppression comments themselves).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Stable rule ids — these are the names accepted by
+/// `// eagleeye-lint: allow(<rule>)` suppressions.
+pub const R1_NO_UNWRAP: &str = "no-unwrap";
+pub const R2_DETERMINISM: &str = "determinism";
+pub const R3_CLOCK: &str = "clock";
+pub const R4_FLOAT_EQ: &str = "float-eq";
+pub const R5_UNSAFE_HYGIENE: &str = "unsafe-hygiene";
+pub const R6_METRIC_NAMESPACE: &str = "metric-namespace";
+/// Meta-rule for malformed, unjustified, or unused suppressions; not
+/// itself suppressible.
+pub const SUPPRESSION: &str = "suppression";
+
+/// `(id, summary)` for every suppressible rule.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        R1_NO_UNWRAP,
+        "ban .unwrap()/.expect(..) in library (non-test, non-bin) code",
+    ),
+    (
+        R2_DETERMINISM,
+        "ban HashMap/HashSet in crates feeding serialized or scheduled output",
+    ),
+    (
+        R3_CLOCK,
+        "ban Instant::now/SystemTime::now outside obs, exec, and bench",
+    ),
+    (
+        R4_FLOAT_EQ,
+        "ban ==/!= against float literals or casts (use total_cmp or epsilon helpers)",
+    ),
+    (
+        R5_UNSAFE_HYGIENE,
+        "unsafe blocks need // SAFETY: comments; unsafe-free crates need #![forbid(unsafe_code)]",
+    ),
+    (
+        R6_METRIC_NAMESPACE,
+        "metric keys must match the subsystem/name namespace of DESIGN.md \u{a7}10.2",
+    ),
+];
+
+/// True iff `id` names a suppressible rule.
+pub fn is_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// Minimal JSON string escaping (the only JSON this crate emits).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON document:
+/// `{"count": N, "diagnostics": [{"file", "line", "rule", "message"}]}`.
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: R1_NO_UNWRAP,
+            message: "found .unwrap()".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/x.rs:7: [no-unwrap] found .unwrap()"
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let doc = diagnostics_json(&[Diagnostic {
+            file: "f.rs".into(),
+            line: 1,
+            rule: R3_CLOCK,
+            message: "m".into(),
+        }]);
+        assert!(doc.contains("\"count\": 1"));
+        assert!(doc.contains("\"rule\": \"clock\""));
+    }
+
+    #[test]
+    fn rule_ids_are_known() {
+        assert!(is_rule("no-unwrap"));
+        assert!(is_rule("metric-namespace"));
+        assert!(!is_rule("suppression"));
+        assert!(!is_rule("bogus"));
+    }
+}

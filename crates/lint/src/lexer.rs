@@ -1,0 +1,547 @@
+//! Token-level Rust lexer for the lint engine.
+//!
+//! The rules in this crate match on *token* patterns, never on raw
+//! text, so a `.unwrap()` inside a string literal, a `HashMap` inside
+//! a nested block comment, or an `Instant::now` in a doc example can
+//! never trip a rule. The lexer therefore has to get exactly the hard
+//! parts of Rust's lexical grammar right:
+//!
+//! * line comments (`//`, plus the `///` and `//!` doc forms),
+//! * **nested** block comments (`/* /* */ */`), plus `/**` / `/*!`,
+//! * string literals with escapes (`"\" still a string"`),
+//! * raw strings with arbitrary hash fences (`r#"..."#`, `br##"…"##`),
+//! * byte strings and byte chars (`b"…"`, `b'x'`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals, distinguishing floats (`1.0`, `1e-3`, `2f64`)
+//!   from integers and from range expressions (`1..2` is *not* a
+//!   float).
+//!
+//! Everything else (operators, punctuation) is tokenized greedily from
+//! a fixed table so rules can match `==`, `::`, `->`, etc. as single
+//! tokens. Comments are kept in the stream — the suppression scanner
+//! and the `unsafe-hygiene` rule need them — and rules that only care
+//! about code walk the *significant* (non-comment) view built by the
+//! engine.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, text kept
+    /// with its `r#` prefix stripped).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String literal, quotes included in `text` (`"…"` / `b"…"`).
+    Str,
+    /// Raw string literal, fences included (`r#"…"#` / `br"…"`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Integer literal (decimal, hex, octal, binary).
+    Int,
+    /// Floating-point literal (`1.0`, `1e-3`, `2f64`, `1.`).
+    Float,
+    /// `//` comment (doc or not; see [`Token::doc`]).
+    LineComment,
+    /// `/* … */` comment, nesting already resolved.
+    BlockComment,
+    /// Operator or punctuation, multi-char operators fused
+    /// (`==`, `!=`, `::`, `->`, `..=`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Raw source text of the token (delimiters included for string,
+    /// char, and comment tokens).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+    /// True for `///`, `//!`, `/** … */`, and `/*! … */` comments.
+    pub doc: bool,
+}
+
+impl Token {
+    /// Content of a string literal with quotes and any raw fences
+    /// stripped (escape sequences are left as written).
+    pub fn str_content(&self) -> &str {
+        let t = self.text.as_str();
+        match self.kind {
+            TokKind::Str => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                t.strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or(t)
+            }
+            TokKind::RawStr => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                let t = t.strip_prefix('r').unwrap_or(t);
+                let t = t.trim_matches('#');
+                t.strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or(t)
+            }
+            _ => t,
+        }
+    }
+
+    /// Body of a comment with the `//`-style leader stripped (block
+    /// comment bodies keep their `/* */` fences; the suppression
+    /// scanner only reads line comments).
+    pub fn comment_body(&self) -> &str {
+        let t = self.text.as_str();
+        t.strip_prefix("//").unwrap_or(t)
+    }
+}
+
+/// Tokenizes `src`. The lexer is total: malformed input (unterminated
+/// strings or comments) yields a best-effort tail token rather than an
+/// error, which is the right behavior for a linter that must keep
+/// scanning the rest of the workspace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Multi-char operators, longest first within each length class.
+const PUNCT3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+impl Lexer {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self, text: &mut String) {
+        if let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+            text.push(c);
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, doc: bool) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            doc,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    let mut sink = String::new();
+                    self.bump(&mut sink);
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '\'' => self.quote(line),
+                '"' => self.string(line, String::new()),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump(&mut text);
+        }
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.push(TokKind::LineComment, text, line, doc);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(&mut text); // '/'
+        self.bump(&mut text); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        let doc = (text.starts_with("/**") && text != "/**/") || text.starts_with("/*!");
+        self.push(TokKind::BlockComment, text, line, doc);
+    }
+
+    /// `'` — a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphanumeric() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        let mut text = String::new();
+        self.bump(&mut text); // opening '
+        if is_lifetime {
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.bump(&mut text);
+            }
+            self.push(TokKind::Lifetime, text, line, false);
+            return;
+        }
+        // Char literal: one (possibly escaped) scalar, then closing '.
+        if self.peek(0) == Some('\\') {
+            self.bump(&mut text); // backslash
+            let escaped = self.peek(0);
+            self.bump(&mut text); // escaped char
+            if escaped == Some('u') && self.peek(0) == Some('{') {
+                while self.peek(0).is_some_and(|c| c != '}') {
+                    self.bump(&mut text);
+                }
+                self.bump(&mut text); // '}'
+            }
+        } else {
+            self.bump(&mut text);
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump(&mut text);
+        }
+        self.push(TokKind::Char, text, line, false);
+    }
+
+    /// A `"…"` string; `text` carries any already-consumed prefix
+    /// (`b`). Escapes are honored (`\"` does not close).
+    fn string(&mut self, line: u32, mut text: String) {
+        self.bump(&mut text); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                Some('"') => {
+                    self.bump(&mut text);
+                    break;
+                }
+                Some(_) => self.bump(&mut text),
+            }
+        }
+        self.push(TokKind::Str, text, line, false);
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` with `hashes` fence characters;
+    /// `text` carries the consumed prefix up to (not including) the
+    /// opening quote. No escapes: the string ends at `"` + `#`*hashes.
+    fn raw_string(&mut self, line: u32, mut text: String, hashes: usize) {
+        self.bump(&mut text); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    let closes = (1..=hashes).all(|i| self.peek(i) == Some('#'));
+                    self.bump(&mut text);
+                    if closes {
+                        for _ in 0..hashes {
+                            self.bump(&mut text);
+                        }
+                        break;
+                    }
+                }
+                Some(_) => self.bump(&mut text),
+            }
+        }
+        self.push(TokKind::RawStr, text, line, false);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.bump(&mut text);
+        }
+        // String-prefix identifiers and raw identifiers.
+        match (text.as_str(), self.peek(0)) {
+            ("r", Some('"')) => return self.raw_string(line, text, 0),
+            ("br", Some('"')) => return self.raw_string(line, text, 0),
+            ("b", Some('"')) => return self.string(line, text),
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump(&mut text);
+                    }
+                    return self.raw_string(line, text, hashes);
+                }
+                if text == "r" {
+                    // Raw identifier `r#type`: emit the bare name so
+                    // rules compare against unprefixed identifiers.
+                    let mut sink = String::new();
+                    self.bump(&mut sink); // '#'
+                    let mut name = String::new();
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                    {
+                        self.bump(&mut name);
+                    }
+                    self.push(TokKind::Ident, name, line, false);
+                    return;
+                }
+            }
+            ("b", Some('\'')) => {
+                // Byte char b'x': the quote path lexes it from the
+                // opening quote; re-attach the `b` prefix afterwards.
+                self.quote(line);
+                if let Some(last) = self.out.last_mut() {
+                    last.text.insert(0, 'b');
+                }
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line, false);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+        {
+            self.bump(&mut text);
+            self.bump(&mut text);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump(&mut text);
+            }
+            self.push(TokKind::Int, text, line, false);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump(&mut text);
+        }
+        // A '.' continues the literal only when it is not a range
+        // (`1..2`) and not a method call (`1.max(2)`).
+        if self.peek(0) == Some('.') {
+            let after = self.peek(1);
+            let is_range = after == Some('.');
+            let is_method = after.is_some_and(|c| c == '_' || c.is_alphabetic());
+            if !is_range && !is_method {
+                is_float = true;
+                self.bump(&mut text);
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump(&mut text);
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let has_exp = sign.is_some_and(|c| c.is_ascii_digit())
+                || (matches!(sign, Some('+' | '-')) && digit.is_some_and(|c| c.is_ascii_digit()));
+            if has_exp {
+                is_float = true;
+                self.bump(&mut text);
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    self.bump(&mut text);
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump(&mut text);
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let suffix_start = text.len();
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.bump(&mut text);
+        }
+        if text[suffix_start..].starts_with('f') {
+            is_float = true;
+        }
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line, false);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let next3: String = (0..3).filter_map(|i| self.peek(i)).collect();
+        let take = if PUNCT3.contains(&next3.as_str()) {
+            3
+        } else if next3.len() >= 2 && PUNCT2.contains(&&next3[..2]) {
+            2
+        } else {
+            1
+        };
+        let mut text = String::new();
+        for _ in 0..take {
+            self.bump(&mut text);
+        }
+        self.push(TokKind::Punct, text, line, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_method_calls() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[0].1, r#""a\"b""#);
+        assert_eq!(toks[1].1, "c");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"r#"has "quotes" and .unwrap()"# rest"###);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert!(toks[0].1.contains("unwrap"));
+        assert_eq!(toks[1].1, "rest");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("still outer"));
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// not doc");
+        assert_eq!(
+            toks.iter().map(|t| t.doc).collect::<Vec<_>>(),
+            vec![true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str 'x' '\\n' 'static");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_methods() {
+        let toks = kinds("1.0 1e-3 2f64 1..2 3.max(4) 0x1F 1_000");
+        assert_eq!(toks[0], (TokKind::Float, "1.0".into()));
+        assert_eq!(toks[1], (TokKind::Float, "1e-3".into()));
+        assert_eq!(toks[2], (TokKind::Float, "2f64".into()));
+        assert_eq!(toks[3], (TokKind::Int, "1".into()));
+        assert_eq!(toks[4], (TokKind::Punct, "..".into()));
+        assert_eq!(toks[5], (TokKind::Int, "2".into()));
+        assert_eq!(toks[6], (TokKind::Int, "3".into()));
+        assert_eq!(toks[7], (TokKind::Punct, ".".into()));
+        assert!(toks.contains(&(TokKind::Int, "0x1F".into())));
+        assert!(toks.contains(&(TokKind::Int, "1_000".into())));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let toks = kinds("a == b != c :: d ..= e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..="]);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let toks = kinds("r#type r#fn normal");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "normal".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"bytes" b'x' br"raw""#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Char);
+        assert_eq!(toks[1].1, "b'x'");
+        assert_eq!(toks[2].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("/* a\nb */\nx = \"s\ntring\";\ny");
+        let x = toks.iter().find(|t| t.text == "x").expect("x token");
+        assert_eq!(x.line, 3);
+        let y = toks.iter().find(|t| t.text == "y").expect("y token");
+        assert_eq!(y.line, 5);
+    }
+
+    #[test]
+    fn str_content_strips_delimiters() {
+        let toks = lex(r###""plain" r#"raw"# b"bytes""###);
+        assert_eq!(toks[0].str_content(), "plain");
+        assert_eq!(toks[1].str_content(), "raw");
+        assert_eq!(toks[2].str_content(), "bytes");
+    }
+}

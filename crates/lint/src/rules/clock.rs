@@ -1,0 +1,35 @@
+//! R3 `clock`: ban `Instant::now` / `SystemTime::now` outside the
+//! `obs`, `exec`, and `bench` crates, in **every** role including
+//! tests. Simulation results must never depend on wall time; timing
+//! belongs to the observability layer (`eagleeye_obs::Stopwatch`,
+//! `Metrics::time`, span timers). Deadline enforcement that is
+//! wall-clock *by design* carries a justified suppression instead.
+
+use crate::diag::{Diagnostic, R3_CLOCK};
+use crate::engine::FileCtx;
+
+/// The only crates allowed to read the wall clock directly.
+const CLOCK_CRATES: &[&str] = &["obs", "exec", "bench"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if CLOCK_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(2) {
+        let source = &ctx.s(i).text;
+        if !(source == "Instant" || source == "SystemTime") {
+            continue;
+        }
+        if ctx.is_punct(i + 1, "::") && ctx.is_ident(i + 2, "now") {
+            out.push(ctx.diag(
+                ctx.s(i).line,
+                R3_CLOCK,
+                format!(
+                    "{source}::now in crate `{}` — route timing through \
+                     eagleeye-obs (Stopwatch, Metrics::time, span timers)",
+                    ctx.crate_name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! R2 `determinism`: ban `HashMap`/`HashSet` in the crates whose
+//! output is serialized, merged across threads, or fed to the
+//! scheduler. `RandomState` makes std hash-iteration order differ
+//! *per process*, which silently breaks the bit-identical golden
+//! reports (DESIGN.md §8/§10); `BTreeMap`/`BTreeSet` keep every walk
+//! sorted and reproducible.
+
+use crate::diag::{Diagnostic, R2_DETERMINISM};
+use crate::engine::{FileCtx, FileRole};
+use crate::lexer::TokKind;
+
+/// Crates whose data structures feed serialized or scheduled output.
+const ORDERED_CRATES: &[&str] = &["core", "ilp", "orbit", "sim", "obs"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role != FileRole::Lib || !ORDERED_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for &idx in ctx.sig {
+        let t = &ctx.tokens[idx];
+        if t.kind != TokKind::Ident || ctx.test_lines.contains(t.line) {
+            continue;
+        }
+        let ordered = match t.text.as_str() {
+            "HashMap" => "BTreeMap",
+            "HashSet" => "BTreeSet",
+            _ => continue,
+        };
+        out.push(ctx.diag(
+            t.line,
+            R2_DETERMINISM,
+            format!(
+                "{} in deterministic crate `{}` — iteration order is per-process \
+                 random; use {} instead",
+                t.text, ctx.crate_name, ordered
+            ),
+        ));
+    }
+}

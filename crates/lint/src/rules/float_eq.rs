@@ -1,0 +1,49 @@
+//! R4 `float-eq`: ban `==` / `!=` when either operand is visibly a
+//! float — a float literal (possibly negated) or an `as f64` / `as
+//! f32` cast. Exact float equality is almost always a latent NaN or
+//! rounding bug; use `total_cmp`, range checks, or an epsilon helper.
+//!
+//! This is a token-level heuristic: comparisons between two
+//! float-typed *variables* are invisible without type inference and
+//! are left to clippy's `float_cmp` (see DESIGN.md §11). Test regions
+//! are exempt — asserting bit-identical results is exactly how the
+//! determinism goldens work.
+
+use crate::diag::{Diagnostic, R4_FLOAT_EQ};
+use crate::engine::{FileCtx, FileRole};
+use crate::lexer::TokKind;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role != FileRole::Lib {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        let op = ctx.s(i);
+        if op.kind != TokKind::Punct || !(op.text == "==" || op.text == "!=") {
+            continue;
+        }
+        if ctx.test_lines.contains(op.line) {
+            continue;
+        }
+        let left_float = i >= 1 && ctx.s(i - 1).kind == TokKind::Float;
+        let left_cast = i >= 2
+            && ctx.is_ident(i - 2, "as")
+            && (ctx.is_ident(i - 1, "f64") || ctx.is_ident(i - 1, "f32"));
+        let right_float = i + 1 < ctx.sig.len()
+            && (ctx.s(i + 1).kind == TokKind::Float
+                || (ctx.is_punct(i + 1, "-")
+                    && i + 2 < ctx.sig.len()
+                    && ctx.s(i + 2).kind == TokKind::Float));
+        if left_float || left_cast || right_float {
+            out.push(ctx.diag(
+                op.line,
+                R4_FLOAT_EQ,
+                format!(
+                    "float `{}` comparison — use total_cmp, a range check, or an \
+                     epsilon helper",
+                    op.text
+                ),
+            ));
+        }
+    }
+}

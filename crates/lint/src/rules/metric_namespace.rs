@@ -1,0 +1,92 @@
+//! R6 `metric-namespace`: string-literal keys passed to the
+//! `eagleeye-obs` recording API must match the DESIGN.md §10.2
+//! namespace — `subsystem/name` (two or more `/`-separated
+//! `[a-z0-9_]` segments whose first segment names a workspace
+//! subsystem). Keys built with `format!` are invisible to this rule;
+//! keep emitted keys literal so the namespace stays auditable.
+//!
+//! Test code is exempt (unit tests exercise the registry with
+//! throwaway keys like `"c"`).
+
+use crate::diag::{Diagnostic, R6_METRIC_NAMESPACE};
+use crate::engine::{FileCtx, FileRole};
+use crate::lexer::TokKind;
+
+/// The `eagleeye-obs` recording methods whose first argument is a
+/// metric key.
+const METHODS: &[&str] = &[
+    "incr",
+    "add",
+    "gauge_max",
+    "observe",
+    "record_duration",
+    "time",
+    "span",
+];
+
+/// First path segment must name a workspace subsystem (crate short
+/// names plus the root package).
+const SUBSYSTEMS: &[&str] = &[
+    "bench", "check", "core", "datasets", "detect", "eagleeye", "exec", "geo", "ilp", "lint",
+    "obs", "orbit", "rng", "sim",
+];
+
+fn valid_key(key: &str) -> bool {
+    let segments: Vec<&str> = key.split('/').collect();
+    segments.len() >= 2
+        && SUBSYSTEMS.contains(&segments[0])
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role == FileRole::Test {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(3) {
+        if !(ctx.is_punct(i, ".")
+            && ctx.s(i + 1).kind == TokKind::Ident
+            && METHODS.contains(&ctx.s(i + 1).text.as_str())
+            && ctx.is_punct(i + 2, "(")
+            && ctx.s(i + 3).kind == TokKind::Str)
+        {
+            continue;
+        }
+        let key_tok = ctx.s(i + 3);
+        if ctx.test_lines.contains(key_tok.line) {
+            continue;
+        }
+        let key = key_tok.str_content();
+        if !valid_key(key) {
+            out.push(ctx.diag(
+                key_tok.line,
+                R6_METRIC_NAMESPACE,
+                format!(
+                    "metric key \"{key}\" does not match the `subsystem/name` namespace \
+                     (DESIGN.md \u{a7}10.2): lowercase [a-z0-9_] segments, first segment one \
+                     of the workspace subsystems"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::valid_key;
+
+    #[test]
+    fn namespace_shape() {
+        assert!(valid_key("core/evaluate"));
+        assert!(valid_key("core/evaluate/propagate"));
+        assert!(valid_key("ilp/nodes_explored"));
+        assert!(!valid_key("core")); // needs >= 2 segments
+        assert!(!valid_key("unknown/sub"));
+        assert!(!valid_key("core/Evaluate")); // uppercase
+        assert!(!valid_key("core//x")); // empty segment
+        assert!(!valid_key("core.evaluate")); // wrong separator
+    }
+}

@@ -1,0 +1,41 @@
+//! R1 `no-unwrap`: ban `.unwrap()` and `.expect(...)` in library
+//! code. Test regions, `tests/`, `benches/`, `examples/`, binary
+//! targets, and the `bench` harness crate are exempt — panicking on
+//! bad input is the right behavior there.
+
+use crate::diag::{Diagnostic, R1_NO_UNWRAP};
+use crate::engine::{FileCtx, FileRole};
+
+/// Crates whose `src/` is harness code rather than library code.
+const EXEMPT_CRATES: &[&str] = &["bench"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role != FileRole::Lib || EXEMPT_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(2) {
+        if !ctx.is_punct(i, ".") {
+            continue;
+        }
+        let line = ctx.s(i + 1).line;
+        if ctx.test_lines.contains(line) {
+            continue;
+        }
+        let unwrap = ctx.is_ident(i + 1, "unwrap")
+            && ctx.is_punct(i + 2, "(")
+            && i + 3 < ctx.sig.len()
+            && ctx.is_punct(i + 3, ")");
+        let expect = ctx.is_ident(i + 1, "expect") && ctx.is_punct(i + 2, "(");
+        if unwrap || expect {
+            let name = &ctx.s(i + 1).text;
+            out.push(ctx.diag(
+                line,
+                R1_NO_UNWRAP,
+                format!(
+                    ".{name}(...) in library code — return a Result, use a total \
+                     alternative, or suppress with a justified invariant"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! R5 `unsafe-hygiene`, token half: every `unsafe` keyword must be
+//! preceded (within three lines) or accompanied by a `// SAFETY:`
+//! comment proving the invariant. The crate-level half — `#![forbid
+//! (unsafe_code)]` required in every crate with no `unsafe` at all —
+//! runs in the workspace pass
+//! ([`lint_workspace`](crate::engine::lint_workspace)), because it
+//! needs to see every file of the crate.
+
+use crate::diag::{Diagnostic, R5_UNSAFE_HYGIENE};
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for &idx in ctx.sig {
+        let t = &ctx.tokens[idx];
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let justified = ctx.tokens.iter().any(|c| {
+            matches!(c.kind, TokKind::LineComment | TokKind::BlockComment)
+                && c.text.contains("SAFETY:")
+                && c.line + 3 >= t.line
+                && c.line <= t.line
+        });
+        if !justified {
+            out.push(ctx.diag(
+                t.line,
+                R5_UNSAFE_HYGIENE,
+                "unsafe without a `// SAFETY:` comment on or just above this line".to_string(),
+            ));
+        }
+    }
+}

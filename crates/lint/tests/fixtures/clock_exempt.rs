@@ -1,0 +1,7 @@
+//@ path: crates/exec/src/demo.rs
+// `exec` is one of the clock crates: direct wall-clock reads are its job.
+use std::time::Instant;
+
+pub fn pool_heartbeat() -> Instant {
+    Instant::now()
+}

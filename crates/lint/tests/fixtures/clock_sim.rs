@@ -1,0 +1,30 @@
+//@ path: crates/sim/src/demo.rs
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn suppressed_deadline() -> Instant {
+    // eagleeye-lint: allow(clock): fixture — wall-clock deadline by design
+    Instant::now()
+}
+
+pub fn mentions_only() -> &'static str {
+    // Instant::now() in a comment never fires.
+    "Instant::now() in a string never fires"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn clock_rule_applies_even_in_tests() {
+        let _ = Instant::now();
+    }
+}

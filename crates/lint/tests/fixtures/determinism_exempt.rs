@@ -1,0 +1,8 @@
+//@ path: crates/geo/src/demo.rs
+// `geo` is not one of the ordered crates, so HashMap is allowed here.
+use std::collections::HashMap;
+
+pub fn scratch(xs: &[u32]) -> usize {
+    let m: HashMap<u32, ()> = xs.iter().map(|&x| (x, ())).collect();
+    m.len()
+}

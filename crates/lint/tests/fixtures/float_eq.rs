@@ -1,0 +1,39 @@
+//@ path: crates/detect/src/demo.rs
+pub fn right_literal(a: f64) -> bool {
+    a == 1.0
+}
+
+pub fn left_literal(a: f64) -> bool {
+    0.5 != a
+}
+
+pub fn cast_operand(a: usize, b: f64) -> bool {
+    a as f64 == b
+}
+
+pub fn negated_literal(a: f64) -> bool {
+    a == -2.5
+}
+
+pub fn integers_are_fine(a: usize) -> bool {
+    a == 1
+}
+
+pub fn ranges_are_not_floats(a: usize) -> bool {
+    // `1..2` must lex as Int Punct Int, not as a float.
+    (1..2).contains(&a)
+}
+
+pub fn variables_are_invisible(a: f64, b: f64) -> bool {
+    // Left to clippy's float_cmp: no literal or cast in sight.
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exactness_asserts_are_how_goldens_work() {
+        let x = 1.0_f64;
+        assert!(x == 1.0);
+    }
+}

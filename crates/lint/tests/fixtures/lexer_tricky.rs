@@ -1,0 +1,18 @@
+//@ path: crates/core/src/demo.rs
+//! Every construct below is designed to trap a naive substring
+//! scanner; only the last function holds a real violation.
+
+/* outer /* nested HashMap inside a nested block comment */ still a comment */
+
+pub fn tricky<'a>(s: &'a str) -> usize {
+    let quote = '"';
+    let raw = r##"HashMap, Instant::now(), .unwrap() — all inert in a raw string"##;
+    let escaped = "an escaped quote \" then .expect(\"x\")";
+    let lifetime_not_char = s.len();
+    let _ = quote;
+    raw.len() + escaped.len() + lifetime_not_char
+}
+
+pub fn real_violation_after_the_traps() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}

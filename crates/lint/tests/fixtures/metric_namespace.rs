@@ -1,0 +1,39 @@
+//@ path: crates/core/src/demo.rs
+use eagleeye_obs::Metrics;
+
+pub fn good_keys(m: &Metrics) {
+    m.incr("core/evaluate");
+    m.add("ilp/nodes_explored", 3);
+    m.observe("orbit/cache_hits_2", 7);
+}
+
+pub fn single_segment(m: &Metrics) {
+    m.incr("core");
+}
+
+pub fn unknown_subsystem(m: &Metrics) {
+    m.incr("warp/drive");
+}
+
+pub fn uppercase_segment(m: &Metrics) {
+    m.gauge_max("core/Evaluate", 1.0);
+}
+
+pub fn wrong_separator(m: &Metrics) {
+    m.span("core.evaluate");
+}
+
+pub fn non_literal_keys_are_invisible(m: &Metrics, key: &str) {
+    m.incr(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use eagleeye_obs::Metrics;
+
+    #[test]
+    fn throwaway_keys_allowed_in_tests() {
+        let m = Metrics::enabled();
+        m.incr("c");
+    }
+}

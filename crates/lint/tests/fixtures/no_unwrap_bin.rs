@@ -1,0 +1,6 @@
+//@ path: crates/geo/src/bin/tool.rs
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    let n: u32 = arg.parse().expect("binary targets may panic on bad input");
+    println!("{n}");
+}

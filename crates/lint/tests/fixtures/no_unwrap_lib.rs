@@ -1,0 +1,39 @@
+//@ path: crates/geo/src/demo.rs
+pub fn bare_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bare_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // eagleeye-lint: allow(no-unwrap): fixture invariant, always Some
+    x.unwrap()
+}
+
+pub fn not_fooled_by_literals() -> usize {
+    let s = "call .unwrap() here";
+    /* .expect("nope") in a block comment */
+    // trailing .unwrap() in a line comment
+    let r = r#"raw string .expect("x")"#;
+    s.len() + r.len()
+}
+
+/// Docs may show `x.unwrap()` freely; doc comments are exempt.
+pub fn documented(x: Option<u32>) -> Option<u32> {
+    x
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+        Some(2).expect("test code is exempt");
+    }
+}

@@ -1,0 +1,25 @@
+//@ path: crates/geo/src/demo.rs
+pub fn suppressed_but_unjustified(x: Option<u32>) -> u32 {
+    // eagleeye-lint: allow(no-unwrap)
+    x.unwrap()
+}
+
+pub fn standalone_only_reaches_next_line(x: Option<u32>) -> u32 {
+    // eagleeye-lint: allow(no-unwrap): too far above, so unused AND the unwrap fires
+    let y = x;
+    y.unwrap()
+}
+
+// eagleeye-lint: allow(clock): nothing below ever reads the clock
+pub fn unused_suppression() -> u32 {
+    7
+}
+
+// eagleeye-lint: allow(warp-core): not a rule that exists
+pub fn unknown_rule() -> u32 {
+    9
+}
+
+pub fn trailing_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // eagleeye-lint: allow(no-unwrap): trailing form covers its own line
+}

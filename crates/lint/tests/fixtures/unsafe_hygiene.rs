@@ -1,0 +1,15 @@
+//@ path: crates/geo/src/demo.rs
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn documented_two_lines_above(p: *const u8) -> u8 {
+    // SAFETY: fixture — the comment may sit up to three lines above
+    // the unsafe token and still count.
+    unsafe { *p }
+}

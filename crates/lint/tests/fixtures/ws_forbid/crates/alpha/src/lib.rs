@@ -1,0 +1,6 @@
+//! Fixture crate: no unsafe anywhere, but the lib.rs below is missing
+//! `#![forbid(unsafe_code)]` — the workspace pass must flag it.
+
+pub fn ok() -> u32 {
+    1
+}

@@ -1,0 +1,7 @@
+//! Fixture crate: unsafe-free and properly locked down.
+
+#![forbid(unsafe_code)]
+
+pub fn ok() -> u32 {
+    2
+}

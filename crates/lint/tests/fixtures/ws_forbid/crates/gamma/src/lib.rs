@@ -1,0 +1,8 @@
+//! Fixture crate: carries justified unsafe, so `#![forbid(unsafe_code)]`
+//! is impossible and must not be demanded.
+
+pub fn first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: fixture — emptiness asserted on the line above.
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,73 @@
+//! The lint engine must run clean on the workspace that ships it —
+//! the same gate CI applies with `eagleeye-lint --deny` — and the
+//! suppression inventory must match the checked-in
+//! `lint-allowlist.txt` baseline exactly.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use eagleeye_lint::lint_workspace;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walk");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "the workspace must lint clean; violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "workspace walk looks broken: only {} files scanned",
+        report.files_scanned
+    );
+}
+
+/// Rebuilds `(rule, file) -> count` from the live suppressions and
+/// compares it to `lint-allowlist.txt`, mirroring the binary's
+/// `--baseline` check so a plain `cargo test` catches drift too.
+#[test]
+fn suppressions_match_checked_in_baseline() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("workspace walk");
+
+    let mut live: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (file, supp) in &report.suppressions {
+        for rule in &supp.rules {
+            *live.entry((rule.clone(), file.clone())).or_insert(0) += 1;
+        }
+    }
+
+    let baseline_path = root.join("lint-allowlist.txt");
+    let text = fs::read_to_string(&baseline_path).expect("read lint-allowlist.txt");
+    let mut baseline: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let count: usize = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .unwrap_or_else(|| panic!("bad baseline line: {line}"));
+        let rule = parts.next().expect("rule field").to_string();
+        let file = parts.next().expect("file field").to_string();
+        assert!(
+            baseline.insert((rule, file), count).is_none(),
+            "duplicate baseline line: {line}"
+        );
+    }
+
+    assert_eq!(
+        live, baseline,
+        "suppression inventory drifted from lint-allowlist.txt; \
+         update the baseline in the same change that justifies it"
+    );
+}

@@ -64,6 +64,7 @@ impl Value {
     /// `u64` representation.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // eagleeye-lint: allow(float-eq): fract() == 0.0 is the exact integrality test gating u64 emission
             Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(63) => {
                 Some(*n as u64)
             }
@@ -105,6 +106,7 @@ impl std::error::Error for ParseError {}
 /// error.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
+        input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -118,6 +120,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 }
 
 struct Parser<'a> {
+    input: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -140,7 +143,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -173,7 +176,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -184,7 +187,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -201,7 +204,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -224,7 +227,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -263,11 +266,14 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let ch = s.chars().next().ok_or_else(|| self.err("bad utf-8"))?;
+                    // Consume one UTF-8 scalar. `pos` only ever
+                    // advances by whole-scalar widths, so the slice is
+                    // on a char boundary; `get` keeps that checked.
+                    let rest = self
+                        .input
+                        .get(self.pos..)
+                        .ok_or_else(|| self.err("bad utf-8"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("bad utf-8"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

@@ -45,11 +45,14 @@
 //! shape). DESIGN.md §10 lists the emitted keys.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod export;
 pub mod json;
 mod metrics;
 mod registry;
+mod stopwatch;
 
 pub use metrics::{Metrics, SpanTimer, TRACE_ENV};
 pub use registry::{Histogram, MetricsRegistry, TimerStat};
+pub use stopwatch::Stopwatch;

@@ -277,7 +277,11 @@ impl<V: Default> EntryRef<V> for BTreeMap<String, V> {
         if !self.contains_key(key) {
             self.insert(key.to_string(), V::default());
         }
-        self.get_mut(key).expect("just inserted")
+        match self.get_mut(key) {
+            Some(v) => v,
+            // The branch above guarantees presence.
+            None => unreachable!("key inserted above"),
+        }
     }
 }
 

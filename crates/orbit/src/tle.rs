@@ -298,7 +298,7 @@ impl Tle {
             l1.push(' ');
         }
         let c1 = Self::checksum(&l1);
-        l1.push(char::from_digit(c1, 10).expect("mod 10"));
+        l1.push(char::from(b'0' + (c1 % 10) as u8));
 
         let ecc_digits = format!("{:07}", (self.eccentricity * 1e7).round() as u64);
         let mut l2 = format!(
@@ -316,7 +316,7 @@ impl Tle {
             l2.push(' ');
         }
         let c2 = Self::checksum(&l2);
-        l2.push(char::from_digit(c2, 10).expect("mod 10"));
+        l2.push(char::from(b'0' + (c2 % 10) as u8));
         (l1, l2)
     }
 

@@ -26,6 +26,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 /// One round of the splitmix64 output function: a bijective avalanche
 /// mix of `z`. Useful on its own for stateless hashing of identifiers

@@ -31,6 +31,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use eagleeye_core as core;
 pub use eagleeye_datasets as datasets;
