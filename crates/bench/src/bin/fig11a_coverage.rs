@@ -7,7 +7,7 @@
 //! ceiling (and saturates near 80 % for airplanes because late-departing
 //! flights are unreachable).
 
-use eagleeye_bench::{print_csv, BenchCli};
+use eagleeye_bench::{print_csv_outcome, BenchCli};
 use eagleeye_core::clustering::ClusteringMethod;
 use eagleeye_core::coverage::{
     ConstellationConfig, CoverageEvaluator, CoverageOptions, SchedulerKind,
@@ -52,32 +52,37 @@ fn main() {
             }
         }
     }
-    let rows = cli.par_sweep_observed(&grid, |&(wi, sats, config), metrics| {
-        let (workload, ref targets) = workloads[wi];
-        let opts = CoverageOptions {
-            duration_s: cli.duration_s,
-            seed: cli.seed,
-            metrics: metrics.clone(),
-            ..CoverageOptions::default()
-        };
-        let report = CoverageEvaluator::new(targets, opts)
-            .evaluate(&config)
-            .expect("coverage evaluation");
-        eprintln!(
-            "done: {} sats={} {} -> {:.1}%",
-            workload.label(),
-            sats,
-            config.label(),
-            100.0 * report.coverage_fraction()
-        );
-        format!(
-            "{},{},{},{:.4}",
-            workload.label(),
-            sats,
-            config.label(),
-            report.coverage_fraction()
-        )
-    });
-    print_csv("workload,satellites,config,coverage", rows);
+    // The dense 24 h sweep runs for hours; the checkpointed path makes
+    // it crash-safe (`--checkpoint fig11a.ckpt`, resume with
+    // `--resume`) and `--deadline` turns it into an anytime result.
+    // Without those flags this is the plain in-memory sweep.
+    let outcome =
+        cli.par_sweep_checkpointed("fig11a_coverage", &grid, |&(wi, sats, config), metrics| {
+            let (workload, ref targets) = workloads[wi];
+            let opts = CoverageOptions {
+                duration_s: cli.duration_s,
+                seed: cli.seed,
+                metrics: metrics.clone(),
+                ..CoverageOptions::default()
+            };
+            let report = CoverageEvaluator::new(targets, opts)
+                .evaluate(&config)
+                .expect("coverage evaluation");
+            eprintln!(
+                "done: {} sats={} {} -> {:.1}%",
+                workload.label(),
+                sats,
+                config.label(),
+                100.0 * report.coverage_fraction()
+            );
+            format!(
+                "{},{},{},{:.4}",
+                workload.label(),
+                sats,
+                config.label(),
+                report.coverage_fraction()
+            )
+        });
+    print_csv_outcome("workload,satellites,config,coverage", &outcome);
     cli.finish("fig11a_coverage");
 }

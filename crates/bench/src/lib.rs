@@ -26,7 +26,11 @@
 
 use eagleeye_datasets::{TargetSet, Workload};
 use eagleeye_exec::ExecPool;
-use eagleeye_obs::Metrics;
+use eagleeye_harden::{
+    run_items, ByteReader, ByteWriter, CheckpointSpec, Deadline, RunConfig, ScenarioHasher,
+};
+use eagleeye_obs::{Metrics, MetricsRegistry};
+use std::time::Duration;
 
 /// Parsed command-line options shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +54,14 @@ pub struct BenchCli {
     /// [`BenchCli::finish`] writes `results/METRICS_<run>.json` plus a
     /// stderr summary. Disabled (free) by default.
     pub metrics: Metrics,
+    /// Checkpoint file for the crash-safe sweep path
+    /// (`--checkpoint PATH`, with `--resume` and `--ckpt-cadence N`);
+    /// `None` keeps the plain in-memory sweep.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Wall-clock budget (`--deadline SECONDS`); blowing it degrades
+    /// the sweep to the configurations that finished instead of
+    /// aborting (see `eagleeye-harden`).
+    pub deadline: Deadline,
 }
 
 impl Default for BenchCli {
@@ -61,6 +73,8 @@ impl Default for BenchCli {
             seed: 7,
             threads: eagleeye_exec::available_parallelism(),
             metrics: Metrics::disabled(),
+            checkpoint: None,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -77,6 +91,9 @@ impl BenchCli {
             metrics: Metrics::from_env(),
             ..BenchCli::default()
         };
+        let mut ckpt_path: Option<String> = None;
+        let mut resume = false;
+        let mut cadence = 1usize;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -106,10 +123,29 @@ impl BenchCli {
                         n
                     };
                 }
+                "--checkpoint" => {
+                    ckpt_path = Some(args.next().expect("--checkpoint needs a path"));
+                }
+                "--resume" => resume = true,
+                "--ckpt-cadence" => {
+                    let v = args.next().expect("--ckpt-cadence needs a value");
+                    cadence = v.parse().expect("integer checkpoint cadence");
+                }
+                "--deadline" => {
+                    let v = args.next().expect("--deadline needs a value");
+                    let secs: f64 = v.parse().expect("numeric deadline seconds");
+                    cli.deadline = Deadline::after(Duration::from_secs_f64(secs));
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n> --threads <n>"
+                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n> \
+                     --threads <n> --checkpoint <path> --resume --ckpt-cadence <n> --deadline <s>"
                 ),
             }
+        }
+        if let Some(path) = ckpt_path {
+            let mut spec = CheckpointSpec::new(path, cadence);
+            spec.resume = resume;
+            cli.checkpoint = Some(spec);
         }
         cli
     }
@@ -154,6 +190,124 @@ impl BenchCli {
         ExecPool::new(self.threads).par_map_observed(&self.metrics, items, |_, item, m| f(item, m))
     }
 
+    /// Process-stable hash binding a checkpoint file to this exact
+    /// sweep (run name, horizon, scale, seed, grid size). Thread count
+    /// and checkpoint cadence are deliberately excluded: a sweep may
+    /// resume with different parallelism.
+    pub fn scenario_hash(&self, run: &str, total_items: usize) -> u64 {
+        ScenarioHasher::new()
+            .str("eagleeye-bench/sweep/v1")
+            .str(run)
+            .u64(u64::from(self.fast))
+            .f64(self.duration_s)
+            .f64(self.scale)
+            .u64(self.seed)
+            .u64(total_items as u64)
+            .finish()
+    }
+
+    /// [`BenchCli::par_sweep_observed`] under the crash-safe run layer
+    /// (`eagleeye-harden`): each configuration's CSV row and metrics
+    /// fork are checkpointed as they complete, `--resume` restores them
+    /// instead of recomputing, and a blown `--deadline` yields the rows
+    /// that finished (`None` for the rest) with
+    /// [`SweepOutcome::degraded`] set.
+    ///
+    /// Without `--checkpoint`/`--deadline` this delegates to the plain
+    /// observed sweep, so figure binaries can call it unconditionally.
+    /// Fault-free checkpointed sweeps produce rows and merged metrics
+    /// bit-identical to the plain path at any thread count (modulo the
+    /// `exec/*` pool counters, which only the plain path records).
+    ///
+    /// # Panics
+    ///
+    /// Panics on checkpoint I/O or resume-validation failures (wrong
+    /// scenario, corrupt snapshot) — these are developer-facing
+    /// binaries and a bad resume must not silently recompute.
+    pub fn par_sweep_checkpointed<T: Sync>(
+        &self,
+        run: &str,
+        items: &[T],
+        f: impl Fn(&T, &Metrics) -> String + Sync,
+    ) -> SweepOutcome {
+        if self.checkpoint.is_none() && !self.deadline.is_set() {
+            let rows = self.par_sweep_observed(items, f);
+            let total = rows.len();
+            return SweepOutcome {
+                rows: rows.into_iter().map(Some).collect(),
+                degraded: false,
+                completed: total,
+                total,
+                resumed: 0,
+            };
+        }
+        let config = RunConfig {
+            scenario_hash: self.scenario_hash(run, items.len()),
+            threads: self.threads,
+            checkpoint: self.checkpoint.clone(),
+            deadline: self.deadline,
+            shutdown: eagleeye_harden::ShutdownFlag::new(),
+            retry: eagleeye_harden::RetryPolicy::default(),
+        };
+        let outcome = run_items(&config, items.len(), |i| {
+            let fork = self.metrics.fork();
+            let row = f(&items[i], &fork);
+            let mut w = ByteWriter::new();
+            w.u8(1); // payload version
+            w.str(&row);
+            w.bytes(&fork.snapshot().to_bytes());
+            w.into_bytes()
+        })
+        .unwrap_or_else(|e| panic!("checkpointed sweep for {run} failed: {e}"));
+        // Decode in input order so metrics absorption is deterministic
+        // at any thread count (same discipline as the plain path).
+        let mut rows = Vec::with_capacity(outcome.payloads.len());
+        for (i, payload) in outcome.payloads.iter().enumerate() {
+            match payload {
+                None => rows.push(None),
+                Some(bytes) => {
+                    let mut r = ByteReader::new(bytes);
+                    let mut decode =
+                        || -> Result<(String, MetricsRegistry), eagleeye_harden::CodecError> {
+                            let version = r.u8()?;
+                            if version != 1 {
+                                return Err(eagleeye_harden::CodecError {
+                                    context: "sweep payload version",
+                                });
+                            }
+                            let row = r.str()?.to_string();
+                            let registry = MetricsRegistry::from_bytes(r.bytes()?)?;
+                            Ok((row, registry))
+                        };
+                    let (row, registry) = decode().unwrap_or_else(|e| {
+                        panic!("checkpointed sweep for {run}: row {i} payload malformed: {e}")
+                    });
+                    self.metrics.absorb_registry(&registry);
+                    rows.push(Some(row));
+                }
+            }
+        }
+        if outcome.resumed_items > 0 {
+            eprintln!(
+                "resumed {} of {} sweep configurations from checkpoint",
+                outcome.resumed_items, outcome.total
+            );
+        }
+        for q in &outcome.quarantined {
+            eprintln!(
+                "warning: configuration {} quarantined after {} attempts: {}",
+                q.item, q.attempts, q.message
+            );
+        }
+        SweepOutcome {
+            rows,
+            degraded: outcome.degraded,
+            completed: outcome.completed,
+            total: outcome.total,
+            resumed: outcome.resumed_items,
+        }
+    }
+
     /// Exports the run's metrics to `results/METRICS_<run>.json` and
     /// prints the stderr summary. A no-op unless `EAGLEEYE_TRACE` was
     /// set at parse time; export failures warn rather than abort (the
@@ -165,11 +319,43 @@ impl BenchCli {
     }
 }
 
+/// Result of a checkpointed sweep: per-configuration CSV rows in grid
+/// order (`None` when a row was never computed — degraded run or
+/// quarantined configuration) plus anytime-result accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// CSV rows in input order; `None` for missing configurations.
+    pub rows: Vec<Option<String>>,
+    /// True when the run stopped early (deadline) with rows missing.
+    pub degraded: bool,
+    /// Rows present (computed or resumed).
+    pub completed: usize,
+    /// Rows requested.
+    pub total: usize,
+    /// Rows restored from the checkpoint instead of recomputed.
+    pub resumed: usize,
+}
+
 /// Prints a CSV header and rows to stdout.
 pub fn print_csv(header: &str, rows: impl IntoIterator<Item = String>) {
     println!("{header}");
     for row in rows {
         println!("{row}");
+    }
+}
+
+/// Prints a possibly-partial sweep as CSV: available rows in grid
+/// order, then — for degraded runs — a `#`-comment trailer recording
+/// how much of the sweep the anytime result covers (so a truncated
+/// artifact is distinguishable from a complete one).
+pub fn print_csv_outcome(header: &str, outcome: &SweepOutcome) {
+    print_csv(header, outcome.rows.iter().flatten().cloned());
+    if outcome.degraded {
+        println!(
+            "# degraded: {} of {} configurations completed before the deadline; \
+             rerun with --checkpoint <path> --resume to finish the sweep",
+            outcome.completed, outcome.total
+        );
     }
 }
 
@@ -205,6 +391,96 @@ mod tests {
             let out = cli.par_sweep(&items, |&i| i * i);
             assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn checkpointed_sweep_without_flags_matches_plain_sweep() {
+        let cli = BenchCli {
+            threads: 3,
+            ..BenchCli::default()
+        };
+        let items: Vec<usize> = (0..17).collect();
+        let plain = cli.par_sweep_observed(&items, |&i, _| format!("row{i}"));
+        let out = cli.par_sweep_checkpointed("test_sweep", &items, |&i, _| format!("row{i}"));
+        assert!(!out.degraded);
+        assert_eq!(out.completed, 17);
+        assert_eq!(out.resumed, 0);
+        assert_eq!(
+            out.rows.iter().flatten().cloned().collect::<Vec<_>>(),
+            plain
+        );
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_rows_and_metrics() {
+        let path =
+            std::env::temp_dir().join(format!("eagleeye_bench_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<usize> = (0..9).collect();
+        let run = |resume: bool| {
+            let mut spec = CheckpointSpec::new(&path, 1);
+            spec.resume = resume;
+            let cli = BenchCli {
+                threads: 2,
+                metrics: Metrics::enabled(),
+                checkpoint: Some(spec),
+                ..BenchCli::default()
+            };
+            let out = cli.par_sweep_checkpointed("resume_sweep", &items, |&i, m| {
+                m.incr("bench/test_rows");
+                format!("row{i}")
+            });
+            (out, cli.metrics.snapshot())
+        };
+        let (first, reg_first) = run(false);
+        assert_eq!(first.completed, 9);
+        let (second, reg_second) = run(true);
+        assert_eq!(second.resumed, 9, "all rows must come from the checkpoint");
+        assert_eq!(second.rows, first.rows);
+        // Metrics travel with the checkpoint: the resumed run replays
+        // the recorded counters bit-identically.
+        assert_eq!(reg_first, reg_second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_the_sweep() {
+        let cli = BenchCli {
+            threads: 2,
+            deadline: Deadline::after(Duration::ZERO),
+            ..BenchCli::default()
+        };
+        let items: Vec<usize> = (0..8).collect();
+        let out = cli.par_sweep_checkpointed("deadline_sweep", &items, |&i, _| {
+            std::thread::sleep(Duration::from_millis(5));
+            format!("row{i}")
+        });
+        assert!(out.degraded);
+        assert!(out.completed < 8);
+        assert_eq!(
+            out.rows.iter().filter(|r| r.is_some()).count(),
+            out.completed
+        );
+    }
+
+    #[test]
+    fn scenario_hash_binds_run_and_parameters() {
+        let cli = BenchCli::default();
+        let a = cli.scenario_hash("fig11a_coverage", 92);
+        assert_eq!(a, cli.scenario_hash("fig11a_coverage", 92));
+        assert_ne!(a, cli.scenario_hash("fig11b_slew_rate", 92));
+        assert_ne!(a, cli.scenario_hash("fig11a_coverage", 91));
+        let other = BenchCli {
+            seed: 8,
+            ..BenchCli::default()
+        };
+        assert_ne!(a, other.scenario_hash("fig11a_coverage", 92));
+        // Thread count must NOT change the scenario.
+        let threads = BenchCli {
+            threads: 16,
+            ..BenchCli::default()
+        };
+        assert_eq!(a, threads.scenario_hash("fig11a_coverage", 92));
     }
 
     #[test]

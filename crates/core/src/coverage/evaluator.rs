@@ -1,4 +1,8 @@
-use super::{ConstellationConfig, CoverageReport, DegradedMode, FailurePlan, SchedulerKind};
+use super::harden::{decode_leader_payload, encode_leader_payload};
+use super::{
+    ConstellationConfig, CoverageReport, DegradedMode, FailurePlan, HardenOptions, HardenedOutcome,
+    SchedulerKind,
+};
 use crate::clustering::{cluster, ClusteringMethod};
 use crate::pointing::TimeWindow;
 use crate::schedule::{
@@ -9,6 +13,7 @@ use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
 use eagleeye_exec::ExecPool;
 use eagleeye_geo::LocalFrame;
+use eagleeye_harden::{run_items, RunConfig, ScenarioHasher};
 use eagleeye_obs::{Metrics, Stopwatch};
 use eagleeye_orbit::{ConstellationLayout, EpochGrid, SatelliteSpec};
 use eagleeye_sim::FaultPlan;
@@ -113,6 +118,16 @@ pub struct CoverageEvaluator<'a> {
     options: CoverageOptions,
 }
 
+/// Precomputed state shared by every per-leader pass of one
+/// leader-follower evaluation (see
+/// [`CoverageEvaluator::leader_scenario`]).
+struct LeaderScenario {
+    layout: ConstellationLayout,
+    grid: EpochGrid,
+    leaders: Vec<SatelliteSpec>,
+    n_followers: usize,
+}
+
 impl<'a> CoverageEvaluator<'a> {
     /// Creates an evaluator over a workload.
     pub fn new(targets: &'a TargetSet, options: CoverageOptions) -> Self {
@@ -159,6 +174,211 @@ impl<'a> CoverageEvaluator<'a> {
         }?;
         report.record_metrics(&self.options.metrics);
         Ok(report)
+    }
+
+    /// A stable, process-independent fingerprint of everything that
+    /// determines this evaluation's result: the constellation
+    /// configuration, the sensing/fault/scheduling options, and the
+    /// workload. Checkpoints are bound to this hash so a `--resume`
+    /// against a different scenario is rejected instead of silently
+    /// merging incompatible partials.
+    ///
+    /// Execution-shape options (`threads`, `metrics`) are deliberately
+    /// excluded: the result is identical at any thread count, so a run
+    /// may legitimately resume with a different pool size.
+    pub fn scenario_hash(&self, config: &ConstellationConfig) -> u64 {
+        let o = &self.options;
+        let mut h = ScenarioHasher::new();
+        h.str("eagleeye-core/coverage/v1")
+            .str(&format!("{config:?}"))
+            .str(&format!("{:?}", o.spec))
+            .f64(o.duration_s)
+            .f64(o.inclination_rad)
+            .f64(o.recall)
+            .u64(o.seed)
+            .u64(o.max_tasks_per_frame as u64)
+            .str(&format!("{:?}", o.failure))
+            .str(&format!("{:?}", o.recapture_penalty))
+            .u64(o.orbital_planes as u64)
+            .str(&format!("{:?}", o.fault_plan))
+            .str(&format!("{:?}", o.degraded_mode))
+            .u64(self.targets.len() as u64)
+            .f64(self.targets.total_value());
+        h.finish()
+    }
+
+    /// Evaluates one constellation configuration under the crash-safe
+    /// run layer (`eagleeye-harden`): per-leader passes are supervised
+    /// (panics retried, then quarantined), partial results are
+    /// checkpointed on a cadence and restored on resume, and a
+    /// wall-clock deadline or shutdown request degrades the run into a
+    /// valid partial report
+    /// ([`CoverageReport::degraded`] = `true`) instead of aborting.
+    ///
+    /// With inert [`HardenOptions`] and no faults, the report is
+    /// bit-identical (modulo the wall-clock timers exempted by
+    /// [`CoverageReport::same_outcome`]) to
+    /// [`evaluate`](Self::evaluate), at any thread count; recorded
+    /// counters and histograms match too, except the `exec/*` family
+    /// (the hardened runner dispatches work itself rather than through
+    /// [`ExecPool`]) — `harden/*` state is recorded as gauges only.
+    ///
+    /// Swath-membership configurations and recapture-penalty runs do
+    /// not decompose into independent leader passes; they fall back to
+    /// the plain evaluator (complete or erroring, never partial).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`evaluate`](Self::evaluate) returns, plus
+    /// [`CoreError::Harden`] for checkpoint I/O or validation failures
+    /// and for leader passes that failed with an error (errors are
+    /// checkpointed and replayed deterministically on resume).
+    pub fn evaluate_hardened(
+        &self,
+        config: &ConstellationConfig,
+        harden: &HardenOptions,
+    ) -> Result<HardenedOutcome, CoreError> {
+        self.options.spec.validate()?;
+        let decomposed = match *config {
+            ConstellationConfig::EagleEye {
+                groups,
+                followers_per_group,
+                scheduler,
+                clustering,
+            } => Some((groups, followers_per_group, scheduler, clustering, None)),
+            ConstellationConfig::MixCamera {
+                satellites,
+                compute_time_s,
+            } => Some((
+                satellites,
+                0,
+                SchedulerKind::Ilp,
+                ClusteringMethod::Ilp,
+                Some(compute_time_s),
+            )),
+            ConstellationConfig::LowResOnly { .. } | ConstellationConfig::HighResOnly { .. } => {
+                None
+            }
+        };
+        let Some((groups, followers_per_group, scheduler_kind, clustering_method, mix_compute_s)) =
+            decomposed.filter(|_| self.options.recapture_penalty.is_none())
+        else {
+            let report = self.evaluate(config)?;
+            return Ok(HardenedOutcome {
+                report,
+                quarantined: Vec::new(),
+                resumed_passes: 0,
+                degrade_reason: None,
+            });
+        };
+
+        let _span = self.options.metrics.span("core/evaluate");
+        let mut report = CoverageReport {
+            total: self.targets.len(),
+            total_value: self.targets.total_value(),
+            ..Default::default()
+        };
+        let Some(sc) =
+            self.leader_scenario(groups, followers_per_group, mix_compute_s.is_some())?
+        else {
+            report.record_metrics(&self.options.metrics);
+            return Ok(HardenedOutcome {
+                report,
+                quarantined: Vec::new(),
+                resumed_passes: 0,
+                degrade_reason: None,
+            });
+        };
+
+        let run_config = RunConfig {
+            scenario_hash: self.scenario_hash(config),
+            threads: self.effective_threads(),
+            checkpoint: harden.checkpoint.clone(),
+            deadline: harden.deadline,
+            shutdown: harden.shutdown.clone(),
+            retry: harden.retry,
+        };
+        let outcome = run_items(&run_config, sc.leaders.len(), |i| {
+            // Same fork/absorb-in-leader-order discipline as the plain
+            // parallel path, but the fork snapshot travels inside the
+            // checkpoint payload so resumed runs replay it exactly.
+            let metrics = self.options.metrics.fork();
+            let mut part = CoverageReport::default();
+            let mut own = vec![false; self.targets.len()];
+            let result = self
+                .leader_pass(
+                    &sc.leaders[i],
+                    &sc.layout,
+                    sc.n_followers,
+                    mix_compute_s,
+                    scheduler_kind,
+                    clustering_method,
+                    &sc.grid,
+                    &metrics,
+                    &mut own,
+                    &mut part,
+                )
+                .map(|()| (part, own, metrics.snapshot()))
+                .map_err(|e| e.to_string());
+            encode_leader_payload(result)
+        })
+        .map_err(|e| CoreError::Harden {
+            message: e.to_string(),
+        })?;
+
+        let mut captured = vec![false; self.targets.len()];
+        let mut completed = 0usize;
+        for (i, payload) in outcome.payloads.iter().enumerate() {
+            let Some(bytes) = payload else { continue };
+            let decoded = decode_leader_payload(bytes).map_err(|e| CoreError::Harden {
+                message: format!("leader pass {i}: {e}"),
+            })?;
+            match decoded {
+                Ok((part, own, registry)) => {
+                    report.absorb(part);
+                    for (c, o) in captured.iter_mut().zip(&own) {
+                        *c |= *o;
+                    }
+                    self.options.metrics.absorb_registry(&registry);
+                    completed += 1;
+                }
+                Err(message) => {
+                    return Err(CoreError::Harden {
+                        message: format!("leader pass {i} failed: {message}"),
+                    });
+                }
+            }
+        }
+        self.finalize_captured(&mut report, &captured);
+        report.leader_passes_total = sc.leaders.len();
+        report.leader_passes_completed = completed;
+        report.degraded = completed < sc.leaders.len();
+
+        // Run-layer state goes to gauges only: counters and histograms
+        // must stay bit-identical between a resumed and an
+        // uninterrupted run, and "how the work got done" legitimately
+        // differs between the two (see DESIGN.md §10 and §12).
+        let m = &self.options.metrics;
+        m.gauge_max("harden/leader_passes_total", sc.leaders.len() as f64);
+        m.gauge_max("harden/leader_passes_completed", completed as f64);
+        m.gauge_max(
+            "harden/completion/leader_pass",
+            report.completion_fraction(),
+        );
+        m.gauge_max("harden/resumed_passes", outcome.resumed_items as f64);
+        m.gauge_max(
+            "harden/quarantined_passes",
+            outcome.quarantined.len() as f64,
+        );
+        m.gauge_max("harden/degraded", f64::from(u8::from(report.degraded)));
+        report.record_metrics(m);
+
+        Ok(HardenedOutcome {
+            report,
+            quarantined: outcome.quarantined,
+            resumed_passes: outcome.resumed_items,
+            degrade_reason: outcome.degrade_reason,
+        })
     }
 
     /// Effective worker count for intra-evaluation parallelism.
@@ -273,6 +493,57 @@ impl<'a> CoverageEvaluator<'a> {
         Ok(report)
     }
 
+    /// Shared setup for the per-leader passes of an EagleEye or
+    /// Mix-Camera evaluation: constellation layout, the epoch grid
+    /// (frame epochs plus per-epoch sidereal trig, computed once and
+    /// shared by every leader's batch propagation), and the leader
+    /// roster. Returns `None` for configurations with nothing to run
+    /// (no groups, no targets, or no followers to capture with), which
+    /// evaluate to the empty base report.
+    ///
+    /// Computing this up front keeps the plain
+    /// ([`leader_follower`](Self::leader_follower)) and crash-safe
+    /// ([`evaluate_hardened`](Self::evaluate_hardened)) paths
+    /// structurally identical, which is what makes their reports
+    /// bit-comparable.
+    fn leader_scenario(
+        &self,
+        groups: usize,
+        followers_per_group: usize,
+        is_mix: bool,
+    ) -> Result<Option<LeaderScenario>, CoreError> {
+        if groups == 0 || self.targets.is_empty() {
+            return Ok(None);
+        }
+        let n_followers = if is_mix { 1 } else { followers_per_group };
+        if n_followers == 0 {
+            // An EagleEye group without followers captures nothing in
+            // high resolution.
+            return Ok(None);
+        }
+        let spec = &self.options.spec;
+        let layout = ConstellationLayout::with_planes(
+            groups,
+            if is_mix { 0 } else { followers_per_group },
+            spec.altitude_m,
+            self.options.inclination_rad,
+            self.options.orbital_planes.max(1),
+        )?;
+        let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
+        let leaders: Vec<_> = layout
+            .satellites()
+            .iter()
+            .filter(|s| s.role == eagleeye_orbit::SatelliteRole::Leader)
+            .copied()
+            .collect();
+        Ok(Some(LeaderScenario {
+            layout,
+            grid,
+            leaders,
+            n_followers,
+        }))
+    }
+
     /// Leader-follower (EagleEye) and mix-camera evaluation.
     ///
     /// Each group's frame loop is independent — followers only ever
@@ -296,53 +567,30 @@ impl<'a> CoverageEvaluator<'a> {
             total_value: self.targets.total_value(),
             ..Default::default()
         };
-        if groups == 0 || self.targets.is_empty() {
+        let Some(sc) =
+            self.leader_scenario(groups, followers_per_group, mix_compute_s.is_some())?
+        else {
             return Ok(report);
-        }
-        let spec = self.options.spec;
-        let is_mix = mix_compute_s.is_some();
-        let n_followers = if is_mix { 1 } else { followers_per_group };
-        if n_followers == 0 {
-            // An EagleEye group without followers captures nothing in
-            // high resolution.
-            return Ok(report);
-        }
-        let layout = ConstellationLayout::with_planes(
-            groups,
-            if is_mix { 0 } else { followers_per_group },
-            spec.altitude_m,
-            self.options.inclination_rad,
-            self.options.orbital_planes.max(1),
-        )?;
-        // Frame epochs plus per-epoch sidereal trig, computed once and
-        // shared by every leader's batch propagation.
-        let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
-
-        let leaders: Vec<_> = layout
-            .satellites()
-            .iter()
-            .filter(|s| s.role == eagleeye_orbit::SatelliteRole::Leader)
-            .copied()
-            .collect();
+        };
 
         let threads = self.effective_threads();
         let mut captured = vec![false; self.targets.len()];
-        if threads > 1 && leaders.len() > 1 && self.options.recapture_penalty.is_none() {
+        if threads > 1 && sc.leaders.len() > 1 && self.options.recapture_penalty.is_none() {
             let pool = ExecPool::new(threads);
             let parts = pool.try_par_map_observed(
                 &self.options.metrics,
-                &leaders,
+                &sc.leaders,
                 |_, leader, metrics| {
                     let mut part = CoverageReport::default();
                     let mut own = vec![false; self.targets.len()];
                     self.leader_pass(
                         leader,
-                        &layout,
-                        n_followers,
+                        &sc.layout,
+                        sc.n_followers,
                         mix_compute_s,
                         scheduler_kind,
                         clustering_method,
-                        &grid,
+                        &sc.grid,
                         metrics,
                         &mut own,
                         &mut part,
@@ -357,16 +605,16 @@ impl<'a> CoverageEvaluator<'a> {
                 }
             }
         } else {
-            for leader in &leaders {
+            for leader in &sc.leaders {
                 let mut part = CoverageReport::default();
                 self.leader_pass(
                     leader,
-                    &layout,
-                    n_followers,
+                    &sc.layout,
+                    sc.n_followers,
                     mix_compute_s,
                     scheduler_kind,
                     clustering_method,
-                    &grid,
+                    &sc.grid,
                     &self.options.metrics,
                     &mut captured,
                     &mut part,
@@ -375,6 +623,8 @@ impl<'a> CoverageEvaluator<'a> {
             }
         }
         self.finalize_captured(&mut report, &captured);
+        report.leader_passes_completed = sc.leaders.len();
+        report.leader_passes_total = sc.leaders.len();
         Ok(report)
     }
 
@@ -888,6 +1138,273 @@ mod tests {
         let sequential = report_at(1);
         assert!(sequential.captured > 0);
         assert!(sequential.same_outcome(&report_at(4)));
+    }
+
+    fn temp_ckpt(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eagleeye_core_harden_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn stable_counters(snap: &eagleeye_obs::MetricsRegistry) -> Vec<(String, u64)> {
+        snap.counters()
+            .filter(|(k, _)| !k.starts_with("exec/"))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    fn all_histograms(
+        snap: &eagleeye_obs::MetricsRegistry,
+    ) -> Vec<(String, eagleeye_obs::Histogram)> {
+        snap.histograms()
+            .map(|(k, h)| (k.to_string(), h.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn hardened_evaluation_matches_plain_at_any_thread_count() {
+        // With inert HardenOptions the crash-safe path must be
+        // indistinguishable from the plain evaluator: identical report
+        // (modulo wall-clock timers) and identical non-exec counters
+        // and histograms, at 1 and 4 threads. Run the full gauntlet —
+        // imperfect recall, an active fault plan, resilient scheduling.
+        let targets = meridian_targets(80);
+        let config = ConstellationConfig::EagleEye {
+            groups: 3,
+            followers_per_group: 2,
+            scheduler: SchedulerKind::Resilient,
+            clustering: ClusteringMethod::Ilp,
+        };
+        let plan = Arc::new(FaultPlan::new(11).with_fault(
+            eagleeye_sim::FaultKind::FollowerOutage { follower: 1 },
+            600.0,
+            f64::INFINITY,
+        ));
+        let run = |threads: usize, hardened: bool| {
+            let mut opts = quick_options();
+            opts.recall = 0.8;
+            opts.fault_plan = Some(plan.clone());
+            opts.degraded_mode = DegradedMode::Resilient;
+            opts.threads = threads;
+            opts.metrics = Metrics::enabled();
+            let metrics = opts.metrics.clone();
+            let eval = CoverageEvaluator::new(&targets, opts);
+            let report = if hardened {
+                eval.evaluate_hardened(&config, &HardenOptions::new())
+                    .unwrap()
+                    .report
+            } else {
+                eval.evaluate(&config).unwrap()
+            };
+            (report, metrics.snapshot())
+        };
+        let (plain, plain_snap) = run(1, false);
+        assert!(plain.captured > 0);
+        assert!(!plain.degraded);
+        assert_eq!(plain.leader_passes_completed, 3);
+        assert_eq!(plain.leader_passes_total, 3);
+        for threads in [1, 4] {
+            let (hard, hard_snap) = run(threads, true);
+            assert!(
+                plain.same_outcome(&hard),
+                "threads={threads} hardened diverged:\n  plain: {plain:?}\n  hard: {hard:?}"
+            );
+            assert_eq!(
+                stable_counters(&plain_snap),
+                stable_counters(&hard_snap),
+                "threads={threads} counters diverged"
+            );
+            assert_eq!(
+                all_histograms(&plain_snap),
+                all_histograms(&hard_snap),
+                "threads={threads} histograms diverged"
+            );
+            // Run-layer state is gauges only — completion 1.0, not
+            // degraded.
+            assert_eq!(hard_snap.gauge("harden/completion/leader_pass"), Some(1.0));
+            assert_eq!(hard_snap.gauge("harden/degraded"), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_valid_degraded_report() {
+        let targets = meridian_targets(60);
+        let config = ConstellationConfig::eagleeye(3, 1);
+        let mut opts = quick_options();
+        opts.metrics = Metrics::enabled();
+        let metrics = opts.metrics.clone();
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let harden = HardenOptions::new()
+            .with_deadline(eagleeye_harden::Deadline::after(std::time::Duration::ZERO));
+        let out = eval.evaluate_hardened(&config, &harden).unwrap();
+        assert!(out.report.degraded);
+        assert_eq!(
+            out.degrade_reason,
+            Some(eagleeye_harden::DegradeReason::Deadline)
+        );
+        assert_eq!(out.report.leader_passes_total, 3);
+        assert!(out.report.leader_passes_completed < 3);
+        assert!(out.report.completion_fraction() < 1.0);
+        // The partial report is still internally consistent: workload
+        // totals are set and captured never exceeds them.
+        assert_eq!(out.report.total, 60);
+        assert!(out.report.total_value > 0.0);
+        assert!(out.report.captured <= out.report.total);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("harden/degraded"), Some(1.0));
+        assert!(snap.gauge("harden/completion/leader_pass").unwrap() < 1.0);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        // Interrupt a checkpointed evaluation via cooperative shutdown
+        // as soon as the first checkpoint lands, then resume it; the
+        // final report, counters, and histograms must be bit-identical
+        // to a never-interrupted run.
+        let targets = meridian_targets(80);
+        let config = ConstellationConfig::eagleeye(4, 1);
+        let make_opts = || {
+            let mut opts = quick_options();
+            opts.recall = 0.85;
+            opts.metrics = Metrics::enabled();
+            opts
+        };
+        let path = temp_ckpt("core_resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // Segment 1: single worker, checkpoint after every pass, shut
+        // down once the first checkpoint file appears.
+        let opts = make_opts();
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let shutdown = eagleeye_harden::ShutdownFlag::new();
+        let watcher = {
+            let shutdown = shutdown.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    if path.exists() {
+                        shutdown.request();
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            })
+        };
+        let harden1 = HardenOptions {
+            checkpoint: Some(eagleeye_harden::CheckpointSpec::new(&path, 1)),
+            shutdown,
+            ..HardenOptions::default()
+        };
+        let out1 = eval.evaluate_hardened(&config, &harden1).unwrap();
+        watcher.join().unwrap();
+        assert!(
+            out1.report.leader_passes_completed >= 1,
+            "cadence-1 checkpointing completes at least one pass"
+        );
+
+        // Segment 2: resume from the checkpoint and finish.
+        let opts = make_opts();
+        let metrics2 = opts.metrics.clone();
+        let eval2 = CoverageEvaluator::new(&targets, opts);
+        let harden2 =
+            HardenOptions::new().with_checkpoint(eagleeye_harden::CheckpointSpec::new(&path, 1));
+        let out2 = eval2.evaluate_hardened(&config, &harden2).unwrap();
+        assert!(!out2.report.degraded);
+        assert_eq!(out2.report.leader_passes_completed, 4);
+        assert_eq!(
+            out2.resumed_passes, out1.report.leader_passes_completed,
+            "every pass from segment 1 must be restored, not recomputed"
+        );
+
+        // Uninterrupted reference run (no checkpoint involved at all).
+        let opts = make_opts();
+        let metrics_cold = opts.metrics.clone();
+        let cold = CoverageEvaluator::new(&targets, opts)
+            .evaluate_hardened(&config, &HardenOptions::new())
+            .unwrap();
+        assert!(
+            cold.report.same_outcome(&out2.report),
+            "resumed:\n  {:?}\ncold:\n  {:?}",
+            out2.report,
+            cold.report
+        );
+        assert_eq!(
+            stable_counters(&metrics_cold.snapshot()),
+            stable_counters(&metrics2.snapshot())
+        );
+        assert_eq!(
+            all_histograms(&metrics_cold.snapshot()),
+            all_histograms(&metrics2.snapshot())
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_scenario() {
+        let targets = meridian_targets(30);
+        let config = ConstellationConfig::eagleeye(2, 1);
+        let path = temp_ckpt("core_mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let spec = eagleeye_harden::CheckpointSpec::new(&path, 1);
+        let opts = quick_options();
+        CoverageEvaluator::new(&targets, opts)
+            .evaluate_hardened(&config, &HardenOptions::new().with_checkpoint(spec.clone()))
+            .unwrap();
+        // Same checkpoint, different seed: the scenario hash differs
+        // and the resume must be refused.
+        let mut opts = quick_options();
+        opts.seed = 8;
+        let err = CoverageEvaluator::new(&targets, opts)
+            .evaluate_hardened(&config, &HardenOptions::new().with_checkpoint(spec))
+            .unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Harden { message } if message.contains("scenario")),
+            "unexpected error: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hardened_swath_config_falls_back_to_plain() {
+        let targets = meridian_targets(50);
+        let opts = quick_options();
+        let eval = CoverageEvaluator::new(&targets, opts);
+        let config = ConstellationConfig::LowResOnly { satellites: 5 };
+        let plain = eval.evaluate(&config).unwrap();
+        let hard = eval
+            .evaluate_hardened(&config, &HardenOptions::new())
+            .unwrap();
+        assert!(plain.same_outcome(&hard.report));
+        assert_eq!(hard.report.leader_passes_total, 0);
+        assert_eq!(hard.report.completion_fraction(), 1.0);
+        assert!(hard.quarantined.is_empty());
+    }
+
+    #[test]
+    fn scenario_hash_is_stable_and_sensitive() {
+        let targets = meridian_targets(10);
+        let config = ConstellationConfig::eagleeye(2, 1);
+        let h =
+            |opts: CoverageOptions| CoverageEvaluator::new(&targets, opts).scenario_hash(&config);
+        let base = h(quick_options());
+        assert_eq!(base, h(quick_options()), "hash must be deterministic");
+        // Execution shape does not bind the scenario...
+        let mut threaded = quick_options();
+        threaded.threads = 8;
+        threaded.metrics = Metrics::enabled();
+        assert_eq!(base, h(threaded));
+        // ...but the physics and workload do.
+        let mut other_seed = quick_options();
+        other_seed.seed = 8;
+        assert_ne!(base, h(other_seed));
+        let mut other_duration = quick_options();
+        other_duration.duration_s += 1.0;
+        assert_ne!(base, h(other_duration));
+        let other_config = ConstellationConfig::eagleeye(3, 1);
+        assert_ne!(
+            base,
+            CoverageEvaluator::new(&targets, quick_options()).scenario_hash(&other_config)
+        );
     }
 
     #[test]

@@ -31,8 +31,10 @@
 
 mod config;
 mod evaluator;
+mod harden;
 mod report;
 
 pub use config::{ConstellationConfig, DegradedMode, FailurePlan, SchedulerKind};
 pub use evaluator::{CoverageEvaluator, CoverageOptions};
+pub use harden::{HardenOptions, HardenedOutcome};
 pub use report::CoverageReport;

@@ -1,6 +1,10 @@
 use crate::schedule::IlpRunStats;
+use eagleeye_harden::{ByteReader, ByteWriter, CodecError};
 use eagleeye_obs::Metrics;
 use std::time::Duration;
+
+/// Version byte leading every [`CoverageReport::to_bytes`] payload.
+const REPORT_CODEC_VERSION: u8 = 1;
 
 /// Result of a coverage evaluation run.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -76,6 +80,18 @@ pub struct CoverageReport {
     pub ilp_deadline_hits: usize,
     /// ILP subproblems abandoned on the simplex iteration cap.
     pub ilp_iteration_limit_hits: usize,
+    /// True when the crash-safe run layer stopped this evaluation early
+    /// (deadline exceeded or shutdown requested) and the report covers
+    /// only the leader passes that finished. Anytime results: every
+    /// field is still internally consistent, just partial.
+    pub degraded: bool,
+    /// Leader passes whose partial results are merged into this report.
+    /// Equals [`leader_passes_total`](Self::leader_passes_total) for a
+    /// complete run.
+    pub leader_passes_completed: usize,
+    /// Leader passes the evaluated scenario decomposes into (zero for
+    /// swath-membership configurations, which have no leader passes).
+    pub leader_passes_total: usize,
 }
 
 impl CoverageReport {
@@ -246,6 +262,139 @@ impl CoverageReport {
             .count();
         n as f64 / self.per_frame_target_counts.len() as f64
     }
+
+    /// Fraction of leader passes merged into this report, in `[0, 1]`.
+    /// Reports from scenarios without leader passes (swath membership,
+    /// empty workloads) count as complete.
+    pub fn completion_fraction(&self) -> f64 {
+        if self.leader_passes_total == 0 {
+            1.0
+        } else {
+            self.leader_passes_completed as f64 / self.leader_passes_total as f64
+        }
+    }
+
+    /// Serializes the report for checkpoint payloads. The encoding is
+    /// bit-exact — floats as raw IEEE-754 bits, timers as whole seconds
+    /// plus subsecond nanoseconds — so a report restored on resume is
+    /// indistinguishable from the one that was checkpointed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(REPORT_CODEC_VERSION);
+        w.usize(self.captured);
+        w.usize(self.total);
+        w.f64(self.captured_value);
+        w.f64(self.total_value);
+        w.usize(self.frames_processed);
+        w.usize(self.frames_with_targets);
+        w.usize(self.per_frame_target_counts.len());
+        for &n in &self.per_frame_target_counts {
+            w.usize(n);
+        }
+        w.usize(self.per_frame_cluster_counts.len());
+        for &n in &self.per_frame_cluster_counts {
+            w.usize(n);
+        }
+        w.usize(self.scheduler_calls);
+        for d in [
+            self.scheduler_time,
+            self.clustering_time,
+            self.propagate_time,
+            self.detect_time,
+        ] {
+            w.u64(d.as_secs());
+            w.u32(d.subsec_nanos());
+        }
+        w.usize(self.captures_commanded);
+        w.usize(self.ilp_horizons);
+        w.usize(self.greedy_fallbacks);
+        w.usize(self.deadline_fallbacks);
+        w.usize(self.repairs_attempted);
+        w.usize(self.tasks_dropped_by_failures);
+        w.usize(self.tasks_reassigned);
+        w.usize(self.captures_lost_to_faults);
+        w.usize(self.frames_leader_down);
+        w.usize(self.ilp_subproblems);
+        w.usize(self.ilp_nodes_explored);
+        w.usize(self.ilp_nodes_pruned);
+        w.usize(self.ilp_lp_iterations);
+        w.usize(self.ilp_lp_pivots);
+        w.usize(self.ilp_incumbent_updates);
+        w.usize(self.ilp_deadline_hits);
+        w.usize(self.ilp_iteration_limit_hits);
+        w.bool(self.degraded);
+        w.usize(self.leader_passes_completed);
+        w.usize(self.leader_passes_total);
+        w.into_bytes()
+    }
+
+    /// Restores a report written by [`to_bytes`](Self::to_bytes),
+    /// rejecting unknown versions, truncation, and trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u8()? != REPORT_CODEC_VERSION {
+            return Err(CodecError {
+                context: "report codec version",
+            });
+        }
+        let mut out = CoverageReport {
+            captured: r.usize()?,
+            total: r.usize()?,
+            captured_value: r.f64()?,
+            total_value: r.f64()?,
+            frames_processed: r.usize()?,
+            frames_with_targets: r.usize()?,
+            ..CoverageReport::default()
+        };
+        let n = r.usize()?;
+        out.per_frame_target_counts = (0..n).map(|_| r.usize()).collect::<Result<_, _>>()?;
+        let n = r.usize()?;
+        out.per_frame_cluster_counts = (0..n).map(|_| r.usize()).collect::<Result<_, _>>()?;
+        out.scheduler_calls = r.usize()?;
+        let mut timers = [Duration::ZERO; 4];
+        for t in &mut timers {
+            let secs = r.u64()?;
+            let nanos = r.u32()?;
+            if nanos >= 1_000_000_000 {
+                return Err(CodecError {
+                    context: "timer subsec nanos",
+                });
+            }
+            *t = Duration::new(secs, nanos);
+        }
+        [
+            out.scheduler_time,
+            out.clustering_time,
+            out.propagate_time,
+            out.detect_time,
+        ] = timers;
+        out.captures_commanded = r.usize()?;
+        out.ilp_horizons = r.usize()?;
+        out.greedy_fallbacks = r.usize()?;
+        out.deadline_fallbacks = r.usize()?;
+        out.repairs_attempted = r.usize()?;
+        out.tasks_dropped_by_failures = r.usize()?;
+        out.tasks_reassigned = r.usize()?;
+        out.captures_lost_to_faults = r.usize()?;
+        out.frames_leader_down = r.usize()?;
+        out.ilp_subproblems = r.usize()?;
+        out.ilp_nodes_explored = r.usize()?;
+        out.ilp_nodes_pruned = r.usize()?;
+        out.ilp_lp_iterations = r.usize()?;
+        out.ilp_lp_pivots = r.usize()?;
+        out.ilp_incumbent_updates = r.usize()?;
+        out.ilp_deadline_hits = r.usize()?;
+        out.ilp_iteration_limit_hits = r.usize()?;
+        out.degraded = r.bool()?;
+        out.leader_passes_completed = r.usize()?;
+        out.leader_passes_total = r.usize()?;
+        if !r.is_exhausted() {
+            return Err(CodecError {
+                context: "report trailing bytes",
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +540,100 @@ mod tests {
         assert!(a.same_outcome(&b));
         b.ilp_nodes_explored = 1;
         assert!(!a.same_outcome(&b));
+    }
+
+    fn dense_report() -> CoverageReport {
+        CoverageReport {
+            captured: 31,
+            total: 100,
+            captured_value: 0.1 + 0.2, // deliberately non-round bits
+            total_value: 400.5,
+            frames_processed: 9,
+            frames_with_targets: 3,
+            per_frame_target_counts: vec![1, 6, 30],
+            per_frame_cluster_counts: vec![1, 4],
+            scheduler_calls: 3,
+            scheduler_time: Duration::new(4, 999_999_999),
+            clustering_time: Duration::from_nanos(1),
+            propagate_time: Duration::from_secs(7),
+            detect_time: Duration::ZERO,
+            captures_commanded: 5,
+            ilp_horizons: 2,
+            greedy_fallbacks: 1,
+            deadline_fallbacks: 1,
+            repairs_attempted: 4,
+            tasks_dropped_by_failures: 2,
+            tasks_reassigned: 1,
+            captures_lost_to_faults: 1,
+            frames_leader_down: 2,
+            ilp_subproblems: 3,
+            ilp_nodes_explored: 11,
+            ilp_nodes_pruned: 5,
+            ilp_lp_iterations: 90,
+            ilp_lp_pivots: 60,
+            ilp_incumbent_updates: 3,
+            ilp_deadline_hits: 1,
+            ilp_iteration_limit_hits: 0,
+            degraded: true,
+            leader_passes_completed: 2,
+            leader_passes_total: 5,
+        }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_exactly() {
+        let r = dense_report();
+        let restored = CoverageReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(restored, r);
+        assert_eq!(
+            restored.captured_value.to_bits(),
+            r.captured_value.to_bits()
+        );
+        let empty = CoverageReport::default();
+        assert_eq!(
+            CoverageReport::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn byte_codec_rejects_malformed_payloads() {
+        let bytes = dense_report().to_bytes();
+        // Truncation at every prefix length must error, never panic.
+        for n in 0..bytes.len() {
+            assert!(CoverageReport::from_bytes(&bytes[..n]).is_err(), "n={n}");
+        }
+        // Unknown version byte.
+        let mut bad = bytes.clone();
+        bad[0] = 99;
+        assert!(CoverageReport::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CoverageReport::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn completion_fraction_and_absorb_leave_harden_fields() {
+        let full = CoverageReport::default();
+        assert_eq!(full.completion_fraction(), 1.0);
+        let mut acc = CoverageReport {
+            leader_passes_completed: 3,
+            leader_passes_total: 4,
+            degraded: true,
+            ..CoverageReport::default()
+        };
+        assert!((acc.completion_fraction() - 0.75).abs() < 1e-12);
+        acc.absorb(CoverageReport {
+            leader_passes_completed: 9,
+            leader_passes_total: 9,
+            degraded: false,
+            ..CoverageReport::default()
+        });
+        // absorb folds per-pass partials; run-level harden state stays.
+        assert_eq!(acc.leader_passes_completed, 3);
+        assert_eq!(acc.leader_passes_total, 4);
+        assert!(acc.degraded);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum CoreError {
     Orbit(eagleeye_orbit::OrbitError),
     /// Geodetic computation failed.
     Geo(eagleeye_geo::GeoError),
+    /// The crash-safe run layer failed: a checkpoint could not be
+    /// written or validated, or a stored partial result replayed an
+    /// error from a previous segment.
+    Harden {
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +45,9 @@ impl fmt::Display for CoreError {
             CoreError::Solver(e) => write!(f, "ILP solver failed: {e}"),
             CoreError::Orbit(e) => write!(f, "orbit model failed: {e}"),
             CoreError::Geo(e) => write!(f, "geometry failed: {e}"),
+            CoreError::Harden { message } => {
+                write!(f, "crash-safe run layer failed: {message}")
+            }
         }
     }
 }

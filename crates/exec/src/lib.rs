@@ -30,8 +30,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use eagleeye_harden::{crash_point, panic_message, Quarantine, RetryPolicy};
 use eagleeye_obs::Metrics;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of hardware threads available to this process (at least 1).
@@ -42,6 +44,67 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Runs one work item, rethrowing any panic with the worker and item
+/// index prepended. A bare `resume_unwind` loses all context about
+/// *which* item of *which* worker died — useless in a 24 h sweep log.
+fn run_enriched<R>(worker: usize, item: usize, f: impl FnOnce() -> R) -> R {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(Box::new(format!(
+            "worker {worker} item {item} panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
+
+/// Runs one work item under supervision: panics are caught, retried
+/// per `retry` with capped backoff, and converted into a [`Quarantine`]
+/// when they persist.
+fn run_supervised<R>(retry: &RetryPolicy, item: usize, f: impl Fn() -> R) -> Result<R, Quarantine> {
+    let mut attempt = 0usize;
+    loop {
+        attempt += 1;
+        // Crash-injection site shared with the harden runner: the
+        // supervised unit of work (see `eagleeye_harden::crash`).
+        crash_point("worker_item");
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                if attempt > retry.max_retries {
+                    return Err(Quarantine {
+                        item,
+                        attempts: attempt,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                let backoff = retry.backoff(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Result of [`ExecPool::par_map_supervised`]: per-item results in
+/// input order, with quarantined items reported instead of computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Supervised<R> {
+    /// `Some(result)` per item in input order; `None` for quarantined
+    /// items.
+    pub results: Vec<Option<R>>,
+    /// Items whose closure kept panicking after all retries, sorted by
+    /// item index.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl<R> Supervised<R> {
+    /// True when every item produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.quarantined.is_empty()
+    }
 }
 
 /// A scoped worker pool with deterministic result ordering.
@@ -98,21 +161,27 @@ impl ExecPool {
     {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| run_enriched(0, i, || f(i, x)))
+                .collect();
         }
 
         let cursor = AtomicUsize::new(0);
         let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, f(i, &items[i])));
+                            out.push((i, run_enriched(w, i, || f(i, &items[i]))));
                         }
                         out
                     })
@@ -140,6 +209,86 @@ impl ExecPool {
                 None => unreachable!("every index scheduled exactly once"),
             })
             .collect()
+    }
+
+    /// Supervised [`ExecPool::par_map`]: a panic in `f` no longer
+    /// aborts the whole batch. Each item's panics are caught
+    /// (`catch_unwind`), retried per `retry` with capped exponential
+    /// backoff, and — when they persist — the item is quarantined
+    /// (reported in the result, not fatal) while every other item
+    /// completes normally.
+    ///
+    /// When nothing fails the results are **bit-identical** to
+    /// [`ExecPool::par_map`] (same position-indexed ordering, same
+    /// values) at any thread count; supervision only adds a
+    /// never-taken branch per item.
+    pub fn par_map_supervised<T, R, F>(
+        &self,
+        items: &[T],
+        retry: &RetryPolicy,
+        f: F,
+    ) -> Supervised<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        let attempts: Vec<(usize, Result<R, Quarantine>)> = if workers <= 1 {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (i, run_supervised(retry, i, || f(i, x))))
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let f = &f;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    break;
+                                }
+                                out.push((i, run_supervised(retry, i, || f(i, &items[i]))));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+
+        let mut slots: Vec<Option<Result<R, Quarantine>>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in attempts {
+            slots[i] = Some(r);
+        }
+        let mut results = Vec::with_capacity(items.len());
+        let mut quarantined = Vec::new();
+        // Slot order doubles as the sort by item index.
+        for slot in slots {
+            // eagleeye-lint: allow(no-unwrap): the claim loop above assigns every index in 0..len exactly once, so no slot can be None
+            match slot.expect("every index scheduled exactly once") {
+                Ok(r) => results.push(Some(r)),
+                Err(q) => {
+                    results.push(None);
+                    quarantined.push(q);
+                }
+            }
+        }
+        Supervised {
+            results,
+            quarantined,
+        }
     }
 
     /// Fallible [`ExecPool::par_map`]: applies `f` to every item and
@@ -423,5 +572,89 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "item 11 panicked: boom")]
+    fn propagated_panics_carry_item_context() {
+        let items: Vec<usize> = (0..16).collect();
+        ExecPool::new(4).par_map(&items, |_, &x| {
+            if x == 11 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 item 3 panicked: inline boom")]
+    fn inline_panics_carry_item_context_too() {
+        let items: Vec<usize> = (0..8).collect();
+        ExecPool::new(1).par_map(&items, |_, &x| {
+            if x == 3 {
+                panic!("inline boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn supervised_map_with_zero_faults_matches_par_map() {
+        let items: Vec<usize> = (0..113).collect();
+        let f = |i: usize, x: &usize| i * 31 + x * 7;
+        let plain = ExecPool::new(1).par_map(&items, f);
+        for threads in [1, 2, 4, 8] {
+            let sup = ExecPool::new(threads).par_map_supervised(&items, &RetryPolicy::default(), f);
+            assert!(sup.all_ok(), "threads={threads}");
+            let unwrapped: Vec<usize> = sup.results.into_iter().map(Option::unwrap).collect();
+            assert_eq!(unwrapped, plain, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn supervised_map_retries_transient_failures() {
+        let failures = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..32).collect();
+        let retry = RetryPolicy {
+            max_retries: 3,
+            backoff_base: std::time::Duration::ZERO,
+            backoff_cap: std::time::Duration::ZERO,
+        };
+        let sup = ExecPool::new(4).par_map_supervised(&items, &retry, |_, &x| {
+            if x == 20 && failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            x * 2
+        });
+        assert!(sup.all_ok());
+        assert_eq!(sup.results[20], Some(40));
+    }
+
+    #[test]
+    fn supervised_map_quarantines_deterministic_failures() {
+        let items: Vec<usize> = (0..32).collect();
+        let retry = RetryPolicy {
+            max_retries: 1,
+            backoff_base: std::time::Duration::ZERO,
+            backoff_cap: std::time::Duration::ZERO,
+        };
+        for threads in [1, 4] {
+            let sup = ExecPool::new(threads).par_map_supervised(&items, &retry, |_, &x| {
+                if x % 13 == 7 {
+                    panic!("bad item {x}");
+                }
+                x
+            });
+            assert!(!sup.all_ok(), "threads={threads}");
+            let bad: Vec<usize> = sup.quarantined.iter().map(|q| q.item).collect();
+            assert_eq!(bad, vec![7, 20], "threads={threads}");
+            for q in &sup.quarantined {
+                assert_eq!(q.attempts, 2);
+                assert!(q.message.contains("bad item"));
+                assert!(sup.results[q.item].is_none());
+            }
+            // Every non-quarantined item still completed.
+            assert_eq!(sup.results.iter().filter(|r| r.is_some()).count(), 30);
+        }
     }
 }

@@ -1,0 +1,41 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for snapshot integrity.
+//!
+//! The checkpoint file is the only artifact that survives a crash, so
+//! it carries its own integrity check: a torn or bit-rotted snapshot
+//! must be *detected* and rejected (forcing a cold start) rather than
+//! silently resumed into a corrupt run.
+
+/// CRC-32/ISO-HDLC of `data` (the common `crc32` used by zip/png):
+/// reflected polynomial `0xEDB88320`, init and final XOR `0xFFFFFFFF`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let mut data = b"eagleeye checkpoint payload".to_vec();
+        let clean = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,52 @@
+//! Crash-safe long-run execution for the EagleEye pipeline.
+//!
+//! The paper's full-scale 24 h sweeps are exactly the workloads the
+//! rest of this workspace cannot afford to lose: a single worker panic
+//! aborts an evaluation with all partial work discarded, and an
+//! interrupted run leaves nothing behind but a log to reconstruct CSVs
+//! from (see EXPERIMENTS.md, FIG11A note). This crate is the run layer
+//! that makes the *computation* fault-tolerant, the way `sim::fault` +
+//! `core::schedule::resilient` made the *constellation* fault-tolerant:
+//!
+//! * [`snapshot`] — a versioned, CRC-guarded, atomically written
+//!   (`tmp` + `fsync` + `rename`) snapshot of pipeline progress, keyed
+//!   by a scenario hash so resuming a *different* scenario is rejected;
+//! * [`watchdog`] — a monotonic deadline budget plus a cooperative
+//!   SIGTERM-style [`ShutdownFlag`], with the strided polling
+//!   discipline already used by `abb`/`simplex` generalized into
+//!   [`DeadlinePoll`];
+//! * [`crash`] — the `EAGLEEYE_CRASH=<spec>` test-only fault-injection
+//!   hook that panics or exits at named sites, so the kill-and-resume
+//!   path is exercised by real process deaths in CI;
+//! * [`runner`] — a streaming checkpointed executor: work items flow
+//!   back to a supervising driver as they finish, checkpoints are
+//!   written on a completion cadence, per-item panics are retried with
+//!   capped backoff and quarantined when deterministic, and a blown
+//!   deadline degrades the run (completed partials are kept and the
+//!   result is marked degraded) instead of aborting it.
+//!
+//! Everything here is `std`-only and dependency-free, like `exec` and
+//! `obs`, so any crate in the workspace can depend on it without
+//! cycles. See DESIGN.md §12 for the snapshot format, watchdog states,
+//! and retry policy.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod crash;
+pub mod runner;
+pub mod snapshot;
+pub mod watchdog;
+
+mod crc;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use crash::{crash_point, CrashMode, CrashPlan};
+pub use crc::crc32;
+pub use runner::{
+    panic_message, run_items, CheckpointSpec, DegradeReason, Quarantine, RetryPolicy, RunConfig,
+    RunOutcome,
+};
+pub use snapshot::{ScenarioHasher, Snapshot, SnapshotError};
+pub use watchdog::{Deadline, DeadlinePoll, ShutdownFlag};

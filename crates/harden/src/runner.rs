@@ -1,0 +1,616 @@
+//! Streaming checkpointed execution with retry, quarantine, and
+//! anytime degradation.
+//!
+//! `exec::ExecPool::par_map` only returns once *every* item finished,
+//! so a crash loses the whole batch. This runner streams completed
+//! items back to a supervising driver over a channel as they finish,
+//! which is what makes mid-flight recovery possible:
+//!
+//! * the driver checkpoints accumulated payloads every
+//!   [`CheckpointSpec::cadence`] completions (atomically, see
+//!   [`crate::snapshot`]), so a killed process resumes from the last
+//!   published snapshot instead of from zero;
+//! * a per-item panic is caught (`catch_unwind`), retried with capped
+//!   exponential backoff, and — if it keeps failing — quarantined and
+//!   reported instead of aborting the run;
+//! * a blown [`Deadline`] or a [`ShutdownFlag`] request stops
+//!   *dispatch* (in-flight items finish, nothing new starts), the
+//!   partials are kept, a final checkpoint is written, and the outcome
+//!   is marked degraded.
+//!
+//! Payloads are returned in item order, so a fault-free run is
+//! bit-identical at any thread count and any checkpoint cadence — the
+//! same position-indexed discipline `exec` uses.
+
+use crate::snapshot::{Snapshot, SnapshotError};
+use crate::watchdog::{Deadline, ShutdownFlag};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How often the driver polls the deadline/shutdown flag while waiting
+/// for worker messages.
+const DRIVER_POLL: Duration = Duration::from_millis(25);
+
+/// Retry discipline for items whose closure panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = quarantine immediately).
+    pub max_retries: usize,
+    /// Backoff before retry `k` is `base * 2^(k-1)`, capped at `cap`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first panic quarantines the item.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before the `attempt`-th retry (1-based).
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Where, whether, and how often to checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Snapshot file path (written atomically; `<path>.tmp` sibling).
+    pub path: PathBuf,
+    /// Load `path` before running and skip items it already holds.
+    /// A missing file is a cold start, not an error; a corrupt or
+    /// scenario-mismatched file is an error.
+    pub resume: bool,
+    /// Write a checkpoint after every `cadence` newly completed items
+    /// (0 = only the final checkpoint). A final checkpoint is always
+    /// written, including on degraded runs.
+    pub cadence: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec with resume enabled and the given cadence.
+    pub fn new(path: impl Into<PathBuf>, cadence: usize) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            resume: true,
+            cadence,
+        }
+    }
+}
+
+/// An item that kept panicking after all retries: reported, not fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Item index.
+    pub item: usize,
+    /// Total attempts made (1 + retries).
+    pub attempts: usize,
+    /// The final panic message.
+    pub message: String,
+}
+
+/// Why a run was degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock budget expired.
+    Deadline,
+    /// A cooperative shutdown was requested.
+    Shutdown,
+}
+
+/// Configuration for a supervised run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Scenario hash binding checkpoints to this exact workload.
+    pub scenario_hash: u64,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Optional checkpoint/resume behavior.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Wall-clock budget; [`Deadline::none`] for deterministic runs.
+    pub deadline: Deadline,
+    /// Cooperative shutdown request.
+    pub shutdown: ShutdownFlag,
+    /// Retry discipline for panicking items.
+    pub retry: RetryPolicy,
+}
+
+impl RunConfig {
+    /// A config with no checkpointing, no deadline, default retries.
+    pub fn new(scenario_hash: u64, threads: usize) -> Self {
+        RunConfig {
+            scenario_hash,
+            threads,
+            checkpoint: None,
+            deadline: Deadline::none(),
+            shutdown: ShutdownFlag::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The result of a supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Per-item payloads in item order. `None` for items that were
+    /// quarantined or never dispatched (degraded run).
+    pub payloads: Vec<Option<Vec<u8>>>,
+    /// True when the run stopped early (deadline or shutdown) with
+    /// some items never dispatched.
+    pub degraded: bool,
+    /// Why the run degraded, when it did.
+    pub degrade_reason: Option<DegradeReason>,
+    /// Items with a payload (freshly computed or resumed).
+    pub completed: usize,
+    /// Total items requested.
+    pub total: usize,
+    /// Items that kept panicking after all retries.
+    pub quarantined: Vec<Quarantine>,
+    /// Items whose payloads came from the resumed checkpoint.
+    pub resumed_items: usize,
+}
+
+impl RunOutcome {
+    /// Fraction of items with a payload, in `[0, 1]` (1.0 for an empty
+    /// run).
+    pub fn completion_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Messages from workers to the supervising driver.
+enum Msg {
+    Done(usize, Vec<u8>),
+    Failed(Quarantine),
+}
+
+/// Renders a panic payload (the `&str` or `String` message, when there
+/// is one) for quarantine reports and enriched panic rethrows.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(0..total)` under supervision: streaming checkpoints, retry
+/// plus quarantine on panics, anytime degradation on deadline or
+/// shutdown. Payloads are the caller's own encoded partial results
+/// (see [`crate::codec`]).
+///
+/// Fault-free runs are bit-identical to a plain indexed map at any
+/// thread count.
+///
+/// # Errors
+///
+/// Checkpoint I/O and resume validation failures ([`SnapshotError`]);
+/// worker panics are *handled* (retried/quarantined), never returned.
+pub fn run_items<F>(config: &RunConfig, total: usize, f: F) -> Result<RunOutcome, SnapshotError>
+where
+    F: Fn(usize) -> Vec<u8> + Sync,
+{
+    let mut payloads: Vec<Option<Vec<u8>>> = vec![None; total];
+    let mut resumed_items = 0;
+
+    // Resume: prefill payloads from the snapshot, if one exists.
+    let mut snapshot = Snapshot::new(config.scenario_hash);
+    if let Some(spec) = &config.checkpoint {
+        if spec.resume && spec.path.exists() {
+            let prior = Snapshot::load_expecting(&spec.path, config.scenario_hash)?;
+            for (name, payload) in prior.sections() {
+                if let Some(i) = name
+                    .strip_prefix("item/")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&i| i < total)
+                {
+                    payloads[i] = Some(payload.to_vec());
+                    snapshot.put(name, payload.to_vec());
+                    resumed_items += 1;
+                }
+            }
+        }
+    }
+
+    let done: Vec<bool> = payloads.iter().map(Option::is_some).collect();
+    let threads = config.threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Msg>();
+
+    let mut quarantined: Vec<Quarantine> = Vec::new();
+    let mut completed_since_ckpt = 0usize;
+    let mut stopped: Option<DegradeReason> = None;
+    let mut ckpt_error: Option<SnapshotError> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let stop = &stop;
+            let done = &done;
+            let f = &f;
+            let retry = config.retry;
+            let deadline = config.deadline;
+            let shutdown = config.shutdown.clone();
+            scope.spawn(move || {
+                loop {
+                    // Claim-time degradation check: the driver's strided
+                    // poll alone would let fast items race past an
+                    // expired deadline, so each worker re-checks before
+                    // claiming new work.
+                    if stop.load(Ordering::Acquire) || shutdown.requested() || deadline.expired() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    if done[i] {
+                        continue;
+                    }
+                    let mut attempt = 0usize;
+                    loop {
+                        attempt += 1;
+                        // Crash-injection site inside the supervised
+                        // closure: a `panic` injection unwinds like a
+                        // fault in the item itself and exercises the
+                        // retry path; an `exit` simulates a kill.
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            crate::crash::crash_point("worker_item");
+                            f(i)
+                        })) {
+                            Ok(payload) => {
+                                let _ = tx.send(Msg::Done(i, payload));
+                                break;
+                            }
+                            Err(panic) => {
+                                if attempt > retry.max_retries {
+                                    let _ = tx.send(Msg::Failed(Quarantine {
+                                        item: i,
+                                        attempts: attempt,
+                                        message: panic_message(panic.as_ref()),
+                                    }));
+                                    break;
+                                }
+                                let backoff = retry.backoff(attempt);
+                                if !backoff.is_zero() {
+                                    std::thread::sleep(backoff);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Driver: collect results, checkpoint on cadence, watch the
+        // deadline and the shutdown flag. Exits when every worker has
+        // hung up (all items resolved, or dispatch was stopped).
+        loop {
+            match rx.recv_timeout(DRIVER_POLL) {
+                Ok(Msg::Done(i, payload)) => {
+                    snapshot.put(&format!("item/{i}"), payload.clone());
+                    payloads[i] = Some(payload);
+                    completed_since_ckpt += 1;
+                    if let Some(spec) = &config.checkpoint {
+                        if spec.cadence > 0
+                            && completed_since_ckpt >= spec.cadence
+                            && ckpt_error.is_none()
+                        {
+                            if let Err(e) = snapshot.write_atomic(&spec.path) {
+                                ckpt_error = Some(e);
+                                stop.store(true, Ordering::Release);
+                            }
+                            completed_since_ckpt = 0;
+                        }
+                    }
+                }
+                Ok(Msg::Failed(q)) => quarantined.push(q),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            if stopped.is_none() {
+                if config.shutdown.requested() {
+                    stopped = Some(DegradeReason::Shutdown);
+                } else if config.deadline.expired() {
+                    stopped = Some(DegradeReason::Deadline);
+                }
+                if stopped.is_some() {
+                    stop.store(true, Ordering::Release);
+                }
+            }
+        }
+    });
+
+    // Workers self-stop at claim time; if they all hung up before the
+    // driver's next poll observed the cause, latch it now so the
+    // outcome still reports why the run degraded.
+    if stopped.is_none() {
+        if config.shutdown.requested() {
+            stopped = Some(DegradeReason::Shutdown);
+        } else if config.deadline.expired() {
+            stopped = Some(DegradeReason::Deadline);
+        }
+    }
+
+    if let Some(e) = ckpt_error {
+        return Err(e);
+    }
+
+    // Final checkpoint: always published, so a completed (or degraded)
+    // run resumes trivially.
+    if let Some(spec) = &config.checkpoint {
+        snapshot.write_atomic(&spec.path)?;
+    }
+
+    let completed = payloads.iter().filter(|p| p.is_some()).count();
+    quarantined.sort_by_key(|q| q.item);
+    // "Degraded" means work was left undispatched, not merely that the
+    // stop flag raced with the last item finishing.
+    let degraded = stopped.is_some() && completed + quarantined.len() < total;
+    Ok(RunOutcome {
+        payloads,
+        degraded,
+        degrade_reason: if degraded { stopped } else { None },
+        completed,
+        total,
+        quarantined,
+        resumed_items,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn temp_ckpt(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eagleeye_runner_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn payload_for(i: usize) -> Vec<u8> {
+        // A payload that depends on the index in a recognizable way.
+        (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .to_le_bytes()
+            .to_vec()
+    }
+
+    #[test]
+    fn fault_free_run_is_bit_identical_across_thread_counts() {
+        let baseline: Vec<Option<Vec<u8>>> = (0..37).map(|i| Some(payload_for(i))).collect();
+        for threads in [1, 2, 4, 8] {
+            let config = RunConfig::new(0xFEED, threads);
+            let out = run_items(&config, 37, payload_for).unwrap();
+            assert_eq!(out.payloads, baseline, "threads={threads}");
+            assert!(!out.degraded);
+            assert_eq!(out.completed, 37);
+            assert_eq!(out.resumed_items, 0);
+            assert!(out.quarantined.is_empty());
+            assert_eq!(out.completion_fraction(), 1.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_items() {
+        let path = temp_ckpt("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut config = RunConfig::new(0xBEEF, 3);
+        config.checkpoint = Some(CheckpointSpec::new(&path, 4));
+
+        let first = run_items(&config, 20, payload_for).unwrap();
+        assert_eq!(first.completed, 20);
+        assert!(path.exists());
+
+        // Second run resumes everything: the closure must never fire.
+        let calls = AtomicU64::new(0);
+        let second = run_items(&config, 20, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            payload_for(i)
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(second.resumed_items, 20);
+        assert_eq!(second.payloads, first.payloads);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partial_checkpoint_resumes_only_missing_items() {
+        let path = temp_ckpt("partial.ckpt");
+        let _ = std::fs::remove_file(&path);
+        // Hand-build a checkpoint holding items 0, 3, 7.
+        let mut snap = Snapshot::new(0xC0FFEE);
+        for i in [0usize, 3, 7] {
+            snap.put(&format!("item/{i}"), payload_for(i));
+        }
+        snap.write_atomic(&path).unwrap();
+
+        let mut config = RunConfig::new(0xC0FFEE, 2);
+        config.checkpoint = Some(CheckpointSpec::new(&path, 0));
+        let fresh = std::sync::Mutex::new(Vec::new());
+        let out = run_items(&config, 10, |i| {
+            fresh.lock().unwrap().push(i);
+            payload_for(i)
+        })
+        .unwrap();
+        assert_eq!(out.resumed_items, 3);
+        assert_eq!(out.completed, 10);
+        let mut computed = fresh.into_inner().unwrap();
+        computed.sort_unstable();
+        assert_eq!(computed, vec![1, 2, 4, 5, 6, 8, 9]);
+        // Result identical to a cold run.
+        let expected: Vec<Option<Vec<u8>>> = (0..10).map(|i| Some(payload_for(i))).collect();
+        assert_eq!(out.payloads, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_scenario_checkpoint_is_rejected() {
+        let path = temp_ckpt("scenario.ckpt");
+        let _ = std::fs::remove_file(&path);
+        Snapshot::new(111).write_atomic(&path).unwrap();
+        let mut config = RunConfig::new(222, 1);
+        config.checkpoint = Some(CheckpointSpec::new(&path, 0));
+        assert!(matches!(
+            run_items(&config, 3, payload_for),
+            Err(SnapshotError::ScenarioMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_item_is_retried_then_succeeds() {
+        let fails = AtomicU64::new(0);
+        let mut config = RunConfig::new(1, 2);
+        config.retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        };
+        let out = run_items(&config, 8, |i| {
+            if i == 5 && fails.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient failure on item 5");
+            }
+            payload_for(i)
+        })
+        .unwrap();
+        assert_eq!(out.completed, 8);
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.payloads[5], Some(payload_for(5)));
+    }
+
+    #[test]
+    fn deterministic_failure_is_quarantined_not_fatal() {
+        let mut config = RunConfig::new(1, 3);
+        config.retry = RetryPolicy {
+            max_retries: 1,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        };
+        let out = run_items(&config, 10, |i| {
+            if i == 4 {
+                panic!("deterministic failure on item 4");
+            }
+            payload_for(i)
+        })
+        .unwrap();
+        assert_eq!(out.completed, 9);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].item, 4);
+        assert_eq!(out.quarantined[0].attempts, 2);
+        assert!(out.quarantined[0].message.contains("item 4"));
+        assert!(out.payloads[4].is_none());
+        assert!(!out.degraded, "quarantine is not degradation");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_instead_of_aborting() {
+        let mut config = RunConfig::new(1, 2);
+        config.deadline = Deadline::after(Duration::ZERO);
+        // Slow items so the driver observes the deadline before the
+        // workers drain the queue.
+        let out = run_items(&config, 64, |i| {
+            std::thread::sleep(Duration::from_millis(20));
+            payload_for(i)
+        })
+        .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.degrade_reason, Some(DegradeReason::Deadline));
+        assert!(out.completed < 64);
+        assert!(out.completion_fraction() < 1.0);
+        // Whatever did complete is correct.
+        for (i, p) in out.payloads.iter().enumerate() {
+            if let Some(p) = p {
+                assert_eq!(*p, payload_for(i));
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_request_stops_dispatch_and_checkpoints() {
+        let path = temp_ckpt("shutdown.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut config = RunConfig::new(0xD00D, 2);
+        config.checkpoint = Some(CheckpointSpec::new(&path, 1));
+        let shutdown = config.shutdown.clone();
+        let out = run_items(&config, 64, |i| {
+            if i == 3 {
+                shutdown.request();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            payload_for(i)
+        })
+        .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.degrade_reason, Some(DegradeReason::Shutdown));
+        assert!(out.completed < 64);
+        // The final checkpoint holds exactly the completed items, so a
+        // resumed run finishes the rest and matches a cold run.
+        let snap = Snapshot::load_expecting(&path, 0xD00D).unwrap();
+        assert_eq!(snap.len(), out.completed);
+        let mut resume_cfg = RunConfig::new(0xD00D, 4);
+        resume_cfg.checkpoint = Some(CheckpointSpec::new(&path, 8));
+        let resumed = run_items(&resume_cfg, 64, payload_for).unwrap();
+        assert_eq!(resumed.resumed_items, out.completed);
+        assert_eq!(resumed.completed, 64);
+        let cold: Vec<Option<Vec<u8>>> = (0..64).map(|i| Some(payload_for(i))).collect();
+        assert_eq!(resumed.payloads, cold);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_items_complete_immediately() {
+        let out = run_items(&RunConfig::new(1, 4), 0, payload_for).unwrap();
+        assert_eq!(out.total, 0);
+        assert_eq!(out.completed, 0);
+        assert!(!out.degraded);
+        assert_eq!(out.completion_fraction(), 1.0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+        };
+        assert_eq!(retry.backoff(1), Duration::from_millis(10));
+        assert_eq!(retry.backoff(2), Duration::from_millis(20));
+        assert_eq!(retry.backoff(3), Duration::from_millis(40));
+        assert_eq!(retry.backoff(5), Duration::from_millis(100));
+        assert_eq!(retry.backoff(60), Duration::from_millis(100));
+    }
+}

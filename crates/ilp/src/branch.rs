@@ -2,6 +2,7 @@
 
 use crate::model::{Model, ObjectiveDirection, Solution, SolveStatus, VarKind};
 use crate::IlpError;
+use eagleeye_harden::{crash_point, ByteReader, ByteWriter, CodecError};
 use std::time::{Duration, Instant};
 
 /// Options controlling a MILP solve.
@@ -70,7 +71,147 @@ struct Node {
     overrides: Vec<(usize, f64, f64)>,
 }
 
+/// A paused branch-and-bound search: the best incumbent found so far
+/// plus the open-node frontier (DFS stack of bound-override sets) and
+/// the deterministic solve statistics.
+///
+/// A frontier is produced by [`crate::Model::solve_resumable`] when a
+/// node or time limit interrupts the search, serializes bit-exactly
+/// ([`Frontier::to_bytes`] stores floats as raw IEEE-754 bits), and can
+/// be fed back to `solve_resumable` — on the same model — to continue
+/// the search precisely where it stopped. An interrupted-and-resumed
+/// solve explores the same nodes in the same order as an uninterrupted
+/// one, so the final solution and deterministic stats are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier {
+    /// Internal (minimize-sign) incumbent objective and values.
+    incumbent: Option<(f64, Vec<f64>)>,
+    /// Open nodes, bottom of the DFS stack first.
+    open: Vec<Vec<(usize, f64, f64)>>,
+    /// Deterministic counters carried across segments; wall-clock
+    /// fields accumulate per-segment elapsed time.
+    stats: SolveStats,
+}
+
+impl Frontier {
+    /// Number of open nodes awaiting exploration.
+    pub fn nodes_open(&self) -> usize {
+        self.open.len()
+    }
+
+    /// True when an integral incumbent has been found.
+    pub fn has_incumbent(&self) -> bool {
+        self.incumbent.is_some()
+    }
+
+    /// The deterministic statistics accumulated so far.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Serializes the frontier (little-endian, floats as raw bits).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // format version
+        w.bool(self.incumbent.is_some());
+        if let Some((obj, values)) = &self.incumbent {
+            w.f64(*obj);
+            w.usize(values.len());
+            for &v in values {
+                w.f64(v);
+            }
+        }
+        w.usize(self.open.len());
+        for overrides in &self.open {
+            w.usize(overrides.len());
+            for &(j, lo, hi) in overrides {
+                w.usize(j);
+                w.f64(lo);
+                w.f64(hi);
+            }
+        }
+        w.u64(self.stats.nodes_explored as u64);
+        w.u64(self.stats.lp_iterations as u64);
+        w.u64(self.stats.lp_pivots as u64);
+        w.u64(self.stats.nodes_pruned as u64);
+        w.u64(self.stats.incumbent_updates as u64);
+        w.bool(self.stats.time_to_first_incumbent.is_some());
+        if let Some(t) = self.stats.time_to_first_incumbent {
+            w.u64(t.as_secs());
+            w.u32(t.subsec_nanos());
+        }
+        w.u64(self.stats.elapsed.as_secs());
+        w.u32(self.stats.elapsed.subsec_nanos());
+        w.into_bytes()
+    }
+
+    /// Restores a frontier written by [`Frontier::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an unknown format version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u8()? != 1 {
+            return Err(CodecError {
+                context: "frontier format version",
+            });
+        }
+        let incumbent = if r.bool()? {
+            let obj = r.f64()?;
+            let n = r.usize()?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            Some((obj, values))
+        } else {
+            None
+        };
+        let n_open = r.usize()?;
+        let mut open = Vec::with_capacity(n_open);
+        for _ in 0..n_open {
+            let n_ov = r.usize()?;
+            let mut overrides = Vec::with_capacity(n_ov);
+            for _ in 0..n_ov {
+                overrides.push((r.usize()?, r.f64()?, r.f64()?));
+            }
+            open.push(overrides);
+        }
+        let mut stats = SolveStats {
+            nodes_explored: r.u64()? as usize,
+            lp_iterations: r.u64()? as usize,
+            lp_pivots: r.u64()? as usize,
+            nodes_pruned: r.u64()? as usize,
+            incumbent_updates: r.u64()? as usize,
+            ..SolveStats::default()
+        };
+        if r.bool()? {
+            stats.time_to_first_incumbent = Some(Duration::new(r.u64()?, r.u32()?));
+        }
+        stats.elapsed = Duration::new(r.u64()?, r.u32()?);
+        if !r.is_exhausted() {
+            return Err(CodecError {
+                context: "trailing frontier bytes",
+            });
+        }
+        Ok(Frontier {
+            incumbent,
+            open,
+            stats,
+        })
+    }
+}
+
 pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
+    solve_milp_resumable(model, options, None).map(|(solution, _)| solution)
+}
+
+pub(crate) fn solve_milp_resumable(
+    model: &Model,
+    options: &SolveOptions,
+    resume: Option<Frontier>,
+) -> Result<(Solution, Option<Frontier>), IlpError> {
     // eagleeye-lint: allow(clock): anchors the optional B&B wall-clock deadline; deterministic whenever no deadline is set
     let start = Instant::now();
     let sign = match model.direction() {
@@ -85,32 +226,63 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
         .map(|(j, _)| j)
         .collect();
 
-    let mut stats = SolveStats::default();
-    let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal (minimize) objective
-    let mut stack: Vec<Node> = vec![Node {
-        overrides: Vec::new(),
-    }];
+    // Either pick the search up exactly where a prior segment stopped,
+    // or start fresh from the root relaxation.
+    let (mut stats, mut incumbent, mut stack, prior_elapsed) = match resume {
+        Some(frontier) => (
+            SolveStats {
+                elapsed: Duration::ZERO,
+                ..frontier.stats
+            },
+            frontier.incumbent,
+            frontier
+                .open
+                .into_iter()
+                .map(|overrides| Node { overrides })
+                .collect(),
+            frontier.stats.elapsed,
+        ),
+        None => (
+            SolveStats::default(),
+            None, // internal (minimize) objective
+            vec![Node {
+                overrides: Vec::new(),
+            }],
+            Duration::ZERO,
+        ),
+    };
     let mut limit_hit = false;
     let deadline = options.time_limit.map(|tl| start + tl);
 
     while let Some(node) = stack.pop() {
         if let Some(tl) = options.time_limit {
             if start.elapsed() >= tl {
+                stack.push(node);
                 limit_hit = true;
                 break;
             }
         }
         if let Some(nl) = options.node_limit {
             if stats.nodes_explored >= nl {
+                stack.push(node);
                 limit_hit = true;
                 break;
             }
         }
+        // Crash-injection site: one hit per explored node, so a crash
+        // test can kill the solver mid-search and assert the resumed
+        // search matches an uninterrupted one.
+        crash_point("bnb_node");
 
         stats.nodes_explored += 1;
         let relaxed = match model.solve_relaxation(&node.overrides, deadline) {
             Ok(r) => r,
             Err(IlpError::Deadline) => {
+                // The node was not fully explored: give it back to the
+                // frontier and undo its exploration count so a resumed
+                // search replays it exactly.
+                stats.nodes_explored -= 1;
+                stack.push(node);
                 limit_hit = true;
                 break;
             }
@@ -159,7 +331,7 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
                 if better {
                     stats.incumbent_updates += 1;
                     if stats.time_to_first_incumbent.is_none() {
-                        stats.time_to_first_incumbent = Some(start.elapsed());
+                        stats.time_to_first_incumbent = Some(prior_elapsed + start.elapsed());
                     }
                     incumbent = Some((obj, values));
                 }
@@ -185,7 +357,18 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
         }
     }
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = prior_elapsed + start.elapsed();
+    // An interrupted search with open nodes is resumable; a drained
+    // stack means the solve finished (no frontier to hand back).
+    let frontier = if limit_hit && !stack.is_empty() {
+        Some(Frontier {
+            incumbent: incumbent.clone(),
+            open: stack.into_iter().map(|n| n.overrides).collect(),
+            stats,
+        })
+    } else {
+        None
+    };
     let solution = match incumbent {
         Some((internal_obj, values)) => Solution {
             status: if limit_hit {
@@ -208,7 +391,7 @@ pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Soluti
             stats,
         },
     };
-    Ok(solution)
+    Ok((solution, frontier))
 }
 
 #[cfg(test)]
@@ -372,6 +555,119 @@ mod tests {
         assert!(stats.incumbent_updates >= 1);
         assert!(stats.time_to_first_incumbent.is_some());
         assert!(stats.time_to_first_incumbent.unwrap() <= stats.elapsed);
+    }
+
+    /// Deterministic stats: everything except the wall-clock fields.
+    fn det_stats(s: &SolveStats) -> (usize, usize, usize, usize, usize) {
+        (
+            s.nodes_explored,
+            s.lp_iterations,
+            s.lp_pivots,
+            s.nodes_pruned,
+            s.incumbent_updates,
+        )
+    }
+
+    #[test]
+    fn interrupted_and_resumed_solve_matches_uninterrupted() {
+        // A knapsack the solver genuinely branches on (~69 nodes), so
+        // every stride interrupts the search several times.
+        let values = [41.0, 50.0, 49.0, 59.0, 45.0, 47.0];
+        let weights = [31.0, 37.0, 38.0, 46.0, 35.0, 40.0];
+        let (m, _) = knapsack(&values, &weights, 100.0);
+        let baseline = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(baseline.status(), SolveStatus::Optimal);
+        assert!(baseline.stats().nodes_explored > 10);
+
+        // Interrupt the search every few nodes and resume until done.
+        for stride in [1usize, 2, 3, 5] {
+            let mut frontier: Option<Frontier> = None;
+            let mut segments = 0;
+            let solution = loop {
+                segments += 1;
+                assert!(segments < 10_000, "stride {stride} never converged");
+                let opts = SolveOptions {
+                    node_limit: Some(
+                        frontier.as_ref().map_or(0, |f| f.stats().nodes_explored) + stride,
+                    ),
+                    ..SolveOptions::default()
+                };
+                let (sol, next) = m.solve_resumable(&opts, frontier.take()).unwrap();
+                match next {
+                    Some(f) => frontier = Some(f),
+                    None => break sol,
+                }
+            };
+            assert!(segments > 1, "stride {stride} should actually interrupt");
+            assert_eq!(solution.status(), SolveStatus::Optimal, "stride {stride}");
+            assert_eq!(
+                solution.objective().to_bits(),
+                baseline.objective().to_bits(),
+                "stride {stride}"
+            );
+            assert_eq!(solution.values, baseline.values, "stride {stride}");
+            assert_eq!(
+                det_stats(solution.stats()),
+                det_stats(baseline.stats()),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_round_trips_through_bytes() {
+        let values = [10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0, 6.0];
+        let weights = [5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0, 3.0];
+        let (m, _) = knapsack(&values, &weights, 12.0);
+        let opts = SolveOptions {
+            node_limit: Some(3),
+            ..SolveOptions::default()
+        };
+        let (_, frontier) = m.solve_resumable(&opts, None).unwrap();
+        let frontier = frontier.expect("3-node limit must interrupt this knapsack");
+        assert!(frontier.nodes_open() > 0);
+        let bytes = frontier.to_bytes();
+        let back = Frontier::from_bytes(&bytes).unwrap();
+        assert_eq!(back, frontier);
+        assert_eq!(back.to_bytes(), bytes);
+
+        // Resuming from the deserialized frontier finishes the solve
+        // identically to resuming from the in-memory one.
+        let baseline = m.solve(&SolveOptions::default()).unwrap();
+        let (from_mem, none_a) = m
+            .solve_resumable(&SolveOptions::default(), Some(frontier))
+            .unwrap();
+        let (from_bytes, none_b) = m
+            .solve_resumable(&SolveOptions::default(), Some(back))
+            .unwrap();
+        assert!(none_a.is_none() && none_b.is_none());
+        assert_eq!(from_mem.values, from_bytes.values);
+        assert_eq!(from_mem.values, baseline.values);
+        assert_eq!(det_stats(from_mem.stats()), det_stats(baseline.stats()));
+    }
+
+    #[test]
+    fn frontier_rejects_malformed_bytes() {
+        assert!(Frontier::from_bytes(&[]).is_err());
+        assert!(Frontier::from_bytes(&[9]).is_err());
+        let f = Frontier {
+            incumbent: Some((1.5, vec![0.0, 1.0])),
+            open: vec![vec![(0, 0.0, 1.0)], vec![]],
+            stats: SolveStats::default(),
+        };
+        let bytes = f.to_bytes();
+        assert!(Frontier::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Frontier::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn completed_solve_returns_no_frontier() {
+        let (m, _) = knapsack(&[3.0, 5.0], &[2.0, 3.0], 4.0);
+        let (sol, frontier) = m.solve_resumable(&SolveOptions::default(), None).unwrap();
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        assert!(frontier.is_none());
     }
 
     #[test]

@@ -40,6 +40,6 @@ mod error;
 mod model;
 pub mod simplex;
 
-pub use branch::{SolveOptions, SolveStats};
+pub use branch::{Frontier, SolveOptions, SolveStats};
 pub use error::IlpError;
 pub use model::{Model, ObjectiveDirection, Sense, Solution, SolveStatus, VarId, VarKind};

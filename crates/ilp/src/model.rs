@@ -274,6 +274,27 @@ impl Model {
         branch::solve_milp(self, options)
     }
 
+    /// [`Model::solve`] with checkpoint/resume support: pass the
+    /// [`Frontier`](crate::Frontier) of an interrupted solve to
+    /// continue it, and receive `Some(frontier)` back whenever a node
+    /// or time limit stopped the search with open nodes remaining.
+    ///
+    /// The frontier must come from a solve of the **same model**;
+    /// resuming is then exact — the search explores the same nodes in
+    /// the same order as an uninterrupted solve, so the final solution
+    /// and deterministic stats are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_resumable(
+        &self,
+        options: &SolveOptions,
+        resume: Option<crate::Frontier>,
+    ) -> Result<(Solution, Option<crate::Frontier>), IlpError> {
+        branch::solve_milp_resumable(self, options, resume)
+    }
+
     /// Solves the LP relaxation with per-variable bound overrides
     /// (used by branch-and-bound). Returns `None` if infeasible,
     /// otherwise `(objective, values, iterations, pivots)`.

@@ -33,6 +33,7 @@ pub const R3_CLOCK: &str = "clock";
 pub const R4_FLOAT_EQ: &str = "float-eq";
 pub const R5_UNSAFE_HYGIENE: &str = "unsafe-hygiene";
 pub const R6_METRIC_NAMESPACE: &str = "metric-namespace";
+pub const R7_NO_EXIT: &str = "no-exit";
 /// Meta-rule for malformed, unjustified, or unused suppressions; not
 /// itself suppressible.
 pub const SUPPRESSION: &str = "suppression";
@@ -62,6 +63,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         R6_METRIC_NAMESPACE,
         "metric keys must match the subsystem/name namespace of DESIGN.md \u{a7}10.2",
+    ),
+    (
+        R7_NO_EXIT,
+        "ban process::exit/process::abort outside src/bin and the bench harness",
     ),
 ];
 

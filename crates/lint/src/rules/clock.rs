@@ -1,15 +1,17 @@
 //! R3 `clock`: ban `Instant::now` / `SystemTime::now` outside the
-//! `obs`, `exec`, and `bench` crates, in **every** role including
-//! tests. Simulation results must never depend on wall time; timing
-//! belongs to the observability layer (`eagleeye_obs::Stopwatch`,
-//! `Metrics::time`, span timers). Deadline enforcement that is
-//! wall-clock *by design* carries a justified suppression instead.
+//! `obs`, `exec`, `harden`, and `bench` crates, in **every** role
+//! including tests. Simulation results must never depend on wall time;
+//! timing belongs to the observability layer (`eagleeye_obs::Stopwatch`,
+//! `Metrics::time`, span timers) and deadline/watchdog enforcement to
+//! the crash-safe run layer (`eagleeye_harden::Deadline`). Clock reads
+//! elsewhere that are wall-clock *by design* carry a justified
+//! suppression instead.
 
 use crate::diag::{Diagnostic, R3_CLOCK};
 use crate::engine::FileCtx;
 
 /// The only crates allowed to read the wall clock directly.
-const CLOCK_CRATES: &[&str] = &["obs", "exec", "bench"];
+const CLOCK_CRATES: &[&str] = &["obs", "exec", "harden", "bench"];
 
 pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if CLOCK_CRATES.contains(&ctx.crate_name) {

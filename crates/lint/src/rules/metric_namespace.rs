@@ -27,8 +27,8 @@ const METHODS: &[&str] = &[
 /// First path segment must name a workspace subsystem (crate short
 /// names plus the root package).
 const SUBSYSTEMS: &[&str] = &[
-    "bench", "check", "core", "datasets", "detect", "eagleeye", "exec", "geo", "ilp", "lint",
-    "obs", "orbit", "rng", "sim",
+    "bench", "check", "core", "datasets", "detect", "eagleeye", "exec", "geo", "harden", "ilp",
+    "lint", "obs", "orbit", "rng", "sim",
 ];
 
 fn valid_key(key: &str) -> bool {

@@ -16,11 +16,13 @@ mod clock;
 mod determinism;
 mod float_eq;
 mod metric_namespace;
+mod no_exit;
 mod no_unwrap;
 mod unsafe_hygiene;
 
 pub fn check_all(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     no_unwrap::check(ctx, out);
+    no_exit::check(ctx, out);
     determinism::check(ctx, out);
     clock::check(ctx, out);
     float_eq::check(ctx, out);

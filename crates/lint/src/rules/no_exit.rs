@@ -1,0 +1,87 @@
+//! R7 `no-exit`: ban `process::exit` / `process::abort` outside binary
+//! targets and the `bench` harness crate. Library code must surface
+//! failures as `Result` (or at worst a panic, which supervision can
+//! catch and checkpoints can survive); a hard exit skips destructors,
+//! checkpoint flushes, and the caller's error handling. The one
+//! legitimate library call site — the `eagleeye-harden` crash-injection
+//! hook, whose exit *is* the fault being injected — carries a justified
+//! suppression.
+
+use crate::diag::{Diagnostic, R7_NO_EXIT};
+use crate::engine::{FileCtx, FileRole};
+
+/// Crates whose `src/` is harness code (figure binaries, CLI parsing)
+/// where exiting on bad input is the right behavior.
+const EXEMPT_CRATES: &[&str] = &["bench"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role == FileRole::Bin || EXEMPT_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(3) {
+        if !(ctx.is_ident(i, "process") && ctx.is_punct(i + 1, "::")) {
+            continue;
+        }
+        let callee = &ctx.s(i + 2).text;
+        if !(callee == "exit" || callee == "abort") || !ctx.is_punct(i + 3, "(") {
+            continue;
+        }
+        out.push(ctx.diag(
+            ctx.s(i + 2).line,
+            R7_NO_EXIT,
+            format!(
+                "process::{callee} outside src/bin and the bench harness — return a \
+                 Result (or panic under supervision) so checkpoints and callers \
+                 see the failure"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::lint_source;
+
+    fn rule_lines(path: &str, src: &str) -> Vec<u32> {
+        lint_source(path, src)
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == super::R7_NO_EXIT)
+            .map(|d| d.line)
+            .collect()
+    }
+
+    #[test]
+    fn flags_exit_and_abort_in_library_code() {
+        let src = "fn f() {\n    std::process::exit(1);\n    process::abort();\n}\n";
+        assert_eq!(rule_lines("crates/core/src/x.rs", src), vec![2, 3]);
+    }
+
+    #[test]
+    fn binaries_and_bench_are_exempt() {
+        let src = "fn main() { std::process::exit(2); }\n";
+        assert!(rule_lines("crates/lint/src/main.rs", src).is_empty());
+        assert!(rule_lines("src/bin/eagleeye.rs", src).is_empty());
+        assert!(rule_lines("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_not_exempt() {
+        // A test calling exit kills the whole libtest harness.
+        let src = "fn f() { std::process::exit(1); }\n";
+        assert_eq!(rule_lines("crates/core/tests/t.rs", src), vec![1]);
+    }
+
+    #[test]
+    fn suppression_absorbs_the_diagnostic() {
+        let src = "fn f() {\n    // eagleeye-lint: allow(no-exit): injected fault\n    \
+                   std::process::exit(42);\n}\n";
+        assert!(rule_lines("crates/harden/src/crash.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_exit_identifiers_pass() {
+        let src = "fn f() { exit(); my::process::run(); let process = 1; }\n";
+        assert!(rule_lines("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -25,6 +25,7 @@ const FIXTURES: &[&str] = &[
     "float_eq",
     "lexer_tricky",
     "metric_namespace",
+    "no_exit",
     "no_unwrap_bin",
     "no_unwrap_lib",
     "suppression_audit",
@@ -117,6 +118,11 @@ fn unsafe_hygiene() {
 #[test]
 fn metric_namespace() {
     check("metric_namespace");
+}
+
+#[test]
+fn no_exit() {
+    check("no_exit");
 }
 
 #[test]

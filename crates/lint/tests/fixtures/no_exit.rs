@@ -1,0 +1,24 @@
+//@ path: crates/core/src/demo.rs
+pub fn bad_exit() {
+    std::process::exit(1);
+}
+
+pub fn bad_abort() {
+    std::process::abort();
+}
+
+pub fn suppressed_exit() {
+    // eagleeye-lint: allow(no-exit): fixture — injected fault by design
+    std::process::exit(42);
+}
+
+pub fn mentions_only() -> &'static str {
+    // std::process::exit(1) in a comment never fires.
+    "process::exit(1) in a string never fires"
+}
+
+pub fn unrelated(process: usize) -> usize {
+    // A bare `exit` call or a `process` identifier is not the rule's
+    // target.
+    process
+}

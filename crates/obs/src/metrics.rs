@@ -163,6 +163,15 @@ impl Metrics {
         }
     }
 
+    /// Merges a bare registry into this handle — the checkpoint/resume
+    /// path: a resumed run decodes each stored fork
+    /// ([`MetricsRegistry::from_bytes`]) and absorbs it in item order,
+    /// reproducing the counters of an uninterrupted run bit-exactly.
+    /// No-op when disabled.
+    pub fn absorb_registry(&self, registry: &MetricsRegistry) {
+        self.with(|r| r.merge(registry));
+    }
+
     /// A copy of the current registry contents (empty when disabled).
     pub fn snapshot(&self) -> MetricsRegistry {
         self.with(|r| r.clone()).unwrap_or_default()

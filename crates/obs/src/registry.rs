@@ -19,6 +19,7 @@
 //! `eagleeye-check` property suite in `tests/properties.rs` pins this
 //! contract down.
 
+use eagleeye_harden::{ByteReader, ByteWriter, CodecError};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -264,6 +265,120 @@ impl MetricsRegistry {
             && self.timers.is_empty()
             && self.histograms.is_empty()
     }
+
+    /// Serializes the registry to the harden byte codec, exactly:
+    /// counters/timers/histogram counts round-trip as fixed-width
+    /// integers and gauges as raw IEEE-754 bits, so a registry restored
+    /// from a checkpoint merges bit-identically to one that never left
+    /// memory. Deterministic (`BTreeMap` key order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // format version
+        w.usize(self.counters.len());
+        for (k, &v) in &self.counters {
+            w.str(k);
+            w.u64(v);
+        }
+        w.usize(self.gauges.len());
+        for (k, &v) in &self.gauges {
+            w.str(k);
+            w.f64(v);
+        }
+        w.usize(self.timers.len());
+        for (k, v) in &self.timers {
+            w.str(k);
+            w.u64(v.count);
+            // Duration is (secs, subsec nanos) internally; storing the
+            // pair round-trips exactly with no u128 narrowing.
+            w.u64(v.total.as_secs());
+            w.u32(v.total.subsec_nanos());
+        }
+        w.usize(self.histograms.len());
+        for (k, h) in &self.histograms {
+            w.str(k);
+            w.usize(h.bounds.len());
+            for &b in &h.bounds {
+                w.u64(b);
+            }
+            for &c in &h.counts {
+                w.u64(c);
+            }
+            w.u128(h.sum);
+            w.u64(h.count);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a registry written by [`MetricsRegistry::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, an unknown format version, or
+    /// internally inconsistent histogram data.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.u8()? != 1 {
+            return Err(CodecError {
+                context: "registry format version",
+            });
+        }
+        let mut reg = MetricsRegistry::new();
+        for _ in 0..r.usize()? {
+            let k = r.str()?.to_string();
+            let v = r.u64()?;
+            reg.counters.insert(k, v);
+        }
+        for _ in 0..r.usize()? {
+            let k = r.str()?.to_string();
+            let v = r.f64()?;
+            reg.gauges.insert(k, v);
+        }
+        for _ in 0..r.usize()? {
+            let k = r.str()?.to_string();
+            let count = r.u64()?;
+            let total = Duration::new(r.u64()?, r.u32()?);
+            reg.timers.insert(k, TimerStat { count, total });
+        }
+        for _ in 0..r.usize()? {
+            let k = r.str()?.to_string();
+            let n_bounds = r.usize()?;
+            let mut bounds = Vec::with_capacity(n_bounds);
+            for _ in 0..n_bounds {
+                bounds.push(r.u64()?);
+            }
+            if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(CodecError {
+                    context: "histogram bounds",
+                });
+            }
+            let mut counts = Vec::with_capacity(n_bounds + 1);
+            for _ in 0..=n_bounds {
+                counts.push(r.u64()?);
+            }
+            let sum = r.u128()?;
+            let count = r.u64()?;
+            if counts.iter().sum::<u64>() != count {
+                return Err(CodecError {
+                    context: "histogram bucket totals",
+                });
+            }
+            reg.histograms.insert(
+                k,
+                Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                },
+            );
+        }
+        if !r.is_exhausted() {
+            return Err(CodecError {
+                context: "trailing registry bytes",
+            });
+        }
+        Ok(reg)
+    }
 }
 
 /// `BTreeMap` helpers that avoid allocating the key `String` on the
@@ -359,6 +474,58 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.counts(), &[1, 0, 1]);
         assert_eq!(h.sum(), 12);
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let mut r = MetricsRegistry::new();
+        r.add("core/frames", 360);
+        r.add("ilp/nodes", 17);
+        r.gauge_max("exec/threads", 4.0);
+        r.gauge_max("neg", -0.0);
+        r.record_duration("core/eval", Duration::new(3, 999_999_999));
+        r.observe("h/latency", 3, &[4, 8, 16]);
+        r.observe("h/latency", 100, &[4, 8, 16]);
+        let bytes = r.to_bytes();
+        let back = MetricsRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        // Deterministic encoding, and -0.0 keeps its sign bit.
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.gauge("neg").unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let bytes = MetricsRegistry::new().to_bytes();
+        assert!(MetricsRegistry::from_bytes(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_registry_bytes_are_rejected() {
+        let mut r = MetricsRegistry::new();
+        r.add("c", 1);
+        r.observe("h", 2, &[4]);
+        let bytes = r.to_bytes();
+        assert!(MetricsRegistry::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(MetricsRegistry::from_bytes(&[9]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(MetricsRegistry::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn restored_registry_merges_like_the_original() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 1);
+        a.observe("h", 3, &[4, 8]);
+        let restored = MetricsRegistry::from_bytes(&a.to_bytes()).unwrap();
+        let mut direct = MetricsRegistry::new();
+        direct.add("c", 10);
+        direct.merge(&a);
+        let mut via_bytes = MetricsRegistry::new();
+        via_bytes.add("c", 10);
+        via_bytes.merge(&restored);
+        assert_eq!(via_bytes, direct);
     }
 
     #[test]

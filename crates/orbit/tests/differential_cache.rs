@@ -100,6 +100,55 @@ fn gmst_mismatch_fallback_matches_direct_propagation() {
     );
 }
 
+/// Checkpoint/resume re-warm: a run killed after frame `k` rebuilds a
+/// *fresh* `PropagationCache` in a new process for the remaining
+/// frames (trig memoization and all warm state are gone). Splitting
+/// the epoch grid at any boundary and rebuilding each half from cold
+/// must concatenate to the single-process cache bit-for-bit —
+/// otherwise a resumed run could diverge from an uninterrupted one.
+#[test]
+fn cache_rewarm_across_resume_boundary_is_bitwise_identical() {
+    check_cases(
+        CASES,
+        "cache_rewarm_across_resume_boundary_is_bitwise_identical",
+        (
+            tracks_gen(),
+            f64_range(1.0, 60.0),
+            f64_range(120.0, 4_000.0),
+            f64_range(0.0, 1.0),
+        ),
+        |(tracks, cadence_s, duration_s, split_frac)| {
+            let grid = EpochGrid::for_horizon(0.0, *duration_s, *cadence_s);
+            let full = PropagationCache::build(tracks, grid.clone()).expect("full cache");
+            // The resumed process re-derives the same epoch list from
+            // the scenario, then processes only the remaining frames.
+            let k = ((grid.len() as f64) * split_frac) as usize;
+            let before = EpochGrid::new(0.0, grid.epochs()[..k].to_vec());
+            let after = EpochGrid::new(0.0, grid.epochs()[k..].to_vec());
+            let cache_before = PropagationCache::build(tracks, before).expect("pre-crash cache");
+            let cache_after = PropagationCache::build(tracks, after).expect("resumed cache");
+            for i in 0..tracks.len() {
+                let rejoined: Vec<_> = cache_before
+                    .row(i)
+                    .iter()
+                    .chain(cache_after.row(i).iter())
+                    .collect();
+                prop_assert_eq!(rejoined.len(), grid.len());
+                for (frame, (&got, want)) in rejoined.iter().zip(full.row(i).iter()).enumerate() {
+                    prop_assert!(
+                        got == want,
+                        "sat {} frame {} (split at {}) diverges after a cold re-warm",
+                        i,
+                        frame,
+                        k
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 /// `frame_epochs` reproduces the evaluator's historical accumulation
 /// loop float-for-float, for arbitrary cadences and horizons.
 #[test]

@@ -11,12 +11,15 @@
 //!
 //! Run `eagleeye help` for usage.
 
-use eagleeye::core::coverage::{ConstellationConfig, CoverageEvaluator, CoverageOptions};
+use eagleeye::core::coverage::{
+    ConstellationConfig, CoverageEvaluator, CoverageOptions, HardenOptions,
+};
 use eagleeye::core::schedule::{
     FollowerState, GreedyScheduler, IlpScheduler, Scheduler, SchedulingProblem, TaskSpec,
 };
 use eagleeye::core::SensingSpec;
 use eagleeye::datasets::Workload;
+use eagleeye::harden::{CheckpointSpec, Deadline};
 use eagleeye::obs::Metrics;
 use eagleeye::orbit::{GroundTrack, J2Propagator, Sgp4Propagator, Tle};
 use eagleeye::sim::{simulate_orbit, ActivityProfile, PowerProfile};
@@ -29,6 +32,8 @@ eagleeye — mixed-resolution leader-follower constellation toolkit
 USAGE:
   eagleeye coverage [--workload W] [--config C] [--sats N] [--followers K]
                     [--hours H] [--scale F] [--seed S] [--recall R] [--planes P]
+                    [--threads T] [--checkpoint PATH [--resume] [--ckpt-cadence N]]
+                    [--deadline SECONDS]
   eagleeye schedule [--targets N] [--followers K] [--seed S] [--solver ilp|greedy]
   eagleeye energy   [--role leader|follower|baseline|mix] [--tile-factor F]
   eagleeye orbit    [--hours H] [--step SECONDS] [--sgp4]
@@ -83,7 +88,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match key {
             // Boolean flags.
-            "sgp4" => {
+            "sgp4" | "resume" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -132,6 +137,8 @@ fn cmd_coverage(o: &Flags) -> Result<(), String> {
     let seed = get_usize(o, "seed", 7)? as u64;
     let recall = get_f64(o, "recall", 1.0)?;
     let planes = get_usize(o, "planes", 1)?;
+    let threads = get_usize(o, "threads", 1)?;
+    let deadline_s = get_f64(o, "deadline", 0.0)?;
 
     let config = match o.get("config").map(String::as_str).unwrap_or("eagleeye") {
         "eagleeye" => {
@@ -154,11 +161,43 @@ fn cmd_coverage(o: &Flags) -> Result<(), String> {
         seed,
         recall,
         orbital_planes: planes,
+        threads,
         metrics: metrics.clone(),
         ..CoverageOptions::default()
     };
     let eval = CoverageEvaluator::new(&targets, options);
-    let report = eval.evaluate(&config).map_err(|e| e.to_string())?;
+
+    // --checkpoint / --deadline route through the crash-safe run layer
+    // (eagleeye-harden); without them the plain evaluator runs.
+    let report = if o.contains_key("checkpoint") || deadline_s > 0.0 {
+        let mut harden = HardenOptions::new();
+        if let Some(path) = o.get("checkpoint") {
+            let mut spec = CheckpointSpec::new(path, get_usize(o, "ckpt-cadence", 1)?);
+            spec.resume = o.contains_key("resume");
+            harden.checkpoint = Some(spec);
+        }
+        if deadline_s > 0.0 {
+            harden.deadline = Deadline::after(std::time::Duration::from_secs_f64(deadline_s));
+        }
+        let out = eval
+            .evaluate_hardened(&config, &harden)
+            .map_err(|e| e.to_string())?;
+        for q in &out.quarantined {
+            eprintln!(
+                "warning: leader pass {} quarantined after {} attempts: {}",
+                q.item, q.attempts, q.message
+            );
+        }
+        if out.resumed_passes > 0 {
+            eprintln!(
+                "resumed {} of {} leader passes from checkpoint",
+                out.resumed_passes, out.report.leader_passes_total
+            );
+        }
+        out.report
+    } else {
+        eval.evaluate(&config).map_err(|e| e.to_string())?
+    };
     if let Err(e) = eagleeye::obs::export::write_run("eagleeye", &metrics) {
         eprintln!("warning: failed to write metrics: {e}");
     }
@@ -185,6 +224,30 @@ fn cmd_coverage(o: &Flags) -> Result<(), String> {
         report.captures_commanded,
         report.scheduler_calls,
         report.mean_scheduler_latency().as_secs_f64() * 1e3
+    );
+    if report.degraded {
+        println!(
+            "degraded:  stopped early with {:.0}% of leader passes merged ({} of {})",
+            100.0 * report.completion_fraction(),
+            report.leader_passes_completed,
+            report.leader_passes_total
+        );
+    }
+    // A fully deterministic one-line digest (no wall-clock fields) so
+    // cross-process runs can be compared bit-for-bit.
+    println!(
+        "digest:    captured={} total={} value_bits={:016x} frames={} commanded={} \
+         sched_calls={} ilp_nodes={} degraded={} passes={}/{}",
+        report.captured,
+        report.total,
+        report.captured_value.to_bits(),
+        report.frames_processed,
+        report.captures_commanded,
+        report.scheduler_calls,
+        report.ilp_nodes_explored,
+        report.degraded,
+        report.leader_passes_completed,
+        report.leader_passes_total
     );
     Ok(())
 }

@@ -13,6 +13,9 @@
 //! * [`datasets`] — the four synthetic evaluation workloads.
 //! * [`detect`] — the analytic ML detector behaviour model.
 //! * [`obs`] — opt-in metrics/tracing (`EAGLEEYE_TRACE=1`).
+//! * [`harden`] — crash-safe run layer: checkpoint/resume, deadline
+//!   watchdog with anytime degradation, supervised retry/quarantine,
+//!   and the `EAGLEEYE_CRASH` fault-injection hook.
 //!
 //! See the repository README for a walkthrough, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -37,6 +40,7 @@ pub use eagleeye_core as core;
 pub use eagleeye_datasets as datasets;
 pub use eagleeye_detect as detect;
 pub use eagleeye_geo as geo;
+pub use eagleeye_harden as harden;
 pub use eagleeye_ilp as ilp;
 pub use eagleeye_obs as obs;
 pub use eagleeye_orbit as orbit;
