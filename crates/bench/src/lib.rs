@@ -37,6 +37,10 @@ use std::time::Duration;
 pub struct BenchCli {
     /// Shortened sweep mode.
     pub fast: bool,
+    /// CI smoke mode (`--smoke`): an even shorter configuration than
+    /// `--fast`, plus hard pass/fail gates in the binaries that
+    /// support it (see `perf_eval`).
+    pub smoke: bool,
     /// Simulation horizon, seconds.
     pub duration_s: f64,
     /// Dataset scale in `(0, 1]`.
@@ -68,6 +72,7 @@ impl Default for BenchCli {
     fn default() -> Self {
         BenchCli {
             fast: false,
+            smoke: false,
             duration_s: 3.0 * 3600.0,
             scale: 1.0,
             seed: 7,
@@ -101,6 +106,12 @@ impl BenchCli {
                     cli.fast = true;
                     cli.duration_s = 1.0 * 3600.0;
                     cli.scale = cli.scale.min(0.3);
+                }
+                "--smoke" => {
+                    cli.smoke = true;
+                    cli.fast = true;
+                    cli.duration_s = 0.5 * 3600.0;
+                    cli.scale = cli.scale.min(0.2);
                 }
                 "--hours" => {
                     let v = args.next().expect("--hours needs a value");
@@ -137,8 +148,9 @@ impl BenchCli {
                     cli.deadline = Deadline::after(Duration::from_secs_f64(secs));
                 }
                 other => panic!(
-                    "unknown flag {other}; supported: --fast --hours <h> --scale <f> --seed <n> \
-                     --threads <n> --checkpoint <path> --resume --ckpt-cadence <n> --deadline <s>"
+                    "unknown flag {other}; supported: --fast --smoke --hours <h> --scale <f> \
+                     --seed <n> --threads <n> --checkpoint <path> --resume --ckpt-cadence <n> \
+                     --deadline <s>"
                 ),
             }
         }

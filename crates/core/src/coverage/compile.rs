@@ -1,0 +1,486 @@
+//! The compiled access-interval engine behind the coverage evaluator
+//! (DESIGN.md §13).
+//!
+//! Evaluating a scenario with the legacy frame walk repeats, per
+//! evaluation, three kinds of work whose inputs never change between
+//! evaluations of the same `(layout, grid, workload)`: batch orbit
+//! propagation, per-frame spatial membership queries, and — dominating
+//! everything at ~90 % of wall time — the per-horizon scheduler solves.
+//! This module compiles each satellite's pass into a [`CompiledTrack`]:
+//!
+//! * **states** — the batch-propagated [`TrackState`]s (this is the
+//!   propagation cache the evaluator previously rebuilt every run);
+//! * **access intervals** — sorted per-target access windows
+//!   (entry/exit frame indices) with projected `(x, y)` coefficients
+//!   stored struct-of-arrays, computed once by a segment sweep that
+//!   takes one [`BucketView`] per five-minute bucket and reproduces the
+//!   legacy per-frame `query_radius` + projection results bit-for-bit;
+//! * **solved horizons** — a digest-keyed memo of deterministic
+//!   scheduler results (schedule, solver diagnostics, fault repairs),
+//!   replayed instead of re-solved when a later evaluation presents the
+//!   exact same per-frame scheduling inputs.
+//!
+//! The evaluate phase then sweeps the sorted interval events per frame
+//! ([`IntervalSweep`]), so per-frame membership work is O(targets in
+//! view) with no spatial queries, no index locks, and no trigonometry.
+//!
+//! # Determinism
+//!
+//! Everything cached here is a pure function of its recorded inputs:
+//! membership of `(track, grid, targets, geometry)`, solves of the
+//! digested horizon inputs (frame index, epoch, task list, follower
+//! states, slew/clip/task-cap modifiers). Memo state lives in
+//! `BTreeMap`s (deterministic iteration, though nothing iterates them
+//! into a report) and replaying a memo applies exactly the report
+//! mutations the live solve applied, so warm and cold evaluations
+//! produce bit-identical [`super::CoverageReport`]s — the perf harness
+//! and the differential suite (`interval_engine_differential.rs`)
+//! assert this on every run.
+
+use crate::schedule::{IlpRunStats, Schedule};
+use crate::CoreError;
+use eagleeye_datasets::{BucketView, TargetSet};
+use eagleeye_geo::LocalFrame;
+use eagleeye_harden::ScenarioHasher;
+use eagleeye_orbit::TrackState;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recover a poisoned guard: every mutation behind these locks is
+/// all-or-nothing (a slot is written once, fully built; a memo entry is
+/// inserted complete), so a panicked peer cannot leave torn state.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Low-res frame geometry of the membership test, fixed per scenario.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct CompileGeometry {
+    /// Great-circle candidate radius (frame half-diagonal plus margin).
+    pub bound_m: f64,
+    /// Half the swath (cross-track box half-extent).
+    pub half_cross_m: f64,
+    /// Half the frame length (along-track box half-extent).
+    pub half_along_m: f64,
+}
+
+/// Sorted per-target access windows, struct-of-arrays: interval `j` is
+/// target `target[j]` continuously in frame over frames
+/// `entry[j]..=exit[j]`. Sorted by `(entry, target)` — the order the
+/// frame-major compile sweep discovers them in.
+#[derive(Debug, Default)]
+pub(super) struct AccessIntervals {
+    /// Target index of each interval.
+    pub target: Vec<u32>,
+    /// First in-frame frame index (inclusive).
+    pub entry: Vec<u32>,
+    /// Last in-frame frame index (inclusive).
+    pub exit: Vec<u32>,
+}
+
+impl AccessIntervals {
+    fn len(&self) -> usize {
+        self.target.len()
+    }
+}
+
+/// Frame-major projected local-frame coordinates: frame `f`'s entries
+/// occupy `offsets[f]..offsets[f+1]` of `x`/`y`, in ascending target
+/// order — exactly the tuples the legacy walk pushed into `in_frame`.
+#[derive(Debug)]
+pub(super) struct FrameCoeffs {
+    /// CSR offsets, `n_frames + 1` entries.
+    pub offsets: Vec<u32>,
+    /// Cross-track offset of each entry, meters.
+    pub x: Vec<f64>,
+    /// Along-track offset of each entry, meters.
+    pub y: Vec<f64>,
+}
+
+impl FrameCoeffs {
+    fn with_frames(frames: usize) -> Self {
+        let mut offsets = Vec::with_capacity(frames + 1);
+        offsets.push(0);
+        FrameCoeffs {
+            offsets,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+}
+
+/// A memoized per-horizon scheduler result: the final schedule (after
+/// any fault repair) plus every report mutation the live solve made, so
+/// replay is observationally identical to re-solving.
+#[derive(Debug, Clone)]
+pub(super) struct SolvedHorizon {
+    /// Post-repair schedule handed to capture execution.
+    pub schedule: Schedule,
+    /// ILP diagnostics recorded via `CoverageReport::add_ilp_stats`.
+    pub ilp_stats: Option<IlpRunStats>,
+    /// Which solver-provenance counters the solve incremented.
+    pub outcome: SolvedOutcome,
+    /// `repairs_attempted` increment from the fault-repair pass.
+    pub repairs_attempted: usize,
+    /// `tasks_dropped_by_failures` increment.
+    pub dropped_tasks: usize,
+    /// `tasks_reassigned` increment.
+    pub reassigned_tasks: usize,
+}
+
+/// Solver-provenance counter increments of one horizon solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum SolvedOutcome {
+    /// Plain scheduler (no provenance counters).
+    Plain,
+    /// Resilient scheduler chose the ILP (`ilp_horizons += 1`).
+    IlpHorizon,
+    /// Resilient scheduler fell back to greedy
+    /// (`greedy_fallbacks += 1`, plus `deadline_fallbacks` when the
+    /// fallback reason was the frame deadline).
+    GreedyFallback {
+        /// Whether the fallback was deadline-triggered.
+        deadline: bool,
+    },
+}
+
+/// One satellite's compiled pass: propagated states, access intervals
+/// with projected coefficients, and the horizon-solve memo.
+#[derive(Debug)]
+pub(super) struct CompiledTrack {
+    /// Batch-propagated state per grid epoch.
+    pub states: Vec<TrackState>,
+    /// Sorted access-window events.
+    pub intervals: AccessIntervals,
+    /// Frame-major projected coordinates.
+    pub coeffs: FrameCoeffs,
+    /// Largest per-frame membership count (scratch preallocation size).
+    pub peak_frame_entries: usize,
+    /// Digest-keyed memo of deterministic horizon solves.
+    pub solved: Mutex<BTreeMap<u64, SolvedHorizon>>,
+}
+
+impl CompiledTrack {
+    /// Assembles a track from per-frame-range membership parts, in
+    /// range order. Interval entry/exit indices are absolute, so
+    /// concatenation only rebases the CSR offsets. A target in frame
+    /// across a range boundary yields two adjacent intervals instead of
+    /// one merged window; the sweep reproduces identical per-frame
+    /// membership either way, so the split is unobservable.
+    pub fn assemble(
+        states: Vec<TrackState>,
+        parts: Vec<(AccessIntervals, FrameCoeffs)>,
+    ) -> CompiledTrack {
+        let n_frames: usize = parts.iter().map(|(_, c)| c.offsets.len() - 1).sum();
+        let n_intervals: usize = parts.iter().map(|(iv, _)| iv.len()).sum();
+        let n_entries: usize = parts.iter().map(|(_, c)| c.x.len()).sum();
+        debug_assert_eq!(n_frames, states.len());
+        let mut intervals = AccessIntervals {
+            target: Vec::with_capacity(n_intervals),
+            entry: Vec::with_capacity(n_intervals),
+            exit: Vec::with_capacity(n_intervals),
+        };
+        let mut coeffs = FrameCoeffs::with_frames(n_frames);
+        coeffs.x.reserve(n_entries);
+        coeffs.y.reserve(n_entries);
+        for (iv, co) in parts {
+            intervals.target.extend_from_slice(&iv.target);
+            intervals.entry.extend_from_slice(&iv.entry);
+            intervals.exit.extend_from_slice(&iv.exit);
+            let base = *coeffs.offsets.last().unwrap_or(&0);
+            coeffs
+                .offsets
+                .extend(co.offsets.iter().skip(1).map(|&o| base + o));
+            coeffs.x.extend_from_slice(&co.x);
+            coeffs.y.extend_from_slice(&co.y);
+        }
+        let peak_frame_entries = coeffs
+            .offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        CompiledTrack {
+            states,
+            intervals,
+            coeffs,
+            peak_frame_entries,
+            solved: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Looks up a memoized horizon solve by digest.
+    pub fn solved_get(&self, digest: u64) -> Option<SolvedHorizon> {
+        lock_unpoisoned(&self.solved).get(&digest).cloned()
+    }
+
+    /// Records a horizon solve for replay.
+    pub fn solved_put(&self, digest: u64, solved: SolvedHorizon) {
+        lock_unpoisoned(&self.solved).insert(digest, solved);
+    }
+}
+
+/// Computes one satellite's membership over a frame range: per frame,
+/// the targets inside the low-res box with their projected `(x, y)`.
+///
+/// Bit-identical to the legacy per-frame walk by construction: the
+/// candidate set comes from the same per-bucket [`BucketView`] the
+/// legacy `TargetSet::query_radius` consults (fetched once per
+/// five-minute segment instead of once per frame), refined by the same
+/// exact predicate (`within_radius_at`) in the same ascending order,
+/// then projected through the same [`LocalFrame`] and box test.
+pub(super) fn membership_chunk(
+    states: &[TrackState],
+    epochs: &[f64],
+    frames: Range<usize>,
+    targets: &TargetSet,
+    geom: &CompileGeometry,
+) -> Result<(AccessIntervals, FrameCoeffs), CoreError> {
+    let mut intervals = AccessIntervals::default();
+    let mut coeffs = FrameCoeffs::with_frames(frames.len());
+    // Open-run tracking: open[tgt] is the interval id whose exit frame
+    // was the previous frame, or OPEN_NONE. Stale ids (exit older than
+    // the previous frame) fail the extension check, so no clearing.
+    const OPEN_NONE: u32 = u32::MAX;
+    let mut open = vec![OPEN_NONE; targets.len()];
+    let mut view: Option<BucketView> = None;
+    for f in frames {
+        let t = epochs[f];
+        let state = &states[f];
+        let subsat = state.subsatellite.with_altitude(0.0)?;
+        let frame = LocalFrame::new(subsat, state.heading_rad);
+        if !view.as_ref().is_some_and(|v| v.covers(t)) {
+            view = None;
+        }
+        let v = view.get_or_insert_with(|| targets.bucket_view(t));
+        let fi = f as u32;
+        for idx in targets.candidates_in(v, &subsat, geom.bound_m) {
+            if !targets.within_radius_at(idx, &subsat, geom.bound_m, t) {
+                continue;
+            }
+            let p = targets.target(idx).position_at(t);
+            let (x, y) = frame.project(&p);
+            if x.abs() <= geom.half_cross_m && y.abs() <= geom.half_along_m {
+                let j = open[idx] as usize;
+                if open[idx] != OPEN_NONE && intervals.exit[j] + 1 == fi {
+                    intervals.exit[j] = fi;
+                } else {
+                    open[idx] = intervals.len() as u32;
+                    intervals.target.push(idx as u32);
+                    intervals.entry.push(fi);
+                    intervals.exit.push(fi);
+                }
+                coeffs.x.push(x);
+                coeffs.y.push(y);
+            }
+        }
+        coeffs.offsets.push(coeffs.x.len() as u32);
+    }
+    Ok((intervals, coeffs))
+}
+
+/// Per-frame sweep over a track's sorted interval events.
+///
+/// `advance` must be called once per frame, in order from the first
+/// frame: it opens the intervals entering at `frame` (kept ordered by
+/// target index), drops the ones that exited, and emits the active
+/// `(target, x, y)` tuples — exactly the legacy `in_frame` contents.
+pub(super) struct IntervalSweep<'a> {
+    track: &'a CompiledTrack,
+    /// Next unopened interval (intervals are sorted by entry frame).
+    next: usize,
+    /// Open interval ids, ascending by target index — which is also
+    /// the frame-major coefficient order, so entry `pos` of the active
+    /// list reads coefficient `offsets[frame] + pos`.
+    active: Vec<u32>,
+}
+
+impl<'a> IntervalSweep<'a> {
+    /// Starts a sweep at the first frame.
+    pub fn new(track: &'a CompiledTrack) -> Self {
+        IntervalSweep {
+            track,
+            next: 0,
+            active: Vec::new(),
+        }
+    }
+
+    /// Emits frame `frame`'s membership into `out` (cleared first).
+    pub fn advance(&mut self, frame: u32, out: &mut Vec<(usize, f64, f64)>) {
+        let iv = &self.track.intervals;
+        self.active.retain(|&j| iv.exit[j as usize] >= frame);
+        while self.next < iv.len() && iv.entry[self.next] <= frame {
+            debug_assert_eq!(iv.entry[self.next], frame, "sweep must visit every frame");
+            let j = self.next as u32;
+            let tgt = iv.target[self.next];
+            let pos = self
+                .active
+                .partition_point(|&k| iv.target[k as usize] < tgt);
+            self.active.insert(pos, j);
+            self.next += 1;
+        }
+        let co = &self.track.coeffs;
+        let base = co.offsets[frame as usize] as usize;
+        debug_assert_eq!(
+            co.offsets[frame as usize + 1] as usize - base,
+            self.active.len(),
+            "active intervals must match frame-major entry count"
+        );
+        out.clear();
+        out.extend(self.active.iter().enumerate().map(|(pos, &j)| {
+            (
+                iv.target[j as usize] as usize,
+                co.x[base + pos],
+                co.y[base + pos],
+            )
+        }));
+    }
+}
+
+/// Digest of every input a horizon solve (including fault repair)
+/// depends on, beyond the per-evaluator-fixed options already keyed by
+/// the scenario cache. Two horizons with equal digests received
+/// identical solver inputs, so replaying one's recorded result for the
+/// other is exact; any divergence (fault modifiers, recapture-scaled
+/// values, different follower state) changes the digest and forces a
+/// live solve.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn horizon_digest(
+    frame_idx: usize,
+    t: f64,
+    task_cap: usize,
+    slew_factor: f64,
+    clip: Option<(f64, f64)>,
+    tasks: &[crate::schedule::TaskSpec],
+    active: &[usize],
+    follower_states: &[crate::schedule::FollowerState],
+) -> u64 {
+    let mut h = ScenarioHasher::new();
+    h.str("eagleeye-core/horizon/v1")
+        .u64(frame_idx as u64)
+        .f64(t)
+        .u64(task_cap as u64)
+        .f64(slew_factor);
+    match clip {
+        Some((start, end)) => {
+            h.u64(1).f64(start).f64(end);
+        }
+        None => {
+            h.u64(0);
+        }
+    }
+    h.u64(tasks.len() as u64);
+    for task in tasks {
+        h.f64(task.point.cross_m)
+            .f64(task.point.along_m)
+            .f64(task.value);
+    }
+    h.u64(active.len() as u64);
+    for (&k, fs) in active.iter().zip(follower_states) {
+        h.u64(k as u64)
+            .f64(fs.along_at_0_m)
+            .f64(fs.available_from_s)
+            .f64(fs.pointing_offset.0)
+            .f64(fs.pointing_offset.1);
+    }
+    h.finish()
+}
+
+/// One scenario's compiled tracks: slot `i` belongs to satellite `i` of
+/// the scenario's roster (leaders for leader-follower configurations,
+/// every satellite for swath ones), compiled lazily on first use.
+#[derive(Debug)]
+pub(super) struct CompiledScenario {
+    /// Per-satellite compiled-track slots.
+    pub tracks: Vec<Mutex<Option<Arc<CompiledTrack>>>>,
+}
+
+impl CompiledScenario {
+    /// The compiled track in slot `i`, if already built.
+    pub fn track(&self, i: usize) -> Option<Arc<CompiledTrack>> {
+        lock_unpoisoned(&self.tracks[i]).clone()
+    }
+
+    /// Stores a freshly compiled track in slot `i`, keeping the
+    /// incumbent if a concurrent evaluation got there first (both are
+    /// pure functions of the same inputs). Returns the slot's track.
+    pub fn store(&self, i: usize, track: Arc<CompiledTrack>) -> Arc<CompiledTrack> {
+        let mut slot = lock_unpoisoned(&self.tracks[i]);
+        slot.get_or_insert(track).clone()
+    }
+}
+
+/// Counters of compiled-program reuse, exposed through
+/// [`crate::coverage::CoverageEvaluator::compile_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileStats {
+    /// Tracks compiled (propagation + membership sweep executed).
+    pub track_builds: u64,
+    /// Track reuses — evaluations that skipped propagation and
+    /// membership entirely because the compiled track was cached.
+    pub track_reuses: u64,
+    /// Horizon solves replayed from the memo instead of re-solved.
+    pub memo_hits: u64,
+    /// Horizon solves executed live (and recorded for future replay).
+    pub memo_misses: u64,
+}
+
+/// The evaluator's compiled-program cache: one [`CompiledScenario`] per
+/// configuration key, plus reuse counters. Lives on the evaluator, so
+/// repeated evaluations of the same configuration (Monte-Carlo reps,
+/// sweep refinement, the perf harness) skip recompilation.
+#[derive(Debug, Default)]
+pub(super) struct CompileCache {
+    scenarios: Mutex<BTreeMap<String, Arc<CompiledScenario>>>,
+    track_builds: AtomicU64,
+    track_reuses: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// The compiled scenario for `key`, created empty on first use with
+    /// `n_tracks` satellite slots.
+    pub fn scenario(&self, key: &str, n_tracks: usize) -> Arc<CompiledScenario> {
+        let mut map = lock_unpoisoned(&self.scenarios);
+        map.entry(key.to_string())
+            .or_insert_with(|| {
+                Arc::new(CompiledScenario {
+                    tracks: (0..n_tracks).map(|_| Mutex::new(None)).collect(),
+                })
+            })
+            .clone()
+    }
+
+    /// Counts one compiled track build.
+    pub fn note_build(&self) {
+        self.track_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one compiled track reuse.
+    pub fn note_reuse(&self) {
+        self.track_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one memo replay.
+    pub fn note_memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one live solve under an active memo.
+    pub fn note_memo_miss(&self) {
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the reuse counters.
+    pub fn stats(&self) -> CompileStats {
+        CompileStats {
+            track_builds: self.track_builds.load(Ordering::Relaxed),
+            track_reuses: self.track_reuses.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -29,11 +29,13 @@
 //! with [`SchedulerKind::Resilient`]) or naively keeps tasking dead
 //! satellites — the baseline for the fault-tolerance study.
 
+mod compile;
 mod config;
 mod evaluator;
 mod harden;
 mod report;
 
+pub use compile::CompileStats;
 pub use config::{ConstellationConfig, DegradedMode, FailurePlan, SchedulerKind};
 pub use evaluator::{CoverageEvaluator, CoverageOptions};
 pub use harden::{HardenOptions, HardenedOutcome};

@@ -95,6 +95,17 @@ pub struct CoverageReport {
 }
 
 impl CoverageReport {
+    /// An empty report whose per-frame series are preallocated for a
+    /// horizon of `frames` frames, so a leader pass never regrows them
+    /// (the series gain at most one entry per frame).
+    pub fn with_frame_capacity(frames: usize) -> Self {
+        CoverageReport {
+            per_frame_target_counts: Vec::with_capacity(frames),
+            per_frame_cluster_counts: Vec::with_capacity(frames),
+            ..Default::default()
+        }
+    }
+
     /// Fraction of targets captured, in `[0, 1]`; zero for an empty
     /// workload.
     pub fn coverage_fraction(&self) -> f64 {

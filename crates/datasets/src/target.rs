@@ -1,6 +1,7 @@
 use eagleeye_geo::{greatcircle, GeodeticPoint, GridIndex};
+// eagleeye-lint: allow(determinism): bucket indices are read by key only; iteration order never escapes
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a target within its [`TargetSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,7 +101,48 @@ pub struct TargetSet {
     targets: Vec<Target>,
     max_speed_m_s: f64,
     /// Lazily-built per-bucket indices keyed by bucket number.
-    bucket_indices: Mutex<HashMap<i64, GridIndex>>,
+    // eagleeye-lint: allow(determinism): accessed only by bucket key, never iterated
+    bucket_indices: Mutex<HashMap<i64, Arc<GridIndex>>>,
+}
+
+/// A snapshot of the spatial index for one time bucket: the
+/// lazily-built [`GridIndex`] over target positions sampled at the
+/// bucket midpoint, plus the worst-case intra-bucket motion pad that
+/// keeps queries exact. Obtained from [`TargetSet::bucket_view`]; valid
+/// for every query time inside that bucket.
+///
+/// Holding a view lets a caller that sweeps many frames within one
+/// bucket (the coverage compiler's per-segment sweep) take the
+/// `TargetSet` index lock once per segment instead of once per frame,
+/// then run per-frame candidate queries lock-free.
+#[derive(Debug, Clone)]
+pub struct BucketView {
+    index: Arc<GridIndex>,
+    bucket: i64,
+    midpoint_t_s: f64,
+    pad_m: f64,
+}
+
+impl BucketView {
+    /// True when `t_s` falls inside this view's time bucket, i.e. the
+    /// view answers queries at `t_s` exactly.
+    #[inline]
+    pub fn covers(&self, t_s: f64) -> bool {
+        (t_s / BUCKET_S).floor() as i64 == self.bucket
+    }
+
+    /// The bucket-midpoint sample time the index was built at.
+    #[inline]
+    pub fn midpoint_t_s(&self) -> f64 {
+        self.midpoint_t_s
+    }
+
+    /// The query pad (meters) covering worst-case target drift between
+    /// the midpoint sample and any time inside the bucket.
+    #[inline]
+    pub fn pad_m(&self) -> f64 {
+        self.pad_m
+    }
 }
 
 impl TargetSet {
@@ -110,6 +152,7 @@ impl TargetSet {
         TargetSet {
             targets,
             max_speed_m_s,
+            // eagleeye-lint: allow(determinism): accessed only by bucket key, never iterated
             bucket_indices: Mutex::new(HashMap::new()),
         }
     }
@@ -165,43 +208,85 @@ impl TargetSet {
     /// Returns indices of targets that exist at `t_s` and lie within
     /// `radius_m` of `center` at that time, ascending.
     pub fn query_radius(&self, center: &GeodeticPoint, radius_m: f64, t_s: f64) -> Vec<usize> {
-        let bucket = (t_s / BUCKET_S).floor() as i64;
-        let pad = self.max_speed_m_s * BUCKET_S; // worst-case drift from midpoint, doubled below
-        let midpoint_t = (bucket as f64 + 0.5) * BUCKET_S;
-
-        let candidates: Vec<usize> = {
-            // A poisoned lock only means another thread panicked mid-insert;
-            // the cache itself is an optimization, so recover the guard.
-            let mut map = self
-                .bucket_indices
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            let index = map.entry(bucket).or_insert_with(|| {
-                GridIndex::build(
-                    2.0,
-                    self.targets.iter().map(|t| {
-                        let p = t.position_at(midpoint_t);
-                        (p.lat_deg(), p.lon_deg())
-                    }),
-                )
-                // eagleeye-lint: allow(no-unwrap): cell size is the constant 2.0 above
-                .expect("positive cell size")
-            });
-            index.query_radius(
-                // eagleeye-lint: allow(no-unwrap): altitude 0.0 is always in range
-                &center.with_altitude(0.0).expect("valid altitude"),
-                radius_m + pad,
-                |i| self.targets[i].position_at(midpoint_t),
-            )
-        };
-
-        candidates
+        let view = self.bucket_view(t_s);
+        self.candidates_in(&view, center, radius_m)
             .into_iter()
-            .filter(|&i| {
-                let t = &self.targets[i];
-                t.exists_at(t_s) && greatcircle::distance_m(center, &t.position_at(t_s)) <= radius_m
-            })
+            .filter(|&i| self.within_radius_at(i, center, radius_m, t_s))
             .collect()
+    }
+
+    /// The spatial-index view for the time bucket containing `t_s`,
+    /// building the bucket's [`GridIndex`] on first use. Takes the
+    /// internal index lock once; the returned view queries lock-free.
+    pub fn bucket_view(&self, t_s: f64) -> BucketView {
+        let bucket = (t_s / BUCKET_S).floor() as i64;
+        let pad_m = self.max_speed_m_s * BUCKET_S; // worst-case drift from midpoint, doubled below
+        let midpoint_t_s = (bucket as f64 + 0.5) * BUCKET_S;
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the cache itself is an optimization, so recover the guard.
+        let mut map = self
+            .bucket_indices
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let index = map
+            .entry(bucket)
+            .or_insert_with(|| {
+                Arc::new(
+                    GridIndex::build(
+                        2.0,
+                        self.targets.iter().map(|t| {
+                            let p = t.position_at(midpoint_t_s);
+                            (p.lat_deg(), p.lon_deg())
+                        }),
+                    )
+                    // eagleeye-lint: allow(no-unwrap): cell size is the constant 2.0 above
+                    .expect("positive cell size"),
+                )
+            })
+            .clone();
+        BucketView {
+            index,
+            bucket,
+            midpoint_t_s,
+            pad_m,
+        }
+    }
+
+    /// Candidate target indices within `radius_m` of `center` for any
+    /// query time inside the view's bucket, ascending: a superset of
+    /// every exact [`query_radius`](Self::query_radius) result with the
+    /// same center/radius at those times (the view pads the query by the
+    /// worst-case intra-bucket drift). Callers refine with
+    /// [`within_radius_at`](Self::within_radius_at).
+    pub fn candidates_in(
+        &self,
+        view: &BucketView,
+        center: &GeodeticPoint,
+        radius_m: f64,
+    ) -> Vec<usize> {
+        view.index.query_radius(
+            // eagleeye-lint: allow(no-unwrap): altitude 0.0 is always in range
+            &center.with_altitude(0.0).expect("valid altitude"),
+            radius_m + view.pad_m,
+            |i| self.targets[i].position_at(view.midpoint_t_s),
+        )
+    }
+
+    /// Exact membership test: target `i` exists at `t_s` and its
+    /// position at `t_s` is within `radius_m` of `center`. This is the
+    /// refinement predicate of [`query_radius`](Self::query_radius),
+    /// exposed so segment-sweep callers reproduce its results
+    /// bit-for-bit from [`candidates_in`](Self::candidates_in) supersets.
+    #[inline]
+    pub fn within_radius_at(
+        &self,
+        i: usize,
+        center: &GeodeticPoint,
+        radius_m: f64,
+        t_s: f64,
+    ) -> bool {
+        let t = &self.targets[i];
+        t.exists_at(t_s) && greatcircle::distance_m(center, &t.position_at(t_s)) <= radius_m
     }
 
     /// Sum of values over all targets.

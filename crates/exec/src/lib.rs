@@ -46,6 +46,31 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Splits `0..len` into at most `chunks` contiguous, near-equal,
+/// non-empty ranges covering `0..len` exactly, in order.
+///
+/// The partition is a pure function of `(len, chunks)` — callers that
+/// fan work items out over the ranges and merge results back in range
+/// order get output independent of how many workers actually ran (the
+/// deterministic frame-range decomposition of DESIGN.md §13). Returns
+/// an empty vector when `len == 0`; `chunks` is clamped to at least 1.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
 /// Runs one work item, rethrowing any panic with the worker and item
 /// index prepended. A bare `resume_unwind` loses all context about
 /// *which* item of *which* worker died — useless in a 24 h sweep log.
@@ -655,6 +680,32 @@ mod tests {
             }
             // Every non-quarantined item still completed.
             assert_eq!(sup.results.iter().filter(|r| r.is_some()).count(), 30);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert_eq!(chunk_ranges(5, 1), vec![0..5]);
+        // More chunks than items clamps to one item per chunk.
+        assert_eq!(chunk_ranges(3, 10), vec![0..1, 1..2, 2..3]);
+        // Remainder spreads over the leading chunks, largest first.
+        assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        // chunks == 0 behaves as one chunk.
+        assert_eq!(chunk_ranges(7, 0), vec![0..7]);
+        for (len, chunks) in [(1, 1), (17, 4), (64, 16), (100, 7), (5760, 16)] {
+            let ranges = chunk_ranges(len, chunks);
+            // Contiguous cover of 0..len with no gaps or overlaps, and
+            // chunk sizes never differ by more than one — the property
+            // the deterministic frame-range merge relies on.
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(len));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "len={len} chunks={chunks}");
+            }
+            let min = ranges.iter().map(|r| r.len()).min().unwrap_or(0);
+            let max = ranges.iter().map(|r| r.len()).max().unwrap_or(0);
+            assert!(max - min <= 1, "len={len} chunks={chunks}");
         }
     }
 }

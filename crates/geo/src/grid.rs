@@ -1,5 +1,6 @@
 use crate::earth::MEAN_RADIUS_M;
 use crate::{greatcircle, GeoError, GeodeticPoint};
+// eagleeye-lint: allow(determinism): cells are read by key in bbox order; query_radius sorts its output
 use std::collections::HashMap;
 
 /// A uniform latitude/longitude bucket index over point payloads.
@@ -30,6 +31,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     cell_deg: f64,
+    // eagleeye-lint: allow(determinism): read via `get` in deterministic cell-range order only
     cells: HashMap<(i32, i32), Vec<usize>>,
     len: usize,
 }
@@ -49,6 +51,7 @@ impl GridIndex {
         if !(cell_deg > 0.0) || !cell_deg.is_finite() {
             return Err(GeoError::InvalidCellSize { cell_deg });
         }
+        // eagleeye-lint: allow(determinism): build inserts by key; the map is never iterated
         let mut cells: HashMap<(i32, i32), Vec<usize>> = HashMap::new();
         let mut len = 0;
         for (i, (lat, lon)) in points.into_iter().enumerate() {
@@ -112,7 +115,8 @@ impl GridIndex {
         let mut out = Vec::new();
         let lat_lo = (lat_min_deg.max(-90.0) / self.cell_deg).floor() as i32;
         let lat_hi = (lat_max_deg.min(90.0) / self.cell_deg).floor() as i32;
-        let lon_cells_total = (360.0 / self.cell_deg).ceil() as i64;
+        let (lon_min_cell, lon_max_cell) = Self::lon_cell_bounds(self.cell_deg);
+        let lon_cells_total = lon_max_cell - lon_min_cell + 1;
 
         let lon_ranges: Vec<(i32, i32)> = if lon_min_deg <= lon_max_deg {
             vec![(
@@ -150,14 +154,28 @@ impl GridIndex {
         out
     }
 
-    fn wrap_lon_cell(cell_deg: f64, cell: i64) -> i32 {
-        let total = (360.0 / cell_deg).ceil() as i64;
+    /// The canonical longitude-cell range `[min, max]` that
+    /// [`Self::cell_of`] can produce for normalized longitudes in
+    /// `[-180, 180)`. When `cell_deg` does not divide 360 evenly the
+    /// last cell is partial; deriving the range here (instead of from
+    /// `ceil(360 / cell_deg)`) keeps query wrapping and key
+    /// construction agreeing on which cells exist, so points just shy
+    /// of +180° are never stranded in an unreachable cell.
+    fn lon_cell_bounds(cell_deg: f64) -> (i64, i64) {
         let min_cell = (-180.0 / cell_deg).floor() as i64;
+        // Highest index holding a longitude strictly below 180°.
+        let max_cell = (180.0 / cell_deg).ceil() as i64 - 1;
+        (min_cell, max_cell.max(min_cell))
+    }
+
+    fn wrap_lon_cell(cell_deg: f64, cell: i64) -> i32 {
+        let (min_cell, max_cell) = Self::lon_cell_bounds(cell_deg);
+        let total = max_cell - min_cell + 1;
         let mut c = cell;
         while c < min_cell {
             c += total;
         }
-        while c >= min_cell + total {
+        while c > max_cell {
             c -= total;
         }
         c as i32

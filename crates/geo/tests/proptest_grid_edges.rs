@@ -1,0 +1,180 @@
+//! Differential tests for `GridIndex` edge geometry: dateline-crossing
+//! and near-pole queries checked against a brute-force linear scan, on
+//! the `eagleeye-check` harness (seed replay via `EAGLEEYE_CHECK_SEED`,
+//! shrinking on failure).
+//!
+//! `query_radius` is exact, so it must equal the brute-force result
+//! bit-for-bit. `query_bbox` is a cell-granularity superset, so the
+//! brute-force in-box set must be contained in it — precisely the
+//! contract the coverage compiler's candidate pruning relies on
+//! (DESIGN.md §13).
+
+use eagleeye_check::{check_cases, f64_range, prop_assert, prop_assert_eq, vec_of, Gen};
+use eagleeye_geo::{greatcircle, GeodeticPoint, GridIndex};
+
+const CASES: u32 = 96;
+
+/// Points clustered where the grid math is most fragile: both sides of
+/// the antimeridian and both polar caps, plus a mid-latitude control.
+fn edge_point_gen() -> impl Gen<Value = GeodeticPoint> {
+    (
+        f64_range(0.0, 5.0),
+        f64_range(-89.999, 89.999),
+        f64_range(-179.999, 179.999),
+    )
+        .map(|(region, lat, lon)| {
+            let (lat, lon) = match region as u32 {
+                // Hug the dateline on either side.
+                0 => (lat, 179.0 + (lon + 180.0) / 360.0),
+                1 => (lat, -180.0 + (lon + 180.0) / 360.0),
+                // Polar caps.
+                2 => (88.0 + (lat + 90.0) / 90.0, lon),
+                3 => (-90.0 + (lat + 90.0) / 90.0, lon),
+                // Control: anywhere.
+                _ => (lat, lon),
+            };
+            GeodeticPoint::from_degrees(lat.clamp(-90.0, 90.0), lon, 0.0).expect("valid")
+        })
+}
+
+fn brute_force_radius(pts: &[GeodeticPoint], center: &GeodeticPoint, radius_m: f64) -> Vec<usize> {
+    (0..pts.len())
+        .filter(|&i| greatcircle::distance_m(center, &pts[i]) <= radius_m)
+        .collect()
+}
+
+/// `query_radius` equals brute force exactly for dateline/pole centers.
+#[test]
+fn query_radius_matches_brute_force_at_edges() {
+    check_cases(
+        CASES,
+        "query_radius_matches_brute_force_at_edges",
+        (
+            vec_of(edge_point_gen(), 1, 64),
+            edge_point_gen(),
+            f64_range(1_000.0, 2_000_000.0),
+            f64_range(0.25, 8.0),
+        ),
+        |(pts, center, radius_m, cell_deg)| {
+            let index = GridIndex::build(*cell_deg, pts.iter().map(|p| (p.lat_deg(), p.lon_deg())))
+                .expect("valid cell size");
+            let got = index.query_radius(center, *radius_m, |i| pts[i]);
+            let want = brute_force_radius(pts, center, *radius_m);
+            prop_assert_eq!(got, want);
+            Ok(())
+        },
+    );
+}
+
+/// A cap that swallows a pole must return every point at qualifying
+/// latitude regardless of longitude.
+#[test]
+fn query_radius_pole_cap_ignores_longitude() {
+    check_cases(
+        CASES,
+        "query_radius_pole_cap_ignores_longitude",
+        (
+            vec_of(edge_point_gen(), 1, 64),
+            f64_range(86.0, 90.0),
+            f64_range(200_000.0, 3_000_000.0),
+        ),
+        |(pts, center_lat, radius_m)| {
+            let center = GeodeticPoint::from_degrees(*center_lat, 123.4, 0.0).expect("valid");
+            let index = GridIndex::build(2.0, pts.iter().map(|p| (p.lat_deg(), p.lon_deg())))
+                .expect("valid cell size");
+            let got = index.query_radius(&center, *radius_m, |i| pts[i]);
+            let want = brute_force_radius(pts, &center, *radius_m);
+            prop_assert_eq!(got, want);
+            Ok(())
+        },
+    );
+}
+
+/// In-box membership under the index's wraparound convention:
+/// `lon_min > lon_max` means the box spans the antimeridian.
+fn in_box(p: &GeodeticPoint, lat_min: f64, lat_max: f64, lon_min: f64, lon_max: f64) -> bool {
+    let lat_ok = p.lat_deg() >= lat_min && p.lat_deg() <= lat_max;
+    let lon = p.lon_deg();
+    let lon_ok = if lon_min <= lon_max {
+        lon >= lon_min && lon <= lon_max
+    } else {
+        lon >= lon_min || lon <= lon_max
+    };
+    lat_ok && lon_ok
+}
+
+/// `query_bbox` is a superset of the exact in-box set, including for
+/// boxes that wrap the antimeridian.
+#[test]
+fn query_bbox_wrapping_is_superset_of_brute_force() {
+    check_cases(
+        CASES,
+        "query_bbox_wrapping_is_superset_of_brute_force",
+        (
+            vec_of(edge_point_gen(), 1, 64),
+            f64_range(-89.0, 80.0),
+            f64_range(0.5, 20.0),
+            f64_range(-180.0, 180.0),
+            f64_range(0.5, 40.0),
+            f64_range(0.25, 8.0),
+        ),
+        |(pts, lat_min, dlat, lon_min, dlon, cell_deg)| {
+            let lat_max = (lat_min + dlat).min(90.0);
+            // Wrap on purpose when lon_min + dlon crosses 180.
+            let lon_max = {
+                let m = lon_min + dlon;
+                if m > 180.0 {
+                    m - 360.0
+                } else {
+                    m
+                }
+            };
+            let index = GridIndex::build(*cell_deg, pts.iter().map(|p| (p.lat_deg(), p.lon_deg())))
+                .expect("valid cell size");
+            let got = index.query_bbox(*lat_min, lat_max, *lon_min, lon_max);
+            for i in 0..pts.len() {
+                if in_box(&pts[i], *lat_min, lat_max, *lon_min, lon_max) {
+                    prop_assert!(
+                        got.binary_search(&i).is_ok(),
+                        "point {i} ({}, {}) inside box \
+                         [{lat_min}, {lat_max}] x [{lon_min}, {lon_max}] but missing \
+                         (cell_deg {cell_deg})",
+                        pts[i].lat_deg(),
+                        pts[i].lon_deg(),
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Pinned regressions: a handful of deterministic edge cases that stay
+/// fixed regardless of the harness seed.
+#[test]
+fn pinned_edge_cases() {
+    // Two points straddling the dateline, 0.2° apart (~22 km).
+    let pts = [
+        GeodeticPoint::from_degrees(10.0, 179.9, 0.0).unwrap(),
+        GeodeticPoint::from_degrees(10.0, -179.9, 0.0).unwrap(),
+        GeodeticPoint::from_degrees(10.0, 0.0, 0.0).unwrap(),
+    ];
+    let index = GridIndex::build(1.0, pts.iter().map(|p| (p.lat_deg(), p.lon_deg()))).unwrap();
+    let hits = index.query_radius(&pts[0], 50_000.0, |i| pts[i]);
+    assert_eq!(hits, vec![0, 1], "dateline neighbors must see each other");
+
+    // A box wrapping the antimeridian catches both, not the control.
+    let boxed = index.query_bbox(9.0, 11.0, 179.0, -179.0);
+    assert!(boxed.contains(&0) && boxed.contains(&1) && !boxed.contains(&2));
+
+    // A 500 km cap centered 1° off the north pole sees every longitude.
+    let polar: Vec<GeodeticPoint> = (0..12)
+        .map(|k| GeodeticPoint::from_degrees(89.5, -180.0 + 30.0 * k as f64, 0.0).unwrap())
+        .collect();
+    let index = GridIndex::build(3.0, polar.iter().map(|p| (p.lat_deg(), p.lon_deg()))).unwrap();
+    let center = GeodeticPoint::from_degrees(89.0, 45.0, 0.0).unwrap();
+    let got = index.query_radius(&center, 500_000.0, |i| polar[i]);
+    let want = brute_force_radius(&polar, &center, 500_000.0);
+    assert_eq!(got, want);
+    assert!(!got.is_empty(), "polar cap query must not come back empty");
+}

@@ -10,7 +10,10 @@ use crate::engine::{FileCtx, FileRole};
 use crate::lexer::TokKind;
 
 /// Crates whose data structures feed serialized or scheduled output.
-const ORDERED_CRATES: &[&str] = &["core", "ilp", "orbit", "sim", "obs"];
+/// `datasets` and `geo` joined when the compiled access-interval
+/// engine (DESIGN.md §13) started folding their query results into
+/// bit-identical coverage reports.
+const ORDERED_CRATES: &[&str] = &["core", "ilp", "orbit", "sim", "obs", "datasets", "geo"];
 
 pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if ctx.role != FileRole::Lib || !ORDERED_CRATES.contains(&ctx.crate_name) {

@@ -1,5 +1,5 @@
-//@ path: crates/geo/src/demo.rs
-// `geo` is not one of the ordered crates, so HashMap is allowed here.
+//@ path: crates/exec/src/demo.rs
+// `exec` is not one of the ordered crates, so HashMap is allowed here.
 use std::collections::HashMap;
 
 pub fn scratch(xs: &[u32]) -> usize {
