@@ -1,0 +1,196 @@
+//! Perf trajectory — incremental what-if re-evaluation vs. cold
+//! re-evaluation of the same child scenario, writing
+//! `results/BENCH_delta.json`.
+//!
+//! The what-if loop of DESIGN.md §14: an analyst evaluates a parent
+//! EagleEye scenario, then asks "what if one satellite group drops
+//! out?" ([`ScenarioDelta::RemoveGroup`]). The incremental path
+//! ([`CoverageEvaluator::what_if`]) forks the parent evaluator, adopts
+//! every surviving compiled track from the cross-scenario pool, and
+//! replays memoized horizon solves for every clean frame — so the
+//! delta pays only for the frames the edit actually dirtied. The cold
+//! path compiles and solves the identical child scenario from scratch.
+//!
+//! Each rep rebuilds the parent from nothing, so `delta_wall_s` is the
+//! honest *first* what-if on a freshly evaluated parent (not a repeat
+//! of an already-cached child). The run aborts unless:
+//!
+//! * the delta report is [`same_outcome`]-identical to the cold child
+//!   report (the differential contract `delta_differential.rs` checks
+//!   case-by-case);
+//! * all `GROUPS - 1` surviving leader tracks were adopted from the
+//!   pool (`track_shares`), none recompiled (`track_builds == 0`), and
+//!   memoized horizon solves actually replayed (`memo_hits > 0`) — a
+//!   delta path that silently recomputes everything would still pass
+//!   the differential suite, but not these gates;
+//! * under `--smoke`, the headline ratio holds:
+//!   `delta_wall_s / cold_child_wall_s < 0.10`.
+//!
+//! Counters flow to `results/METRICS_perf_delta.json` when
+//! `EAGLEEYE_TRACE=1` is set (see `eagleeye-obs`).
+//!
+//! Usage: `cargo run -p eagleeye-bench --release --bin perf_delta -- [--fast | --smoke]`
+//!
+//! [`same_outcome`]: eagleeye_core::coverage::CoverageReport::same_outcome
+//! [`ScenarioDelta::RemoveGroup`]: eagleeye_core::coverage::ScenarioDelta::RemoveGroup
+
+use eagleeye_bench::BenchCli;
+use eagleeye_core::coverage::{
+    ConstellationConfig, CoverageEvaluator, CoverageOptions, ScenarioDelta,
+};
+use eagleeye_datasets::Workload;
+use std::time::Instant;
+
+const GROUPS: usize = 12;
+const FOLLOWERS_PER_GROUP: usize = 2;
+const REPS: usize = 3;
+/// CI gate on `delta_wall_s / cold_child_wall_s` under `--smoke`.
+const RATIO_GATE: f64 = 0.10;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let targets = cli.workload(Workload::ShipDetection);
+    let config = ConstellationConfig::eagleeye(GROUPS, FOLLOWERS_PER_GROUP);
+    let delta = ScenarioDelta::RemoveGroup;
+    eprintln!(
+        "perf_delta: {} targets, {} groups x {} followers, horizon {:.0}s, delta {:?}{}",
+        targets.len(),
+        GROUPS,
+        FOLLOWERS_PER_GROUP,
+        cli.duration_s,
+        delta,
+        if cli.smoke { " [smoke]" } else { "" }
+    );
+
+    let mut parent_wall = f64::INFINITY;
+    let mut delta_wall = f64::INFINITY;
+    let mut cold_wall = f64::INFINITY;
+    let mut first = None;
+    for rep in 0..REPS {
+        // A fresh parent per rep keeps the what-if measurement honest:
+        // the child scenario is never already cached, so the timed call
+        // is the first delta after a parent evaluation, every time.
+        let opts = CoverageOptions {
+            duration_s: cli.duration_s,
+            seed: cli.seed,
+            // Pin the layout with the parent's group count so the
+            // child's survivors keep their orbital slots (maximal
+            // track sharing; DESIGN.md §14).
+            layout_slots: Some(GROUPS),
+            metrics: cli.metrics.clone(),
+            ..CoverageOptions::default()
+        };
+        let parent = CoverageEvaluator::new(&targets, opts);
+        let start = Instant::now();
+        parent.evaluate(&config).expect("parent evaluation");
+        parent_wall = parent_wall.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let (delta_report, stats) = parent.what_if(&config, &delta).expect("what-if evaluation");
+        delta_wall = delta_wall.min(start.elapsed().as_secs_f64());
+
+        let (child_cfg, child_opts) = delta
+            .apply(&config, parent.options())
+            .expect("delta applies");
+        let cold = CoverageEvaluator::new(&targets, child_opts);
+        let start = Instant::now();
+        let cold_report = cold.evaluate(&child_cfg).expect("cold child evaluation");
+        cold_wall = cold_wall.min(start.elapsed().as_secs_f64());
+
+        // The differential contract, end to end at bench scale.
+        assert!(
+            delta_report.same_outcome(&cold_report),
+            "rep={rep}: what-if report diverged from cold child:\
+             \ndelta: {delta_report:?}\ncold: {cold_report:?}"
+        );
+        // The reuse gates: a delta that recompiles or re-solves
+        // everything is a correct but worthless incremental path.
+        assert_eq!(
+            stats.track_shares,
+            (GROUPS - 1) as u64,
+            "rep={rep}: every surviving leader track must be adopted from the pool: {stats:?}"
+        );
+        assert_eq!(
+            stats.track_builds, 0,
+            "rep={rep}: the delta compiled a track from scratch: {stats:?}"
+        );
+        assert!(
+            stats.memo_hits > 0,
+            "rep={rep}: the delta never replayed a memoized horizon solve: {stats:?}"
+        );
+        match &first {
+            None => first = Some((delta_report, cold_report, stats)),
+            Some((first_delta, _, first_stats)) => {
+                assert!(
+                    delta_report.same_outcome(first_delta),
+                    "rep={rep}: what-if outcome drifted across reps"
+                );
+                assert_eq!(
+                    stats, *first_stats,
+                    "rep={rep}: reuse counters drifted across reps"
+                );
+            }
+        }
+    }
+    let (delta_report, _cold_report, stats) = first.expect("at least one rep");
+    let ratio = delta_wall / cold_wall;
+    eprintln!(
+        "parent cold {parent_wall:.4}s, child cold {cold_wall:.4}s, delta {delta_wall:.4}s \
+         ({:.1}% of cold), reuse {stats:?}",
+        ratio * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"delta\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{}\",\n",
+        Workload::ShipDetection.label()
+    ));
+    json.push_str(&format!("  \"targets\": {},\n", targets.len()));
+    json.push_str(&format!("  \"groups\": {GROUPS},\n"));
+    json.push_str(&format!(
+        "  \"followers_per_group\": {FOLLOWERS_PER_GROUP},\n"
+    ));
+    json.push_str("  \"delta\": \"RemoveGroup\",\n");
+    json.push_str(&format!("  \"duration_s\": {},\n", cli.duration_s));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"scale\": {},\n", cli.scale));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"parent_cold_wall_s\": {parent_wall:.6},\n"));
+    json.push_str(&format!("  \"cold_child_wall_s\": {cold_wall:.6},\n"));
+    json.push_str(&format!("  \"delta_wall_s\": {delta_wall:.6},\n"));
+    json.push_str(&format!("  \"delta_over_cold_ratio\": {ratio:.4},\n"));
+    json.push_str(&format!("  \"smoke_ratio_gate\": {RATIO_GATE},\n"));
+    json.push_str("  \"delta_report_identical_to_cold\": true,\n");
+    json.push_str(&format!(
+        "  \"frames_processed\": {},\n  \"captured\": {},\n",
+        delta_report.frames_processed, delta_report.captured
+    ));
+    json.push_str(&format!(
+        "  \"delta_stats\": {{\"track_builds\": {}, \"track_shares\": {}, \"track_reuses\": {}, \
+         \"memo_hits\": {}, \"memo_misses\": {}}}\n",
+        stats.track_builds,
+        stats.track_shares,
+        stats.track_reuses,
+        stats.memo_hits,
+        stats.memo_misses
+    ));
+    json.push_str("}\n");
+
+    if cli.smoke {
+        assert!(
+            ratio < RATIO_GATE,
+            "smoke gate: one-group delta took {:.1}% of a cold child evaluation \
+             (gate {:.0}%); the incremental path has regressed",
+            ratio * 100.0,
+            RATIO_GATE * 100.0
+        );
+        eprintln!("smoke gate: delta/cold ratio {:.4} < {RATIO_GATE}", ratio);
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_delta.json", &json).expect("write BENCH_delta.json");
+    println!("{json}");
+    eprintln!("wrote results/BENCH_delta.json");
+    cli.finish("perf_delta");
+}

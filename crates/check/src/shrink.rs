@@ -155,7 +155,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{f64_range, usize_range, vec_of};
+    use crate::{f64_range, u64_range, usize_range, vec_of};
 
     #[test]
     fn shrinks_scalar_to_the_boundary() {
@@ -207,6 +207,75 @@ mod tests {
         };
         let min = minimize(&gen, &prop, data, value, "seed".into());
         assert_eq!(min.value, vec![10]);
+    }
+
+    /// A `(scenario, delta)`-shaped nested tuple must shrink to the
+    /// same minimal counterexample from *any* failing starting point:
+    /// irrelevant components collapse to their lower bounds, the two
+    /// load-bearing ones to their exact failure boundaries. This is
+    /// the stability contract the differential suites lean on when
+    /// they report a shrunk `(scenario, delta)` pair.
+    #[test]
+    fn nested_scenario_delta_tuples_shrink_to_a_stable_minimum() {
+        type Case = ((u64, usize, f64), (usize, f64));
+        let gen = (
+            (u64_range(0, 1_000), usize_range(1, 8), f64_range(0.0, 1.0)),
+            (usize_range(0, 5), f64_range(0.0, 1.0)),
+        );
+        // Fails iff groups >= 3 AND delta kind >= 2 — a conjunction,
+        // so the shrinker must keep both components at their
+        // boundaries while zeroing everything else.
+        let prop = |v: &Case| -> PropResult {
+            let ((_, groups, _), (kind, _)) = *v;
+            if groups >= 3 && kind >= 2 {
+                Err(Failure::fail(format!("groups {groups}, kind {kind}")))
+            } else {
+                Ok(())
+            }
+        };
+        let mut minima = Vec::new();
+        for rng_seed in [1u64, 17, 901, 4242] {
+            let mut rng = eagleeye_rng::SplitMix64::new(rng_seed);
+            let (data, value) = loop {
+                let salt = rng.next_u64();
+                let mut src = Source::live(rng.fork(salt));
+                let v = gen.generate(&mut src);
+                if prop(&v).is_err() {
+                    break (src.into_data(), v);
+                }
+            };
+            let min = minimize(&gen, &prop, data, value, "seed".into());
+            assert!(prop(&min.value).is_err(), "minimum must still fail");
+            minima.push(min.value);
+        }
+        for m in &minima {
+            assert_eq!(
+                *m,
+                ((0, 3, 0.0), (2, 0.0)),
+                "unstable minimal counterexample across starts: {minima:?}"
+            );
+        }
+    }
+
+    /// An always-failing property over a composite generator drives the
+    /// shrinker to its global fixpoint — the empty choice sequence,
+    /// where every component sits at its lower bound — and the
+    /// outer shrink loop terminates there instead of cycling.
+    #[test]
+    fn always_failing_composite_terminates_at_the_global_minimum() {
+        type Case = ((usize, Vec<u64>), f64);
+        let gen = (
+            (usize_range(2, 9), vec_of(u64_range(5, 50), 0, 6)),
+            f64_range(1.5, 2.5),
+        );
+        let prop = |_: &Case| -> PropResult { Err(Failure::fail("always")) };
+        let mut rng = eagleeye_rng::SplitMix64::new(8);
+        let salt = rng.next_u64();
+        let mut src = Source::live(rng.fork(salt));
+        let value = gen.generate(&mut src);
+        let min = minimize(&gen, &prop, src.into_data(), value, "always".into());
+        assert_eq!(min.value, ((2, vec![]), 1.5));
+        assert!(min.steps > 0, "shrinking must have made progress");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Cross-process shrink + replay coverage for composite generators:
+//! the nested `(scenario, delta)` tuple shape the delta differential
+//! suite generates. A failing property over that shape must (a) shrink
+//! to a stable minimal counterexample with every irrelevant component
+//! at its lower bound, and (b) reproduce that exact counterexample
+//! when replayed via `EAGLEEYE_CHECK_SEED` — the workflow a developer
+//! follows from a red CI log.
+
+use eagleeye_check::{check_cases, f64_range, prop_assert, u64_range, usize_range};
+use std::process::Command;
+
+/// The deliberately failing property the orchestrator spawns: a nested
+/// `((seed, groups, recall), (delta_kind, delta_param))` tuple failing
+/// on a conjunction of two components. Gated on an env var so plain
+/// `cargo test` runs it as a quiet no-op.
+#[test]
+fn composite_helper_property() {
+    if std::env::var("EAGLEEYE_COMPOSITE_HELPER").is_err() {
+        return;
+    }
+    check_cases(
+        512,
+        "composite_helper",
+        (
+            (u64_range(0, 1_000), usize_range(1, 8), f64_range(0.0, 1.0)),
+            (usize_range(0, 6), f64_range(0.0, 1.0)),
+        ),
+        |&((_seed, groups, _recall), (kind, _param))| {
+            prop_assert!(
+                !(groups >= 3 && kind >= 2),
+                "scenario with {groups} groups breaks under delta kind {kind}"
+            );
+            Ok(())
+        },
+    );
+}
+
+fn run_helper(seed: Option<&str>) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "composite_helper_property",
+        "--exact",
+        "--nocapture",
+        "--test-threads=1",
+    ])
+    .env("EAGLEEYE_COMPOSITE_HELPER", "1")
+    .env_remove("EAGLEEYE_CHECK_SEED")
+    .env_remove("EAGLEEYE_CHECK_CASES");
+    if let Some(s) = seed {
+        cmd.env("EAGLEEYE_CHECK_SEED", s);
+    }
+    let out = cmd.output().expect("spawn test binary");
+    assert!(
+        !out.status.success(),
+        "the helper property must fail (seed {seed:?})"
+    );
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+fn line_with<'a>(text: &'a str, marker: &str) -> &'a str {
+    text.lines()
+        .find(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("no line containing {marker:?} in:\n{text}"))
+        .trim()
+}
+
+#[test]
+fn nested_tuple_failure_shrinks_minimally_and_replays_identically() {
+    let first = run_helper(None);
+    let counterexample = line_with(&first, "counterexample:").to_string();
+    // The minimal counterexample is fully canonical: the load-bearing
+    // components sit exactly on the failure boundary (3 groups, kind
+    // 2) and everything else collapsed to its lower bound.
+    assert!(
+        counterexample.contains("((0, 3, 0.0), (2, 0.0))"),
+        "counterexample did not shrink to the canonical minimum: {counterexample}"
+    );
+
+    let seed = line_with(&first, "EAGLEEYE_CHECK_SEED=")
+        .split("EAGLEEYE_CHECK_SEED=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("seed value after EAGLEEYE_CHECK_SEED=")
+        .to_string();
+    assert!(seed.starts_with("0x"), "seed {seed:?} is not 0x-hex");
+
+    let replayed = run_helper(Some(&seed));
+    assert_eq!(
+        line_with(&replayed, "counterexample:"),
+        counterexample,
+        "replay produced a different minimal counterexample"
+    );
+    assert_eq!(
+        line_with(&replayed, "error:"),
+        line_with(&first, "error:"),
+        "replay produced a different failure message"
+    );
+}

@@ -340,12 +340,19 @@ impl<'a> IntervalSweep<'a> {
 }
 
 /// Digest of every input a horizon solve (including fault repair)
-/// depends on, beyond the per-evaluator-fixed options already keyed by
-/// the scenario cache. Two horizons with equal digests received
-/// identical solver inputs, so replaying one's recorded result for the
-/// other is exact; any divergence (fault modifiers, recapture-scaled
-/// values, different follower state) changes the digest and forces a
-/// live solve.
+/// depends on, beyond the track-pool key already binding the options
+/// that do not flow through these per-frame inputs. Two horizons with
+/// equal digests received identical solver inputs, so replaying one's
+/// recorded result for the other is exact; any divergence (fault
+/// modifiers, recapture-scaled values, different follower state,
+/// mid-frame outage onsets driving a schedule repair) changes the
+/// digest and forces a live solve.
+///
+/// `repair_failures` carries the `(active-slot, onset)` pairs the
+/// fault-repair pass would act on this frame. They are a function of
+/// the fault plan, which is *not* part of the track-pool key (so
+/// fault-window what-if deltas can share tracks); digesting them here
+/// is what keeps memo replay exact across fault-plan edits.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn horizon_digest(
     frame_idx: usize,
@@ -356,9 +363,10 @@ pub(super) fn horizon_digest(
     tasks: &[crate::schedule::TaskSpec],
     active: &[usize],
     follower_states: &[crate::schedule::FollowerState],
+    repair_failures: &[(usize, f64)],
 ) -> u64 {
     let mut h = ScenarioHasher::new();
-    h.str("eagleeye-core/horizon/v1")
+    h.str("eagleeye-core/horizon/v2")
         .u64(frame_idx as u64)
         .f64(t)
         .u64(task_cap as u64)
@@ -384,6 +392,10 @@ pub(super) fn horizon_digest(
             .f64(fs.available_from_s)
             .f64(fs.pointing_offset.0)
             .f64(fs.pointing_offset.1);
+    }
+    h.u64(repair_failures.len() as u64);
+    for &(slot, onset) in repair_failures {
+        h.u64(slot as u64).f64(onset);
     }
     h.finish()
 }
@@ -421,6 +433,11 @@ pub struct CompileStats {
     /// Track reuses — evaluations that skipped propagation and
     /// membership entirely because the compiled track was cached.
     pub track_reuses: u64,
+    /// Tracks adopted from the cross-scenario pool: a *different*
+    /// scenario key (typically a what-if delta of the parent) had
+    /// already compiled an identical track, so this scenario inherited
+    /// it — memoized horizon solves included — instead of building.
+    pub track_shares: u64,
     /// Horizon solves replayed from the memo instead of re-solved.
     pub memo_hits: u64,
     /// Horizon solves executed live (and recorded for future replay).
@@ -434,8 +451,18 @@ pub struct CompileStats {
 #[derive(Debug, Default)]
 pub(super) struct CompileCache {
     scenarios: Mutex<BTreeMap<String, Arc<CompiledScenario>>>,
+    /// Cross-scenario track pool, keyed by a digest of everything a
+    /// compiled track (and the safety of sharing its horizon memo)
+    /// depends on: satellite elements, grid, membership geometry,
+    /// sensing spec, workload, and scheduler identity. Scenario keys
+    /// deliberately over-bind (they include recall, seed, fault plan);
+    /// the pool is what lets a what-if delta's child scenario inherit
+    /// the parent's tracks — memoized solves included — for every
+    /// satellite the delta left untouched.
+    tracks: Mutex<BTreeMap<u64, Arc<CompiledTrack>>>,
     track_builds: AtomicU64,
     track_reuses: AtomicU64,
+    track_shares: AtomicU64,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
 }
@@ -454,6 +481,20 @@ impl CompileCache {
             .clone()
     }
 
+    /// Looks up a track in the cross-scenario pool by its digest.
+    pub fn pool_get(&self, digest: u64) -> Option<Arc<CompiledTrack>> {
+        lock_unpoisoned(&self.tracks).get(&digest).cloned()
+    }
+
+    /// Publishes a freshly built track to the cross-scenario pool,
+    /// keeping the incumbent if a concurrent build got there first
+    /// (both are pure functions of the digested inputs). Returns the
+    /// pooled track.
+    pub fn pool_put(&self, digest: u64, track: Arc<CompiledTrack>) -> Arc<CompiledTrack> {
+        let mut map = lock_unpoisoned(&self.tracks);
+        map.entry(digest).or_insert(track).clone()
+    }
+
     /// Counts one compiled track build.
     pub fn note_build(&self) {
         self.track_builds.fetch_add(1, Ordering::Relaxed);
@@ -462,6 +503,11 @@ impl CompileCache {
     /// Counts one compiled track reuse.
     pub fn note_reuse(&self) {
         self.track_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one track adopted from the cross-scenario pool.
+    pub fn note_share(&self) {
+        self.track_shares.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one memo replay.
@@ -479,6 +525,7 @@ impl CompileCache {
         CompileStats {
             track_builds: self.track_builds.load(Ordering::Relaxed),
             track_reuses: self.track_reuses.load(Ordering::Relaxed),
+            track_shares: self.track_shares.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
         }

@@ -53,6 +53,16 @@ pub struct CoverageOptions {
     /// "Orbit Design", implemented here as an extension). 1 reproduces
     /// the paper's single-plane evaluation.
     pub orbital_planes: usize,
+    /// Pin group phasing to a fixed capacity of orbital slots (see
+    /// [`ConstellationLayout::with_planes_slotted`]): group `g` always
+    /// occupies slot `g`, so a what-if delta that adds or removes
+    /// trailing groups leaves every surviving satellite's orbit
+    /// bit-identical — the geometric precondition for sharing compiled
+    /// tracks between parent and child scenarios (DESIGN.md §14).
+    /// `None` (default) phases against the actual group count, the
+    /// paper's layout; `Some(groups)` is bit-identical to `None`.
+    /// Evaluation errors when the capacity is below the group count.
+    pub layout_slots: Option<usize>,
     /// Optional seeded fault-injection plan (satellite outages,
     /// detector dropout, radio/ADACS derating, brownouts). `None`
     /// reproduces the fault-free paper evaluation. Shared by `Arc` so
@@ -100,6 +110,7 @@ impl Default for CoverageOptions {
             failure: None,
             recapture_penalty: None,
             orbital_planes: 1,
+            layout_slots: None,
             fault_plan: None,
             degraded_mode: DegradedMode::default(),
             threads: 1,
@@ -127,13 +138,15 @@ impl Default for CoverageOptions {
 pub struct CoverageEvaluator<'a> {
     targets: &'a TargetSet,
     options: CoverageOptions,
-    /// Compiled-program cache (DESIGN.md §13): per configuration, the
+    /// Compiled-program cache (DESIGN.md §13/§14): per scenario, the
     /// batch-propagated states, access-interval membership, and
-    /// horizon-solve memos. Repeated evaluations of the same
+    /// horizon-solve memos, plus the cross-scenario track pool that
+    /// lets a what-if fork ([`fork_with`](Self::fork_with)) inherit
+    /// unaffected tracks. Repeated evaluations of the same
     /// configuration reuse the compiled program instead of
     /// recompiling; the cache is behaviour-invisible (warm and cold
     /// reports are bit-identical).
-    compile: CompileCache,
+    compile: Arc<CompileCache>,
 }
 
 /// Precomputed state shared by every per-leader pass of one
@@ -152,7 +165,24 @@ impl<'a> CoverageEvaluator<'a> {
         CoverageEvaluator {
             targets,
             options,
-            compile: CompileCache::default(),
+            compile: Arc::new(CompileCache::default()),
+        }
+    }
+
+    /// A sibling evaluator over the same workload with different
+    /// options, sharing this evaluator's compiled-program cache. This
+    /// is the incremental what-if entry point (DESIGN.md §14): the fork
+    /// evaluates an edited scenario, and every satellite whose compiled
+    /// inputs the edit left untouched adopts the parent's track from
+    /// the shared pool — memoized horizon solves included — so only
+    /// dirty frames are re-solved. Sharing is behaviour-invisible: the
+    /// fork's report is bit-identical to a cold evaluation of the same
+    /// scenario (the delta differential suite asserts this).
+    pub fn fork_with(&self, options: CoverageOptions) -> CoverageEvaluator<'a> {
+        CoverageEvaluator {
+            targets: self.targets,
+            options,
+            compile: Arc::clone(&self.compile),
         }
     }
 
@@ -179,10 +209,7 @@ impl<'a> CoverageEvaluator<'a> {
     pub fn evaluate(&self, config: &ConstellationConfig) -> Result<CoverageReport, CoreError> {
         self.options.spec.validate()?;
         let _span = self.options.metrics.span("core/evaluate");
-        // The compiled-program cache key: everything else that shapes
-        // membership or solves is fixed per evaluator (options and
-        // workload), so the configuration alone distinguishes programs.
-        let key = format!("{config:?}");
+        let key = self.compile_scenario_key(config);
         let report = match *config {
             ConstellationConfig::LowResOnly { satellites } => {
                 self.swath_membership(satellites, self.options.spec.low_res.swath_m(), &key)
@@ -232,8 +259,75 @@ impl<'a> CoverageEvaluator<'a> {
         let s = self.compile.stats();
         m.gauge_max("core/compile/track_builds", s.track_builds as f64);
         m.gauge_max("core/compile/track_reuses", s.track_reuses as f64);
+        m.gauge_max("core/compile/track_shares", s.track_shares as f64);
         m.gauge_max("core/compile/memo_hits", s.memo_hits as f64);
         m.gauge_max("core/compile/memo_misses", s.memo_misses as f64);
+    }
+
+    /// The compiled-program cache key of one scenario: configuration
+    /// plus the scenario hash, which binds every option shaping
+    /// membership or solves. Sibling evaluators forked via
+    /// [`fork_with`](Self::fork_with) share one cache, so — unlike
+    /// before forking existed — the options are not fixed per cache
+    /// and must participate in the key. Over-binding is safe: tracks
+    /// still flow between scenario keys through the pool, keyed by
+    /// exactly what a track depends on.
+    fn compile_scenario_key(&self, config: &ConstellationConfig) -> String {
+        format!("{config:?}#{:016x}", self.scenario_hash(config))
+    }
+
+    /// Pool digest of one satellite's compiled track: the orbital
+    /// elements, grid, membership geometry, sensing spec, and workload
+    /// that determine its states/intervals/coefficients, plus the
+    /// scheduler label that keeps memoized horizon solves from
+    /// crossing solver identities. Options that flow entirely through
+    /// the per-frame [`horizon_digest`] (recall, seed, fault plan,
+    /// task caps, recapture scaling) are deliberately excluded — that
+    /// is what lets a what-if fork share tracks across those edits.
+    fn track_digest(&self, sat: &SatelliteSpec, geom: &CompileGeometry, sched_label: &str) -> u64 {
+        let o = &self.options;
+        let mut h = ScenarioHasher::new();
+        h.str("eagleeye-core/track/v1")
+            .str(&format!("{sat:?}"))
+            .str(&format!("{:?}", o.spec))
+            .f64(o.duration_s)
+            .f64(o.inclination_rad)
+            .f64(geom.bound_m)
+            .f64(geom.half_cross_m)
+            .f64(geom.half_along_m)
+            .str(sched_label)
+            .u64(self.targets.len() as u64)
+            .f64(self.targets.total_value());
+        h.finish()
+    }
+
+    /// Builds the constellation layout for this evaluator's options:
+    /// slot-pinned when [`CoverageOptions::layout_slots`] is set,
+    /// legacy even phasing otherwise.
+    fn layout_for(
+        &self,
+        groups: usize,
+        followers_per_group: usize,
+    ) -> Result<ConstellationLayout, CoreError> {
+        let planes = self.options.orbital_planes.max(1);
+        let layout = match self.options.layout_slots {
+            Some(slots) => ConstellationLayout::with_planes_slotted(
+                groups,
+                followers_per_group,
+                self.options.spec.altitude_m,
+                self.options.inclination_rad,
+                planes,
+                slots,
+            ),
+            None => ConstellationLayout::with_planes(
+                groups,
+                followers_per_group,
+                self.options.spec.altitude_m,
+                self.options.inclination_rad,
+                planes,
+            ),
+        };
+        Ok(layout?)
     }
 
     /// A stable, process-independent fingerprint of everything that
@@ -260,6 +354,7 @@ impl<'a> CoverageEvaluator<'a> {
             .str(&format!("{:?}", o.failure))
             .str(&format!("{:?}", o.recapture_penalty))
             .u64(o.orbital_planes as u64)
+            .str(&format!("{:?}", o.layout_slots))
             .str(&format!("{:?}", o.fault_plan))
             .str(&format!("{:?}", o.degraded_mode))
             .u64(self.targets.len() as u64)
@@ -352,7 +447,7 @@ impl<'a> CoverageEvaluator<'a> {
 
         let scenario = self
             .compile
-            .scenario(&format!("{config:?}"), sc.leaders.len());
+            .scenario(&self.compile_scenario_key(config), sc.leaders.len());
         let run_config = RunConfig {
             scenario_hash: self.scenario_hash(config),
             threads: self.effective_threads(),
@@ -493,13 +588,7 @@ impl<'a> CoverageEvaluator<'a> {
             return Ok(report);
         }
         let spec = &self.options.spec;
-        let layout = ConstellationLayout::with_planes(
-            satellites,
-            0,
-            spec.altitude_m,
-            self.options.inclination_rad,
-            self.options.orbital_planes.max(1),
-        )?;
+        let layout = self.layout_for(satellites, 0)?;
         let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
         let frame_len = spec.frame_length_m();
         let bound = ((swath_m / 2.0).powi(2) + (frame_len / 2.0).powi(2)).sqrt() + 2_000.0;
@@ -522,6 +611,14 @@ impl<'a> CoverageEvaluator<'a> {
         for i in 0..sats.len() {
             if scenario.track(i).is_some() {
                 self.compile.note_reuse();
+            } else if let Some(track) = self
+                .compile
+                .pool_get(self.track_digest(&sats[i], &geom, "swath"))
+            {
+                // A sibling scenario (typically a what-if fork) already
+                // compiled this exact track; adopt it.
+                self.compile.note_share();
+                scenario.store(i, track);
             } else {
                 missing.push(i);
             }
@@ -567,7 +664,8 @@ impl<'a> CoverageEvaluator<'a> {
                     let sat_parts: Vec<_> = parts.by_ref().take(ranges.len()).collect();
                     let track = Arc::new(CompiledTrack::assemble(states, sat_parts));
                     self.compile.note_build();
-                    scenario.store(missing[mi], track);
+                    let digest = self.track_digest(&sats[missing[mi]], &geom, "swath");
+                    scenario.store(missing[mi], self.compile.pool_put(digest, track));
                 }
             } else {
                 for &i in &missing {
@@ -578,6 +676,7 @@ impl<'a> CoverageEvaluator<'a> {
                         &layout,
                         &grid,
                         &geom,
+                        "swath",
                         &self.options.metrics,
                         &mut report,
                     )?;
@@ -598,6 +697,7 @@ impl<'a> CoverageEvaluator<'a> {
                     &layout,
                     &grid,
                     &geom,
+                    "swath",
                     &self.options.metrics,
                     &mut report,
                 )?,
@@ -700,6 +800,7 @@ impl<'a> CoverageEvaluator<'a> {
         layout: &ConstellationLayout,
         grid: &EpochGrid,
         geom: &CompileGeometry,
+        sched_label: &str,
         metrics: &Metrics,
         report: &mut CoverageReport,
     ) -> Result<Arc<CompiledTrack>, CoreError> {
@@ -707,13 +808,20 @@ impl<'a> CoverageEvaluator<'a> {
             self.compile.note_reuse();
             return Ok(track);
         }
+        let digest = self.track_digest(sat, geom, sched_label);
+        if let Some(track) = self.compile.pool_get(digest) {
+            // Adopted from a sibling scenario's compile (what-if fork):
+            // no propagation happened here, so no counters are recorded.
+            self.compile.note_share();
+            return Ok(scenario.store(slot, track));
+        }
         let sw = Stopwatch::start();
         let states = grid.propagate_observed(&layout.ground_track(sat)?, metrics)?;
         report.propagate_time += sw.elapsed();
         let part = membership_chunk(&states, grid.epochs(), 0..grid.len(), self.targets, geom)?;
         let track = Arc::new(CompiledTrack::assemble(states, vec![part]));
         self.compile.note_build();
-        Ok(scenario.store(slot, track))
+        Ok(scenario.store(slot, self.compile.pool_put(digest, track)))
     }
 
     /// Shared setup for the per-leader passes of an EagleEye or
@@ -745,13 +853,7 @@ impl<'a> CoverageEvaluator<'a> {
             return Ok(None);
         }
         let spec = &self.options.spec;
-        let layout = ConstellationLayout::with_planes(
-            groups,
-            if is_mix { 0 } else { followers_per_group },
-            spec.altitude_m,
-            self.options.inclination_rad,
-            self.options.orbital_planes.max(1),
-        )?;
+        let layout = self.layout_for(groups, if is_mix { 0 } else { followers_per_group })?;
         let grid = EpochGrid::for_horizon(0.0, self.options.duration_s, spec.frame_cadence_s);
         let leaders: Vec<_> = layout
             .satellites()
@@ -922,7 +1024,15 @@ impl<'a> CoverageEvaluator<'a> {
                 (None, Some(states))
             } else {
                 let track = self.get_or_compile_track(
-                    compiled, leader_idx, leader, layout, grid, &geom, metrics, report,
+                    compiled,
+                    leader_idx,
+                    leader,
+                    layout,
+                    grid,
+                    &geom,
+                    &format!("{scheduler_kind:?}"),
+                    metrics,
+                    report,
                 )?;
                 (Some(track), None)
             };
@@ -1130,6 +1240,21 @@ impl<'a> CoverageEvaluator<'a> {
                 start_s: t + d,
                 end_s: t + spec.frame_cadence_s - return_slew_s,
             });
+            // Mid-horizon outage onsets for this frame, computed before
+            // the digest so they participate in it: two scenarios whose
+            // fault plans differ only mid-frame would otherwise collide
+            // on a digest and replay the wrong (un-repaired) memo.
+            let repair_failures: Vec<(usize, f64)> = match (fault_aware, fault_plan, &scheduler) {
+                (true, Some(p), ActiveScheduler::Resilient(_)) => active
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, &k)| {
+                        p.follower_outage_onset(k, t, t + spec.frame_cadence_s)
+                            .map(|onset| (slot, onset))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
             // Digest the exact solver inputs before the problem
             // consumes them: the compiled track memoizes each solved
             // horizon (including any fault repair) under this digest,
@@ -1149,6 +1274,7 @@ impl<'a> CoverageEvaluator<'a> {
                         &tasks,
                         &active,
                         &follower_states,
+                        &repair_failures,
                     ),
                 )
             });
@@ -1234,21 +1360,13 @@ impl<'a> CoverageEvaluator<'a> {
                 // follower's plan at the outage onset and re-plans the
                 // dropped tasks onto the survivors.
                 if fault_aware {
-                    if let (Some(p), ActiveScheduler::Resilient(rs)) = (fault_plan, &scheduler) {
-                        let failures: Vec<(usize, f64)> = active
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(slot, &k)| {
-                                p.follower_outage_onset(k, t, t + spec.frame_cadence_s)
-                                    .map(|onset| (slot, onset))
-                            })
-                            .collect();
-                        if !failures.is_empty() {
-                            let repaired = rs.repair(&problem, &schedule, &failures)?;
-                            report.repairs_attempted += failures.len();
+                    if let ActiveScheduler::Resilient(rs) = &scheduler {
+                        if !repair_failures.is_empty() {
+                            let repaired = rs.repair(&problem, &schedule, &repair_failures)?;
+                            report.repairs_attempted += repair_failures.len();
                             report.tasks_dropped_by_failures += repaired.dropped_tasks;
                             report.tasks_reassigned += repaired.reassigned_tasks;
-                            solved.repairs_attempted = failures.len();
+                            solved.repairs_attempted = repair_failures.len();
                             solved.dropped_tasks = repaired.dropped_tasks;
                             solved.reassigned_tasks = repaired.reassigned_tasks;
                             schedule = repaired.schedule;

@@ -31,12 +31,14 @@
 
 mod compile;
 mod config;
+mod delta;
 mod evaluator;
 mod harden;
 mod report;
 
 pub use compile::CompileStats;
 pub use config::{ConstellationConfig, DegradedMode, FailurePlan, SchedulerKind};
+pub use delta::{DeltaStats, ScenarioDelta};
 pub use evaluator::{CoverageEvaluator, CoverageOptions};
 pub use harden::{HardenOptions, HardenedOutcome};
 pub use report::CoverageReport;

@@ -4,7 +4,8 @@ use eagleeye_obs::Metrics;
 use std::time::Duration;
 
 /// Version byte leading every [`CoverageReport::to_bytes`] payload.
-const REPORT_CODEC_VERSION: u8 = 1;
+/// Version 2 appended the ILP warm-start counters.
+const REPORT_CODEC_VERSION: u8 = 2;
 
 /// Result of a coverage evaluation run.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -80,6 +81,11 @@ pub struct CoverageReport {
     pub ilp_deadline_hits: usize,
     /// ILP subproblems abandoned on the simplex iteration cap.
     pub ilp_iteration_limit_hits: usize,
+    /// Branch-and-bound nodes solved from a warm-started parent basis.
+    pub ilp_warm_starts: usize,
+    /// Nodes whose warm basis was rejected and fell back to a cold
+    /// solve.
+    pub ilp_warm_rejects: usize,
     /// True when the crash-safe run layer stopped this evaluation early
     /// (deadline exceeded or shutdown requested) and the report covers
     /// only the leader passes that finished. Anytime results: every
@@ -176,6 +182,8 @@ impl CoverageReport {
         self.ilp_incumbent_updates += part.ilp_incumbent_updates;
         self.ilp_deadline_hits += part.ilp_deadline_hits;
         self.ilp_iteration_limit_hits += part.ilp_iteration_limit_hits;
+        self.ilp_warm_starts += part.ilp_warm_starts;
+        self.ilp_warm_rejects += part.ilp_warm_rejects;
     }
 
     /// Folds one horizon's ILP solver diagnostics into the report.
@@ -188,6 +196,8 @@ impl CoverageReport {
         self.ilp_incumbent_updates += stats.incumbent_updates;
         self.ilp_deadline_hits += stats.deadline_hits;
         self.ilp_iteration_limit_hits += stats.iteration_limit_hits;
+        self.ilp_warm_starts += stats.warm_starts;
+        self.ilp_warm_rejects += stats.warm_rejects;
     }
 
     /// Mirrors the report into a metrics registry under the `core/*`
@@ -230,6 +240,8 @@ impl CoverageReport {
             "ilp/iteration_limit_hits",
             self.ilp_iteration_limit_hits as u64,
         );
+        metrics.add("ilp/warm_starts", self.ilp_warm_starts as u64);
+        metrics.add("ilp/warm_rejects", self.ilp_warm_rejects as u64);
         const FRAME_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50];
         for &n in &self.per_frame_target_counts {
             metrics.observe("core/frame_targets", n as u64, FRAME_BUCKETS);
@@ -333,6 +345,8 @@ impl CoverageReport {
         w.usize(self.ilp_incumbent_updates);
         w.usize(self.ilp_deadline_hits);
         w.usize(self.ilp_iteration_limit_hits);
+        w.usize(self.ilp_warm_starts);
+        w.usize(self.ilp_warm_rejects);
         w.bool(self.degraded);
         w.usize(self.leader_passes_completed);
         w.usize(self.leader_passes_total);
@@ -396,6 +410,8 @@ impl CoverageReport {
         out.ilp_incumbent_updates = r.usize()?;
         out.ilp_deadline_hits = r.usize()?;
         out.ilp_iteration_limit_hits = r.usize()?;
+        out.ilp_warm_starts = r.usize()?;
+        out.ilp_warm_rejects = r.usize()?;
         out.degraded = r.bool()?;
         out.leader_passes_completed = r.usize()?;
         out.leader_passes_total = r.usize()?;
@@ -494,6 +510,8 @@ mod tests {
             lp_iterations: 90,
             lp_pivots: 60,
             incumbent_updates: 3,
+            warm_starts: 5,
+            warm_rejects: 2,
             greedy_dominated: false,
         };
         let mut part = CoverageReport::default();
@@ -509,6 +527,8 @@ mod tests {
         assert_eq!(acc.ilp_incumbent_updates, 6);
         assert_eq!(acc.ilp_deadline_hits, 2);
         assert_eq!(acc.ilp_iteration_limit_hits, 0);
+        assert_eq!(acc.ilp_warm_starts, 10);
+        assert_eq!(acc.ilp_warm_rejects, 4);
     }
 
     #[test]
@@ -585,6 +605,8 @@ mod tests {
             ilp_incumbent_updates: 3,
             ilp_deadline_hits: 1,
             ilp_iteration_limit_hits: 0,
+            ilp_warm_starts: 8,
+            ilp_warm_rejects: 2,
             degraded: true,
             leader_passes_completed: 2,
             leader_passes_total: 5,

@@ -82,6 +82,12 @@ pub struct IlpRunStats {
     pub lp_pivots: usize,
     /// Incumbent replacements across all subproblems.
     pub incumbent_updates: usize,
+    /// Branch-and-bound nodes whose LP relaxation was solved from a
+    /// warm-started (parent) basis, summed over all subproblems.
+    pub warm_starts: usize,
+    /// Nodes whose warm basis was rejected (failed installation or dual
+    /// restoration) and fell back to a cold solve.
+    pub warm_rejects: usize,
     /// True when the final answer came from the greedy baseline because
     /// it beat the (coarsely discretized) ILP solution.
     pub greedy_dominated: bool,
@@ -281,6 +287,8 @@ impl IlpScheduler {
         stats.lp_iterations += solver.lp_iterations;
         stats.lp_pivots += solver.lp_pivots;
         stats.incumbent_updates += solver.incumbent_updates;
+        stats.warm_starts += solver.warm_starts;
+        stats.warm_rejects += solver.warm_rejects;
         // Branch-and-bound converts an expired deadline into a limit
         // status (`Feasible` with the incumbent, `Unknown` without one)
         // rather than an error; count those as deadline hits too.
@@ -547,6 +555,8 @@ mod tests {
         assert!(stats.lp_pivots <= stats.lp_iterations);
         // A feasible instance always produces at least one incumbent.
         assert!(stats.incumbent_updates >= 1);
+        // Warm-start activity is only possible on explored child nodes.
+        assert!(stats.warm_starts + stats.warm_rejects <= stats.nodes_explored);
         assert!(stats.clean());
     }
 

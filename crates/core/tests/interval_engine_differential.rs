@@ -17,7 +17,7 @@ use eagleeye_check::{check_cases, f64_range, prop_assert, u64_range, usize_range
 use eagleeye_core::clustering::ClusteringMethod;
 use eagleeye_core::coverage::{
     ConstellationConfig, CoverageEvaluator, CoverageOptions, CoverageReport, DegradedMode,
-    FailurePlan, SchedulerKind,
+    FailurePlan, ScenarioDelta, SchedulerKind,
 };
 use eagleeye_datasets::{Target, TargetSet};
 use eagleeye_geo::GeodeticPoint;
@@ -246,6 +246,139 @@ fn swath_configs_match_reference() {
                     "swath evaluation must walk frames"
                 );
             }
+            Ok(())
+        },
+    );
+}
+
+/// Parent→child scenario edits: a child scenario evaluated on a fork
+/// of its parent's evaluator (sharing the compile cache and track
+/// pool) must agree with the reference frame walk of the same child —
+/// the sharing machinery of DESIGN.md §14 must be invisible to the
+/// legacy engine too, not just to a cold compiled run.
+#[test]
+fn scenario_edits_match_reference_frame_walk() {
+    check_cases(
+        CASES,
+        "scenario_edits_match_reference_frame_walk",
+        (
+            u64_range(0, u64::MAX),
+            usize_range(0, 2),
+            (usize_range(2, 3), usize_range(1, 2)),
+            usize_range(0, 2),
+            f64_range(0.6, 1.0),
+        ),
+        |&(seed, tkind, (groups, followers), skind, recall)| {
+            let targets = targets_for(tkind, seed);
+            let parent_cfg = ConstellationConfig::EagleEye {
+                groups,
+                followers_per_group: followers,
+                scheduler: scheduler_for(skind),
+                clustering: ClusteringMethod::Ilp,
+            };
+            let parent_opts = CoverageOptions {
+                duration_s: 1_200.0,
+                recall,
+                seed,
+                layout_slots: Some(groups + 1),
+                fault_plan: Some(Arc::new(FaultPlan::new(seed).with_fault(
+                    FaultKind::FollowerOutage { follower: 0 },
+                    300.0,
+                    500.0,
+                ))),
+                ..CoverageOptions::default()
+            };
+            let parent = CoverageEvaluator::new(&targets, parent_opts);
+            parent.evaluate(&parent_cfg).expect("parent evaluation");
+
+            // Add a follower, drop a follower, widen the parent's
+            // fault window past its original end: each child runs on a
+            // fork of the parent (inheriting shared tracks where the
+            // digests allow) and must match the legacy frame walk.
+            let edits = [
+                ScenarioDelta::AddFollower,
+                ScenarioDelta::RemoveFollower,
+                ScenarioDelta::FaultWindow {
+                    kind: FaultKind::FollowerOutage { follower: 0 },
+                    start_s: 500.0,
+                    end_s: 900.0,
+                },
+            ];
+            for delta in &edits {
+                let (child_cfg, child_opts) = delta
+                    .apply(&parent_cfg, parent.options())
+                    .expect("edit applies");
+                let forked = parent
+                    .fork_with(child_opts.clone())
+                    .evaluate(&child_cfg)
+                    .expect("forked child evaluation");
+                let reference = CoverageEvaluator::new(
+                    &targets,
+                    CoverageOptions {
+                        reference_frame_walk: true,
+                        ..child_opts
+                    },
+                )
+                .evaluate(&child_cfg)
+                .expect("reference child evaluation");
+                prop_assert!(
+                    forked.same_outcome(&reference),
+                    "forked child diverged from reference for {delta:?}:\
+                     \nforked: {forked:?}\nreference: {reference:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A moved target changes the workload itself, which is outside the
+/// delta machinery: compiled-program caches never span target sets, so
+/// the edited workload gets fresh evaluators — and the compiled engine
+/// must still match the reference walk on both sides of the move.
+#[test]
+fn moved_target_workloads_match_reference() {
+    check_cases(
+        CASES,
+        "moved_target_workloads_match_reference",
+        (
+            u64_range(0, u64::MAX),
+            usize_range(0, 99),
+            f64_range(-4.0, 4.0),
+        ),
+        |&(seed, moved_idx, dlat)| {
+            let before = targets_for(0, seed);
+            // Move one target (same value, shifted position): a digest
+            // keyed only on coarse workload identity would collide.
+            let after: eagleeye_datasets::TargetSet = before
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mut t = *t;
+                    if i == moved_idx % before.len() {
+                        t.position = GeodeticPoint::from_degrees(
+                            (t.position.lat_deg() + dlat).clamp(-80.0, 80.0),
+                            t.position.lon_deg(),
+                            0.0,
+                        )
+                        .expect("valid moved target");
+                    }
+                    t
+                })
+                .collect();
+            let options = CoverageOptions {
+                duration_s: 1_200.0,
+                seed,
+                ..CoverageOptions::default()
+            };
+            let config = ConstellationConfig::eagleeye(2, 1);
+            let (a, _) = assert_engines_agree(&before, &options, &config);
+            let (b, _) = assert_engines_agree(&after, &options, &config);
+            // The two workloads share totals by construction.
+            prop_assert!(
+                (a.total_value - b.total_value).abs() < 1e-9 && a.total == b.total,
+                "moved-target workload changed its totals"
+            );
             Ok(())
         },
     );

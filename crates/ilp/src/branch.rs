@@ -1,6 +1,7 @@
 //! Depth-first branch-and-bound over the LP relaxation.
 
-use crate::model::{Model, ObjectiveDirection, Solution, SolveStatus, VarKind};
+use crate::model::{Model, ObjectiveDirection, Sense, Solution, SolveStatus, VarKind};
+use crate::simplex::WarmBasis;
 use crate::IlpError;
 use eagleeye_harden::{crash_point, ByteReader, ByteWriter, CodecError};
 use std::time::{Duration, Instant};
@@ -19,6 +20,15 @@ pub struct SolveOptions {
     /// Absolute objective gap below which a node is pruned against the
     /// incumbent. Zero proves exact optimality.
     pub absolute_gap: f64,
+    /// Optional candidate solution (one value per variable, in
+    /// [`crate::VarId::index`] order) used to seed the incumbent bound
+    /// before the search starts. The hint is validated against the
+    /// model — bounds, integrality, and every constraint — and
+    /// silently discarded if it fails, so a stale or foreign hint can
+    /// never corrupt a solve; an accepted hint is counted in
+    /// [`SolveStats::hints_accepted`]. Ignored when resuming from a
+    /// [`Frontier`], whose incumbent already reflects it.
+    pub incumbent_hint: Option<Vec<f64>>,
 }
 
 impl Default for SolveOptions {
@@ -28,6 +38,7 @@ impl Default for SolveOptions {
             node_limit: None,
             integrality_tol: 1e-6,
             absolute_gap: 1e-9,
+            incumbent_hint: None,
         }
     }
 }
@@ -58,6 +69,18 @@ pub struct SolveStats {
     /// How many times a new best integral solution replaced the
     /// incumbent (1 = the first feasible solution was already optimal).
     pub incumbent_updates: usize,
+    /// Nodes whose LP relaxation was solved from an inherited warm
+    /// basis (parent's optimal basis, installed and dual-simplex
+    /// restored) instead of a cold two-phase solve.
+    pub warm_starts: usize,
+    /// Nodes that carried a warm basis which the simplex rejected
+    /// (layout mismatch, singular factorization, dual infeasibility),
+    /// falling back to a cold solve. Counted on feasible nodes, where
+    /// the outcome of the attempt is observable.
+    pub warm_rejects: usize,
+    /// Incumbent hints ([`SolveOptions::incumbent_hint`]) that passed
+    /// validation and seeded the initial bound (0 or 1 per solve).
+    pub hints_accepted: usize,
     /// Wall-clock time from solve start until the first incumbent was
     /// found; `None` when the search ended with no feasible solution.
     pub time_to_first_incumbent: Option<Duration>,
@@ -65,10 +88,12 @@ pub struct SolveStats {
     pub elapsed: Duration,
 }
 
-/// A search node: a set of variable bound overrides.
-#[derive(Debug, Clone)]
+/// A search node: a set of variable bound overrides plus the parent
+/// relaxation's optimal basis to warm-start this node's LP.
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     overrides: Vec<(usize, f64, f64)>,
+    warm: Option<WarmBasis>,
 }
 
 /// A paused branch-and-bound search: the best incumbent found so far
@@ -86,8 +111,11 @@ struct Node {
 pub struct Frontier {
     /// Internal (minimize-sign) incumbent objective and values.
     incumbent: Option<(f64, Vec<f64>)>,
-    /// Open nodes, bottom of the DFS stack first.
-    open: Vec<Vec<(usize, f64, f64)>>,
+    /// Open nodes, bottom of the DFS stack first. Each node carries
+    /// its inherited warm basis so a resumed search warm-starts the
+    /// same nodes an uninterrupted one would — keeping the warm
+    /// counters and LP effort stats bit-identical across resumes.
+    open: Vec<Node>,
     /// Deterministic counters carried across segments; wall-clock
     /// fields accumulate per-segment elapsed time.
     stats: SolveStats,
@@ -112,7 +140,7 @@ impl Frontier {
     /// Serializes the frontier (little-endian, floats as raw bits).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.u8(1); // format version
+        w.u8(2); // format version (2 = warm bases + warm/hint stats)
         w.bool(self.incumbent.is_some());
         if let Some((obj, values)) = &self.incumbent {
             w.f64(*obj);
@@ -122,12 +150,23 @@ impl Frontier {
             }
         }
         w.usize(self.open.len());
-        for overrides in &self.open {
-            w.usize(overrides.len());
-            for &(j, lo, hi) in overrides {
+        for node in &self.open {
+            w.usize(node.overrides.len());
+            for &(j, lo, hi) in &node.overrides {
                 w.usize(j);
                 w.f64(lo);
                 w.f64(hi);
+            }
+            w.bool(node.warm.is_some());
+            if let Some(basis) = &node.warm {
+                w.usize(basis.n_cols);
+                w.usize(basis.basis.len());
+                for &j in &basis.basis {
+                    w.usize(j);
+                }
+                for &flag in &basis.at_upper {
+                    w.bool(flag);
+                }
             }
         }
         w.u64(self.stats.nodes_explored as u64);
@@ -135,6 +174,9 @@ impl Frontier {
         w.u64(self.stats.lp_pivots as u64);
         w.u64(self.stats.nodes_pruned as u64);
         w.u64(self.stats.incumbent_updates as u64);
+        w.u64(self.stats.warm_starts as u64);
+        w.u64(self.stats.warm_rejects as u64);
+        w.u64(self.stats.hints_accepted as u64);
         w.bool(self.stats.time_to_first_incumbent.is_some());
         if let Some(t) = self.stats.time_to_first_incumbent {
             w.u64(t.as_secs());
@@ -152,7 +194,7 @@ impl Frontier {
     /// [`CodecError`] on truncation or an unknown format version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = ByteReader::new(bytes);
-        if r.u8()? != 1 {
+        if r.u8()? != 2 {
             return Err(CodecError {
                 context: "frontier format version",
             });
@@ -176,7 +218,26 @@ impl Frontier {
             for _ in 0..n_ov {
                 overrides.push((r.usize()?, r.f64()?, r.f64()?));
             }
-            open.push(overrides);
+            let warm = if r.bool()? {
+                let n_cols = r.usize()?;
+                let n_basis = r.usize()?;
+                let mut basis = Vec::with_capacity(n_basis);
+                for _ in 0..n_basis {
+                    basis.push(r.usize()?);
+                }
+                let mut at_upper = Vec::with_capacity(n_cols);
+                for _ in 0..n_cols {
+                    at_upper.push(r.bool()?);
+                }
+                Some(WarmBasis {
+                    basis,
+                    at_upper,
+                    n_cols,
+                })
+            } else {
+                None
+            };
+            open.push(Node { overrides, warm });
         }
         let mut stats = SolveStats {
             nodes_explored: r.u64()? as usize,
@@ -184,6 +245,9 @@ impl Frontier {
             lp_pivots: r.u64()? as usize,
             nodes_pruned: r.u64()? as usize,
             incumbent_updates: r.u64()? as usize,
+            warm_starts: r.u64()? as usize,
+            warm_rejects: r.u64()? as usize,
+            hints_accepted: r.u64()? as usize,
             ..SolveStats::default()
         };
         if r.bool()? {
@@ -201,6 +265,35 @@ impl Frontier {
             stats,
         })
     }
+}
+
+/// Validates an incumbent hint against the model: length, bounds,
+/// integrality of integer variables, and every constraint row. Returns
+/// the hint's objective value (model direction) when valid.
+fn validated_hint_objective(model: &Model, hint: &[f64], integrality_tol: f64) -> Option<f64> {
+    if hint.len() != model.num_vars() {
+        return None;
+    }
+    for (var, &x) in model.vars.iter().zip(hint) {
+        if !x.is_finite() || x < var.lower - 1e-9 || x > var.upper + 1e-9 {
+            return None;
+        }
+        if var.kind == VarKind::Integer && (x - x.round()).abs() > integrality_tol {
+            return None;
+        }
+    }
+    for row in &model.rows {
+        let lhs: f64 = row.terms.iter().map(|&(j, c)| c * hint[j]).sum();
+        let ok = match row.sense {
+            Sense::Le => lhs <= row.rhs + 1e-6,
+            Sense::Ge => lhs >= row.rhs - 1e-6,
+            Sense::Eq => (lhs - row.rhs).abs() <= 1e-6,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(model.vars.iter().zip(hint).map(|(v, &x)| v.obj * x).sum())
 }
 
 pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
@@ -235,21 +328,31 @@ pub(crate) fn solve_milp_resumable(
                 ..frontier.stats
             },
             frontier.incumbent,
-            frontier
-                .open
-                .into_iter()
-                .map(|overrides| Node { overrides })
-                .collect(),
+            frontier.open,
             frontier.stats.elapsed,
         ),
-        None => (
-            SolveStats::default(),
-            None, // internal (minimize) objective
-            vec![Node {
-                overrides: Vec::new(),
-            }],
-            Duration::ZERO,
-        ),
+        None => {
+            let mut stats = SolveStats::default();
+            // Seed the incumbent bound from a validated hint (the
+            // internal objective is always minimize-signed). The hint
+            // only prunes; it never counts as an incumbent update and
+            // never stamps a discovery time.
+            let incumbent = options.incumbent_hint.as_deref().and_then(|hint| {
+                validated_hint_objective(model, hint, options.integrality_tol).map(|obj| {
+                    stats.hints_accepted += 1;
+                    (sign * obj, hint.to_vec())
+                })
+            });
+            (
+                stats,
+                incumbent,
+                vec![Node {
+                    overrides: Vec::new(),
+                    warm: None,
+                }],
+                Duration::ZERO,
+            )
+        }
     };
     let mut limit_hit = false;
     let deadline = options.time_limit.map(|tl| start + tl);
@@ -275,7 +378,7 @@ pub(crate) fn solve_milp_resumable(
         crash_point("bnb_node");
 
         stats.nodes_explored += 1;
-        let relaxed = match model.solve_relaxation(&node.overrides, deadline) {
+        let relaxed = match model.solve_relaxation(&node.overrides, deadline, node.warm.as_ref()) {
             Ok(r) => r,
             Err(IlpError::Deadline) => {
                 // The node was not fully explored: give it back to the
@@ -293,11 +396,17 @@ pub(crate) fn solve_milp_resumable(
             }
             Err(e) => return Err(e),
         };
-        let Some((obj, values, iters, pivots)) = relaxed else {
+        let Some(rlp) = relaxed else {
             continue; // infeasible node
         };
-        stats.lp_iterations += iters;
-        stats.lp_pivots += pivots;
+        if rlp.warmed {
+            stats.warm_starts += 1;
+        } else if node.warm.is_some() {
+            stats.warm_rejects += 1;
+        }
+        let (obj, values) = (rlp.obj, rlp.values);
+        stats.lp_iterations += rlp.iterations;
+        stats.lp_pivots += rlp.pivots;
 
         // Bound pruning.
         if let Some((best, _)) = &incumbent {
@@ -344,14 +453,31 @@ pub(crate) fn solve_milp_resumable(
                 down.push((j, f64::NEG_INFINITY.max(model.vars[j].lower), floor));
                 let mut up = node.overrides.clone();
                 up.push((j, ceil, model.vars[j].upper));
-                // Explore the side closer to the LP value first (pushed
-                // last so it pops first).
+                // Both children inherit this node's optimal basis:
+                // only one variable's bound tightened, so the basis
+                // stays dual feasible and re-solves in a few dual
+                // pivots. Explore the side closer to the LP value
+                // first (pushed last so it pops first).
+                let warm_a = Some(rlp.basis.clone());
+                let warm_b = Some(rlp.basis);
                 if v - floor < 0.5 {
-                    stack.push(Node { overrides: up });
-                    stack.push(Node { overrides: down });
+                    stack.push(Node {
+                        overrides: up,
+                        warm: warm_a,
+                    });
+                    stack.push(Node {
+                        overrides: down,
+                        warm: warm_b,
+                    });
                 } else {
-                    stack.push(Node { overrides: down });
-                    stack.push(Node { overrides: up });
+                    stack.push(Node {
+                        overrides: down,
+                        warm: warm_a,
+                    });
+                    stack.push(Node {
+                        overrides: up,
+                        warm: warm_b,
+                    });
                 }
             }
         }
@@ -363,7 +489,7 @@ pub(crate) fn solve_milp_resumable(
     let frontier = if limit_hit && !stack.is_empty() {
         Some(Frontier {
             incumbent: incumbent.clone(),
-            open: stack.into_iter().map(|n| n.overrides).collect(),
+            open: stack,
             stats,
         })
     } else {
@@ -558,13 +684,17 @@ mod tests {
     }
 
     /// Deterministic stats: everything except the wall-clock fields.
-    fn det_stats(s: &SolveStats) -> (usize, usize, usize, usize, usize) {
+    #[allow(clippy::type_complexity)]
+    fn det_stats(s: &SolveStats) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
         (
             s.nodes_explored,
             s.lp_iterations,
             s.lp_pivots,
             s.nodes_pruned,
             s.incumbent_updates,
+            s.warm_starts,
+            s.warm_rejects,
+            s.hints_accepted,
         )
     }
 
@@ -650,16 +780,131 @@ mod tests {
     fn frontier_rejects_malformed_bytes() {
         assert!(Frontier::from_bytes(&[]).is_err());
         assert!(Frontier::from_bytes(&[9]).is_err());
+        // Version-1 payloads (pre warm-basis format) must be rejected.
+        assert!(Frontier::from_bytes(&[1, 0, 0]).is_err());
         let f = Frontier {
             incumbent: Some((1.5, vec![0.0, 1.0])),
-            open: vec![vec![(0, 0.0, 1.0)], vec![]],
+            open: vec![
+                Node {
+                    overrides: vec![(0, 0.0, 1.0)],
+                    warm: Some(WarmBasis {
+                        basis: vec![2],
+                        at_upper: vec![false, true, false],
+                        n_cols: 3,
+                    }),
+                },
+                Node {
+                    overrides: vec![],
+                    warm: None,
+                },
+            ],
             stats: SolveStats::default(),
         };
         let bytes = f.to_bytes();
+        assert_eq!(Frontier::from_bytes(&bytes).unwrap(), f);
         assert!(Frontier::from_bytes(&bytes[..bytes.len() - 1]).is_err());
         let mut trailing = bytes;
         trailing.push(0);
         assert!(Frontier::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn warm_starts_are_counted_and_deterministic() {
+        // A knapsack that genuinely branches: every non-root node
+        // carries its parent's basis, so warm attempts must be
+        // recorded, and two identical solves must agree exactly.
+        let values = [41.0, 50.0, 49.0, 59.0, 45.0, 47.0];
+        let weights = [31.0, 37.0, 38.0, 46.0, 35.0, 40.0];
+        let (m, _) = knapsack(&values, &weights, 100.0);
+        let a = m.solve(&SolveOptions::default()).unwrap();
+        let b = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(det_stats(a.stats()), det_stats(b.stats()));
+        let stats = a.stats();
+        assert!(stats.nodes_explored > 10);
+        assert!(
+            stats.warm_starts + stats.warm_rejects > 0,
+            "branching nodes must at least attempt warm starts"
+        );
+        assert!(
+            stats.warm_starts > 0,
+            "bound-tightened children should mostly accept the parent basis"
+        );
+        assert_eq!(stats.hints_accepted, 0);
+    }
+
+    #[test]
+    fn valid_incumbent_hint_seeds_the_bound() {
+        let values = [10.0, 13.0, 7.0, 8.0, 2.0, 9.0];
+        let weights = [5.0, 6.0, 3.0, 4.0, 1.0, 5.0];
+        let (m, _) = knapsack(&values, &weights, 11.0);
+        let baseline = m.solve(&SolveOptions::default()).unwrap();
+        // Seed with the known optimum: the search must accept the hint
+        // and still prove optimality of the same objective.
+        let opts = SolveOptions {
+            incumbent_hint: Some(baseline.values().to_vec()),
+            ..SolveOptions::default()
+        };
+        let hinted = m.solve(&opts).unwrap();
+        assert_eq!(hinted.status(), SolveStatus::Optimal);
+        assert_eq!(hinted.stats().hints_accepted, 1);
+        // The hint's objective is recomputed from the model, so it can
+        // differ from the LP-accumulated baseline in the last bits.
+        assert!((hinted.objective() - baseline.objective()).abs() < 1e-9);
+        // A seeded optimal incumbent means no node can improve on it.
+        assert_eq!(hinted.stats().incumbent_updates, 0);
+        assert!(hinted.stats().time_to_first_incumbent.is_none());
+        assert!(
+            hinted.stats().nodes_pruned >= baseline.stats().nodes_pruned,
+            "an optimal seed can only prune more"
+        );
+    }
+
+    #[test]
+    fn invalid_incumbent_hints_are_discarded() {
+        let values = [10.0, 13.0, 7.0];
+        let weights = [5.0, 6.0, 3.0];
+        let (m, _) = knapsack(&values, &weights, 8.0);
+        let baseline = m.solve(&SolveOptions::default()).unwrap();
+        let bad_hints = [
+            vec![1.0],                // wrong length
+            vec![1.0, 1.0, 1.0],      // violates the knapsack row
+            vec![0.5, 0.0, 0.0],      // fractional integer variable
+            vec![2.0, 0.0, 0.0],      // out of bounds
+            vec![f64::NAN, 0.0, 0.0], // non-finite
+        ];
+        for hint in bad_hints {
+            let opts = SolveOptions {
+                incumbent_hint: Some(hint.clone()),
+                ..SolveOptions::default()
+            };
+            let sol = m.solve(&opts).unwrap();
+            assert_eq!(sol.stats().hints_accepted, 0, "hint {hint:?}");
+            assert_eq!(sol.objective().to_bits(), baseline.objective().to_bits());
+            assert_eq!(sol.values, baseline.values);
+            assert_eq!(
+                sol.stats().incumbent_updates,
+                baseline.stats().incumbent_updates
+            );
+        }
+    }
+
+    #[test]
+    fn suboptimal_hint_is_replaced_by_the_true_optimum() {
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [5.0, 6.0, 3.0, 4.0];
+        let (m, _) = knapsack(&values, &weights, 9.0);
+        let baseline = m.solve(&SolveOptions::default()).unwrap();
+        // All-zeros is always feasible for a knapsack but far from
+        // optimal: the search must accept it, then beat it.
+        let opts = SolveOptions {
+            incumbent_hint: Some(vec![0.0; 4]),
+            ..SolveOptions::default()
+        };
+        let sol = m.solve(&opts).unwrap();
+        assert_eq!(sol.stats().hints_accepted, 1);
+        assert!(sol.stats().incumbent_updates >= 1);
+        assert_eq!(sol.objective().to_bits(), baseline.objective().to_bits());
+        assert_eq!(sol.values, baseline.values);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 use crate::branch::{self, SolveOptions, SolveStats};
-use crate::simplex::{self, LpProblem, LpResult, LpRow, RowSense};
+use crate::simplex::{self, LpProblem, LpResult, LpRow, RowSense, WarmBasis};
 use crate::IlpError;
 use std::fmt;
 
-/// LP-relaxation outcome: `None` when infeasible, otherwise
-/// `(objective, variable values, simplex iterations, pivots)`.
-pub(crate) type Relaxation = Option<(f64, Vec<f64>, usize, usize)>;
+/// LP-relaxation outcome for a feasible node: the internal (minimize
+/// sign) objective, variable values in model space, solver effort, and
+/// the optimal basis for warm-starting child nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct RelaxedLp {
+    pub obj: f64,
+    pub values: Vec<f64>,
+    pub iterations: usize,
+    pub pivots: usize,
+    pub basis: WarmBasis,
+    /// Whether the supplied warm basis was actually used.
+    pub warmed: bool,
+}
 
 /// Handle to a variable in a [`Model`].
 ///
@@ -296,13 +306,14 @@ impl Model {
     }
 
     /// Solves the LP relaxation with per-variable bound overrides
-    /// (used by branch-and-bound). Returns `None` if infeasible,
-    /// otherwise `(objective, values, iterations, pivots)`.
+    /// (used by branch-and-bound), optionally warm-starting from a
+    /// sibling/parent basis. Returns `None` if infeasible.
     pub(crate) fn solve_relaxation(
         &self,
         bound_overrides: &[(usize, f64, f64)],
         deadline: Option<std::time::Instant>,
-    ) -> Result<Relaxation, IlpError> {
+        warm: Option<&WarmBasis>,
+    ) -> Result<Option<RelaxedLp>, IlpError> {
         // Effective bounds.
         let mut lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
         let mut upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
@@ -365,13 +376,20 @@ impl Model {
             upper: shifted_upper,
             rows,
         };
-        match simplex::solve_with_deadline(&problem, deadline)? {
+        match simplex::solve_with_warm_start(&problem, deadline, warm)? {
             LpResult::Infeasible => Ok(None),
             LpResult::Optimal(s) => {
                 let values: Vec<f64> = s.values.iter().zip(&lower).map(|(x, lo)| x + lo).collect();
                 // Internal objective is always "minimize sign * obj".
                 let internal = s.objective + sign * obj_const;
-                Ok(Some((internal, values, s.iterations, s.pivots)))
+                Ok(Some(RelaxedLp {
+                    obj: internal,
+                    values,
+                    iterations: s.iterations,
+                    pivots: s.pivots,
+                    basis: s.basis,
+                    warmed: s.warmed,
+                }))
             }
         }
     }

@@ -81,11 +81,47 @@ pub struct LpSolution {
     /// bound without a basis change) are counted in `iterations` but
     /// not here, so `pivots <= iterations`.
     pub pivots: usize,
+    /// The optimal basis, reusable to warm-start a solve of a nearby
+    /// problem (same rows and columns, nudged bounds) via
+    /// [`solve_with_warm_start`].
+    pub basis: WarmBasis,
+    /// True when this solve skipped phase 1 by installing a caller
+    /// supplied [`WarmBasis`]; false for a cold two-phase solve
+    /// (including the fallback after a rejected warm basis).
+    pub warmed: bool,
+}
+
+/// A simplex basis snapshot: which column is basic in each row, plus
+/// the bound each nonbasic column rests at.
+///
+/// Captured from every [`LpSolution`] and accepted by
+/// [`solve_with_warm_start`] for a problem with the *same column
+/// layout* (identical rows and variables; only the bounds and
+/// right-hand sides may differ — exactly the shape of adjacent
+/// branch-and-bound nodes). An incompatible or numerically unusable
+/// basis is rejected deterministically and the solve falls back to the
+/// cold two-phase path, so warm starts can change iteration counts but
+/// never the outcome semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmBasis {
+    /// Basic column per row (a set of `m` distinct column indices).
+    pub basis: Vec<usize>,
+    /// Whether each nonbasic column rests at its upper bound
+    /// (length `n_cols`; `false` for basic columns).
+    pub at_upper: Vec<bool>,
+    /// Total tableau columns the basis was captured against
+    /// (structural + slack/surplus + artificial); a mismatch rejects
+    /// the warm start.
+    pub n_cols: usize,
 }
 
 const COST_TOL: f64 = 1e-9;
 const PIVOT_TOL: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-7;
+/// Minimum acceptable pivot magnitude while factoring a warm basis;
+/// anything smaller means the basis is (near-)singular for this
+/// problem and the warm start is rejected.
+const INSTALL_PIVOT_TOL: f64 = 1e-8;
 /// Consecutive non-improving iterations before switching to Bland's rule.
 const STALL_LIMIT: usize = 64;
 /// Pivot iterations between deadline checks. `Instant::now()` in the
@@ -115,6 +151,37 @@ pub fn solve_with_deadline(
     problem: &LpProblem,
     deadline: Option<Instant>,
 ) -> Result<LpResult, IlpError> {
+    solve_with_warm_start(problem, deadline, None)
+}
+
+/// Solves the LP, optionally warm-starting from a basis captured off a
+/// nearby problem (see [`WarmBasis`]).
+///
+/// The warm path installs the basis, verifies dual feasibility of the
+/// reduced costs, and runs a bounded-variable dual simplex to restore
+/// primal feasibility — typically a handful of pivots when only bounds
+/// changed. Every failure mode (layout mismatch, singular basis, dual
+/// infeasibility, stalled dual loop) rejects the warm basis and falls
+/// back to the cold two-phase solve, so the result is always valid;
+/// [`LpSolution::warmed`] records which path produced it. The warm
+/// path never declares infeasibility itself — that verdict is always
+/// delegated to the cold path's phase 1.
+///
+/// # Errors
+///
+/// Same as [`solve_with_deadline`].
+pub fn solve_with_warm_start(
+    problem: &LpProblem,
+    deadline: Option<Instant>,
+    warm: Option<&WarmBasis>,
+) -> Result<LpResult, IlpError> {
+    if let Some(basis) = warm {
+        let mut t = Tableau::new(problem)?;
+        t.deadline = deadline;
+        if let Some(result) = t.solve_warm(basis) {
+            return result;
+        }
+    }
     let mut t = Tableau::new(problem)?;
     t.deadline = deadline;
     t.solve()
@@ -316,6 +383,12 @@ impl Tableau {
         // Phase 2: the real objective.
         let cost = self.cost.clone();
         let obj = self.run_phase(&cost, /*ban_artificials=*/ true)?;
+        Ok(LpResult::Optimal(self.extract(obj, false)))
+    }
+
+    /// Reads the optimal solution (and its reusable basis) out of the
+    /// final tableau.
+    fn extract(&self, obj: f64, warmed: bool) -> LpSolution {
         let mut values = vec![0.0; self.n_struct];
         for j in 0..self.n_struct {
             if !self.is_basic[j] && self.at_upper[j] {
@@ -327,12 +400,318 @@ impl Tableau {
                 values[j] = self.b[i].max(0.0);
             }
         }
-        Ok(LpResult::Optimal(LpSolution {
+        LpSolution {
             objective: obj,
             values,
             iterations: self.iterations,
             pivots: self.pivots,
-        }))
+            basis: WarmBasis {
+                basis: self.basis.clone(),
+                at_upper: self.at_upper.clone(),
+                n_cols: self.n_cols,
+            },
+            warmed,
+        }
+    }
+
+    /// Attempts the warm-start path: install the basis, restore primal
+    /// feasibility with the dual simplex, then polish with the primal
+    /// phase-2 loop. Returns `None` to reject (caller falls back to a
+    /// fresh cold solve).
+    fn solve_warm(&mut self, warm: &WarmBasis) -> Option<Result<LpResult, IlpError>> {
+        if !self.install(warm) {
+            return None;
+        }
+        if !self.dual_restore() {
+            return None;
+        }
+        let cost = self.cost.clone();
+        match self.run_phase(&cost, /*ban_artificials=*/ true) {
+            Ok(obj) => Some(Ok(LpResult::Optimal(self.extract(obj, true)))),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Installs a warm basis into the fresh tableau: validates the
+    /// layout, pins artificials at zero (the warm path replaces
+    /// phase 1), places nonbasic columns at their recorded bounds, and
+    /// factors the basis with Gauss-Jordan elimination (partial
+    /// pivoting over unassigned rows). Returns false to reject.
+    fn install(&mut self, warm: &WarmBasis) -> bool {
+        if warm.n_cols != self.n_cols
+            || warm.basis.len() != self.m
+            || warm.at_upper.len() != self.n_cols
+        {
+            return false;
+        }
+        let mut in_basis = vec![false; self.n_cols];
+        for &j in &warm.basis {
+            if j >= self.n_cols || in_basis[j] {
+                return false;
+            }
+            in_basis[j] = true;
+        }
+        // The warm path skips phase 1 entirely: pin artificials so any
+        // that remain basic are forced to zero by the dual loop and no
+        // nonbasic one can ever re-enter at a nonzero value.
+        for j in self.art_start..self.n_cols {
+            self.upper[j] = 0.0;
+        }
+        // Nonbasic columns at their recorded bound. An at-upper flag on
+        // a column whose bound is now infinite cannot be honored.
+        for j in 0..self.art_start {
+            if !in_basis[j] && warm.at_upper[j] {
+                if !self.upper[j].is_finite() {
+                    return false;
+                }
+                self.at_upper[j] = true;
+            }
+        }
+        // Shift the right-hand side by the nonbasic-at-upper columns
+        // while `a` still holds the original (unpivoted) matrix.
+        for j in 0..self.art_start {
+            if self.at_upper[j] && !in_basis[j] {
+                let u = self.upper[j];
+                if u > 0.0 {
+                    for i in 0..self.m {
+                        self.b[i] -= self.a[i * self.n_cols + j] * u;
+                    }
+                }
+            }
+        }
+        // Factor: process basis columns in ascending order; for each,
+        // pivot on the largest-magnitude entry among unassigned rows
+        // (row reduction includes `b`, yielding B⁻¹ applied to both).
+        let mut cols: Vec<usize> = warm.basis.clone();
+        cols.sort_unstable();
+        let mut assigned = vec![false; self.m];
+        let mut new_basis = vec![0usize; self.m];
+        for &j in &cols {
+            let mut best_row = usize::MAX;
+            let mut best_mag = 0.0f64;
+            for i in 0..self.m {
+                if assigned[i] {
+                    continue;
+                }
+                let mag = self.a[i * self.n_cols + j].abs();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best_row = i;
+                }
+            }
+            if best_mag <= INSTALL_PIVOT_TOL {
+                return false; // singular for this problem
+            }
+            let r = best_row;
+            let inv = 1.0 / self.a[r * self.n_cols + j];
+            {
+                let row_r = &mut self.a[r * self.n_cols..(r + 1) * self.n_cols];
+                for x in row_r.iter_mut() {
+                    *x *= inv;
+                }
+                row_r[j] = 1.0;
+            }
+            self.b[r] *= inv;
+            let row_r: Vec<f64> = self.a[r * self.n_cols..(r + 1) * self.n_cols].to_vec();
+            let b_r = self.b[r];
+            for i in 0..self.m {
+                if i == r {
+                    continue;
+                }
+                let factor = self.a[i * self.n_cols + j];
+                if factor.abs() > 1e-13 {
+                    let row_i = &mut self.a[i * self.n_cols..(i + 1) * self.n_cols];
+                    for (x, &rr) in row_i.iter_mut().zip(&row_r) {
+                        *x -= factor * rr;
+                    }
+                    row_i[j] = 0.0;
+                    self.b[i] -= factor * b_r;
+                }
+            }
+            assigned[r] = true;
+            new_basis[r] = j;
+        }
+        self.basis = new_basis;
+        for flag in self.is_basic.iter_mut() {
+            *flag = false;
+        }
+        for &j in &self.basis {
+            self.is_basic[j] = true;
+            self.at_upper[j] = false;
+        }
+        true
+    }
+
+    /// Restores primal feasibility with a bounded-variable dual
+    /// simplex, assuming (and first verifying) dual feasibility of the
+    /// installed basis. Returns false to reject the warm start — on a
+    /// dual-infeasible basis, a stalled/capped loop, or a row with no
+    /// eligible entering column (which the cold path must adjudicate;
+    /// this path never declares infeasibility).
+    fn dual_restore(&mut self) -> bool {
+        let cost = self.cost.clone();
+        // Reduced costs from the freshly factored tableau.
+        let mut d = cost.clone();
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            // eagleeye-lint: allow(float-eq): exact-zero sparsity skip; basis costs are copied, never computed, so 0.0 is exact
+            if cb != 0.0 {
+                let row = self.row(i).to_vec();
+                for (dj, &aij) in d.iter_mut().zip(&row) {
+                    *dj -= cb * aij;
+                }
+            }
+        }
+        // Dual feasibility: nonbasic at lower needs d_j ≥ 0, at upper
+        // needs d_j ≤ 0. Fixed columns (bound-collapsed or artificial)
+        // cannot move, so their sign is irrelevant.
+        for j in 0..self.n_cols {
+            if self.is_basic[j] || j >= self.art_start || self.upper[j] <= PIVOT_TOL {
+                continue;
+            }
+            let violated = if self.at_upper[j] {
+                d[j] > FEAS_TOL
+            } else {
+                d[j] < -FEAS_TOL
+            };
+            if violated {
+                return false;
+            }
+        }
+
+        let max_dual_iterations = 4 * self.m + 100;
+        let mut dual_iterations = 0usize;
+        loop {
+            // Leaving row: the largest bound violation (ties → lowest
+            // row, via strict improvement).
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, upper side)
+            for i in 0..self.m {
+                let ub = self.upper[self.basis[i]];
+                let below = -self.b[i];
+                let above = if ub.is_finite() {
+                    self.b[i] - ub
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let (viol, upper_side) = if above > below {
+                    (above, true)
+                } else {
+                    (below, false)
+                };
+                if viol > FEAS_TOL {
+                    match leave {
+                        Some((_, best, _)) if viol <= best => {}
+                        _ => leave = Some((i, viol, upper_side)),
+                    }
+                }
+            }
+            let Some((r, _, upper_side)) = leave else {
+                return true; // primal feasible
+            };
+            dual_iterations += 1;
+            if dual_iterations > max_dual_iterations {
+                return false;
+            }
+            self.iterations += 1;
+            if self.iterations > self.max_iterations {
+                return false;
+            }
+
+            // Entering column: sign-eligible nonbasic column with the
+            // minimum dual ratio |d_j| / |α_rj| (ties → lowest j).
+            let row_base = r * self.n_cols;
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.art_start {
+                if self.is_basic[j] || self.upper[j] <= PIVOT_TOL {
+                    continue;
+                }
+                let alpha = self.a[row_base + j];
+                let eligible = if upper_side {
+                    // Basic value must decrease toward its upper bound.
+                    if self.at_upper[j] {
+                        alpha < -PIVOT_TOL
+                    } else {
+                        alpha > PIVOT_TOL
+                    }
+                } else {
+                    // Basic value must increase toward zero.
+                    if self.at_upper[j] {
+                        alpha > PIVOT_TOL
+                    } else {
+                        alpha < -PIVOT_TOL
+                    }
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = d[j].abs() / alpha.abs();
+                match enter {
+                    Some((_, best)) if ratio >= best => {}
+                    _ => enter = Some((j, ratio)),
+                }
+            }
+            let Some((j, _)) = enter else {
+                return false; // likely infeasible — let the cold path decide
+            };
+
+            // Pivot: drive the leaving variable exactly to its violated
+            // bound; the entering variable absorbs the step.
+            self.pivots += 1;
+            let target = if upper_side {
+                self.upper[self.basis[r]]
+            } else {
+                0.0
+            };
+            let alpha = self.a[row_base + j];
+            let step = (self.b[r] - target) / alpha;
+            let entering_value = if self.at_upper[j] {
+                self.upper[j] + step
+            } else {
+                step
+            };
+            for i in 0..self.m {
+                if i != r {
+                    self.b[i] -= step * self.a[i * self.n_cols + j];
+                }
+            }
+            let leaving = self.basis[r];
+            self.is_basic[leaving] = false;
+            self.at_upper[leaving] = upper_side;
+            self.basis[r] = j;
+            self.is_basic[j] = true;
+            self.at_upper[j] = false;
+            self.b[r] = entering_value;
+
+            let inv = 1.0 / alpha;
+            {
+                let row_r = &mut self.a[row_base..row_base + self.n_cols];
+                for x in row_r.iter_mut() {
+                    *x *= inv;
+                }
+                row_r[j] = 1.0;
+            }
+            let row_r: Vec<f64> = self.a[row_base..row_base + self.n_cols].to_vec();
+            for i in 0..self.m {
+                if i == r {
+                    continue;
+                }
+                let factor = self.a[i * self.n_cols + j];
+                if factor.abs() > 1e-13 {
+                    let row_i = &mut self.a[i * self.n_cols..(i + 1) * self.n_cols];
+                    for (x, &rr) in row_i.iter_mut().zip(&row_r) {
+                        *x -= factor * rr;
+                    }
+                    row_i[j] = 0.0;
+                }
+            }
+            let dj = d[j];
+            if dj.abs() > 1e-13 {
+                for (x, &rr) in d.iter_mut().zip(&row_r) {
+                    *x -= dj * rr;
+                }
+                d[j] = 0.0;
+            }
+        }
     }
 
     /// Runs simplex iterations for one phase with the given cost vector.
@@ -811,6 +1190,212 @@ mod tests {
                 assert!(s.values.is_empty());
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn optimal(result: Result<LpResult, IlpError>) -> LpSolution {
+        match result.unwrap() {
+            LpResult::Optimal(s) => s,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_restart_from_own_basis_is_accepted() {
+        let p = LpProblem {
+            cost: vec![-3.0, -5.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], RowSense::Le, 4.0),
+                row(&[(1, 2.0)], RowSense::Le, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], RowSense::Le, 18.0),
+            ],
+        };
+        let cold = optimal(solve(&p));
+        assert!(!cold.warmed);
+        let warm = optimal(solve_with_warm_start(&p, None, Some(&cold.basis)));
+        assert!(warm.warmed, "own optimal basis must be accepted");
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.values, cold.values);
+        assert!(
+            warm.pivots <= cold.pivots,
+            "restart from the optimal basis cannot need more pivots"
+        );
+    }
+
+    #[test]
+    fn warm_start_with_nudged_bounds_matches_cold() {
+        // A parent LP and a "child" with a tightened upper bound — the
+        // exact shape branch-and-bound produces. The parent basis stays
+        // dual feasible, so the warm path must accept it and land on
+        // the same optimum the cold solve finds.
+        let parent = LpProblem {
+            cost: vec![-2.0, -3.0, -1.0],
+            upper: vec![4.0, 4.0, 4.0],
+            rows: vec![
+                row(&[(0, 1.0), (1, 2.0), (2, 1.0)], RowSense::Le, 9.0),
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Le, 5.0),
+            ],
+        };
+        let base = optimal(solve(&parent));
+        for cap in [3.0, 2.0, 1.0, 0.0] {
+            let mut child = parent.clone();
+            child.upper[1] = cap;
+            let cold = optimal(solve(&child));
+            let warm = optimal(solve_with_warm_start(&child, None, Some(&base.basis)));
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-9,
+                "cap {cap}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_warm_bases_fall_back_to_cold() {
+        let p = LpProblem {
+            cost: vec![1.0, 1.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Eq, 10.0),
+                row(&[(0, 1.0), (1, -1.0)], RowSense::Eq, 2.0),
+            ],
+        };
+        let cold = optimal(solve(&p));
+        let bad = [
+            // Wrong column count.
+            WarmBasis {
+                basis: vec![0, 1],
+                at_upper: vec![false; 3],
+                n_cols: 3,
+            },
+            // Duplicate basic column.
+            WarmBasis {
+                basis: vec![0, 0],
+                at_upper: vec![false; cold.basis.n_cols],
+                n_cols: cold.basis.n_cols,
+            },
+            // Out-of-range basic column.
+            WarmBasis {
+                basis: vec![0, 99],
+                at_upper: vec![false; cold.basis.n_cols],
+                n_cols: cold.basis.n_cols,
+            },
+            // At-upper flag on a nonbasic unbounded column: basis on
+            // the two artificials leaves both structurals nonbasic,
+            // and x0 has no finite upper bound to rest at.
+            WarmBasis {
+                basis: vec![cold.basis.n_cols - 2, cold.basis.n_cols - 1],
+                at_upper: {
+                    let mut f = vec![false; cold.basis.n_cols];
+                    f[0] = true;
+                    f
+                },
+                n_cols: cold.basis.n_cols,
+            },
+        ];
+        for (k, basis) in bad.iter().enumerate() {
+            let s = optimal(solve_with_warm_start(&p, None, Some(basis)));
+            assert!(!s.warmed, "bad basis {k} must be rejected");
+            assert_eq!(s.objective.to_bits(), cold.objective.to_bits());
+            assert_eq!(s.values, cold.values);
+        }
+    }
+
+    #[test]
+    fn warm_start_never_declares_infeasibility_itself() {
+        // Child bounds make the system infeasible; the warm path must
+        // hand the verdict to the cold path rather than guessing.
+        let parent = LpProblem {
+            cost: vec![1.0, 1.0],
+            upper: vec![10.0, 10.0],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], RowSense::Ge, 8.0),
+                row(&[(0, 1.0)], RowSense::Le, 6.0),
+            ],
+        };
+        let base = optimal(solve(&parent));
+        let mut child = parent.clone();
+        child.upper[0] = 1.0;
+        child.upper[1] = 1.0;
+        assert_eq!(
+            solve_with_warm_start(&child, None, Some(&base.basis)).unwrap(),
+            LpResult::Infeasible
+        );
+    }
+
+    /// Seeded degenerate LP with deliberate ratio-test ties: `copies`
+    /// duplicated rows all active at the same vertex, plus a redundant
+    /// row per variable. Classic cycling bait for simplex variants.
+    fn degenerate_tie_problem(seed: u64, n: usize, copies: usize) -> LpProblem {
+        let mix = |k: u64| {
+            let mut x = seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 32;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let cost: Vec<f64> = (0..n).map(|j| -(1.0 + mix(j as u64))).collect();
+        let mut rows = Vec::new();
+        // Identical budget rows: every one ties in the ratio test.
+        let budget: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0)).collect();
+        for _ in 0..copies {
+            rows.push(LpRow {
+                coeffs: budget.clone(),
+                sense: RowSense::Le,
+                rhs: 1.0,
+            });
+        }
+        // Per-variable caps at the same level — more degenerate ties.
+        for j in 0..n {
+            rows.push(LpRow {
+                coeffs: vec![(j, 1.0)],
+                sense: RowSense::Le,
+                rhs: 1.0,
+            });
+        }
+        LpProblem {
+            cost,
+            upper: vec![f64::INFINITY; n],
+            rows,
+        }
+    }
+
+    #[test]
+    fn degenerate_ties_terminate_cold_and_warm() {
+        // Anti-cycling regression (satellite for the warm-start work):
+        // the stall→Bland switch must keep terminating when the solve
+        // is warm-started from a degenerate optimal basis, and both
+        // paths must agree with the analytic optimum (put the whole
+        // budget on the most valuable variable).
+        for seed in [1u64, 7, 42, 1234, 99999] {
+            for (n, copies) in [(3usize, 3usize), (4, 5), (6, 4)] {
+                let p = degenerate_tie_problem(seed, n, copies);
+                let cold = optimal(solve(&p));
+                let want = p.cost.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(
+                    (cold.objective - want).abs() < 1e-9,
+                    "seed {seed} n {n}: cold {} want {want}",
+                    cold.objective
+                );
+                // Warm restart from the degenerate optimal basis.
+                let warm = optimal(solve_with_warm_start(&p, None, Some(&cold.basis)));
+                assert!((warm.objective - want).abs() < 1e-9);
+                // Warm start a *perturbed* child (tighter caps) from
+                // the degenerate parent basis: must terminate and
+                // match its own cold solve.
+                let mut child = p.clone();
+                child.rows[copies].rhs = 0.5; // first per-variable cap
+                let child_cold = optimal(solve(&child));
+                let child_warm = optimal(solve_with_warm_start(&child, None, Some(&cold.basis)));
+                assert!(
+                    (child_warm.objective - child_cold.objective).abs() < 1e-9,
+                    "seed {seed} n {n}: warm child {} vs cold child {}",
+                    child_warm.objective,
+                    child_cold.objective
+                );
+            }
         }
     }
 }

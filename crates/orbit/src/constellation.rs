@@ -142,6 +142,53 @@ impl ConstellationLayout {
         )
     }
 
+    /// Like [`ConstellationLayout::with_planes`] but phasing groups
+    /// against a fixed capacity of `phase_slots` orbital positions
+    /// instead of the actual group count: group `g` always occupies
+    /// slot `g` of `phase_slots`, so adding or removing trailing groups
+    /// leaves every surviving satellite's orbital elements bit-for-bit
+    /// unchanged. With `phase_slots == groups` this reproduces
+    /// [`ConstellationLayout::with_planes`] exactly. This is the
+    /// geometry pin behind incremental what-if re-evaluation
+    /// (DESIGN.md §14): a slot-pinned child scenario shares the parent's
+    /// compiled tracks instead of recompiling a globally re-phased
+    /// constellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitError::InvalidElement`] when `phase_slots <
+    /// groups` (a slot per group is required) or for any input
+    /// [`ConstellationLayout::with_planes`] rejects.
+    pub fn with_planes_slotted(
+        groups: usize,
+        followers_per_group: usize,
+        altitude_m: f64,
+        inclination_rad: f64,
+        planes: usize,
+        phase_slots: usize,
+    ) -> Result<Self, OrbitError> {
+        if phase_slots < groups {
+            return Err(OrbitError::InvalidElement {
+                name: "phase_slots",
+                value: phase_slots as f64,
+            });
+        }
+        Self::assemble(
+            vec![
+                GroupSpec {
+                    followers: followers_per_group
+                };
+                groups
+            ],
+            altitude_m,
+            inclination_rad,
+            Self::DEFAULT_LEAD_DISTANCE_M,
+            Self::DEFAULT_FOLLOWER_SPACING_M,
+            planes,
+            Some(phase_slots),
+        )
+    }
+
     /// Fully-general constructor with an orbital-plane count.
     ///
     /// # Errors
@@ -156,6 +203,29 @@ impl ConstellationLayout {
         lead_distance_m: f64,
         follower_spacing_m: f64,
         planes: usize,
+    ) -> Result<Self, OrbitError> {
+        Self::assemble(
+            groups,
+            altitude_m,
+            inclination_rad,
+            lead_distance_m,
+            follower_spacing_m,
+            planes,
+            None,
+        )
+    }
+
+    /// Shared constructor body: `phase_slots` of `None` phases groups
+    /// against the actual group count (the legacy layout); `Some(s)`
+    /// phases them against a fixed capacity of `s` slots.
+    fn assemble(
+        groups: Vec<GroupSpec>,
+        altitude_m: f64,
+        inclination_rad: f64,
+        lead_distance_m: f64,
+        follower_spacing_m: f64,
+        planes: usize,
+        phase_slots: Option<usize>,
     ) -> Result<Self, OrbitError> {
         if planes == 0 {
             return Err(OrbitError::InvalidElement {
@@ -185,15 +255,20 @@ impl ConstellationLayout {
         let _ = J2Propagator::circular(altitude_m, inclination_rad, 0.0, 0.0)?;
 
         let n_groups = groups.len();
-        let planes = planes.min(n_groups);
+        // Phasing capacity: the actual group count for the legacy
+        // layout, the pinned slot count for a slotted one (already
+        // validated to be >= n_groups).
+        let slots = phase_slots.unwrap_or(n_groups);
+        let planes = planes.min(slots);
         let mut satellites = Vec::new();
         for (g, spec) in groups.iter().enumerate() {
-            // Round-robin plane assignment; groups within a plane are
-            // evenly phased among themselves.
+            // Round-robin plane assignment; slots within a plane are
+            // evenly phased among themselves. With slots == n_groups
+            // both formulas reduce to the legacy even-phasing.
             let plane = g % planes;
             let raan_rad = std::f64::consts::PI * plane as f64 / planes as f64;
             let in_plane = g / planes;
-            let plane_groups = n_groups / planes + usize::from(plane < n_groups % planes);
+            let plane_groups = slots / planes + usize::from(plane < slots % planes);
             let group_phase = std::f64::consts::TAU * in_plane as f64 / plane_groups.max(1) as f64;
             satellites.push(SatelliteSpec {
                 group: g,
@@ -324,6 +399,79 @@ mod tests {
             let expected = std::f64::consts::TAU * g as f64 / 4.0;
             assert!((p - expected).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn slotted_layout_at_capacity_matches_legacy_bit_for_bit() {
+        for (groups, followers, planes) in [(4, 0, 1), (5, 2, 1), (6, 1, 3), (7, 2, 4)] {
+            let legacy = ConstellationLayout::with_planes(
+                groups,
+                followers,
+                475_000.0,
+                97.2_f64.to_radians(),
+                planes,
+            )
+            .unwrap();
+            let slotted = ConstellationLayout::with_planes_slotted(
+                groups,
+                followers,
+                475_000.0,
+                97.2_f64.to_radians(),
+                planes,
+                groups,
+            )
+            .unwrap();
+            assert_eq!(
+                legacy.satellites(),
+                slotted.satellites(),
+                "groups={groups} followers={followers} planes={planes}"
+            );
+        }
+    }
+
+    #[test]
+    fn slotted_layout_pins_surviving_groups_under_removal() {
+        // Removing the trailing group from a slot-pinned layout must
+        // leave every surviving satellite's elements bit-identical —
+        // the property that lets a what-if delta reuse parent tracks.
+        for planes in [1, 3] {
+            let parent = ConstellationLayout::with_planes_slotted(
+                12,
+                2,
+                475_000.0,
+                97.2_f64.to_radians(),
+                planes,
+                12,
+            )
+            .unwrap();
+            let child = ConstellationLayout::with_planes_slotted(
+                11,
+                2,
+                475_000.0,
+                97.2_f64.to_radians(),
+                planes,
+                12,
+            )
+            .unwrap();
+            assert_eq!(
+                &parent.satellites()[..child.satellites().len()],
+                child.satellites(),
+                "planes={planes}"
+            );
+        }
+    }
+
+    #[test]
+    fn slotted_layout_rejects_undersized_capacity() {
+        assert!(ConstellationLayout::with_planes_slotted(
+            4,
+            1,
+            475_000.0,
+            97.2_f64.to_radians(),
+            1,
+            3
+        )
+        .is_err());
     }
 
     #[test]
