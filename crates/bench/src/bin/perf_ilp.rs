@@ -1,0 +1,337 @@
+//! Perf trajectory — sparse presolved ILP tier vs. the dense tier on
+//! scheduling-shaped MILPs, writing `results/BENCH_ilp.json`.
+//!
+//! The workload mirrors the follower-scheduling flow problem of
+//! DESIGN.md §15: binary assignment variables `x[f][t]` (follower `f`
+//! captures task `t`), one coupling row per task (each target at most
+//! once), one capacity row per follower (slew/time budget), and a few
+//! pre-committed arcs pinned to 1 — the fixed variables presolve
+//! eliminates on real re-solves. Columns carry two structural nonzeros
+//! each, so the constraint matrix is sparse (`m ≪ n` nonzero density)
+//! exactly where the dense tableau pays `O(m·n)` per pivot.
+//!
+//! Every instance is solved through both tiers
+//! ([`SolverTier::Dense`] and [`SolverTier::Sparse`]) under the same
+//! per-solve deadline; wall times take the min over `REPS` reps. The
+//! sparse tier must close (prove optimal) every instance within the
+//! deadline. The dense tier may miss the deadline at full scale —
+//! that miss is the tier's raison d'être, and is recorded as
+//! `dense_deadline_misses` — but where it closes, the run aborts
+//! unless the tiers agree on status and objective to 1e-9 (the
+//! equivalence contract `sparse_differential.rs` checks case-by-case,
+//! here at bench scale), and where it is truncated, the sparse
+//! optimum must dominate the dense incumbent. Under `--smoke` the
+//! instances are sized so dense always closes, and the run
+//! additionally gates:
+//!
+//! * `sparse_wall_s <= SPEED_GATE * dense_wall_s + NOISE_FLOOR_S` —
+//!   the sparse tier must be at least dense-speed on its home turf;
+//! * `sparse_nodes <= dense_nodes` — pseudocost branching must not
+//!   explore more nodes than dense most-fractional branching;
+//! * presolve visibly fired (`presolve_vars_eliminated > 0`) and every
+//!   sparse-tier solve actually ran sparse (`sparse_solves` counted).
+//!
+//! Usage: `cargo run -p eagleeye-bench --release --bin perf_ilp -- [--fast | --smoke]`
+
+use eagleeye_ilp::{Model, Sense, SolveOptions, SolveStatus, SolverTier};
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+/// CI gate on `sparse_wall_s / dense_wall_s` under `--smoke`.
+const SPEED_GATE: f64 = 1.05;
+/// Absolute slack added to the smoke speed gate so timer noise on a
+/// sub-millisecond solve can never flake the job.
+const NOISE_FLOOR_S: f64 = 0.02;
+/// Per-solve wall-clock deadline; a tier that blows it returns
+/// `Feasible`/`Unknown` instead of `Optimal` and fails the status gate.
+const SOLVE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Deterministic xorshift64* stream, a pure function of the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One scheduling-shaped MILP: maximize assignment value subject to
+/// per-task coupling and per-follower capacity, with `committed`
+/// arcs pre-pinned to 1 (fixed variables for presolve to eliminate).
+fn build_instance(
+    followers: usize,
+    tasks: usize,
+    committed: usize,
+    cap_factor: f64,
+    seed: u64,
+) -> Model {
+    let mut rng = Rng(seed | 1);
+    let mut m = Model::maximize();
+    let mut weights: Vec<Vec<f64>> = (0..followers)
+        .map(|_| (0..tasks).map(|_| 1.0 + rng.below(9) as f64).collect())
+        .collect();
+    // Pre-committed arcs cost one unit each so pinning them can never
+    // make follower 0's capacity row infeasible by itself.
+    for w in weights[0].iter_mut().take(committed) {
+        *w = 1.0;
+    }
+    // Capacity sized so roughly `cap_factor` of the tasks fit
+    // constellation-wide: tight enough that the LP relaxation goes
+    // fractional and branching happens, loose enough that exact search
+    // closes within the per-solve deadline.
+    let mean_w = 5.0;
+    let cap = (cap_factor * tasks as f64 * mean_w / followers as f64).ceil();
+
+    let mut vars = vec![Vec::with_capacity(tasks); followers];
+    for f in 0..followers {
+        for t in 0..tasks {
+            // Task value plus a small follower-dependent slew penalty:
+            // near-continuous objective coefficients keep the optimum
+            // tie-free, mirroring real geometry-derived arc values.
+            let value = 1.0 + rng.below(10) as f64 - 0.001 * rng.below(997) as f64;
+            let pinned = f == 0 && t < committed;
+            let x = if pinned {
+                m.add_integer_var(1.0, 1.0, value).expect("pinned arc")
+            } else {
+                m.add_binary_var(value)
+            };
+            vars[f].push(x);
+        }
+    }
+    for t in 0..tasks {
+        let row: Vec<_> = (0..followers).map(|f| (vars[f][t], 1.0)).collect();
+        m.add_constraint(row, Sense::Le, 1.0).expect("coupling row");
+    }
+    for f in 0..followers {
+        let row: Vec<_> = (0..tasks).map(|t| (vars[f][t], weights[f][t])).collect();
+        m.add_constraint(row, Sense::Le, cap).expect("capacity row");
+    }
+    m
+}
+
+/// Min-over-reps wall time plus the solve outcome. Closed solves are
+/// asserted rep-invariant (node-for-node determinism); a solve the
+/// deadline truncated is wall-clock-shaped by design, so it is taken
+/// from a single rep and its wall is the deadline it consumed.
+fn time_tier(model: &Model, tier: SolverTier) -> (f64, eagleeye_ilp::Solution) {
+    let options = SolveOptions {
+        time_limit: Some(SOLVE_DEADLINE),
+        tier,
+        ..SolveOptions::default()
+    };
+    let mut wall = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let sol = model.solve(&options).expect("tier solve");
+        wall = wall.min(start.elapsed().as_secs_f64());
+        let closed = sol.status() == SolveStatus::Optimal;
+        if let Some(prev) = &out {
+            let p: &eagleeye_ilp::Solution = prev;
+            assert_eq!(p.status(), sol.status(), "status drifted across reps");
+            assert_eq!(
+                p.stats().nodes_explored,
+                sol.stats().nodes_explored,
+                "node count drifted across reps on a closed solve"
+            );
+        }
+        out = Some(sol);
+        if !closed {
+            break;
+        }
+    }
+    (wall, out.expect("at least one rep"))
+}
+
+fn main() {
+    let cli = eagleeye_bench::BenchCli::parse();
+    // Instance shape: 6 followers x 64 tasks (384 binary arcs) is the
+    // scale the repo's schedulers actually emit — "hundreds of
+    // variables per scheduling frame" — and the largest shape exact
+    // search reliably closes: at ~2x the arc count, proving optimality
+    // on these capacity-coupled instances explodes past any practical
+    // deadline on BOTH tiers (the near-continuous arc values leave a
+    // plateau of near-optimal alternatives that branch-and-bound must
+    // exhaust). Modes therefore scale instance count, not instance
+    // size, so every measured solve is a closed, rep-deterministic one.
+    // Smoke is one notch smaller again (336 arcs): per-instance
+    // difficulty varies a lot seed-to-seed at 384 arcs (the full run
+    // tolerates dense missing its per-solve deadline; smoke insists
+    // both tiers close so the CI gate stays deterministic and cheap).
+    let (instances, followers, tasks, committed, cap_factor) = if cli.smoke {
+        (3usize, 6usize, 56usize, 4usize, 0.6)
+    } else if cli.fast {
+        (4, 6, 64, 4, 0.6)
+    } else {
+        (8, 6, 64, 4, 0.6)
+    };
+    eprintln!(
+        "perf_ilp: {instances} instances, {followers} followers x {tasks} tasks \
+         ({} binary arcs, {} rows each){}",
+        followers * tasks,
+        tasks + followers,
+        if cli.smoke { " [smoke]" } else { "" }
+    );
+
+    let mut dense_wall = 0.0f64;
+    let mut sparse_wall = 0.0f64;
+    let mut dense_nodes = 0usize;
+    let mut sparse_nodes = 0usize;
+    let mut sparse_solves = 0usize;
+    let mut presolve_vars = 0usize;
+    let mut presolve_rows = 0usize;
+    let mut max_gap = 0.0f64;
+    let mut dense_deadline_misses = 0usize;
+    for i in 0..instances {
+        let model = build_instance(
+            followers,
+            tasks,
+            committed,
+            cap_factor,
+            cli.seed ^ (i as u64) << 17,
+        );
+        let (dw, dense) = time_tier(&model, SolverTier::Dense);
+        let (sw, sparse) = time_tier(&model, SolverTier::Sparse);
+        // The acceptance bar: the sparse tier closes every full-scale
+        // instance within the per-solve deadline. The dense tier is
+        // allowed to miss it outside --smoke — that miss is the
+        // documented motivation for the tier — but its truncated
+        // incumbent is still a valid bound the sparse optimum must
+        // dominate.
+        assert_eq!(
+            sparse.status(),
+            SolveStatus::Optimal,
+            "instance {i}: sparse tier did not close within the per-solve deadline"
+        );
+        let dense_closed = dense.status() == SolveStatus::Optimal;
+        let gap = if dense_closed {
+            let gap = (dense.objective() - sparse.objective()).abs();
+            assert!(
+                gap <= 1e-9 * dense.objective().abs().max(1.0),
+                "instance {i}: objectives diverged by {gap:.3e} \
+                 (dense {}, sparse {})",
+                dense.objective(),
+                sparse.objective()
+            );
+            gap
+        } else {
+            assert!(
+                !cli.smoke,
+                "instance {i}: dense tier missed the deadline on a smoke-sized instance"
+            );
+            assert_eq!(
+                dense.status(),
+                SolveStatus::Feasible,
+                "instance {i}: deadline-truncated dense solve carried no incumbent"
+            );
+            dense_deadline_misses += 1;
+            assert!(
+                sparse.objective() >= dense.objective() - 1e-9,
+                "instance {i}: sparse optimum {} below the dense truncated incumbent {}",
+                sparse.objective(),
+                dense.objective()
+            );
+            0.0
+        };
+        eprintln!(
+            "  instance {i}: dense {dw:.4}s / {} nodes{}, sparse {sw:.4}s / {} nodes, \
+             presolve -{} vars -{} rows",
+            dense.stats().nodes_explored,
+            if dense_closed { "" } else { " (deadline)" },
+            sparse.stats().nodes_explored,
+            sparse.stats().presolve_vars_eliminated,
+            sparse.stats().presolve_rows_removed,
+        );
+        dense_wall += dw;
+        sparse_wall += sw;
+        dense_nodes += dense.stats().nodes_explored;
+        sparse_nodes += sparse.stats().nodes_explored;
+        sparse_solves += sparse.stats().sparse_solves;
+        presolve_vars += sparse.stats().presolve_vars_eliminated;
+        presolve_rows += sparse.stats().presolve_rows_removed;
+        max_gap = max_gap.max(gap);
+        assert_eq!(
+            dense.stats().sparse_solves,
+            0,
+            "instance {i}: the dense tier routed through the sparse path"
+        );
+    }
+    let speedup = dense_wall / sparse_wall.max(1e-12);
+    eprintln!(
+        "dense {dense_wall:.4}s / {dense_nodes} nodes, \
+         sparse {sparse_wall:.4}s / {sparse_nodes} nodes ({speedup:.2}x)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"ilp\",\n");
+    json.push_str(&format!("  \"instances\": {instances},\n"));
+    json.push_str(&format!("  \"followers\": {followers},\n"));
+    json.push_str(&format!("  \"tasks\": {tasks},\n"));
+    json.push_str(&format!("  \"committed_arcs\": {committed},\n"));
+    json.push_str(&format!("  \"variables\": {},\n", followers * tasks));
+    json.push_str(&format!("  \"rows\": {},\n", followers + tasks));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!(
+        "  \"solve_deadline_s\": {},\n",
+        SOLVE_DEADLINE.as_secs_f64()
+    ));
+    json.push_str(&format!("  \"dense_wall_s\": {dense_wall:.6},\n"));
+    json.push_str(&format!("  \"sparse_wall_s\": {sparse_wall:.6},\n"));
+    json.push_str(&format!("  \"sparse_speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"dense_nodes\": {dense_nodes},\n"));
+    json.push_str(&format!("  \"sparse_nodes\": {sparse_nodes},\n"));
+    json.push_str(&format!("  \"sparse_solves\": {sparse_solves},\n"));
+    json.push_str(&format!(
+        "  \"presolve_vars_eliminated\": {presolve_vars},\n"
+    ));
+    json.push_str(&format!("  \"presolve_rows_removed\": {presolve_rows},\n"));
+    json.push_str(&format!("  \"max_objective_gap\": {max_gap:.3e},\n"));
+    json.push_str("  \"sparse_all_optimal_within_deadline\": true,\n");
+    json.push_str(&format!(
+        "  \"dense_deadline_misses\": {dense_deadline_misses},\n"
+    ));
+    json.push_str(&format!("  \"smoke_speed_gate\": {SPEED_GATE}\n"));
+    json.push_str("}\n");
+
+    if cli.smoke {
+        assert!(
+            sparse_wall <= SPEED_GATE * dense_wall + NOISE_FLOOR_S,
+            "smoke gate: sparse tier took {sparse_wall:.4}s vs dense {dense_wall:.4}s \
+             (gate {SPEED_GATE}x + {NOISE_FLOOR_S}s); the sparse tier has regressed"
+        );
+        assert!(
+            sparse_nodes <= dense_nodes,
+            "smoke gate: pseudocost branching explored {sparse_nodes} nodes vs \
+             dense {dense_nodes}; branching quality has regressed"
+        );
+        assert_eq!(
+            sparse_solves, instances,
+            "smoke gate: a sparse-tier solve silently ran dense"
+        );
+        assert!(
+            presolve_vars > 0,
+            "smoke gate: presolve eliminated nothing on instances with pinned arcs"
+        );
+        eprintln!(
+            "smoke gate: sparse {sparse_wall:.4}s <= {SPEED_GATE} * dense {dense_wall:.4}s \
+             + {NOISE_FLOOR_S}s, nodes {sparse_nodes} <= {dense_nodes}"
+        );
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_ilp.json", &json).expect("write BENCH_ilp.json");
+    println!("{json}");
+    eprintln!("wrote results/BENCH_ilp.json");
+    cli.finish("perf_ilp");
+}

@@ -364,13 +364,24 @@ pub(super) fn horizon_digest(
     active: &[usize],
     follower_states: &[crate::schedule::FollowerState],
     repair_failures: &[(usize, f64)],
+    ilp_tier: crate::schedule::SolverTier,
 ) -> u64 {
+    // The tier is part of the memo key (not a persisted codec): a
+    // sparse-tier solve is observationally equivalent but not
+    // bit-identical in its diagnostics, so replaying one under the
+    // other tier would leak those differences into the report.
+    let tier_byte: u64 = match ilp_tier {
+        crate::schedule::SolverTier::Dense => 0,
+        crate::schedule::SolverTier::Sparse => 1,
+        crate::schedule::SolverTier::Auto => 2,
+    };
     let mut h = ScenarioHasher::new();
     h.str("eagleeye-core/horizon/v2")
         .u64(frame_idx as u64)
         .f64(t)
         .u64(task_cap as u64)
-        .f64(slew_factor);
+        .f64(slew_factor)
+        .u64(tier_byte);
     match clip {
         Some((start, end)) => {
             h.u64(1).f64(start).f64(end);

@@ -11,7 +11,7 @@ use crate::clustering::{cluster, ClusteringMethod};
 use crate::pointing::TimeWindow;
 use crate::schedule::{
     AbbScheduler, FollowerState, GreedyScheduler, IlpScheduler, ResilientScheduler, Schedule,
-    Scheduler, SchedulingProblem, SolverChoice, TaskSpec,
+    Scheduler, SchedulingProblem, SolverChoice, SolverTier, TaskSpec,
 };
 use crate::{Adacs, CoreError, SensingSpec};
 use eagleeye_datasets::TargetSet;
@@ -96,6 +96,16 @@ pub struct CoverageOptions {
     /// prove it on arbitrary scenarios. Not part of the stable API.
     #[doc(hidden)]
     pub reference_frame_walk: bool,
+    /// Solver tier for the ILP-backed schedulers (DESIGN.md §15).
+    /// [`SolverTier::Dense`] (default) is the historical bit-stable
+    /// path and preserves every golden digest; [`SolverTier::Sparse`]
+    /// runs presolve + sparse revised simplex + pseudocost branching,
+    /// observationally equivalent (same statuses, objectives within
+    /// 1e-9) but not bit-identical in its solver diagnostics. The tier
+    /// participates in the horizon-memo digest, so warm what-if
+    /// re-evaluations never replay a horizon solved under a different
+    /// tier. Ignored by the non-ILP schedulers.
+    pub ilp_tier: SolverTier,
 }
 
 impl Default for CoverageOptions {
@@ -116,6 +126,7 @@ impl Default for CoverageOptions {
             threads: 1,
             metrics: Metrics::disabled(),
             reference_frame_walk: false,
+            ilp_tier: SolverTier::Dense,
         }
     }
 }
@@ -989,12 +1000,19 @@ impl<'a> CoverageEvaluator<'a> {
             Resilient(ResilientScheduler),
         }
         let scheduler = match scheduler_kind {
-            SchedulerKind::Ilp => ActiveScheduler::Ilp(IlpScheduler::default()),
+            SchedulerKind::Ilp => ActiveScheduler::Ilp(IlpScheduler {
+                tier: self.options.ilp_tier,
+                ..IlpScheduler::default()
+            }),
             SchedulerKind::Greedy => ActiveScheduler::Plain(Box::new(GreedyScheduler)),
             SchedulerKind::Abb => {
                 ActiveScheduler::Plain(Box::new(AbbScheduler::with_frame_deadline()))
             }
-            SchedulerKind::Resilient => ActiveScheduler::Resilient(ResilientScheduler::default()),
+            SchedulerKind::Resilient => {
+                let mut resilient = ResilientScheduler::default();
+                resilient.ilp.tier = self.options.ilp_tier;
+                ActiveScheduler::Resilient(resilient)
+            }
         };
         let fault_plan = self.options.fault_plan.as_deref();
         let fault_aware = self.options.degraded_mode == DegradedMode::Resilient;
@@ -1275,6 +1293,7 @@ impl<'a> CoverageEvaluator<'a> {
                         &active,
                         &follower_states,
                         &repair_failures,
+                        self.options.ilp_tier,
                     ),
                 )
             });

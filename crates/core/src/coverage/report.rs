@@ -4,8 +4,9 @@ use eagleeye_obs::Metrics;
 use std::time::Duration;
 
 /// Version byte leading every [`CoverageReport::to_bytes`] payload.
-/// Version 2 appended the ILP warm-start counters.
-const REPORT_CODEC_VERSION: u8 = 2;
+/// Version 2 appended the ILP warm-start counters; version 3 appended
+/// the solver-tier counters (hints, sparse solves, presolve).
+const REPORT_CODEC_VERSION: u8 = 3;
 
 /// Result of a coverage evaluation run.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -86,6 +87,16 @@ pub struct CoverageReport {
     /// Nodes whose warm basis was rejected and fell back to a cold
     /// solve.
     pub ilp_warm_rejects: usize,
+    /// Incumbent hints accepted by the MILP solver across all horizons
+    /// (zero on the memoized what-if path, which never passes hints).
+    pub ilp_hints_accepted: usize,
+    /// ILP subproblems solved on the sparse tier (zero under the
+    /// dense default, keeping legacy digests byte-identical).
+    pub ilp_sparse_solves: usize,
+    /// Variables eliminated by presolve before the sparse searches.
+    pub ilp_presolve_vars_eliminated: usize,
+    /// Constraint rows removed by presolve before the sparse searches.
+    pub ilp_presolve_rows_removed: usize,
     /// True when the crash-safe run layer stopped this evaluation early
     /// (deadline exceeded or shutdown requested) and the report covers
     /// only the leader passes that finished. Anytime results: every
@@ -184,6 +195,10 @@ impl CoverageReport {
         self.ilp_iteration_limit_hits += part.ilp_iteration_limit_hits;
         self.ilp_warm_starts += part.ilp_warm_starts;
         self.ilp_warm_rejects += part.ilp_warm_rejects;
+        self.ilp_hints_accepted += part.ilp_hints_accepted;
+        self.ilp_sparse_solves += part.ilp_sparse_solves;
+        self.ilp_presolve_vars_eliminated += part.ilp_presolve_vars_eliminated;
+        self.ilp_presolve_rows_removed += part.ilp_presolve_rows_removed;
     }
 
     /// Folds one horizon's ILP solver diagnostics into the report.
@@ -198,6 +213,10 @@ impl CoverageReport {
         self.ilp_iteration_limit_hits += stats.iteration_limit_hits;
         self.ilp_warm_starts += stats.warm_starts;
         self.ilp_warm_rejects += stats.warm_rejects;
+        self.ilp_hints_accepted += stats.hints_accepted;
+        self.ilp_sparse_solves += stats.sparse_solves;
+        self.ilp_presolve_vars_eliminated += stats.presolve_vars_eliminated;
+        self.ilp_presolve_rows_removed += stats.presolve_rows_removed;
     }
 
     /// Mirrors the report into a metrics registry under the `core/*`
@@ -242,6 +261,16 @@ impl CoverageReport {
         );
         metrics.add("ilp/warm_starts", self.ilp_warm_starts as u64);
         metrics.add("ilp/warm_rejects", self.ilp_warm_rejects as u64);
+        metrics.add("ilp/hints_accepted", self.ilp_hints_accepted as u64);
+        metrics.add("ilp/sparse_solves", self.ilp_sparse_solves as u64);
+        metrics.add(
+            "ilp/presolve_vars_eliminated",
+            self.ilp_presolve_vars_eliminated as u64,
+        );
+        metrics.add(
+            "ilp/presolve_rows_removed",
+            self.ilp_presolve_rows_removed as u64,
+        );
         const FRAME_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50];
         for &n in &self.per_frame_target_counts {
             metrics.observe("core/frame_targets", n as u64, FRAME_BUCKETS);
@@ -347,6 +376,10 @@ impl CoverageReport {
         w.usize(self.ilp_iteration_limit_hits);
         w.usize(self.ilp_warm_starts);
         w.usize(self.ilp_warm_rejects);
+        w.usize(self.ilp_hints_accepted);
+        w.usize(self.ilp_sparse_solves);
+        w.usize(self.ilp_presolve_vars_eliminated);
+        w.usize(self.ilp_presolve_rows_removed);
         w.bool(self.degraded);
         w.usize(self.leader_passes_completed);
         w.usize(self.leader_passes_total);
@@ -412,6 +445,10 @@ impl CoverageReport {
         out.ilp_iteration_limit_hits = r.usize()?;
         out.ilp_warm_starts = r.usize()?;
         out.ilp_warm_rejects = r.usize()?;
+        out.ilp_hints_accepted = r.usize()?;
+        out.ilp_sparse_solves = r.usize()?;
+        out.ilp_presolve_vars_eliminated = r.usize()?;
+        out.ilp_presolve_rows_removed = r.usize()?;
         out.degraded = r.bool()?;
         out.leader_passes_completed = r.usize()?;
         out.leader_passes_total = r.usize()?;
@@ -512,6 +549,10 @@ mod tests {
             incumbent_updates: 3,
             warm_starts: 5,
             warm_rejects: 2,
+            hints_accepted: 1,
+            sparse_solves: 2,
+            presolve_vars_eliminated: 6,
+            presolve_rows_removed: 3,
             greedy_dominated: false,
         };
         let mut part = CoverageReport::default();
@@ -529,6 +570,10 @@ mod tests {
         assert_eq!(acc.ilp_iteration_limit_hits, 0);
         assert_eq!(acc.ilp_warm_starts, 10);
         assert_eq!(acc.ilp_warm_rejects, 4);
+        assert_eq!(acc.ilp_hints_accepted, 2);
+        assert_eq!(acc.ilp_sparse_solves, 4);
+        assert_eq!(acc.ilp_presolve_vars_eliminated, 12);
+        assert_eq!(acc.ilp_presolve_rows_removed, 6);
     }
 
     #[test]
@@ -607,6 +652,10 @@ mod tests {
             ilp_iteration_limit_hits: 0,
             ilp_warm_starts: 8,
             ilp_warm_rejects: 2,
+            ilp_hints_accepted: 1,
+            ilp_sparse_solves: 2,
+            ilp_presolve_vars_eliminated: 17,
+            ilp_presolve_rows_removed: 4,
             degraded: true,
             leader_passes_completed: 2,
             leader_passes_total: 5,

@@ -1,6 +1,7 @@
 use super::graph::{Arc, End, OpportunityGraph};
 use super::{Capture, Schedule, Scheduler, SchedulingProblem};
 use crate::CoreError;
+pub use eagleeye_ilp::SolverTier;
 use eagleeye_ilp::{Model, Sense, SolveOptions, SolveStatus, VarId};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -45,6 +46,11 @@ pub struct IlpScheduler {
     /// Above this joint capture-node count with more than one follower,
     /// decompose into sequential per-follower solves.
     pub joint_node_limit: usize,
+    /// Which `eagleeye-ilp` solver tier runs the per-horizon MILPs.
+    /// Defaults to [`SolverTier::Dense`] — the bit-stable path all
+    /// golden digests were recorded on; [`SolverTier::Sparse`] /
+    /// [`SolverTier::Auto`] enable the presolved sparse engine.
+    pub tier: SolverTier,
 }
 
 impl Default for IlpScheduler {
@@ -53,6 +59,7 @@ impl Default for IlpScheduler {
             slots_per_task: 0,
             time_limit: Duration::from_secs(10),
             joint_node_limit: 420,
+            tier: SolverTier::Dense,
         }
     }
 }
@@ -88,6 +95,18 @@ pub struct IlpRunStats {
     /// Nodes whose warm basis was rejected (failed installation or dual
     /// restoration) and fell back to a cold solve.
     pub warm_rejects: usize,
+    /// Incumbent hints accepted by the solver across all subproblems
+    /// (the what-if path never passes hints, so this stays 0 there).
+    pub hints_accepted: usize,
+    /// Subproblems solved on the sparse tier (0 under the dense
+    /// default, so dense digests are unaffected).
+    pub sparse_solves: usize,
+    /// Variables eliminated by presolve, summed over all subproblems
+    /// (sparse tier only).
+    pub presolve_vars_eliminated: usize,
+    /// Constraint rows removed by presolve, summed over all
+    /// subproblems (sparse tier only).
+    pub presolve_rows_removed: usize,
     /// True when the final answer came from the greedy baseline because
     /// it beat the (coarsely discretized) ILP solution.
     pub greedy_dominated: bool,
@@ -264,6 +283,7 @@ impl IlpScheduler {
 
         let sol = match model.solve(&SolveOptions {
             time_limit: Some(self.time_limit),
+            tier: self.tier,
             ..SolveOptions::default()
         }) {
             Ok(sol) => sol,
@@ -289,6 +309,10 @@ impl IlpScheduler {
         stats.incumbent_updates += solver.incumbent_updates;
         stats.warm_starts += solver.warm_starts;
         stats.warm_rejects += solver.warm_rejects;
+        stats.hints_accepted += solver.hints_accepted;
+        stats.sparse_solves += solver.sparse_solves;
+        stats.presolve_vars_eliminated += solver.presolve_vars_eliminated;
+        stats.presolve_rows_removed += solver.presolve_rows_removed;
         // Branch-and-bound converts an expired deadline into a limit
         // status (`Feasible` with the incumbent, `Unknown` without one)
         // rather than an error; count those as deadline hits too.

@@ -14,6 +14,11 @@
 //! design — eliding re-propagation is the point of sharing — as are
 //! `exec/*` pool-shape counters, matching the threading contract.
 //!
+//! Cases additionally draw a solver tier (dense / sparse / auto,
+//! DESIGN.md §15): the bit-identity contract holds within each tier,
+//! and the tier is part of the horizon-memo digest so incremental
+//! replays never cross tiers.
+//!
 //! Runs on the `eagleeye-check` harness: replay a failure with
 //! `EAGLEEYE_CHECK_SEED`, scale the budget with `EAGLEEYE_CHECK_CASES`.
 //!
@@ -25,6 +30,7 @@ use eagleeye_core::coverage::{
     ConstellationConfig, CoverageEvaluator, CoverageOptions, CoverageReport, DegradedMode,
     ScenarioDelta, SchedulerKind,
 };
+use eagleeye_core::schedule::SolverTier;
 use eagleeye_datasets::{Target, TargetSet};
 use eagleeye_geo::GeodeticPoint;
 use eagleeye_obs::Metrics;
@@ -74,6 +80,19 @@ fn clustering_for(kind: usize) -> ClusteringMethod {
         0 => ClusteringMethod::Ilp,
         1 => ClusteringMethod::Greedy,
         _ => ClusteringMethod::None,
+    }
+}
+
+/// Solver-tier axis (DESIGN.md §15): the sparse presolved tier must
+/// uphold the same cold-vs-delta bit-identity as the dense default —
+/// within a tier the solver is fully deterministic, and the tier
+/// participates in the horizon-memo digest so replays never cross
+/// tiers.
+fn tier_for(kind: usize) -> SolverTier {
+    match kind % 3 {
+        0 => SolverTier::Dense,
+        1 => SolverTier::Sparse,
+        _ => SolverTier::Auto,
     }
 }
 
@@ -183,13 +202,13 @@ fn delta_evaluation_is_bit_identical_to_cold() {
         (
             u64_range(0, u64::MAX),
             (usize_range(2, 3), usize_range(1, 2)),
-            (usize_range(0, 2), usize_range(0, 2)),
+            (usize_range(0, 2), usize_range(0, 2), usize_range(0, 2)),
             f64_range(0.6, 1.0),
             usize_range(0, 9),
             f64_range(0.0, 1.0),
             f64_range(0.0, 900.0),
         ),
-        |&(seed, (groups, followers), (skind, ckind), recall, dkind, dparam, at_s)| {
+        |&(seed, (groups, followers), (skind, ckind, tkind), recall, dkind, dparam, at_s)| {
             let targets = targets_for(seed);
             let parent_cfg = ConstellationConfig::EagleEye {
                 groups,
@@ -220,6 +239,7 @@ fn delta_evaluation_is_bit_identical_to_cold() {
                 } else {
                     DegradedMode::Naive
                 },
+                ilp_tier: tier_for(tkind),
                 ..CoverageOptions::default()
             };
             let delta = delta_for(dkind, dparam, at_s);
@@ -295,5 +315,47 @@ fn pinned_remove_group_delta_reuses_parent_work() {
     assert!(
         report.same_outcome(&cold),
         "reused child diverged:\ndelta: {report:?}\ncold: {cold:?}"
+    );
+}
+
+/// Pinned sparse-tier case: regardless of what the random axis above
+/// draws, at least one delta-vs-cold comparison must run the sparse
+/// presolved tier end to end, exercise it (sparse-solve counters are
+/// nonzero), and stay bit-identical at 1 and 4 threads.
+#[test]
+fn sparse_tier_delta_matches_cold() {
+    let targets = targets_for(7);
+    let parent_cfg = ConstellationConfig::EagleEye {
+        groups: 2,
+        followers_per_group: 2,
+        scheduler: SchedulerKind::Ilp,
+        clustering: ClusteringMethod::Ilp,
+    };
+    let parent_opts = CoverageOptions {
+        duration_s: 1_000.0,
+        seed: 7,
+        ilp_tier: SolverTier::Sparse,
+        ..CoverageOptions::default()
+    };
+    let parent = CoverageEvaluator::new(&targets, parent_opts);
+    parent.evaluate(&parent_cfg).expect("parent evaluation");
+
+    let (child_cfg, child_opts) = ScenarioDelta::AddFollower
+        .apply(&parent_cfg, parent.options())
+        .expect("apply");
+    let single = assert_delta_matches_cold(&parent, &targets, &child_cfg, &child_opts, 1);
+    let multi = assert_delta_matches_cold(&parent, &targets, &child_cfg, &child_opts, 4);
+    assert!(
+        single.same_outcome(&multi),
+        "sparse-tier delta diverged across thread counts:\
+         \nthreads=1: {single:?}\nthreads=4: {multi:?}"
+    );
+    assert!(
+        single.scheduler_calls > 0 && single.captured > 0,
+        "the pinned sparse scenario must actually schedule and capture: {single:?}"
+    );
+    assert!(
+        single.ilp_sparse_solves > 0,
+        "the sparse tier must actually run (ilp/sparse_solves > 0): {single:?}"
     );
 }

@@ -8,7 +8,10 @@
 //! (`CoverageReport::same_outcome`). Scenarios sweep the features that
 //! could plausibly diverge: imperfect recall, fault plans, leader and
 //! follower failures, moving targets, recapture penalties, every
-//! scheduler and clustering kind, and the pure-swath configurations.
+//! scheduler and clustering kind, every ILP solver tier (DESIGN.md
+//! §15 — within a tier the solver is deterministic, so the engines
+//! must agree under the sparse tier exactly as under the dense one),
+//! and the pure-swath configurations.
 //!
 //! Runs on the `eagleeye-check` harness: replay a failure with
 //! `EAGLEEYE_CHECK_SEED`, scale the budget with `EAGLEEYE_CHECK_CASES`.
@@ -19,6 +22,7 @@ use eagleeye_core::coverage::{
     ConstellationConfig, CoverageEvaluator, CoverageOptions, CoverageReport, DegradedMode,
     FailurePlan, ScenarioDelta, SchedulerKind,
 };
+use eagleeye_core::schedule::SolverTier;
 use eagleeye_datasets::{Target, TargetSet};
 use eagleeye_geo::GeodeticPoint;
 use eagleeye_sim::{FaultKind, FaultPlan};
@@ -98,6 +102,17 @@ fn clustering_for(kind: usize) -> ClusteringMethod {
     }
 }
 
+/// ILP solver tier axis: both engines run the same deterministic
+/// solver, so compiled-vs-reference identity must hold under every
+/// tier, not just the dense default.
+fn tier_for(kind: usize) -> SolverTier {
+    match kind % 3 {
+        0 => SolverTier::Dense,
+        1 => SolverTier::Sparse,
+        _ => SolverTier::Auto,
+    }
+}
+
 /// Evaluates `config` over `targets` through both engines and asserts
 /// timer-stripped equality — cold compile, warm memo replay, and the
 /// legacy frame walk must all produce the same report.
@@ -140,17 +155,18 @@ fn compiled_engine_matches_reference_frame_walk() {
             u64_range(0, u64::MAX),
             usize_range(0, 2),
             (usize_range(1, 3), usize_range(1, 2)),
-            (usize_range(0, 2), usize_range(0, 2)),
+            (usize_range(0, 2), usize_range(0, 2), usize_range(0, 2)),
             f64_range(0.55, 1.0),
             f64_range(-0.5, 1.0),
         ),
-        |&(seed, tkind, (groups, followers), (skind, ckind), recall, recapture)| {
+        |&(seed, tkind, (groups, followers), (skind, ckind, ikind), recall, recapture)| {
             let targets = targets_for(tkind, seed);
             let options = CoverageOptions {
                 duration_s: 1_200.0,
                 recall,
                 seed,
                 recapture_penalty: (recapture >= 0.0).then_some(recapture),
+                ilp_tier: tier_for(ikind),
                 ..CoverageOptions::default()
             };
             let config = ConstellationConfig::EagleEye {

@@ -6,6 +6,57 @@ use crate::IlpError;
 use eagleeye_harden::{crash_point, ByteReader, ByteWriter, CodecError};
 use std::time::{Duration, Instant};
 
+/// Which LP engine (and surrounding machinery) a solve runs on.
+///
+/// The tiers are *observationally equivalent*: same
+/// [`SolveStatus`], objectives within 1e-9, and — on instances with a
+/// unique optimum — the same solution vector (the
+/// `sparse_differential` suite is the oracle for this claim). They
+/// are **not** bit-identical in general: the sparse tier presolves,
+/// prices over CSC columns, and branches on pseudocosts, so its node
+/// ordering and float accumulation differ from the dense tableau.
+/// Anything that pins exact digests (golden regression, crash-resume)
+/// must therefore pick one tier and stay on it; the default is
+/// [`SolverTier::Dense`], the historical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverTier {
+    /// Dense-tableau two-phase simplex with most-fractional branching
+    /// — the original engine, and the only one with
+    /// [`Frontier`] checkpoint/resume support.
+    #[default]
+    Dense,
+    /// Presolve + sparse revised simplex (CSC columns, explicit basis
+    /// inverse) + pseudocost branching. Faster on large sparse
+    /// instances; solutions are restored to the original variable
+    /// space through the postsolve map.
+    Sparse,
+    /// Choose per instance: [`SolverTier::Sparse`] when
+    /// `num_vars + num_constraints >=` [`AUTO_SPARSE_THRESHOLD`],
+    /// [`SolverTier::Dense`] below it.
+    Auto,
+}
+
+/// Instance size (`num_vars + num_constraints`) at which
+/// [`SolverTier::Auto`] switches from the dense to the sparse tier.
+pub const AUTO_SPARSE_THRESHOLD: usize = 256;
+
+impl SolverTier {
+    /// Resolves `Auto` against an instance size; `Dense` and `Sparse`
+    /// return themselves.
+    pub fn resolve(self, n_vars: usize, n_rows: usize) -> SolverTier {
+        match self {
+            SolverTier::Auto => {
+                if n_vars + n_rows >= AUTO_SPARSE_THRESHOLD {
+                    SolverTier::Sparse
+                } else {
+                    SolverTier::Dense
+                }
+            }
+            tier => tier,
+        }
+    }
+}
+
 /// Options controlling a MILP solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveOptions {
@@ -27,8 +78,14 @@ pub struct SolveOptions {
     /// silently discarded if it fails, so a stale or foreign hint can
     /// never corrupt a solve; an accepted hint is counted in
     /// [`SolveStats::hints_accepted`]. Ignored when resuming from a
-    /// [`Frontier`], whose incumbent already reflects it.
+    /// [`Frontier`], whose incumbent already reflects it. On the
+    /// sparse tier the validated hint is additionally projected into
+    /// the presolved variable space through the postsolve map, so a
+    /// hint survives presolve eliminating variables.
     pub incumbent_hint: Option<Vec<f64>>,
+    /// Which solver tier runs the search (default
+    /// [`SolverTier::Dense`], the bit-stable historical path).
+    pub tier: SolverTier,
 }
 
 impl Default for SolveOptions {
@@ -39,6 +96,7 @@ impl Default for SolveOptions {
             integrality_tol: 1e-6,
             absolute_gap: 1e-9,
             incumbent_hint: None,
+            tier: SolverTier::Dense,
         }
     }
 }
@@ -81,6 +139,15 @@ pub struct SolveStats {
     /// Incumbent hints ([`SolveOptions::incumbent_hint`]) that passed
     /// validation and seeded the initial bound (0 or 1 per solve).
     pub hints_accepted: usize,
+    /// Solves that ran on the sparse tier (0 or 1 per solve; always 0
+    /// on the dense path, so dense digests are unaffected).
+    pub sparse_solves: usize,
+    /// Variables eliminated by presolve before the search (sparse tier
+    /// only; 0 on the dense path).
+    pub presolve_vars_eliminated: usize,
+    /// Constraint rows removed by presolve before the search (sparse
+    /// tier only; 0 on the dense path).
+    pub presolve_rows_removed: usize,
     /// Wall-clock time from solve start until the first incumbent was
     /// found; `None` when the search ended with no feasible solution.
     pub time_to_first_incumbent: Option<Duration>,
@@ -177,6 +244,10 @@ impl Frontier {
         w.u64(self.stats.warm_starts as u64);
         w.u64(self.stats.warm_rejects as u64);
         w.u64(self.stats.hints_accepted as u64);
+        // Sparse-tier counters (sparse_solves, presolve_*) are not
+        // serialized: frontiers are produced only by the dense
+        // resumable path, where those counters are always zero — and
+        // `from_bytes` restores them as zero via `SolveStats::default`.
         w.bool(self.stats.time_to_first_incumbent.is_some());
         if let Some(t) = self.stats.time_to_first_incumbent {
             w.u64(t.as_secs());
@@ -297,7 +368,295 @@ fn validated_hint_objective(model: &Model, hint: &[f64], integrality_tol: f64) -
 }
 
 pub(crate) fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
-    solve_milp_resumable(model, options, None).map(|(solution, _)| solution)
+    match options
+        .tier
+        .resolve(model.num_vars(), model.num_constraints())
+    {
+        SolverTier::Sparse => solve_milp_sparse(model, options),
+        // `Auto` has been resolved away; anything else is the dense path.
+        _ => solve_milp_resumable(model, options, None).map(|(solution, _)| solution),
+    }
+}
+
+/// Per-variable pseudocost record: observed objective degradation per
+/// unit of fractional distance, separately for up and down branches,
+/// blended with a cost-magnitude prior until real observations arrive.
+#[derive(Debug, Clone)]
+struct PseudoCost {
+    prior: f64,
+    up_sum: f64,
+    up_n: f64,
+    down_sum: f64,
+    down_n: f64,
+}
+
+impl PseudoCost {
+    fn new(obj_coeff: f64) -> Self {
+        PseudoCost {
+            prior: 1.0 + obj_coeff.abs(),
+            up_sum: 0.0,
+            up_n: 0.0,
+            down_sum: 0.0,
+            down_n: 0.0,
+        }
+    }
+
+    fn observe(&mut self, is_up: bool, per_unit: f64) {
+        if is_up {
+            self.up_sum += per_unit;
+            self.up_n += 1.0;
+        } else {
+            self.down_sum += per_unit;
+            self.down_n += 1.0;
+        }
+    }
+
+    fn up_estimate(&self) -> f64 {
+        (self.prior + self.up_sum) / (1.0 + self.up_n)
+    }
+
+    fn down_estimate(&self) -> f64 {
+        (self.prior + self.down_sum) / (1.0 + self.down_n)
+    }
+}
+
+/// A sparse-tier search node. Unlike the dense [`Node`] it also
+/// remembers *how* it was created (branch variable, direction, and the
+/// parent relaxation objective) so the pseudocost table can be updated
+/// once this node's own relaxation is solved.
+#[derive(Debug, Clone)]
+struct SparseNode {
+    overrides: Vec<(usize, f64, f64)>,
+    warm: Option<WarmBasis>,
+    /// `(reduced var, branched up, fractional distance, parent obj)`.
+    branch: Option<(usize, bool, f64, f64)>,
+}
+
+/// Depth-first branch-and-bound on the sparse tier: presolve the
+/// model, search the reduced space with sparse-revised-simplex
+/// relaxations and pseudocost branching, then postsolve the incumbent
+/// back to the original variable space. Deadline, node-limit,
+/// warm-start, and status semantics mirror the dense path; node
+/// *ordering* intentionally does not (pseudocost selection is the
+/// point — it is what shrinks the node counts the obs counters track).
+fn solve_milp_sparse(model: &Model, options: &SolveOptions) -> Result<Solution, IlpError> {
+    use crate::presolve::{presolve, PresolveResult};
+
+    // eagleeye-lint: allow(clock): anchors the optional B&B wall-clock deadline; deterministic whenever no deadline is set
+    let start = Instant::now();
+    let sign = match model.direction() {
+        ObjectiveDirection::Minimize => 1.0,
+        ObjectiveDirection::Maximize => -1.0,
+    };
+
+    let pre = match presolve(model) {
+        PresolveResult::Reduced(p) => p,
+        PresolveResult::Infeasible => {
+            // Proven infeasible before any LP ran.
+            return Ok(Solution {
+                status: SolveStatus::Infeasible,
+                objective: f64::NAN,
+                values: vec![f64::NAN; model.num_vars()],
+                stats: SolveStats {
+                    sparse_solves: 1,
+                    elapsed: start.elapsed(),
+                    ..SolveStats::default()
+                },
+            });
+        }
+    };
+    let reduced = &pre.model;
+    let mut stats = SolveStats {
+        sparse_solves: 1,
+        presolve_vars_eliminated: pre.stats.vars_eliminated,
+        presolve_rows_removed: pre.stats.rows_removed,
+        ..SolveStats::default()
+    };
+
+    // Seed the incumbent from a validated hint. Validation runs
+    // against the ORIGINAL model (the caller's space); the accepted
+    // hint is then projected through the postsolve map into the
+    // reduced space, so presolve eliminating variables no longer
+    // drops the hint. Internal objectives are minimize-signed over the
+    // reduced model: original = reduced + offset (model direction).
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(hint) = options.incumbent_hint.as_deref() {
+        if let Some(obj) = validated_hint_objective(model, hint, options.integrality_tol) {
+            if let Some(projected) = pre.map.project(hint) {
+                stats.hints_accepted += 1;
+                incumbent = Some((sign * (obj - pre.offset), projected));
+            }
+        }
+    }
+
+    let int_vars: Vec<usize> = reduced
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(j, _)| j)
+        .collect();
+    let mut pseudo: Vec<PseudoCost> = reduced
+        .vars
+        .iter()
+        .map(|v| PseudoCost::new(v.obj))
+        .collect();
+
+    let mut stack = vec![SparseNode {
+        overrides: Vec::new(),
+        warm: None,
+        branch: None,
+    }];
+    let mut limit_hit = false;
+    let deadline = options.time_limit.map(|tl| start + tl);
+
+    while let Some(node) = stack.pop() {
+        if let Some(tl) = options.time_limit {
+            if start.elapsed() >= tl {
+                limit_hit = true;
+                break;
+            }
+        }
+        if let Some(nl) = options.node_limit {
+            if stats.nodes_explored >= nl {
+                limit_hit = true;
+                break;
+            }
+        }
+        // Same crash-injection site as the dense path, so fault drills
+        // exercise both tiers.
+        crash_point("bnb_node");
+
+        stats.nodes_explored += 1;
+        let relaxed =
+            match reduced.solve_relaxation_sparse(&node.overrides, deadline, node.warm.as_ref()) {
+                Ok(r) => r,
+                Err(IlpError::Deadline) => {
+                    stats.nodes_explored -= 1;
+                    limit_hit = true;
+                    break;
+                }
+                Err(IlpError::Unbounded) if stats.nodes_explored > 1 => {
+                    return Err(IlpError::Unbounded);
+                }
+                Err(e) => return Err(e),
+            };
+        let Some(rlp) = relaxed else {
+            continue; // infeasible node
+        };
+        if rlp.warmed {
+            stats.warm_starts += 1;
+        } else if node.warm.is_some() {
+            stats.warm_rejects += 1;
+        }
+        let (obj, values) = (rlp.obj, rlp.values);
+        stats.lp_iterations += rlp.iterations;
+        stats.lp_pivots += rlp.pivots;
+
+        // Feed the pseudocost table: this node's relaxation tells us
+        // what the branch that created it actually cost per unit of
+        // fractional distance.
+        if let Some((j, is_up, dist, parent_obj)) = node.branch {
+            if dist > 1e-9 {
+                let per_unit = (obj - parent_obj).max(0.0) / dist;
+                pseudo[j].observe(is_up, per_unit);
+            }
+        }
+
+        // Bound pruning.
+        if let Some((best, _)) = &incumbent {
+            if obj >= *best - options.absolute_gap {
+                stats.nodes_pruned += 1;
+                continue;
+            }
+        }
+
+        // Pseudocost branching: pick the fractional integer variable
+        // with the largest product of estimated up/down degradations.
+        // Strict `>` keeps ties on the lowest index — deterministic.
+        let mut branch_var: Option<(usize, f64, f64)> = None; // (var, score, lp value)
+        for &j in &int_vars {
+            let v = values[j];
+            if (v - v.round()).abs() > options.integrality_tol {
+                let frac = v - v.floor();
+                let score = (pseudo[j].down_estimate() * frac).max(1e-6)
+                    * (pseudo[j].up_estimate() * (1.0 - frac)).max(1e-6);
+                match branch_var {
+                    Some((_, best_score, _)) if score <= best_score => {}
+                    _ => branch_var = Some((j, score, v)),
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                let better = match &incumbent {
+                    Some((best, _)) => obj < *best - 1e-12,
+                    None => true,
+                };
+                if better {
+                    stats.incumbent_updates += 1;
+                    if stats.time_to_first_incumbent.is_none() {
+                        stats.time_to_first_incumbent = Some(start.elapsed());
+                    }
+                    incumbent = Some((obj, values));
+                }
+            }
+            Some((j, _, v)) => {
+                let floor = v.floor();
+                let ceil = v.ceil();
+                let frac = v - floor;
+                let mut down = node.overrides.clone();
+                down.push((j, reduced.vars[j].lower, floor));
+                let mut up = node.overrides.clone();
+                up.push((j, ceil, reduced.vars[j].upper));
+                let down_node = SparseNode {
+                    overrides: down,
+                    warm: Some(rlp.basis.clone()),
+                    branch: Some((j, false, frac, obj)),
+                };
+                let up_node = SparseNode {
+                    overrides: up,
+                    warm: Some(rlp.basis),
+                    branch: Some((j, true, 1.0 - frac, obj)),
+                };
+                // Explore the side closer to the LP value first
+                // (pushed last so it pops first), like the dense path.
+                if frac < 0.5 {
+                    stack.push(up_node);
+                    stack.push(down_node);
+                } else {
+                    stack.push(down_node);
+                    stack.push(up_node);
+                }
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(match incumbent {
+        Some((internal_obj, reduced_values)) => Solution {
+            status: if limit_hit {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Optimal
+            },
+            // original = reduced + offset, both in the model direction.
+            objective: sign * internal_obj + pre.offset,
+            values: pre.map.restore(&reduced_values),
+            stats,
+        },
+        None => Solution {
+            status: if limit_hit {
+                SolveStatus::Unknown
+            } else {
+                SolveStatus::Infeasible
+            },
+            objective: f64::NAN,
+            values: vec![f64::NAN; model.num_vars()],
+            stats,
+        },
+    })
 }
 
 pub(crate) fn solve_milp_resumable(

@@ -68,7 +68,7 @@ pub enum ObjectiveDirection {
     Maximize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct VarDef {
     pub lower: f64,
     pub upper: f64,
@@ -76,7 +76,7 @@ pub(crate) struct VarDef {
     pub obj: f64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RowDef {
     pub terms: Vec<(usize, f64)>,
     pub sense: Sense,
@@ -107,7 +107,7 @@ pub(crate) struct RowDef {
 /// assert!((sol.objective() - 2.0).abs() < 1e-6);
 /// # Ok::<(), eagleeye_ilp::IlpError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Model {
     pub(crate) direction: Option<ObjectiveDirection>,
     pub(crate) vars: Vec<VarDef>,
@@ -273,6 +273,13 @@ impl Model {
     /// Solves the model to integer optimality (continuous models solve in
     /// a single LP call).
     ///
+    /// [`SolveOptions::tier`] picks the engine:
+    /// [`SolverTier::Dense`](crate::SolverTier::Dense) (the default,
+    /// bit-stable historical path),
+    /// [`SolverTier::Sparse`](crate::SolverTier::Sparse) (presolve +
+    /// sparse revised simplex + pseudocost branching), or
+    /// [`SolverTier::Auto`](crate::SolverTier::Auto) by instance size.
+    ///
     /// # Errors
     ///
     /// * [`IlpError::Unbounded`] when the relaxation is unbounded.
@@ -294,6 +301,11 @@ impl Model {
     /// the same order as an uninterrupted solve, so the final solution
     /// and deterministic stats are identical.
     ///
+    /// Checkpoint/resume is a dense-path feature:
+    /// [`SolveOptions::tier`] is ignored here and the search always
+    /// runs on [`SolverTier::Dense`](crate::SolverTier::Dense), so
+    /// crash-resume digests cannot drift with the tier default.
+    ///
     /// # Errors
     ///
     /// Same as [`Model::solve`].
@@ -313,6 +325,29 @@ impl Model {
         bound_overrides: &[(usize, f64, f64)],
         deadline: Option<std::time::Instant>,
         warm: Option<&WarmBasis>,
+    ) -> Result<Option<RelaxedLp>, IlpError> {
+        self.solve_relaxation_impl(bound_overrides, deadline, warm, false)
+    }
+
+    /// [`Model::solve_relaxation`] on the sparse revised simplex
+    /// instead of the dense tableau. Warm bases are interchangeable
+    /// between the two engines (same column layout), so the sparse
+    /// B&B inherits the dense warm-start machinery unchanged.
+    pub(crate) fn solve_relaxation_sparse(
+        &self,
+        bound_overrides: &[(usize, f64, f64)],
+        deadline: Option<std::time::Instant>,
+        warm: Option<&WarmBasis>,
+    ) -> Result<Option<RelaxedLp>, IlpError> {
+        self.solve_relaxation_impl(bound_overrides, deadline, warm, true)
+    }
+
+    fn solve_relaxation_impl(
+        &self,
+        bound_overrides: &[(usize, f64, f64)],
+        deadline: Option<std::time::Instant>,
+        warm: Option<&WarmBasis>,
+        sparse: bool,
     ) -> Result<Option<RelaxedLp>, IlpError> {
         // Effective bounds.
         let mut lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
@@ -376,7 +411,12 @@ impl Model {
             upper: shifted_upper,
             rows,
         };
-        match simplex::solve_with_warm_start(&problem, deadline, warm)? {
+        let outcome = if sparse {
+            crate::sparse::solve_sparse_with_warm_start(&problem, deadline, warm)?
+        } else {
+            simplex::solve_with_warm_start(&problem, deadline, warm)?
+        };
+        match outcome {
             LpResult::Infeasible => Ok(None),
             LpResult::Optimal(s) => {
                 let values: Vec<f64> = s.values.iter().zip(&lower).map(|(x, lo)| x + lo).collect();

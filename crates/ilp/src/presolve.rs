@@ -1,0 +1,684 @@
+//! Presolve reductions for the sparse solver tier, with an exact
+//! postsolve map back to the original variable space.
+//!
+//! [`presolve`] runs a fixpoint loop of safe, equivalence-preserving
+//! reductions over a [`Model`]:
+//!
+//! * **integer bound rounding** — integer domains shrink inward to the
+//!   nearest integers (an empty rounded domain proves infeasibility);
+//! * **fixed-variable elimination** — variables whose bounds collapse
+//!   are substituted into every row and the objective offset;
+//! * **singleton-row tightening** — one-term rows become variable
+//!   bounds and are removed;
+//! * **empty/redundant-row removal** — rows with no remaining terms
+//!   are consistency-checked and dropped; rows whose activity bounds
+//!   already imply them (dominated by the variable bounds) are dropped;
+//! * **empty-column fixing** — variables in no remaining row are fixed
+//!   at their objective-favored bound when it is finite (an unbounded
+//!   favored direction is *left in the model* so the solver surfaces
+//!   [`crate::IlpError::Unbounded`] exactly like the dense tier);
+//! * **coefficient tightening** — for `Le`/`Ge` rows, a unit-range
+//!   integer variable whose coefficient makes the row binding only at
+//!   one of its bounds gets the classic Savelsbergh reduction, which
+//!   preserves the integer feasible set while tightening the LP
+//!   relaxation.
+//!
+//! Every reduction preserves the set of optimal solutions of the
+//! original MILP (coefficient tightening changes only the *relaxation*,
+//! never the integer-feasible set). The loop runs to a fixpoint, so
+//! `presolve ∘ presolve = presolve`: re-presolving a reduced model
+//! performs zero further reductions — a property the
+//! `sparse_differential` suite pins.
+
+use crate::model::{Model, ObjectiveDirection, RowDef, Sense, VarDef, VarKind};
+
+/// Bounds closer than this collapse to a fixed variable.
+const FIX_TOL: f64 = 1e-9;
+/// Feasibility slack when checking empty rows and activity bounds.
+const ROW_TOL: f64 = 1e-7;
+/// Integer bounds within this of an integer round to it instead of
+/// past it (matches the B&B integrality default).
+const INT_TOL: f64 = 1e-9;
+
+/// Outcome of a presolve pass.
+#[derive(Debug, Clone)]
+pub enum PresolveResult {
+    /// The reduced model plus its postsolve map.
+    Reduced(Presolved),
+    /// The reductions proved the model infeasible (crossed bounds or
+    /// an unsatisfiable row) before any solve was needed.
+    Infeasible,
+}
+
+/// A presolved model: the reduced problem, the map back to the
+/// original variable space, and what was done.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model (same objective direction as the original).
+    pub model: Model,
+    /// Restores original-space solutions from reduced-space ones.
+    pub map: PostsolveMap,
+    /// Objective contribution of the eliminated variables, in the
+    /// model's own direction: `original = reduced + offset`.
+    pub offset: f64,
+    /// Reduction counters.
+    pub stats: PresolveStats,
+}
+
+/// What a presolve pass eliminated or tightened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PresolveStats {
+    /// Variables eliminated (fixed and substituted out).
+    pub vars_eliminated: usize,
+    /// Rows removed (empty, singleton, or dominated/redundant).
+    pub rows_removed: usize,
+    /// Variable bounds tightened (integer rounding and singleton rows).
+    pub bounds_tightened: usize,
+    /// Row coefficients tightened (Savelsbergh reductions).
+    pub coeffs_tightened: usize,
+}
+
+impl PresolveStats {
+    /// True when the pass changed nothing — the fixpoint/idempotence
+    /// witness.
+    pub fn is_noop(&self) -> bool {
+        *self == PresolveStats::default()
+    }
+}
+
+/// Per-original-variable disposition after presolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarMap {
+    /// Still present, at this index in the reduced model.
+    Kept(usize),
+    /// Eliminated at this fixed value.
+    Fixed(f64),
+}
+
+/// Maps reduced-space solutions back to the original variable space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostsolveMap {
+    entries: Vec<VarMap>,
+    n_reduced: usize,
+}
+
+impl PostsolveMap {
+    /// Number of variables in the original model.
+    pub fn n_original(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of variables surviving into the reduced model.
+    pub fn n_reduced(&self) -> usize {
+        self.n_reduced
+    }
+
+    /// Restores an original-space solution vector from a reduced-space
+    /// one: kept variables copy through, eliminated variables take
+    /// their fixed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced` is not `n_reduced()` long.
+    pub fn restore(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced.len(), self.n_reduced, "reduced solution length");
+        self.entries
+            .iter()
+            .map(|e| match e {
+                VarMap::Kept(r) => reduced[*r],
+                VarMap::Fixed(v) => *v,
+            })
+            .collect()
+    }
+
+    /// Projects an original-space candidate (e.g. an incumbent hint)
+    /// into the reduced space. Returns `None` when the candidate
+    /// disagrees with a presolve-fixed value — such a candidate cannot
+    /// be represented in the reduced model. A candidate that satisfies
+    /// the original bounds always agrees (fixings derive from those
+    /// bounds), so this is a safety net, not a common path.
+    pub fn project(&self, original: &[f64]) -> Option<Vec<f64>> {
+        if original.len() != self.entries.len() {
+            return None;
+        }
+        let mut reduced = vec![0.0; self.n_reduced];
+        for (e, &x) in self.entries.iter().zip(original) {
+            match e {
+                VarMap::Kept(r) => reduced[*r] = x,
+                VarMap::Fixed(v) => {
+                    if (x - v).abs() > 1e-6 {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(reduced)
+    }
+}
+
+/// In-flight row state during the reduction loop.
+#[derive(Debug, Clone)]
+struct WorkRow {
+    terms: Vec<(usize, f64)>,
+    sense: Sense,
+    rhs: f64,
+}
+
+/// Runs the presolve fixpoint loop over `model`.
+///
+/// The input is never mutated; the reduced model shares its objective
+/// direction and keeps surviving variables in their original relative
+/// order.
+pub fn presolve(model: &Model) -> PresolveResult {
+    let n = model.vars.len();
+    let minimize = matches!(model.direction(), ObjectiveDirection::Minimize);
+
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let kind: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+    let obj: Vec<f64> = model.vars.iter().map(|v| v.obj).collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut rows: Vec<Option<WorkRow>> = model
+        .rows
+        .iter()
+        .map(|r| {
+            Some(WorkRow {
+                terms: r.terms.clone(),
+                sense: r.sense,
+                rhs: r.rhs,
+            })
+        })
+        .collect();
+    let mut stats = PresolveStats::default();
+
+    // Initial integer bound rounding.
+    for j in 0..n {
+        if kind[j] == VarKind::Integer && !round_integer_bounds(&mut lower[j], &mut upper[j]) {
+            stats.bounds_tightened += 1;
+        }
+        if lower[j] > upper[j] + FIX_TOL {
+            return PresolveResult::Infeasible;
+        }
+    }
+
+    // The fixpoint loop. Each reduction both shrinks the problem and
+    // can expose further reductions (a substitution makes a row a
+    // singleton, a singleton tightens a bound, a tightened bound fixes
+    // a variable...), so iterate until a full pass changes nothing.
+    // Every pass strictly reduces (vars + rows + coefficient mass) or
+    // terminates, so the cap is generous slack, not a correctness
+    // crutch.
+    for _pass in 0..(2 * (n + rows.len()) + 8) {
+        let mut changed = false;
+
+        // Fixed-variable elimination: collapse bounds, substitute into
+        // every live row.
+        for j in 0..n {
+            if fixed[j].is_some() {
+                continue;
+            }
+            if upper[j] - lower[j] <= FIX_TOL {
+                let v = if kind[j] == VarKind::Integer {
+                    lower[j].round()
+                } else {
+                    lower[j]
+                };
+                fixed[j] = Some(v);
+                stats.vars_eliminated += 1;
+                changed = true;
+                for row in rows.iter_mut().flatten() {
+                    if let Some(pos) = row.terms.iter().position(|&(t, _)| t == j) {
+                        let (_, c) = row.terms.remove(pos);
+                        row.rhs -= c * v;
+                    }
+                }
+            }
+        }
+
+        // Row scan: empty-row consistency, singleton tightening,
+        // activity-bound redundancy/infeasibility, coefficient
+        // tightening.
+        for slot in rows.iter_mut() {
+            let Some(row) = slot else { continue };
+
+            // Exact-zero coefficients (merged duplicates) carry no
+            // information; drop them so emptiness is detectable.
+            let before = row.terms.len();
+            // eagleeye-lint: allow(float-eq): exact-zero only — tiny nonzero coefficients must be kept
+            row.terms.retain(|&(_, c)| c != 0.0);
+            if row.terms.len() != before {
+                changed = true;
+            }
+
+            if row.terms.is_empty() {
+                let ok = match row.sense {
+                    Sense::Le => 0.0 <= row.rhs + ROW_TOL,
+                    Sense::Ge => 0.0 >= row.rhs - ROW_TOL,
+                    Sense::Eq => row.rhs.abs() <= ROW_TOL,
+                };
+                if !ok {
+                    return PresolveResult::Infeasible;
+                }
+                *slot = None;
+                stats.rows_removed += 1;
+                changed = true;
+                continue;
+            }
+
+            if row.terms.len() == 1 {
+                let (j, c) = row.terms[0];
+                let bound = row.rhs / c;
+                let (tighten_lo, tighten_hi) = match (row.sense, c > 0.0) {
+                    (Sense::Le, true) | (Sense::Ge, false) => (false, true),
+                    (Sense::Le, false) | (Sense::Ge, true) => (true, false),
+                    (Sense::Eq, _) => (true, true),
+                };
+                if tighten_hi && bound < upper[j] - 1e-12 {
+                    upper[j] = bound;
+                    stats.bounds_tightened += 1;
+                }
+                if tighten_lo && bound > lower[j] + 1e-12 {
+                    lower[j] = bound;
+                    stats.bounds_tightened += 1;
+                }
+                if kind[j] == VarKind::Integer {
+                    round_integer_bounds(&mut lower[j], &mut upper[j]);
+                }
+                if lower[j] > upper[j] + FIX_TOL {
+                    return PresolveResult::Infeasible;
+                }
+                *slot = None;
+                stats.rows_removed += 1;
+                changed = true;
+                continue;
+            }
+
+            // Activity bounds over the current domains.
+            let (min_act, max_act) = activity_bounds(&row.terms, &lower, &upper);
+
+            // Infeasibility by activity.
+            let infeasible = match row.sense {
+                Sense::Le => min_act > row.rhs + ROW_TOL,
+                Sense::Ge => max_act < row.rhs - ROW_TOL,
+                Sense::Eq => min_act > row.rhs + ROW_TOL || max_act < row.rhs - ROW_TOL,
+            };
+            if infeasible {
+                return PresolveResult::Infeasible;
+            }
+
+            // Redundancy (dominated by the variable bounds).
+            let redundant = match row.sense {
+                Sense::Le => max_act <= row.rhs + 1e-9,
+                Sense::Ge => min_act >= row.rhs - 1e-9,
+                Sense::Eq => (max_act - row.rhs).abs() <= 1e-9 && (min_act - row.rhs).abs() <= 1e-9,
+            };
+            if redundant && max_act.is_finite() && min_act.is_finite() {
+                *slot = None;
+                stats.rows_removed += 1;
+                changed = true;
+                continue;
+            }
+
+            // Coefficient tightening on inequality rows.
+            if matches!(row.sense, Sense::Le | Sense::Ge)
+                && tighten_coefficients(row, &lower, &upper, &kind)
+            {
+                stats.coeffs_tightened += 1;
+                changed = true;
+            }
+        }
+
+        // Empty-column fixing: a variable in no live row moves freely
+        // to its objective-favored bound.
+        let mut in_a_row = vec![false; n];
+        for row in rows.iter().flatten() {
+            for &(j, _) in &row.terms {
+                in_a_row[j] = true;
+            }
+        }
+        for j in 0..n {
+            if fixed[j].is_some() || in_a_row[j] {
+                continue;
+            }
+            // In minimize direction: positive cost favors the lower
+            // bound, negative the upper. Zero cost goes to the lower
+            // bound for determinism. An infinite favored bound is left
+            // for the solver to report as unbounded.
+            let signed = if minimize { obj[j] } else { -obj[j] };
+            let target = if signed >= 0.0 { lower[j] } else { upper[j] };
+            if target.is_finite() {
+                fixed[j] = Some(target);
+                stats.vars_eliminated += 1;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut reduced_index = vec![usize::MAX; n];
+    let mut reduced = Model {
+        direction: model.direction,
+        vars: Vec::new(),
+        rows: Vec::new(),
+    };
+    let mut offset = 0.0;
+    let mut entries = Vec::with_capacity(n);
+    for j in 0..n {
+        match fixed[j] {
+            Some(v) => {
+                offset += obj[j] * v;
+                entries.push(VarMap::Fixed(v));
+            }
+            None => {
+                reduced_index[j] = reduced.vars.len();
+                entries.push(VarMap::Kept(reduced.vars.len()));
+                reduced.vars.push(VarDef {
+                    lower: lower[j],
+                    upper: upper[j],
+                    kind: kind[j],
+                    obj: obj[j],
+                });
+            }
+        }
+    }
+    for row in rows.into_iter().flatten() {
+        reduced.rows.push(RowDef {
+            terms: row
+                .terms
+                .iter()
+                .map(|&(j, c)| (reduced_index[j], c))
+                .collect(),
+            sense: row.sense,
+            rhs: row.rhs,
+        });
+    }
+    let n_reduced = reduced.vars.len();
+    PresolveResult::Reduced(Presolved {
+        model: reduced,
+        map: PostsolveMap { entries, n_reduced },
+        offset,
+        stats,
+    })
+}
+
+/// Rounds an integer domain inward. Returns true when the bounds were
+/// already integral (within `INT_TOL`), false when rounding moved one.
+fn round_integer_bounds(lower: &mut f64, upper: &mut f64) -> bool {
+    let mut unchanged = true;
+    let lo = if (*lower - lower.round()).abs() <= INT_TOL {
+        lower.round()
+    } else {
+        unchanged = false;
+        lower.ceil()
+    };
+    let hi = if upper.is_finite() {
+        if (*upper - upper.round()).abs() <= INT_TOL {
+            upper.round()
+        } else {
+            unchanged = false;
+            upper.floor()
+        }
+    } else {
+        *upper
+    };
+    *lower = lo;
+    *upper = hi;
+    unchanged
+}
+
+/// Minimum and maximum activity of a row over the given domains
+/// (±∞ when an unbounded variable points that way).
+fn activity_bounds(terms: &[(usize, f64)], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+    let mut min_act = 0.0;
+    let mut max_act = 0.0;
+    for &(j, c) in terms {
+        let (lo_c, hi_c) = if c >= 0.0 {
+            (c * lower[j], c * upper[j])
+        } else {
+            (c * upper[j], c * lower[j])
+        };
+        min_act += lo_c;
+        max_act += hi_c;
+    }
+    (min_act, max_act)
+}
+
+/// Savelsbergh coefficient tightening for one inequality row: find a
+/// unit-range integer variable whose coefficient makes the row binding
+/// only at one of its bounds, and shrink that coefficient to the
+/// tightest value that keeps the integer feasible set identical.
+/// `Ge` rows are handled through the `Le` form of their negation.
+/// Applies at most one reduction per call (the row is rescanned on the
+/// next fixpoint pass). Returns true when a coefficient changed.
+fn tighten_coefficients(row: &mut WorkRow, lower: &[f64], upper: &[f64], kind: &[VarKind]) -> bool {
+    // Work on the Le form: Σ c x ≤ b.
+    let flip = matches!(row.sense, Sense::Ge);
+    let le_coeff = |c: f64| if flip { -c } else { c };
+    let b = le_coeff(row.rhs);
+
+    let (min_le, max_le) = if flip {
+        let (mn, mx) = activity_bounds(&row.terms, lower, upper);
+        (-mx, -mn)
+    } else {
+        activity_bounds(&row.terms, lower, upper)
+    };
+    let _ = min_le;
+    if !max_le.is_finite() {
+        return false;
+    }
+
+    for idx in 0..row.terms.len() {
+        let (j, raw_c) = row.terms[idx];
+        if kind[j] != VarKind::Integer {
+            continue;
+        }
+        let (l, u) = (lower[j], upper[j]);
+        if !u.is_finite() || (u - l - 1.0).abs() > INT_TOL {
+            continue; // unit-range integers only — exact for binaries
+        }
+        let c = le_coeff(raw_c);
+        if c.abs() <= 1e-12 {
+            continue;
+        }
+        // Max contribution of x_j and of the rest of the row.
+        let contrib_max = if c > 0.0 { c * u } else { c * l };
+        let rest_max = max_le - contrib_max;
+        // Row must be redundant with x_j at its favorable bound and
+        // binding at the other one; the new coefficient must strictly
+        // improve (the strict-improvement guard is what makes the
+        // fixpoint terminate and the pass idempotent).
+        let (favorable_cap, other_cap) = if c > 0.0 {
+            (b - c * l, b - c * u)
+        } else {
+            (b - c * u, b - c * l)
+        };
+        if rest_max <= favorable_cap + 1e-9 && other_cap < rest_max - 1e-9 {
+            let new_mag = max_le - b; // |c'| for a unit range
+            if new_mag > 1e-9 && new_mag < c.abs() - 1e-9 {
+                let new_c = if c > 0.0 { new_mag } else { -new_mag };
+                let new_b = if c > 0.0 {
+                    rest_max + new_c * l
+                } else {
+                    rest_max + new_c * u
+                };
+                row.terms[idx].1 = if flip { -new_c } else { new_c };
+                row.rhs = if flip { -new_b } else { new_b };
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense, SolveOptions};
+
+    fn reduced(model: &Model) -> Presolved {
+        match presolve(model) {
+            PresolveResult::Reduced(p) => p,
+            PresolveResult::Infeasible => panic!("unexpectedly infeasible"),
+        }
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted_with_offset() {
+        // min 2x + 3y with x fixed at 4 by its bounds, x + y >= 6.
+        let mut m = Model::minimize();
+        let x = m.add_continuous_var(4.0, 4.0, 2.0).unwrap();
+        let y = m.add_continuous_var(0.0, 10.0, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 6.0)
+            .unwrap();
+        let p = reduced(&m);
+        // x substitutes out (offset 2·4 = 8); the row becomes the
+        // singleton y ≥ 2, folds into y's lower bound, and disappears;
+        // y is then an empty column favoring its (tightened) lower
+        // bound — the whole model presolves away, offset 8 + 3·2 = 14.
+        assert_eq!(p.model.num_vars(), 0);
+        assert_eq!(p.model.num_constraints(), 0);
+        assert_eq!(p.stats.vars_eliminated, 2);
+        assert!((p.offset - 14.0).abs() < 1e-12);
+        assert_eq!(p.map.restore(&[]), vec![4.0, 2.0]);
+        let _ = y;
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        // The row keeps x and y from presolving away entirely (it can
+        // bind, so it is neither redundant nor a singleton).
+        let mut m = Model::minimize();
+        let x = m.add_integer_var(0.3, 2.7, 1.0).unwrap();
+        let y = m.add_continuous_var(0.0, 2.0, -1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0)
+            .unwrap();
+        let p = reduced(&m);
+        // x rounded to [1, 2]; still two integer points so not fixed.
+        assert_eq!(p.model.num_vars(), 2);
+        assert!((p.model.vars[0].lower - 1.0).abs() < 1e-12);
+        assert!((p.model.vars[0].upper - 2.0).abs() < 1e-12);
+        assert!(p.stats.bounds_tightened >= 1);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn crossed_integer_rounding_is_infeasible() {
+        let mut m = Model::minimize();
+        let _x = m.add_integer_var(0.2, 0.8, 1.0).unwrap();
+        assert!(matches!(presolve(&m), PresolveResult::Infeasible));
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds_and_conflicts_are_caught() {
+        let mut m = Model::minimize();
+        let x = m.add_continuous_var(0.0, 10.0, 1.0).unwrap();
+        m.add_constraint([(x, 1.0)], Sense::Ge, 0.6).unwrap();
+        m.add_constraint([(x, 1.0)], Sense::Le, 0.4).unwrap();
+        assert!(matches!(presolve(&m), PresolveResult::Infeasible));
+    }
+
+    #[test]
+    fn redundant_rows_are_removed() {
+        // x + y <= 25 can never bind with x,y in [0,10].
+        let mut m = Model::maximize();
+        let x = m.add_continuous_var(0.0, 10.0, 1.0).unwrap();
+        let y = m.add_continuous_var(0.0, 10.0, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 25.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 12.0)
+            .unwrap();
+        let p = reduced(&m);
+        assert_eq!(p.model.num_constraints(), 1);
+        assert_eq!(p.stats.rows_removed, 1);
+    }
+
+    #[test]
+    fn empty_columns_fix_to_favored_finite_bounds() {
+        let mut m = Model::maximize();
+        let _a = m.add_continuous_var(0.0, 5.0, 2.0).unwrap(); // favors upper
+        let _b = m.add_continuous_var(1.0, 5.0, -3.0).unwrap(); // favors lower
+        let p = reduced(&m);
+        assert_eq!(p.model.num_vars(), 0);
+        assert_eq!(p.map.restore(&[]), vec![5.0, 1.0]);
+        assert!((p.offset - (2.0 * 5.0 + -3.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_favored_direction_is_left_for_the_solver() {
+        let mut m = Model::maximize();
+        let _x = m.add_continuous_var(0.0, f64::INFINITY, 1.0).unwrap();
+        let p = reduced(&m);
+        assert_eq!(p.model.num_vars(), 1, "must stay for Unbounded detection");
+    }
+
+    #[test]
+    fn coefficient_tightening_preserves_the_milp_optimum() {
+        // 5x + y <= 6 with binary x: when x = 0 the row can't bind
+        // (max rest = 4 ≤ 6), when x = 1 it caps y at 1. Tightened to
+        // 2x + y <= 4 — same integer feasible set, tighter relaxation.
+        let mut m = Model::maximize();
+        let x = m.add_binary_var(3.0);
+        let y = m.add_integer_var(0.0, 4.0, 1.0).unwrap();
+        m.add_constraint([(x, 5.0), (y, 1.0)], Sense::Le, 6.0)
+            .unwrap();
+        let p = reduced(&m);
+        assert_eq!(p.stats.coeffs_tightened, 1);
+        let row = &p.model.rows[0];
+        let cx = row.terms.iter().find(|&&(j, _)| j == 0).unwrap().1;
+        assert!(cx < 5.0 - 1e-9, "coefficient must shrink, got {cx}");
+        // Same optimum through the untightened dense solve.
+        let dense = m.solve(&SolveOptions::default()).unwrap();
+        let tight = p.model.solve(&SolveOptions::default()).unwrap();
+        assert!((dense.objective() - (tight.objective() + p.offset)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presolve_is_idempotent_on_its_own_output() {
+        let mut m = Model::maximize();
+        let x = m.add_binary_var(3.0);
+        let y = m.add_integer_var(0.3, 4.6, 1.0).unwrap();
+        let z = m.add_continuous_var(2.0, 2.0, 1.0).unwrap();
+        let w = m.add_continuous_var(0.0, 9.0, 4.0).unwrap();
+        m.add_constraint([(x, 5.0), (y, 1.0), (z, 1.0)], Sense::Le, 8.0)
+            .unwrap();
+        m.add_constraint([(w, 1.0)], Sense::Le, 7.0).unwrap();
+        let first = reduced(&m);
+        assert!(!first.stats.is_noop());
+        let second = reduced(&first.model);
+        assert!(
+            second.stats.is_noop(),
+            "second pass must be a no-op, got {:?}",
+            second.stats
+        );
+        assert_eq!(second.model.num_vars(), first.model.num_vars());
+        assert_eq!(
+            second.model.num_constraints(),
+            first.model.num_constraints()
+        );
+    }
+
+    #[test]
+    fn project_round_trips_restore() {
+        let mut m = Model::minimize();
+        let _f = m.add_continuous_var(3.0, 3.0, 1.0).unwrap();
+        let x = m.add_continuous_var(0.0, 5.0, 1.0).unwrap();
+        let y = m.add_binary_var(-1.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], Sense::Le, 4.0)
+            .unwrap();
+        let p = reduced(&m);
+        assert_eq!(p.map.n_original(), 3);
+        assert_eq!(p.map.n_reduced(), 2);
+        let reduced_point = vec![1.5, 1.0];
+        let restored = p.map.restore(&reduced_point);
+        assert_eq!(p.map.project(&restored), Some(reduced_point));
+        // A candidate that contradicts the fixing cannot project.
+        let mut bad = restored.clone();
+        bad[0] = 9.0;
+        assert_eq!(p.map.project(&bad), None);
+        let _ = (x, y);
+    }
+}

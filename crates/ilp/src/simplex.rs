@@ -115,19 +115,117 @@ pub struct WarmBasis {
     pub n_cols: usize,
 }
 
-const COST_TOL: f64 = 1e-9;
-const PIVOT_TOL: f64 = 1e-9;
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const COST_TOL: f64 = 1e-9;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Minimum acceptable pivot magnitude while factoring a warm basis;
 /// anything smaller means the basis is (near-)singular for this
 /// problem and the warm start is rejected.
-const INSTALL_PIVOT_TOL: f64 = 1e-8;
+pub(crate) const INSTALL_PIVOT_TOL: f64 = 1e-8;
 /// Consecutive non-improving iterations before switching to Bland's rule.
-const STALL_LIMIT: usize = 64;
+pub(crate) const STALL_LIMIT: usize = 64;
 /// Pivot iterations between deadline checks. `Instant::now()` in the
 /// pivot loop is pure overhead at this granularity; checking every
 /// 128 iterations keeps overshoot well under a millisecond.
-const DEADLINE_CHECK_STRIDE: usize = 128;
+pub(crate) const DEADLINE_CHECK_STRIDE: usize = 128;
+
+/// A row after standard-form normalization: coefficients, sense, and a
+/// non-negative right-hand side.
+pub(crate) type NormRow = (Vec<(usize, f64)>, RowSense, f64);
+
+/// Validates `p` and normalizes every row to a non-negative right-hand
+/// side (negative-rhs rows have coefficients negated and the sense
+/// flipped). Shared by the dense tableau and the sparse revised
+/// simplex so both engines see the *same* rows in the same order —
+/// the precondition for [`WarmBasis`] interchangeability.
+pub(crate) fn normalized_rows(p: &LpProblem) -> Result<Vec<NormRow>, IlpError> {
+    let n_struct = p.cost.len();
+    if p.upper.len() != n_struct {
+        return Err(IlpError::NonFiniteValue {
+            context: "upper bound vector length",
+        });
+    }
+    for &c in &p.cost {
+        if !c.is_finite() {
+            return Err(IlpError::NonFiniteValue {
+                context: "objective coefficient",
+            });
+        }
+    }
+    for &u in &p.upper {
+        if u.is_nan() || u < 0.0 {
+            return Err(IlpError::NonFiniteValue {
+                context: "variable upper bound",
+            });
+        }
+    }
+    let mut norm_rows: Vec<NormRow> = Vec::with_capacity(p.rows.len());
+    for row in &p.rows {
+        if !row.rhs.is_finite() {
+            return Err(IlpError::NonFiniteValue {
+                context: "row right-hand side",
+            });
+        }
+        for &(j, c) in &row.coeffs {
+            if j >= n_struct {
+                return Err(IlpError::UnknownVariable {
+                    index: j,
+                    var_count: n_struct,
+                });
+            }
+            if !c.is_finite() {
+                return Err(IlpError::NonFiniteValue {
+                    context: "row coefficient",
+                });
+            }
+        }
+        if row.rhs < 0.0 {
+            let flipped: Vec<(usize, f64)> = row.coeffs.iter().map(|&(j, c)| (j, -c)).collect();
+            let sense = match row.sense {
+                RowSense::Le => RowSense::Ge,
+                RowSense::Eq => RowSense::Eq,
+                RowSense::Ge => RowSense::Le,
+            };
+            norm_rows.push((flipped, sense, -row.rhs));
+        } else {
+            norm_rows.push((row.coeffs.clone(), row.sense, row.rhs));
+        }
+    }
+    Ok(norm_rows)
+}
+
+/// The `[structural | slack/surplus | artificial]` column layout both
+/// engines share for a given normalized row set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ColumnLayout {
+    /// Structural column count (columns `0..slack_start`).
+    pub n_struct: usize,
+    /// First slack/surplus column.
+    pub slack_start: usize,
+    /// First artificial column.
+    pub art_start: usize,
+    /// Total column count.
+    pub n_cols: usize,
+}
+
+/// Computes the shared column layout: one slack/surplus column per
+/// `Le`/`Ge` row, one artificial per `Eq`/`Ge` row, in row order.
+pub(crate) fn column_layout(n_struct: usize, rows: &[NormRow]) -> ColumnLayout {
+    let n_slack = rows
+        .iter()
+        .filter(|(_, s, _)| matches!(s, RowSense::Le | RowSense::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, s, _)| matches!(s, RowSense::Eq | RowSense::Ge))
+        .count();
+    ColumnLayout {
+        n_struct,
+        slack_start: n_struct,
+        art_start: n_struct + n_slack,
+        n_cols: n_struct + n_slack + n_art,
+    }
+}
 
 /// Solves the LP.
 ///
@@ -224,74 +322,16 @@ struct Tableau {
 impl Tableau {
     fn new(p: &LpProblem) -> Result<Self, IlpError> {
         let n_struct = p.cost.len();
-        if p.upper.len() != n_struct {
-            return Err(IlpError::NonFiniteValue {
-                context: "upper bound vector length",
-            });
-        }
-        for &c in &p.cost {
-            if !c.is_finite() {
-                return Err(IlpError::NonFiniteValue {
-                    context: "objective coefficient",
-                });
-            }
-        }
-        for &u in &p.upper {
-            if u.is_nan() || u < 0.0 {
-                return Err(IlpError::NonFiniteValue {
-                    context: "variable upper bound",
-                });
-            }
-        }
         let m = p.rows.len();
 
         // Normalize rows so every right-hand side is non-negative.
-        type NormRow = (Vec<(usize, f64)>, RowSense, f64);
-        let mut norm_rows: Vec<NormRow> = Vec::with_capacity(m);
-        for row in &p.rows {
-            if !row.rhs.is_finite() {
-                return Err(IlpError::NonFiniteValue {
-                    context: "row right-hand side",
-                });
-            }
-            for &(j, c) in &row.coeffs {
-                if j >= n_struct {
-                    return Err(IlpError::UnknownVariable {
-                        index: j,
-                        var_count: n_struct,
-                    });
-                }
-                if !c.is_finite() {
-                    return Err(IlpError::NonFiniteValue {
-                        context: "row coefficient",
-                    });
-                }
-            }
-            if row.rhs < 0.0 {
-                let flipped: Vec<(usize, f64)> = row.coeffs.iter().map(|&(j, c)| (j, -c)).collect();
-                let sense = match row.sense {
-                    RowSense::Le => RowSense::Ge,
-                    RowSense::Eq => RowSense::Eq,
-                    RowSense::Ge => RowSense::Le,
-                };
-                norm_rows.push((flipped, sense, -row.rhs));
-            } else {
-                norm_rows.push((row.coeffs.clone(), row.sense, row.rhs));
-            }
-        }
+        let norm_rows = normalized_rows(p)?;
 
         // Column layout: [structural | slack/surplus | artificial].
-        let n_slack = norm_rows
-            .iter()
-            .filter(|(_, s, _)| matches!(s, RowSense::Le | RowSense::Ge))
-            .count();
-        let n_art = norm_rows
-            .iter()
-            .filter(|(_, s, _)| matches!(s, RowSense::Eq | RowSense::Ge))
-            .count();
-        let slack_start = n_struct;
-        let art_start = n_struct + n_slack;
-        let n_cols = art_start + n_art;
+        let layout = column_layout(n_struct, &norm_rows);
+        let slack_start = layout.slack_start;
+        let art_start = layout.art_start;
+        let n_cols = layout.n_cols;
 
         let mut a = vec![0.0; m * n_cols];
         let mut b = vec![0.0; m];

@@ -1,0 +1,479 @@
+//! Dense-vs-sparse differential oracle suite.
+//!
+//! The sparse tier (presolve + sparse revised simplex + pseudocost
+//! branching, `SolveOptions::tier = SolverTier::Sparse`) claims
+//! observational equivalence with the dense tableau tier. This suite
+//! is the proof wall, on the `eagleeye-check` harness (replay with
+//! `EAGLEEYE_CHECK_SEED`, scale with `EAGLEEYE_CHECK_CASES`; the CI
+//! `ilp-differential` job runs it at 512 cases):
+//!
+//! * random bounded MILPs and LPs: same [`SolveStatus`], objectives
+//!   within 1e-9;
+//! * tie-free integer programs (continuous random costs make the
+//!   optimum almost surely unique): the *identical* incumbent schedule
+//!   after postsolve;
+//! * presolve idempotence (`presolve ∘ presolve = presolve`) and
+//!   postsolve round-trips on the same random instances;
+//! * named degenerate regressions for the sparse path — empty problem,
+//!   all-fixed variables, infeasible-after-tightening, unbounded ray —
+//!   mirroring the dense solver's error-path coverage.
+
+use eagleeye_check::{
+    any_bool, check_cases, f64_range, prop_assert, prop_assert_eq, u64_range, usize_range, vec_of,
+    Gen, PropResult,
+};
+use eagleeye_ilp::presolve::{presolve, PresolveResult};
+use eagleeye_ilp::{
+    IlpError, Model, Sense, SolveOptions, SolveStatus, SolverTier, VarId, AUTO_SPARSE_THRESHOLD,
+};
+
+/// The acceptance-critical differential oracles run at the extended
+/// budget by default; CI raises it further via `EAGLEEYE_CHECK_CASES`.
+const ORACLE_CASES: u32 = 128;
+const CASES: u32 = 64;
+
+fn sparse_opts() -> SolveOptions {
+    SolveOptions {
+        tier: SolverTier::Sparse,
+        ..SolveOptions::default()
+    }
+}
+
+/// A random small integer program: bounded integer variables, f64
+/// objective coefficients, mixed-sense rows, either direction.
+#[derive(Debug, Clone)]
+struct SmallIp {
+    maximize: bool,
+    upper: Vec<u64>,
+    obj: Vec<f64>,
+    /// Rows: (coefficients, sense tag 0=Le 1=Ge 2=Eq, rhs).
+    rows: Vec<(Vec<i64>, u8, i64)>,
+}
+
+fn i64_coeff() -> impl Gen<Value = i64> {
+    u64_range(0, 7).map(|v| v as i64 - 3) // -3..=3
+}
+
+fn i64_rhs() -> impl Gen<Value = i64> {
+    u64_range(0, 19).map(|v| v as i64 - 6) // -6..=12
+}
+
+fn small_ip_gen() -> impl Gen<Value = SmallIp> {
+    (
+        any_bool(),
+        usize_range(1, 6),                  // n vars
+        vec_of(u64_range(1, 4), 5, 6),      // upper bounds 1..=3
+        vec_of(f64_range(-4.0, 4.0), 5, 6), // objective
+        usize_range(0, 5),                  // row count
+        vec_of(
+            (vec_of(i64_coeff(), 5, 6), usize_range(0, 3), i64_rhs()),
+            5,
+            6,
+        ),
+    )
+        .map(|(maximize, n, upper, obj, n_rows, raw_rows)| SmallIp {
+            maximize,
+            upper: upper[..n].to_vec(),
+            obj: obj[..n].to_vec(),
+            rows: raw_rows[..n_rows]
+                .iter()
+                .map(|(c, s, r)| (c[..n].to_vec(), *s as u8, *r))
+                .collect(),
+        })
+}
+
+fn build(ip: &SmallIp) -> (Model, Vec<VarId>) {
+    let mut m = if ip.maximize {
+        Model::maximize()
+    } else {
+        Model::minimize()
+    };
+    let vars: Vec<_> = ip
+        .upper
+        .iter()
+        .zip(&ip.obj)
+        .map(|(&ub, &c)| m.add_integer_var(0.0, ub as f64, c).unwrap())
+        .collect();
+    for (coeffs, sense, rhs) in &ip.rows {
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        m.add_constraint(
+            vars.iter().zip(coeffs).map(|(&v, &c)| (v, c as f64)),
+            sense,
+            *rhs as f64,
+        )
+        .unwrap();
+    }
+    (m, vars)
+}
+
+/// The returned point satisfies every bound, integrality requirement,
+/// and constraint of the *original* model (i.e. the postsolve map
+/// restored a genuinely feasible schedule, not just an objective).
+fn assert_feasible(ip: &SmallIp, values: &[f64]) -> PropResult {
+    prop_assert_eq!(values.len(), ip.upper.len());
+    for (i, (&x, &ub)) in values.iter().zip(&ip.upper).enumerate() {
+        prop_assert!((x - x.round()).abs() < 1e-6, "var {i} fractional: {x}");
+        prop_assert!(
+            x >= -1e-6 && x <= ub as f64 + 1e-6,
+            "var {i} out of bounds: {x}"
+        );
+    }
+    for (coeffs, sense, rhs) in &ip.rows {
+        let lhs: f64 = coeffs.iter().zip(values).map(|(&c, &x)| c as f64 * x).sum();
+        let ok = match sense {
+            0 => lhs <= *rhs as f64 + 1e-6,
+            1 => lhs >= *rhs as f64 - 1e-6,
+            _ => (lhs - *rhs as f64).abs() < 1e-6,
+        };
+        prop_assert!(ok, "restored point violates a row: {} vs {}", lhs, rhs);
+    }
+    Ok(())
+}
+
+/// Sparse-vs-dense on random MILPs: same status; objectives within
+/// 1e-9; the sparse incumbent, restored through postsolve, is feasible
+/// in the original model.
+#[test]
+fn sparse_matches_dense_on_random_milps() {
+    check_cases(
+        ORACLE_CASES,
+        "sparse_matches_dense_on_random_milps",
+        small_ip_gen(),
+        |ip| {
+            let (m, _) = build(ip);
+            let dense = m.solve(&SolveOptions::default()).unwrap();
+            let sparse = m.solve(&sparse_opts()).unwrap();
+            prop_assert_eq!(sparse.status(), dense.status());
+            prop_assert_eq!(sparse.stats().sparse_solves, 1);
+            prop_assert_eq!(dense.stats().sparse_solves, 0);
+            if dense.is_usable() {
+                prop_assert!(
+                    (sparse.objective() - dense.objective()).abs() < 1e-9,
+                    "sparse {} vs dense {}",
+                    sparse.objective(),
+                    dense.objective()
+                );
+                assert_feasible(ip, sparse.values())?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Continuous random costs make ties measure-zero, so the optimum is
+/// almost surely unique — and then the sparse tier must return the
+/// *identical* schedule after postsolve, not merely an equal-value one.
+#[test]
+fn sparse_returns_identical_schedule_on_tie_free_milps() {
+    check_cases(
+        ORACLE_CASES,
+        "sparse_returns_identical_schedule_on_tie_free_milps",
+        small_ip_gen(),
+        |ip| {
+            let (m, _) = build(ip);
+            let dense = m.solve(&SolveOptions::default()).unwrap();
+            let sparse = m.solve(&sparse_opts()).unwrap();
+            prop_assert_eq!(sparse.status(), dense.status());
+            if dense.status() == SolveStatus::Optimal {
+                let dense_sched: Vec<i64> =
+                    dense.values().iter().map(|x| x.round() as i64).collect();
+                let sparse_sched: Vec<i64> =
+                    sparse.values().iter().map(|x| x.round() as i64).collect();
+                prop_assert_eq!(&sparse_sched, &dense_sched);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Sparse-vs-dense on random bounded *LPs* (pure simplex, no
+/// branching): same status, objectives within 1e-9.
+#[test]
+fn sparse_matches_dense_on_random_lps() {
+    check_cases(
+        ORACLE_CASES,
+        "sparse_matches_dense_on_random_lps",
+        (
+            usize_range(1, 7),
+            usize_range(0, 6),
+            vec_of(f64_range(-5.0, 5.0), 36, 37),
+            vec_of(f64_range(-4.0, 4.0), 6, 7),
+            vec_of(f64_range(-8.0, 12.0), 6, 7),
+            any_bool(),
+        ),
+        |(n, n_rows, coeffs, costs, rhss, maximize)| {
+            let (n, n_rows) = (*n, *n_rows);
+            let mut m = if *maximize {
+                Model::maximize()
+            } else {
+                Model::minimize()
+            };
+            let vars: Vec<_> = (0..n)
+                .map(|j| m.add_continuous_var(0.0, 10.0, costs[j]).unwrap())
+                .collect();
+            for i in 0..n_rows {
+                let sense = match i % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                m.add_constraint(
+                    vars.iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v, coeffs[(i * 6 + j) % 36])),
+                    sense,
+                    rhss[i],
+                )
+                .unwrap();
+            }
+            let dense = m.solve(&SolveOptions::default()).unwrap();
+            let sparse = m.solve(&sparse_opts()).unwrap();
+            prop_assert_eq!(sparse.status(), dense.status());
+            if dense.is_usable() {
+                prop_assert!(
+                    (sparse.objective() - dense.objective()).abs() < 1e-9,
+                    "sparse {} vs dense {}",
+                    sparse.objective(),
+                    dense.objective()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `presolve ∘ presolve = presolve`: re-presolving a reduced model
+/// performs zero further reductions and returns the same model.
+#[test]
+fn presolve_is_idempotent_on_random_instances() {
+    check_cases(
+        CASES,
+        "presolve_is_idempotent_on_random_instances",
+        small_ip_gen(),
+        |ip| {
+            let (m, _) = build(ip);
+            let first = match presolve(&m) {
+                PresolveResult::Reduced(p) => p,
+                PresolveResult::Infeasible => return Ok(()), // nothing to re-presolve
+            };
+            match presolve(&first.model) {
+                PresolveResult::Infeasible => {
+                    prop_assert!(false, "reduced model re-presolved to Infeasible");
+                }
+                PresolveResult::Reduced(second) => {
+                    prop_assert!(
+                        second.stats.is_noop(),
+                        "second pass was not a no-op: {:?}",
+                        second.stats
+                    );
+                    prop_assert_eq!(&second.model, &first.model);
+                    prop_assert!(second.offset.abs() < 1e-12);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Postsolve round-trip: `project(restore(x)) = x` for reduced-space
+/// points, and the map's bookkeeping is consistent with the models.
+#[test]
+fn postsolve_round_trips_on_random_instances() {
+    check_cases(
+        CASES,
+        "postsolve_round_trips_on_random_instances",
+        (small_ip_gen(), vec_of(f64_range(0.0, 3.0), 6, 7)),
+        |(ip, point)| {
+            let (m, _) = build(ip);
+            let pre = match presolve(&m) {
+                PresolveResult::Reduced(p) => p,
+                PresolveResult::Infeasible => return Ok(()),
+            };
+            prop_assert_eq!(pre.map.n_original(), m.num_vars());
+            prop_assert_eq!(pre.map.n_reduced(), pre.model.num_vars());
+            let reduced_point: Vec<f64> = point[..pre.map.n_reduced()].to_vec();
+            let restored = pre.map.restore(&reduced_point);
+            prop_assert_eq!(restored.len(), m.num_vars());
+            prop_assert_eq!(pre.map.project(&restored), Some(reduced_point));
+            Ok(())
+        },
+    );
+}
+
+/// Regression for the presolved-hint fix: a hint must survive presolve
+/// *changing the variable count* (it is projected through the postsolve
+/// map, not length-matched against the reduced model) and be counted in
+/// `hints_accepted` on the warm re-solve.
+#[test]
+fn presolved_warm_resolve_accepts_the_hint() {
+    let mut m = Model::maximize();
+    let fixed = m.add_continuous_var(2.0, 2.0, 1.0).unwrap(); // eliminated by presolve
+    let x = m.add_binary_var(3.0);
+    let y = m.add_integer_var(0.0, 4.0, 2.0).unwrap();
+    let z = m.add_binary_var(1.5);
+    m.add_constraint([(x, 2.0), (y, 3.0), (z, 1.0)], Sense::Le, 9.0)
+        .unwrap();
+    m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+        .unwrap();
+
+    let first = m.solve(&sparse_opts()).unwrap();
+    assert_eq!(first.status(), SolveStatus::Optimal);
+    assert!(
+        first.stats().presolve_vars_eliminated > 0,
+        "fixture must actually be presolved (got {:?})",
+        first.stats()
+    );
+
+    // Warm re-solve of the same model, seeded with its own optimum.
+    let opts = SolveOptions {
+        incumbent_hint: Some(first.values().to_vec()),
+        ..sparse_opts()
+    };
+    let hinted = m.solve(&opts).unwrap();
+    assert_eq!(hinted.status(), SolveStatus::Optimal);
+    assert!(
+        hinted.stats().hints_accepted > 0,
+        "presolved warm re-solve must accept the hint: {:?}",
+        hinted.stats()
+    );
+    assert!((hinted.objective() - first.objective()).abs() < 1e-9);
+    assert_eq!(hinted.values(), first.values());
+    // A seeded optimal incumbent can never be improved on.
+    assert_eq!(hinted.stats().incumbent_updates, 0);
+    let _ = fixed;
+}
+
+/// Hints are also replayable across the whole random family (mirrors
+/// the dense-path property, but through presolve projection).
+#[test]
+fn sparse_hint_replay_matches_plain_sparse_solve() {
+    check_cases(
+        CASES,
+        "sparse_hint_replay_matches_plain_sparse_solve",
+        small_ip_gen(),
+        |ip| {
+            let (m, _) = build(ip);
+            let plain = m.solve(&sparse_opts()).unwrap();
+            let opts = SolveOptions {
+                incumbent_hint: Some(plain.values().to_vec()),
+                ..sparse_opts()
+            };
+            let hinted = m.solve(&opts).unwrap();
+            prop_assert_eq!(hinted.status(), plain.status());
+            if plain.is_usable() {
+                prop_assert_eq!(hinted.stats().hints_accepted, 1);
+                prop_assert!((hinted.objective() - plain.objective()).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(hinted.stats().hints_accepted, 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Named degenerate regressions for the sparse path, mirroring the dense
+// solver's error-path coverage.
+// ---------------------------------------------------------------------
+
+/// Empty problem: no variables, no rows — trivially optimal at 0.
+#[test]
+fn sparse_empty_problem_is_optimal_zero() {
+    let m = Model::minimize();
+    let sol = m.solve(&sparse_opts()).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    assert_eq!(sol.objective(), 0.0);
+    assert!(sol.values().is_empty());
+    assert_eq!(sol.stats().sparse_solves, 1);
+}
+
+/// All variables fixed by their bounds: presolve eliminates the whole
+/// model and the fixed point comes back through postsolve.
+#[test]
+fn sparse_all_fixed_variables_solve_without_search() {
+    let mut m = Model::minimize();
+    let a = m.add_continuous_var(1.5, 1.5, 2.0).unwrap();
+    let b = m.add_integer_var(3.0, 3.0, -1.0).unwrap();
+    m.add_constraint([(a, 1.0), (b, 1.0)], Sense::Le, 5.0)
+        .unwrap();
+    let sol = m.solve(&sparse_opts()).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    assert_eq!(sol.value(a), 1.5);
+    assert_eq!(sol.value(b), 3.0);
+    assert!((sol.objective() - (2.0 * 1.5 - 3.0)).abs() < 1e-12);
+    assert_eq!(sol.stats().presolve_vars_eliminated, 2);
+}
+
+/// Infeasible after bound tightening: integer rounding empties a
+/// domain, and conflicting singleton rows cross bounds — both are
+/// reported through `SolveStatus::Infeasible`, not an error, exactly
+/// like the dense tier.
+#[test]
+fn sparse_infeasible_after_tightening_is_a_status() {
+    // Integer domain (0.2, 0.8) rounds inward to emptiness.
+    let mut m = Model::minimize();
+    let _x = m.add_integer_var(0.2, 0.8, 1.0).unwrap();
+    let sol = m.solve(&sparse_opts()).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Infeasible);
+    assert!(sol.objective().is_nan());
+
+    // Conflicting singleton rows: x >= 3 and x <= 1.
+    let mut m2 = Model::minimize();
+    let y = m2.add_continuous_var(0.0, 10.0, 1.0).unwrap();
+    m2.add_constraint([(y, 1.0)], Sense::Ge, 3.0).unwrap();
+    m2.add_constraint([(y, 1.0)], Sense::Le, 1.0).unwrap();
+    let sol2 = m2.solve(&sparse_opts()).unwrap();
+    assert_eq!(sol2.status(), SolveStatus::Infeasible);
+
+    // Both verdicts agree with the dense tier.
+    assert_eq!(
+        m2.solve(&SolveOptions::default()).unwrap().status(),
+        SolveStatus::Infeasible
+    );
+}
+
+/// Unbounded ray: an objective-favored infinite bound is left in the
+/// model by presolve so the sparse solver surfaces the same
+/// `IlpError::Unbounded` the dense solver does.
+#[test]
+fn sparse_unbounded_ray_is_an_error() {
+    let mut m = Model::maximize();
+    let _x = m.add_continuous_var(0.0, f64::INFINITY, 1.0).unwrap();
+    assert_eq!(m.solve(&sparse_opts()), Err(IlpError::Unbounded));
+    assert_eq!(m.solve(&SolveOptions::default()), Err(IlpError::Unbounded));
+}
+
+/// `SolverTier::Auto` picks dense below the threshold and sparse at or
+/// above it — observable through `sparse_solves`.
+#[test]
+fn auto_tier_switches_on_instance_size() {
+    let auto_opts = SolveOptions {
+        tier: SolverTier::Auto,
+        ..SolveOptions::default()
+    };
+
+    let mut small = Model::maximize();
+    let v = small.add_binary_var(1.0);
+    small.add_constraint([(v, 1.0)], Sense::Le, 1.0).unwrap();
+    let sol = small.solve(&auto_opts).unwrap();
+    assert_eq!(sol.stats().sparse_solves, 0, "small instance stays dense");
+
+    let mut large = Model::maximize();
+    let vars: Vec<_> = (0..AUTO_SPARSE_THRESHOLD)
+        .map(|j| large.add_binary_var(1.0 + (j % 7) as f64))
+        .collect();
+    large
+        .add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Le, 10.0)
+        .unwrap();
+    let sol = large.solve(&auto_opts).unwrap();
+    assert_eq!(sol.stats().sparse_solves, 1, "large instance goes sparse");
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    // Greedy check: the 10 best coefficients are 7.0 each? Not quite —
+    // objective must equal the dense answer on the same model.
+    let dense = large.solve(&SolveOptions::default()).unwrap();
+    assert!((sol.objective() - dense.objective()).abs() < 1e-9);
+}
