@@ -206,6 +206,10 @@ impl BenchCli {
     /// sweep (run name, horizon, scale, seed, grid size). Thread count
     /// and checkpoint cadence are deliberately excluded: a sweep may
     /// resume with different parallelism.
+    // eagleeye-lint: digest-of(BenchCli)
+    // eagleeye-lint: digest-allow(BenchCli::smoke): already bound — smoke mode only shrinks duration_s/scale and the sweep grid, all of which are hashed
+    // eagleeye-lint: digest-allow(BenchCli::threads, BenchCli::checkpoint, BenchCli::deadline): execution shape — a sweep may legitimately resume with different parallelism, cadence, or budget
+    // eagleeye-lint: digest-allow(BenchCli::metrics): observability sink; recorded metrics are identical at any thread count and never alter rows
     pub fn scenario_hash(&self, run: &str, total_items: usize) -> u64 {
         ScenarioHasher::new()
             .str("eagleeye-bench/sweep/v1")

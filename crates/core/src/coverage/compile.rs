@@ -353,6 +353,7 @@ impl<'a> IntervalSweep<'a> {
 /// the fault plan, which is *not* part of the track-pool key (so
 /// fault-window what-if deltas can share tracks); digesting them here
 /// is what keeps memo replay exact across fault-plan edits.
+// eagleeye-lint: digest-of(TaskSpec, GroundPoint, FollowerState)
 #[allow(clippy::too_many_arguments)]
 pub(super) fn horizon_digest(
     frame_idx: usize,

@@ -148,6 +148,7 @@ impl Snapshot {
 
     /// Encodes the snapshot (magic + body + CRC trailer).
     /// Deterministic: equal snapshots encode byte-identically.
+    // eagleeye-lint: codec-write(Snapshot)
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         for &b in MAGIC {
@@ -170,6 +171,7 @@ impl Snapshot {
     ///
     /// [`SnapshotError::BadMagic`], [`SnapshotError::ChecksumMismatch`],
     /// or [`SnapshotError::Malformed`].
+    // eagleeye-lint: codec-read(Snapshot)
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
             return Err(SnapshotError::BadMagic);
@@ -181,7 +183,10 @@ impl Snapshot {
             return Err(SnapshotError::ChecksumMismatch { stored, computed });
         }
         let mut r = ByteReader::new(&body[MAGIC.len()..]);
-        let mut snap = Snapshot::new(r.u64().map_err(|e| SnapshotError::Malformed(e.context))?);
+        let mut snap = Snapshot {
+            scenario_hash: r.u64().map_err(|e| SnapshotError::Malformed(e.context))?,
+            sections: BTreeMap::new(),
+        };
         let count = r.usize().map_err(|e| SnapshotError::Malformed(e.context))?;
         for _ in 0..count {
             let name = r

@@ -1,0 +1,885 @@
+//! Item-level structural parser — the second analysis layer on top of
+//! the token stream (DESIGN.md §16).
+//!
+//! The token rules (R1–R7) never need to know what a `struct` is; the
+//! drift rules (R8–R10) do. This module recovers just enough structure
+//! from the significant-token stream to drive them:
+//!
+//! * `struct` items with their **ordered** field lists (named, tuple,
+//!   and unit structs; `#[cfg(test)]`-gated fields are marked so
+//!   coverage rules can skip them);
+//! * `fn` items with the significant-token range of their bodies
+//!   (the input to the field-reference pass in `rules::coverage`);
+//! * coverage **annotations** — `// eagleeye-lint:` comments carrying
+//!   one of the [`DIRECTIVE_KEYWORDS`] — parsed and attached to the fn
+//!   they precede or sit inside.
+//!
+//! It is a *total* parser: on input it does not understand it skips a
+//! token and carries on, because lint must never crash on weird-but-
+//! valid Rust. The price is approximation (no type resolution, no
+//! macro expansion), which is fine for an opt-in, annotation-driven
+//! analysis.
+//!
+//! The one lexer subtlety that matters here: multi-char operators are
+//! fused, so `Vec<Vec<u32>>` ends in a single `>>` token. Every angle-
+//! depth walk below steps by ±2 for `<<`/`>>`.
+
+use crate::diag;
+use crate::engine::{attr_is_test, attr_text};
+use crate::lexer::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// One struct field, in declaration order. Tuple-struct fields are
+/// named by ordinal (`"0"`, `"1"`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub line: u32,
+    /// True when the field carries a `#[cfg(test))]`-style attribute;
+    /// coverage rules do not require test-only fields.
+    pub cfg_test: bool,
+}
+
+/// One `struct` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    pub name: String,
+    /// Line of the `struct` keyword.
+    pub line: u32,
+    /// Line of the closing `}`/`)`/`;`.
+    pub end_line: u32,
+    pub tuple: bool,
+    pub fields: Vec<FieldDef>,
+}
+
+/// Coverage-rule annotation kinds (the grammar is documented in
+/// DESIGN.md §16.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnKind {
+    /// `digest-of(TypeA, TypeB)` — R8: the fn must reference every
+    /// field of each named struct.
+    DigestOf(Vec<String>),
+    /// `fold-of(TypeA, …)` — R10: same obligation for fold/compare
+    /// fns.
+    FoldOf(Vec<String>),
+    /// `codec-write(TypeA, …)` — R9 writer half.
+    CodecWrite(Vec<String>),
+    /// `codec-read(TypeA, …)` — R9 reader half.
+    CodecRead(Vec<String>),
+    /// `digest-allow(Type::field, …): why` (and `codec-allow`,
+    /// `fold-allow`) — a justified per-field exemption.
+    Allow {
+        /// The coverage rule id the exemption applies to.
+        rule: &'static str,
+        /// `(type, field)` pairs, sharing one justification.
+        fields: Vec<(String, String)>,
+        justification: String,
+    },
+}
+
+/// One parsed annotation comment, attached to a fn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    pub line: u32,
+    pub kind: AnnKind,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing `}`.
+    pub end_line: u32,
+    /// Significant-token index range of the body, exclusive of the
+    /// braces: `sig[body.0 .. body.1]`.
+    pub body: (usize, usize),
+    /// Coverage annotations preceding the header or inside the body.
+    pub annotations: Vec<Annotation>,
+}
+
+/// Structural parse of one file.
+#[derive(Debug, Default, Clone)]
+pub struct ParsedFile {
+    pub structs: Vec<StructDef>,
+    pub fns: Vec<FnDef>,
+    /// `(line, message)` for malformed or dangling coverage
+    /// annotations; the engine surfaces them as `suppression`
+    /// diagnostics so they can never be suppressed away.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// The directive keywords that distinguish coverage annotations from
+/// plain `allow(...)` suppressions after the `eagleeye-lint:` marker.
+pub const DIRECTIVE_KEYWORDS: &[&str] = &[
+    "digest-of",
+    "digest-allow",
+    "codec-write",
+    "codec-read",
+    "codec-allow",
+    "fold-of",
+    "fold-allow",
+];
+
+/// Leading keyword of a marker-comment body (lowercase letters and
+/// dashes), used by both this module and `suppress` to route a
+/// comment to the right parser.
+pub fn leading_keyword(rest: &str) -> &str {
+    let end = rest
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Read-only token view shared by the item walkers.
+struct View<'a> {
+    tokens: &'a [Token],
+    sig: &'a [usize],
+}
+
+impl View<'_> {
+    fn s(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    fn is_ident(&self, i: usize, text: &str) -> bool {
+        i < self.sig.len() && self.s(i).kind == TokKind::Ident && self.s(i).text == text
+    }
+
+    fn is_punct(&self, i: usize, text: &str) -> bool {
+        i < self.sig.len() && self.s(i).kind == TokKind::Punct && self.s(i).text == text
+    }
+}
+
+/// Significant-index of the `}` matching the `{` at `open`, or the end
+/// of the stream when unbalanced.
+pub(crate) fn brace_match(tokens: &[Token], sig: &[usize], open: usize) -> usize {
+    let v = View { tokens, sig };
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < sig.len() {
+        if v.is_punct(i, "{") {
+            depth += 1;
+        } else if v.is_punct(i, "}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// Skips a balanced `(…)`/`[…]` group starting at `open`; returns the
+/// index just past the closing delimiter.
+fn skip_group(v: &View, open: usize, close_text: &str, open_text: &str) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < v.sig.len() {
+        if v.is_punct(i, open_text) {
+            depth += 1;
+        } else if v.is_punct(i, close_text) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Angle-bracket delta of one punctuation token. The lexer fuses shift
+/// operators, so `>>` closes **two** generic levels at once.
+fn angle_delta(text: &str) -> i64 {
+    match text {
+        "<" => 1,
+        "<<" => 2,
+        ">" => -1,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// Skips a generic parameter list starting at `<`; returns the index
+/// just past the closing `>`. Bails at `{`/`;` so malformed input
+/// cannot swallow the rest of the file.
+fn skip_angles(v: &View, start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < v.sig.len() {
+        let t = v.s(i);
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | ";" => return i,
+                "->" | "=>" => {}
+                other => {
+                    depth += angle_delta(other);
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses one file. `tokens` is the full stream (comments included)
+/// and `sig` the indices of its significant tokens, exactly as the
+/// engine builds them.
+pub fn parse(tokens: &[Token], sig: &[usize]) -> ParsedFile {
+    let v = View { tokens, sig };
+    let mut out = ParsedFile::default();
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        // Skip attributes wholesale so `#[doc = "struct"]`-style
+        // attribute contents can never start a phantom item.
+        if v.is_punct(i, "#") && (v.is_punct(i + 1, "[") || v.is_punct(i + 2, "[")) {
+            let open = if v.is_punct(i + 1, "[") { i + 1 } else { i + 2 };
+            i = skip_group(&v, open, "]", "[");
+            continue;
+        }
+        if v.is_ident(i, "struct") && i + 1 < sig.len() && v.s(i + 1).kind == TokKind::Ident {
+            let (def, next) = parse_struct(&v, i);
+            out.structs.push(def);
+            i = next;
+            continue;
+        }
+        if v.is_ident(i, "fn") && i + 1 < sig.len() && v.s(i + 1).kind == TokKind::Ident {
+            let (def, next) = parse_fn(&v, i);
+            if let Some(def) = def {
+                out.fns.push(def);
+            }
+            i = next;
+            continue;
+        }
+        i += 1;
+    }
+
+    attach_annotations(tokens, &mut out);
+    out
+}
+
+/// Parses a struct item; `i` points at the `struct` keyword.
+fn parse_struct(v: &View, i: usize) -> (StructDef, usize) {
+    let name = v.s(i + 1).text.clone();
+    let line = v.s(i).line;
+    let mut j = i + 2;
+    if v.is_punct(j, "<") {
+        j = skip_angles(v, j);
+    }
+    // Tuple structs put their parens immediately after the generics;
+    // everything else scans (skipping paren groups in `where` bounds
+    // like `Fn(u32) -> bool`) to the body `{` or the terminating `;`.
+    if v.is_punct(j, "(") {
+        let (fields, next) = parse_tuple_fields(v, j);
+        let end_line = if next > 0 && next - 1 < v.sig.len() {
+            v.s(next - 1).line
+        } else {
+            line
+        };
+        return (
+            StructDef {
+                name,
+                line,
+                end_line,
+                tuple: true,
+                fields,
+            },
+            next,
+        );
+    }
+    while j < v.sig.len() {
+        if v.is_punct(j, "(") {
+            j = skip_group(v, j, ")", "(");
+            continue;
+        }
+        if v.is_punct(j, "{") || v.is_punct(j, ";") {
+            break;
+        }
+        j += 1;
+    }
+    if j >= v.sig.len() || v.is_punct(j, ";") {
+        let end_line = if j < v.sig.len() { v.s(j).line } else { line };
+        return (
+            StructDef {
+                name,
+                line,
+                end_line,
+                tuple: false,
+                fields: Vec::new(),
+            },
+            j + 1,
+        );
+    }
+    let close = brace_match(v.tokens, v.sig, j);
+    let fields = parse_named_fields(v, j + 1, close);
+    (
+        StructDef {
+            name,
+            line,
+            end_line: v.s(close).line,
+            tuple: false,
+            fields,
+        },
+        close + 1,
+    )
+}
+
+/// Parses `name: Type,` entries between `start` and the struct's
+/// closing brace at `close`.
+fn parse_named_fields(v: &View, start: usize, close: usize) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut p = start;
+    while p < close {
+        let mut cfg_test = false;
+        while v.is_punct(p, "#") && v.is_punct(p + 1, "[") {
+            let (attr, next) = attr_text(v.tokens, v.sig, p + 1);
+            if attr_is_test(&attr) {
+                cfg_test = true;
+            }
+            p = next;
+        }
+        if v.is_ident(p, "pub") {
+            p += 1;
+            if v.is_punct(p, "(") {
+                p = skip_group(v, p, ")", "(");
+            }
+        }
+        if p < close && v.s(p).kind == TokKind::Ident && v.is_punct(p + 1, ":") {
+            fields.push(FieldDef {
+                name: v.s(p).text.clone(),
+                line: v.s(p).line,
+                cfg_test,
+            });
+            p = skip_field_type(v, p + 2, close);
+        } else {
+            p += 1;
+        }
+    }
+    fields
+}
+
+/// Skips a field's type, returning the index just past its separating
+/// comma (or `close`). Tracks paren/bracket/brace and angle depth so
+/// commas inside `Vec<(u32, u32)>` or `[u8; 4]` do not split fields.
+fn skip_field_type(v: &View, start: usize, close: usize) -> usize {
+    let (mut paren, mut bracket, mut brace, mut angle) = (0i64, 0i64, 0i64, 0i64);
+    let mut p = start;
+    while p < close {
+        let t = v.s(p);
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "->" | "=>" => {}
+                "," if paren <= 0 && bracket <= 0 && brace <= 0 && angle <= 0 => {
+                    return p + 1;
+                }
+                other if brace == 0 && paren == 0 && bracket == 0 => {
+                    angle += angle_delta(other);
+                    angle = angle.max(0);
+                }
+                _ => {}
+            }
+        }
+        p += 1;
+    }
+    close
+}
+
+/// Parses tuple-struct fields; `open` points at `(`. Fields are named
+/// by ordinal. Returns `(fields, index past the trailing ;)`.
+fn parse_tuple_fields(v: &View, open: usize) -> (Vec<FieldDef>, usize) {
+    let close = {
+        let mut depth = 0i64;
+        let mut i = open;
+        loop {
+            if i >= v.sig.len() {
+                break i;
+            }
+            if v.is_punct(i, "(") {
+                depth += 1;
+            } else if v.is_punct(i, ")") {
+                depth -= 1;
+                if depth == 0 {
+                    break i;
+                }
+            }
+            i += 1;
+        }
+    };
+    let mut fields = Vec::new();
+    let mut p = open + 1;
+    let mut ordinal = 0usize;
+    while p < close {
+        let mut cfg_test = false;
+        while v.is_punct(p, "#") && v.is_punct(p + 1, "[") {
+            let (attr, next) = attr_text(v.tokens, v.sig, p + 1);
+            if attr_is_test(&attr) {
+                cfg_test = true;
+            }
+            p = next;
+        }
+        if v.is_ident(p, "pub") {
+            p += 1;
+            if v.is_punct(p, "(") {
+                p = skip_group(v, p, ")", "(");
+            }
+        }
+        if p >= close {
+            break;
+        }
+        fields.push(FieldDef {
+            name: ordinal.to_string(),
+            line: v.s(p).line,
+            cfg_test,
+        });
+        ordinal += 1;
+        p = skip_field_type(v, p, close);
+    }
+    // Step past `)` and an optional `;`.
+    let mut next = close + 1;
+    if v.is_punct(next, ";") {
+        next += 1;
+    }
+    (fields, next)
+}
+
+/// Parses a fn item; `i` points at the `fn` keyword. Returns `None`
+/// for body-less declarations (trait methods, extern blocks).
+fn parse_fn(v: &View, i: usize) -> (Option<FnDef>, usize) {
+    let name = v.s(i + 1).text.clone();
+    let line = v.s(i).line;
+    let mut j = i + 2;
+    if v.is_punct(j, "<") {
+        j = skip_angles(v, j);
+    }
+    if !v.is_punct(j, "(") {
+        return (None, j);
+    }
+    j = skip_group(v, j, ")", "(");
+    // Return type and where clause: scan to the body `{` or a
+    // terminating `;`, skipping nested groups so `-> [u8; 4]` or
+    // `where F: Fn(u32) -> bool` cannot end the fn early.
+    while j < v.sig.len() {
+        if v.is_punct(j, "(") {
+            j = skip_group(v, j, ")", "(");
+            continue;
+        }
+        if v.is_punct(j, "[") {
+            j = skip_group(v, j, "]", "[");
+            continue;
+        }
+        if v.is_punct(j, "{") || v.is_punct(j, ";") {
+            break;
+        }
+        j += 1;
+    }
+    if j >= v.sig.len() || v.is_punct(j, ";") {
+        return (None, j + 1);
+    }
+    let close = brace_match(v.tokens, v.sig, j);
+    (
+        Some(FnDef {
+            name,
+            line,
+            end_line: v.s(close).line,
+            body: (j + 1, close),
+            annotations: Vec::new(),
+        }),
+        close + 1,
+    )
+}
+
+/// Scans comments for coverage directives, parses them, and attaches
+/// each to the fn whose body contains it or that starts next after it.
+fn attach_annotations(tokens: &[Token], out: &mut ParsedFile) {
+    let mut pending: Vec<Annotation> = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokKind::LineComment || tok.doc {
+            continue;
+        }
+        let body = tok.comment_body();
+        let Some(at) = body.find(crate::suppress::MARKER) else {
+            continue;
+        };
+        let rest = body[at + crate::suppress::MARKER.len()..].trim_start();
+        let word = leading_keyword(rest);
+        // Plain allow(...) and malformed markers belong to suppress.rs;
+        // the find() also promotes the keyword to the &'static slice
+        // entry for the directive parser.
+        let Some(&kw) = DIRECTIVE_KEYWORDS.iter().find(|&&k| k == word) else {
+            continue;
+        };
+        match parse_directive(kw, rest[kw.len()..].trim_start()) {
+            Ok(kind) => pending.push(Annotation {
+                line: tok.line,
+                kind,
+            }),
+            Err(msg) => out.malformed.push((tok.line, msg)),
+        }
+    }
+
+    for ann in pending {
+        // Inside a fn body (or trailing on its header/close line).
+        if let Some(f) = out
+            .fns
+            .iter_mut()
+            .find(|f| f.line <= ann.line && ann.line <= f.end_line)
+        {
+            f.annotations.push(ann);
+            continue;
+        }
+        if out
+            .structs
+            .iter()
+            .any(|s| s.line <= ann.line && ann.line <= s.end_line)
+        {
+            out.malformed.push((
+                ann.line,
+                "coverage annotation inside a struct has no effect; place it on the fn it \
+                 constrains"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // Otherwise it must immediately precede a fn: the next item by
+        // line must be a fn, not a struct.
+        let next_fn = out
+            .fns
+            .iter_mut()
+            .filter(|f| f.line > ann.line)
+            .min_by_key(|f| f.line);
+        let next_struct_line = out
+            .structs
+            .iter()
+            .filter(|s| s.line > ann.line)
+            .map(|s| s.line)
+            .min();
+        match next_fn {
+            Some(f) if next_struct_line.is_none_or(|sl| f.line < sl) => {
+                f.annotations.push(ann);
+            }
+            _ => out.malformed.push((
+                ann.line,
+                "coverage annotation is not attached to a fn (it must precede a fn item or \
+                 sit inside its body)"
+                    .to_string(),
+            )),
+        }
+    }
+}
+
+/// Parses the argument list and justification of one directive.
+fn parse_directive(kw: &'static str, rest: &str) -> Result<AnnKind, String> {
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(format!(
+            "malformed `{kw}` annotation: expected `(` after the keyword"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(format!(
+            "malformed `{kw}` annotation: unclosed argument list"
+        ));
+    };
+    let args: Vec<&str> = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    if args.is_empty() {
+        return Err(format!("malformed `{kw}` annotation: empty argument list"));
+    }
+    let justification = rest[close + 1..]
+        .trim_start_matches([':', ' ', '-', '\u{2014}'])
+        .trim()
+        .to_string();
+
+    let ident_ok = |s: &str| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_');
+
+    match kw {
+        "digest-of" | "fold-of" | "codec-write" | "codec-read" => {
+            for a in &args {
+                if !ident_ok(a) {
+                    return Err(format!(
+                        "malformed `{kw}` annotation: `{a}` is not a struct name"
+                    ));
+                }
+            }
+            let tys = args.iter().map(|a| a.to_string()).collect();
+            Ok(match kw {
+                "digest-of" => AnnKind::DigestOf(tys),
+                "fold-of" => AnnKind::FoldOf(tys),
+                "codec-write" => AnnKind::CodecWrite(tys),
+                _ => AnnKind::CodecRead(tys),
+            })
+        }
+        "digest-allow" | "codec-allow" | "fold-allow" => {
+            let rule = match kw {
+                "digest-allow" => diag::R8_DIGEST_COVERAGE,
+                "codec-allow" => diag::R9_CODEC_SYMMETRY,
+                _ => diag::R10_FOLD_COVERAGE,
+            };
+            let mut fields = Vec::new();
+            for a in &args {
+                let Some((ty, field)) = a.split_once("::") else {
+                    return Err(format!(
+                        "malformed `{kw}` annotation: `{a}` is not `Type::field`"
+                    ));
+                };
+                if !ident_ok(ty) || !ident_ok(field) {
+                    return Err(format!(
+                        "malformed `{kw}` annotation: `{a}` is not `Type::field`"
+                    ));
+                }
+                fields.push((ty.to_string(), field.to_string()));
+            }
+            Ok(AnnKind::Allow {
+                rule,
+                fields,
+                justification,
+            })
+        }
+        _ => unreachable!("keyword filtered against DIRECTIVE_KEYWORDS"),
+    }
+}
+
+/// One struct definition plus where it lives, as stored in the
+/// workspace-wide [`StructIndex`].
+#[derive(Debug, Clone)]
+pub struct IndexedStruct {
+    pub file: String,
+    pub crate_name: String,
+    pub def: StructDef,
+}
+
+/// Workspace-wide struct lookup for coverage annotations. Annotations
+/// name bare types (`digest-of(CoverageOptions)`); resolution prefers
+/// a same-file definition, then same-crate, then a globally unique
+/// name, and reports ambiguity rather than guessing.
+#[derive(Debug, Default)]
+pub struct StructIndex {
+    entries: Vec<IndexedStruct>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Outcome of a [`StructIndex::resolve`] lookup.
+pub enum Resolved<'a> {
+    Found(&'a IndexedStruct),
+    NotFound,
+    /// Candidate files, for the diagnostic.
+    Ambiguous(Vec<String>),
+}
+
+impl StructIndex {
+    pub fn add_file(&mut self, file: &str, crate_name: &str, parsed: &ParsedFile) {
+        for def in &parsed.structs {
+            let idx = self.entries.len();
+            self.entries.push(IndexedStruct {
+                file: file.to_string(),
+                crate_name: crate_name.to_string(),
+                def: def.clone(),
+            });
+            self.by_name.entry(def.name.clone()).or_default().push(idx);
+        }
+    }
+
+    pub fn resolve(&self, name: &str, file: &str, crate_name: &str) -> Resolved<'_> {
+        let Some(cands) = self.by_name.get(name) else {
+            return Resolved::NotFound;
+        };
+        let pick = |ids: Vec<usize>| -> Resolved<'_> {
+            match ids.len() {
+                0 => Resolved::NotFound,
+                1 => Resolved::Found(&self.entries[ids[0]]),
+                _ => {
+                    Resolved::Ambiguous(ids.iter().map(|&i| self.entries[i].file.clone()).collect())
+                }
+            }
+        };
+        let same_file: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.entries[i].file == file)
+            .collect();
+        if !same_file.is_empty() {
+            return pick(same_file);
+        }
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.entries[i].crate_name == crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return pick(same_crate);
+        }
+        pick(cands.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        let tokens = lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        parse(&tokens, &sig)
+    }
+
+    fn field_names(s: &StructDef) -> Vec<&str> {
+        s.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    #[test]
+    fn named_struct_fields_in_order() {
+        let p = parsed("pub struct A { pub x: u32, y: Vec<f64>, pub(crate) z: (u8, u8) }\n");
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(field_names(&p.structs[0]), ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn nested_generics_with_fused_shift_tokens() {
+        let p = parsed(
+            "struct G<T: Iterator<Item = Vec<u32>>> where T: Clone {\n\
+             \x20   cells: Vec<Vec<Vec<T>>>,\n\
+             \x20   map: std::collections::BTreeMap<String, Vec<(u32, u32)>>,\n\
+             \x20   n: usize,\n\
+             }\n",
+        );
+        assert_eq!(field_names(&p.structs[0]), ["cells", "map", "n"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let p = parsed("struct T(pub u32, Vec<u8>);\nstruct U;\nstruct V {}\n");
+        assert_eq!(p.structs.len(), 3);
+        assert!(p.structs[0].tuple);
+        assert_eq!(field_names(&p.structs[0]), ["0", "1"]);
+        assert!(p.structs[1].fields.is_empty());
+        assert!(p.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fields_are_marked() {
+        let p = parsed("struct S { a: u32, #[cfg(test)] dbg: u32, b: u32 }\n");
+        let s = &p.structs[0];
+        assert_eq!(field_names(s), ["a", "dbg", "b"]);
+        assert!(!s.fields[0].cfg_test);
+        assert!(s.fields[1].cfg_test);
+        assert!(!s.fields[2].cfg_test);
+    }
+
+    #[test]
+    fn fn_bodies_and_trait_decls() {
+        let p = parsed(
+            "trait T { fn decl(&self) -> [u8; 4]; }\n\
+             fn f<T: Clone>(x: T) -> Vec<T> where T: Default { vec![x] }\n\
+             impl T for U { fn decl(&self) -> [u8; 4] { [0; 4] } }\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["f", "decl"]);
+    }
+
+    #[test]
+    fn annotation_attaches_to_next_fn() {
+        let p = parsed(
+            "// eagleeye-lint: digest-of(S)\n\
+             fn digest() { }\n",
+        );
+        assert!(p.malformed.is_empty());
+        assert_eq!(p.fns[0].annotations.len(), 1);
+        assert_eq!(
+            p.fns[0].annotations[0].kind,
+            AnnKind::DigestOf(vec!["S".into()])
+        );
+    }
+
+    #[test]
+    fn annotation_inside_body_attaches_to_that_fn() {
+        let p = parsed(
+            "fn digest() {\n\
+             \x20   // eagleeye-lint: digest-allow(S::x): cache-invisible\n\
+             \x20   work();\n\
+             }\n",
+        );
+        assert_eq!(p.fns[0].annotations.len(), 1);
+        match &p.fns[0].annotations[0].kind {
+            AnnKind::Allow {
+                fields,
+                justification,
+                ..
+            } => {
+                assert_eq!(fields, &[("S".to_string(), "x".to_string())]);
+                assert_eq!(justification, "cache-invisible");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_and_malformed_annotations_are_reported() {
+        let p = parsed(
+            "// eagleeye-lint: digest-of(S)\n\
+             struct S { x: u32 }\n\
+             // eagleeye-lint: fold-of()\n\
+             fn f() {}\n\
+             // eagleeye-lint: digest-allow(no_sep): why\n\
+             fn g() {}\n",
+        );
+        assert_eq!(p.malformed.len(), 3, "{:?}", p.malformed);
+        assert!(p
+            .malformed
+            .iter()
+            .any(|(l, m)| *l == 1 && m.contains("not attached")));
+        assert!(p
+            .malformed
+            .iter()
+            .any(|(l, m)| *l == 3 && m.contains("empty argument")));
+        assert!(p
+            .malformed
+            .iter()
+            .any(|(l, m)| *l == 5 && m.contains("Type::field")));
+    }
+
+    #[test]
+    fn index_prefers_same_file_then_crate() {
+        let mut ix = StructIndex::default();
+        let a = parsed("struct S { x: u32 }\n");
+        let b = parsed("struct S { y: u32 }\n");
+        ix.add_file("crates/core/src/a.rs", "core", &a);
+        ix.add_file("crates/obs/src/b.rs", "obs", &b);
+        match ix.resolve("S", "crates/core/src/a.rs", "core") {
+            Resolved::Found(e) => assert_eq!(e.file, "crates/core/src/a.rs"),
+            _ => panic!("expected same-file hit"),
+        }
+        match ix.resolve("S", "crates/core/src/other.rs", "core") {
+            Resolved::Found(e) => assert_eq!(e.crate_name, "core"),
+            _ => panic!("expected same-crate hit"),
+        }
+        match ix.resolve("S", "crates/geo/src/z.rs", "geo") {
+            Resolved::Ambiguous(files) => assert_eq!(files.len(), 2),
+            _ => panic!("expected ambiguity"),
+        }
+        assert!(matches!(
+            ix.resolve("Nope", "f.rs", "core"),
+            Resolved::NotFound
+        ));
+    }
+}

@@ -10,18 +10,26 @@
 //! | `float-eq`         | no `==`/`!=` against float literals or casts |
 //! | `unsafe-hygiene`   | `// SAFETY:` on every `unsafe`; `#![forbid(unsafe_code)]` elsewhere |
 //! | `metric-namespace` | literal metric keys match `subsystem/name` (DESIGN.md §10.2) |
+//! | `digest-coverage`  | `digest-of(Type)` fns reference every field or justify the gap |
+//! | `codec-symmetry`   | `codec-write`/`codec-read` pairs cover the same fields in order |
+//! | `fold-coverage`    | `fold-of(Type)` fold/compare fns handle every field |
 //!
 //! Rules run on a token stream from a real lexer
 //! ([`lexer`]) — strings, raw strings, char literals, nested block
-//! comments, and doc comments can never trip a rule. Violations that
+//! comments, and doc comments can never trip a rule. The drift rules
+//! (R8–R10, DESIGN.md §16) additionally use an item-level structural
+//! parser ([`item`]) that recovers struct field lists and fn bodies,
+//! plus a field-reference pass over annotated fns. Violations that
 //! are correct *by design* carry inline, audited suppressions
-//! ([`suppress`]), and the binary's `--baseline` mode pins the full
-//! suppression inventory to the checked-in `lint-allowlist.txt`.
+//! ([`suppress`]) — including per-field coverage exemptions — and the
+//! binary's `--baseline` mode pins the full suppression inventory to
+//! the checked-in `lint-allowlist.txt`.
 
 #![forbid(unsafe_code)]
 
 pub mod diag;
 pub mod engine;
+pub mod item;
 pub mod lexer;
 pub mod rules;
 pub mod suppress;

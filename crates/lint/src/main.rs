@@ -3,18 +3,21 @@
 //! ```text
 //! eagleeye-lint [--root DIR] [--deny] [--format text|json]
 //!               [--list-suppressions] [--baseline FILE]
+//!               [--explain RULE]
 //! ```
 //!
 //! * default: print diagnostics, exit 0 (advisory mode);
 //! * `--deny`: exit 1 when any diagnostic survives (CI mode);
-//! * `--format json`: machine-readable diagnostics;
+//! * `--format json`: machine-readable diagnostics (coverage findings
+//!   carry `annotation_line`, `struct`, and `fields`);
 //! * `--list-suppressions`: audit every inline suppression instead of
 //!   printing diagnostics;
 //! * `--baseline FILE`: with `--list-suppressions`, compare the
 //!   suppression inventory against a checked-in allowlist and exit 1
-//!   on any new or stale entry.
+//!   on any new or stale entry;
+//! * `--explain RULE`: print the rule's rationale block and exit.
 
-use eagleeye_lint::diag::{diagnostics_json, json_escape, RULES};
+use eagleeye_lint::diag::{diagnostics_json, explain, json_escape, RULES};
 use eagleeye_lint::engine::lint_workspace;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -31,7 +34,7 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: eagleeye-lint [--root DIR] [--deny] [--format text|json] \
-         [--list-suppressions] [--baseline FILE]\n\nrules:"
+         [--list-suppressions] [--baseline FILE] [--explain RULE]\n\nrules:"
     );
     for (id, summary) in RULES {
         eprintln!("  {id:<18} {summary}");
@@ -61,6 +64,10 @@ fn parse_args() -> Cli {
                 _ => usage(),
             },
             "--list-suppressions" => cli.list_suppressions = true,
+            "--explain" => match args.next() {
+                Some(rule) => run_explain(&rule),
+                None => usage(),
+            },
             "--baseline" => match args.next() {
                 Some(v) => cli.baseline = Some(PathBuf::from(v)),
                 None => usage(),
@@ -70,6 +77,28 @@ fn parse_args() -> Cli {
         }
     }
     cli
+}
+
+/// Prints the rationale block for one rule (or the `suppression`
+/// meta-rule) and exits; unknown rules list the known ids and exit 2.
+fn run_explain(rule: &str) -> ! {
+    match explain(rule) {
+        Some(block) => {
+            println!("{rule}\n{}\n\n{block}", "=".repeat(rule.len()));
+            std::process::exit(0)
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{rule}`; known rules: {}, suppression",
+                RULES
+                    .iter()
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2)
+        }
+    }
 }
 
 /// `(file, rule) -> count` inventory of the given suppressions.

@@ -1,0 +1,667 @@
+//! R8 `digest-coverage`, R9 `codec-symmetry`, R10 `fold-coverage` —
+//! the semantic drift rules (DESIGN.md §16).
+//!
+//! All three are **opt-in**: they fire only on fns carrying a
+//! coverage annotation (parsed by [`crate::item`]), and they compare
+//! the annotated struct's declared field list against the fields the
+//! fn body actually references. A field counts as referenced when it
+//! appears as `expr.field`, as `field:` in a struct literal or
+//! pattern, or as shorthand inside a `Type { … }` region.
+//!
+//! Undeniably-intentional gaps carry per-field exemptions
+//! (`digest-allow(Type::field): why`, …) which surface in the
+//! suppression inventory and the `lint-allowlist.txt` baseline, so a
+//! digest blind spot is always either referenced, or justified in a
+//! reviewable, pinned place. Exemptions are audited like ordinary
+//! suppressions: unknown fields, unused entries, and missing
+//! justifications are `suppression` diagnostics.
+
+use crate::diag::{self, CoverageDetail, Diagnostic};
+use crate::engine::FileCtx;
+use crate::item::{self, AnnKind, FieldDef, Resolved, StructDef};
+use crate::lexer::TokKind;
+use crate::suppress::Suppression;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `(type, field)` entry of an `*-allow` annotation.
+struct ExemptEntry {
+    ty: String,
+    field: String,
+    /// Some coverage annotation on the owning fn named this type.
+    matched: bool,
+    /// The named field does not exist on the resolved struct.
+    stale: bool,
+    /// The exemption excused an actually-missing reference.
+    used: bool,
+}
+
+/// One `*-allow` annotation with its shared justification.
+struct AllowAnn {
+    fn_idx: usize,
+    rule: &'static str,
+    line: u32,
+    justification: String,
+    entries: Vec<ExemptEntry>,
+}
+
+fn allow_kw(rule: &str) -> &'static str {
+    match rule {
+        diag::R8_DIGEST_COVERAGE => "digest-allow",
+        diag::R9_CODEC_SYMMETRY => "codec-allow",
+        _ => "fold-allow",
+    }
+}
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>, supps: &mut Vec<Suppression>) {
+    // Malformed/dangling annotations from the structural parser.
+    for (line, msg) in &ctx.parsed.malformed {
+        out.push(ctx.diag(*line, diag::SUPPRESSION, msg.clone()));
+    }
+
+    let mut allows: Vec<AllowAnn> = Vec::new();
+    for (fi, f) in ctx.parsed.fns.iter().enumerate() {
+        for ann in &f.annotations {
+            if let AnnKind::Allow {
+                rule,
+                fields,
+                justification,
+            } = &ann.kind
+            {
+                allows.push(AllowAnn {
+                    fn_idx: fi,
+                    rule,
+                    line: ann.line,
+                    justification: justification.clone(),
+                    entries: fields
+                        .iter()
+                        .map(|(ty, field)| ExemptEntry {
+                            ty: ty.clone(),
+                            field: field.clone(),
+                            matched: false,
+                            stale: false,
+                            used: false,
+                        })
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    struct Side {
+        fn_idx: usize,
+        line: u32,
+    }
+    let mut writers: BTreeMap<String, Side> = BTreeMap::new();
+    let mut readers: BTreeMap<String, Side> = BTreeMap::new();
+
+    for (fi, f) in ctx.parsed.fns.iter().enumerate() {
+        for ann in &f.annotations {
+            match &ann.kind {
+                AnnKind::DigestOf(tys) => check_total(
+                    ctx,
+                    out,
+                    &mut allows,
+                    fi,
+                    ann.line,
+                    tys,
+                    diag::R8_DIGEST_COVERAGE,
+                    "digest-of",
+                ),
+                AnnKind::FoldOf(tys) => check_total(
+                    ctx,
+                    out,
+                    &mut allows,
+                    fi,
+                    ann.line,
+                    tys,
+                    diag::R10_FOLD_COVERAGE,
+                    "fold-of",
+                ),
+                AnnKind::CodecWrite(tys) => {
+                    for ty in tys {
+                        if writers
+                            .insert(
+                                ty.clone(),
+                                Side {
+                                    fn_idx: fi,
+                                    line: ann.line,
+                                },
+                            )
+                            .is_some()
+                        {
+                            out.push(ctx.diag(
+                                ann.line,
+                                diag::R9_CODEC_SYMMETRY,
+                                format!("duplicate codec-write({ty}) annotation in this file"),
+                            ));
+                        }
+                    }
+                }
+                AnnKind::CodecRead(tys) => {
+                    for ty in tys {
+                        if readers
+                            .insert(
+                                ty.clone(),
+                                Side {
+                                    fn_idx: fi,
+                                    line: ann.line,
+                                },
+                            )
+                            .is_some()
+                        {
+                            out.push(ctx.diag(
+                                ann.line,
+                                diag::R9_CODEC_SYMMETRY,
+                                format!("duplicate codec-read({ty}) annotation in this file"),
+                            ));
+                        }
+                    }
+                }
+                AnnKind::Allow { .. } => {}
+            }
+        }
+    }
+
+    // R9: pair writers with readers per type, in one file.
+    let tys: BTreeSet<String> = writers.keys().chain(readers.keys()).cloned().collect();
+    for ty in &tys {
+        match (writers.get(ty), readers.get(ty)) {
+            (Some(w), None) => out.push(ctx.diag(
+                w.line,
+                diag::R9_CODEC_SYMMETRY,
+                format!(
+                    "codec-write({ty}) has no matching codec-read({ty}) in this file — \
+                     annotate the decoder or remove the writer annotation"
+                ),
+            )),
+            (None, Some(r)) => out.push(ctx.diag(
+                r.line,
+                diag::R9_CODEC_SYMMETRY,
+                format!(
+                    "codec-read({ty}) has no matching codec-write({ty}) in this file — \
+                     annotate the encoder or remove the reader annotation"
+                ),
+            )),
+            (Some(w), Some(r)) => check_codec_pair(
+                ctx,
+                out,
+                &mut allows,
+                ty,
+                w.fn_idx,
+                w.line,
+                r.fn_idx,
+                r.line,
+            ),
+            (None, None) => unreachable!("ty drawn from the union of both maps"),
+        }
+    }
+
+    // Exemption audit + suppression records.
+    for a in &allows {
+        let kw = allow_kw(a.rule);
+        for e in &a.entries {
+            if !e.matched {
+                out.push(ctx.diag(
+                    a.line,
+                    diag::SUPPRESSION,
+                    format!(
+                        "coverage exemption {kw}({}::{}) names a type no coverage \
+                         annotation on this fn covers",
+                        e.ty, e.field
+                    ),
+                ));
+            } else if !e.stale && !e.used {
+                out.push(ctx.diag(
+                    a.line,
+                    diag::SUPPRESSION,
+                    format!(
+                        "unused coverage exemption {kw}({}::{}): the field is covered — \
+                         delete the exemption",
+                        e.ty, e.field
+                    ),
+                ));
+            }
+        }
+        if a.justification.is_empty() {
+            out.push(ctx.diag(
+                a.line,
+                diag::SUPPRESSION,
+                format!(
+                    "coverage exemption lacks a justification (write `{kw}(Type::field): <why>`)"
+                ),
+            ));
+        }
+        supps.push(Suppression {
+            line: a.line,
+            standalone: true,
+            rules: vec![a.rule.to_string()],
+            justification: a.justification.clone(),
+            used: a.entries.iter().all(|e| e.used),
+        });
+    }
+}
+
+/// Resolves a struct name for an annotation, emitting a diagnostic on
+/// failure.
+fn resolve<'a>(
+    ctx: &'a FileCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    kw: &str,
+    line: u32,
+    ty: &str,
+) -> Option<&'a StructDef> {
+    match ctx.index.resolve(ty, ctx.path, ctx.crate_name) {
+        Resolved::Found(e) => Some(&e.def),
+        Resolved::NotFound => {
+            out.push(ctx.diag(
+                line,
+                rule,
+                format!("unknown struct `{ty}` in {kw} (no such struct in the workspace scan)"),
+            ));
+            None
+        }
+        Resolved::Ambiguous(files) => {
+            out.push(ctx.diag(
+                line,
+                rule,
+                format!(
+                    "struct `{ty}` in {kw} is ambiguous (defined in {}) — coverage \
+                     annotations need a workspace-unique name",
+                    files.join(", ")
+                ),
+            ));
+            None
+        }
+    }
+}
+
+/// Marks exemption entries for `(fns, rule, ty)` as matched, flags
+/// stale field names, and returns the set of validly exempted fields.
+fn claim_exemptions(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    allows: &mut [AllowAnn],
+    fns: &[usize],
+    rule: &'static str,
+    ty: &str,
+    def: &StructDef,
+) -> BTreeSet<String> {
+    let mut exempt = BTreeSet::new();
+    for a in allows.iter_mut() {
+        if a.rule != rule || !fns.contains(&a.fn_idx) {
+            continue;
+        }
+        for e in a.entries.iter_mut() {
+            if e.ty != ty {
+                continue;
+            }
+            e.matched = true;
+            if def.fields.iter().any(|f| f.name == e.field) {
+                exempt.insert(e.field.clone());
+            } else {
+                e.stale = true;
+                out.push(ctx.diag(
+                    a.line,
+                    diag::SUPPRESSION,
+                    format!(
+                        "stale coverage exemption: struct `{ty}` has no field `{}`",
+                        e.field
+                    ),
+                ));
+            }
+        }
+    }
+    exempt
+}
+
+/// Marks the exemption entries for `(fns, rule, ty, field)` as used.
+fn use_exemption(allows: &mut [AllowAnn], fns: &[usize], rule: &str, ty: &str, field: &str) {
+    for a in allows.iter_mut() {
+        if a.rule != rule || !fns.contains(&a.fn_idx) {
+            continue;
+        }
+        for e in a.entries.iter_mut() {
+            if e.ty == ty && e.field == field {
+                e.used = true;
+            }
+        }
+    }
+}
+
+/// R8/R10: every (non-test, non-exempt) field of each annotated struct
+/// must be referenced somewhere in the fn body.
+#[allow(clippy::too_many_arguments)]
+fn check_total(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    allows: &mut [AllowAnn],
+    fn_idx: usize,
+    ann_line: u32,
+    tys: &[String],
+    rule: &'static str,
+    kw: &str,
+) {
+    let f = &ctx.parsed.fns[fn_idx];
+    for ty in tys {
+        let Some(def) = resolve(ctx, out, rule, kw, ann_line, ty) else {
+            continue;
+        };
+        let refs = field_refs(ctx, f.body, ty, &def.fields);
+        let exempt = claim_exemptions(ctx, out, allows, &[fn_idx], rule, ty, def);
+        let mut missing = Vec::new();
+        for field in def.fields.iter().filter(|f| !f.cfg_test) {
+            if refs.contains_key(&field.name) {
+                continue;
+            }
+            if exempt.contains(&field.name) {
+                use_exemption(allows, &[fn_idx], rule, ty, &field.name);
+                continue;
+            }
+            missing.push(field.name.clone());
+        }
+        if !missing.is_empty() {
+            let list = missing
+                .iter()
+                .map(|m| format!("`{m}`"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diagnostic {
+                file: ctx.path.to_string(),
+                line: ann_line,
+                rule,
+                message: format!(
+                    "{kw}({ty}): fn `{}` never references field(s) {list} of `{ty}` — \
+                     cover them or justify with `// eagleeye-lint: {}({ty}::<field>): <why>`",
+                    f.name,
+                    allow_kw(rule)
+                ),
+                detail: Some(CoverageDetail {
+                    annotation_line: ann_line,
+                    struct_name: ty.clone(),
+                    fields: missing,
+                }),
+            });
+        }
+    }
+}
+
+/// R9: the writer and reader of one type must cover identical field
+/// sets in identical (first-reference) order.
+#[allow(clippy::too_many_arguments)]
+fn check_codec_pair(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    allows: &mut [AllowAnn],
+    ty: &str,
+    w_fn: usize,
+    w_line: u32,
+    r_fn: usize,
+    r_line: u32,
+) {
+    let rule = diag::R9_CODEC_SYMMETRY;
+    let Some(def) = resolve(ctx, out, rule, "codec-write/codec-read", w_line, ty) else {
+        return;
+    };
+    let wf = &ctx.parsed.fns[w_fn];
+    let rf = &ctx.parsed.fns[r_fn];
+    let wrefs = field_refs(ctx, wf.body, ty, &def.fields);
+    let rrefs = field_refs(ctx, rf.body, ty, &def.fields);
+    let pair = [w_fn, r_fn];
+    let exempt = claim_exemptions(ctx, out, allows, &pair, rule, ty, def);
+
+    let mut neither = Vec::new();
+    let mut unread = Vec::new();
+    let mut unwritten = Vec::new();
+    let mut common: BTreeSet<&str> = BTreeSet::new();
+    for field in def.fields.iter().filter(|f| !f.cfg_test) {
+        let in_w = wrefs.contains_key(&field.name);
+        let in_r = rrefs.contains_key(&field.name);
+        if exempt.contains(&field.name) {
+            if !in_w || !in_r {
+                use_exemption(allows, &pair, rule, ty, &field.name);
+            }
+            continue;
+        }
+        match (in_w, in_r) {
+            (false, false) => neither.push(field.name.clone()),
+            (true, false) => unread.push(field.name.clone()),
+            (false, true) => unwritten.push(field.name.clone()),
+            (true, true) => {
+                common.insert(field.name.as_str());
+            }
+        }
+    }
+
+    let fmt = |v: &[String]| {
+        v.iter()
+            .map(|m| format!("`{m}`"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !neither.is_empty() {
+        out.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line: w_line,
+            rule,
+            message: format!(
+                "codec-write/codec-read({ty}): field(s) {} are neither written by `{}` nor \
+                 read by `{}` — serialize them or justify with `codec-allow({ty}::<field>): <why>`",
+                fmt(&neither),
+                wf.name,
+                rf.name
+            ),
+            detail: Some(CoverageDetail {
+                annotation_line: w_line,
+                struct_name: ty.to_string(),
+                fields: neither,
+            }),
+        });
+    }
+    if !unread.is_empty() {
+        out.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line: r_line,
+            rule,
+            message: format!(
+                "codec-read({ty}): field(s) {} are written by `{}` but never read by `{}` — \
+                 decoder drift",
+                fmt(&unread),
+                wf.name,
+                rf.name
+            ),
+            detail: Some(CoverageDetail {
+                annotation_line: r_line,
+                struct_name: ty.to_string(),
+                fields: unread,
+            }),
+        });
+    }
+    if !unwritten.is_empty() {
+        out.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line: w_line,
+            rule,
+            message: format!(
+                "codec-write({ty}): field(s) {} are read by `{}` but never written by `{}` — \
+                 encoder drift",
+                fmt(&unwritten),
+                rf.name,
+                wf.name
+            ),
+            detail: Some(CoverageDetail {
+                annotation_line: w_line,
+                struct_name: ty.to_string(),
+                fields: unwritten,
+            }),
+        });
+    }
+
+    // Order check over the fields both sides cover: first-reference
+    // order in the writer must equal first-reference order in the
+    // reader.
+    let ordered = |refs: &BTreeMap<String, usize>| -> Vec<String> {
+        let mut v: Vec<(&String, &usize)> = refs
+            .iter()
+            .filter(|(name, _)| common.contains(name.as_str()))
+            .collect();
+        v.sort_by_key(|(_, pos)| **pos);
+        v.into_iter().map(|(name, _)| name.clone()).collect()
+    };
+    let ws = ordered(&wrefs);
+    let rs = ordered(&rrefs);
+    if ws != rs {
+        let k = ws
+            .iter()
+            .zip(rs.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        out.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line: w_line,
+            rule,
+            message: format!(
+                "codec field order mismatch for `{ty}`: `{}` writes `{}` at position {k} but \
+                 `{}` reads `{}` — symmetric codecs must visit fields in the same order",
+                wf.name, ws[k], rf.name, rs[k]
+            ),
+            detail: Some(CoverageDetail {
+                annotation_line: w_line,
+                struct_name: ty.to_string(),
+                fields: vec![ws[k].clone(), rs[k].clone()],
+            }),
+        });
+    }
+}
+
+/// Field-reference pass: maps each referenced field name of `ty` to
+/// the significant-token position of its first reference in `body`.
+///
+/// A reference is `expr.field`, `field:` (outside `::` paths), or a
+/// shorthand ident directly inside a `Ty { … }` literal/pattern.
+/// Tuple-struct ordinals are matched as `.0`-style integer tokens.
+fn field_refs(
+    ctx: &FileCtx<'_>,
+    body: (usize, usize),
+    ty: &str,
+    fields: &[FieldDef],
+) -> BTreeMap<String, usize> {
+    let names: BTreeSet<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    let mut first: BTreeMap<String, usize> = BTreeMap::new();
+    let (lo, hi) = body;
+    for p in lo..hi {
+        let t = ctx.s(p);
+        let nameish = matches!(t.kind, TokKind::Ident | TokKind::Int);
+        if !nameish || !names.contains(t.text.as_str()) {
+            continue;
+        }
+        let after_dot = p > lo && ctx.is_punct(p - 1, ".");
+        let before_colon =
+            p + 1 < hi && ctx.is_punct(p + 1, ":") && !(p > lo && ctx.is_punct(p - 1, "::"));
+        if after_dot || before_colon {
+            first.entry(t.text.clone()).or_insert(p);
+        }
+    }
+    // Shorthand idents inside `Ty { … }` regions, at nesting depth 0
+    // relative to the region.
+    let mut p = lo;
+    while p < hi {
+        let t = ctx.s(p);
+        if t.kind == TokKind::Ident && t.text == ty && p + 1 < hi && ctx.is_punct(p + 1, "{") {
+            let close = item::brace_match(ctx.tokens, ctx.sig, p + 1).min(hi);
+            let mut depth = 0i64;
+            for q in (p + 2)..close {
+                let u = ctx.s(q);
+                if u.kind == TokKind::Punct {
+                    match u.text.as_str() {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => depth -= 1,
+                        _ => {}
+                    }
+                } else if depth == 0
+                    && u.kind == TokKind::Ident
+                    && names.contains(u.text.as_str())
+                    && (q + 1 == close || ctx.is_punct(q + 1, ",") || ctx.is_punct(q + 1, "}"))
+                {
+                    first.entry(u.text.clone()).or_insert(q);
+                }
+            }
+            p = close + 1;
+        } else {
+            p += 1;
+        }
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::lint_source;
+
+    fn rendered(src: &str) -> Vec<String> {
+        lint_source("crates/core/src/x.rs", src)
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn digest_of_flags_missing_field() {
+        let src = "struct Opts { a: u32, b: u32 }\n\
+                   // eagleeye-lint: digest-of(Opts)\n\
+                   fn digest(o: &Opts) -> u64 { u64::from(o.a) }\n";
+        let out = rendered(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("[digest-coverage]"));
+        assert!(out[0].contains("`b`"));
+    }
+
+    #[test]
+    fn exemption_excuses_and_is_audited() {
+        let clean = "struct Opts { a: u32, b: u32 }\n\
+                     // eagleeye-lint: digest-of(Opts)\n\
+                     // eagleeye-lint: digest-allow(Opts::b): execution shape only\n\
+                     fn digest(o: &Opts) -> u64 { u64::from(o.a) }\n";
+        assert!(rendered(clean).is_empty(), "{:?}", rendered(clean));
+
+        let unused = "struct Opts { a: u32 }\n\
+                      // eagleeye-lint: digest-of(Opts)\n\
+                      // eagleeye-lint: digest-allow(Opts::a): not needed\n\
+                      fn digest(o: &Opts) -> u64 { u64::from(o.a) }\n";
+        let out = rendered(unused);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("unused coverage exemption"));
+    }
+
+    #[test]
+    fn codec_pair_order_and_set_checks() {
+        let src = "struct R { a: u32, b: u32 }\n\
+                   // eagleeye-lint: codec-write(R)\n\
+                   fn to_bytes(r: &R) { put(r.a); put(r.b); }\n\
+                   // eagleeye-lint: codec-read(R)\n\
+                   fn from_bytes() -> R { R { b: get(), a: get() } }\n";
+        let out = rendered(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("order mismatch"));
+    }
+
+    #[test]
+    fn fold_of_sees_exhaustive_destructure() {
+        let src = "struct R { a: u32, b: u32 }\n\
+                   // eagleeye-lint: fold-of(R)\n\
+                   fn same(x: &R, o: &R) -> bool {\n\
+                       let R { a, b } = x;\n\
+                       *a == o.a && *b == o.b\n\
+                   }\n";
+        assert!(rendered(src).is_empty(), "{:?}", rendered(src));
+    }
+
+    #[test]
+    fn cfg_test_fields_are_not_required() {
+        let src = "struct R { a: u32, #[cfg(test)] dbg: u32 }\n\
+                   // eagleeye-lint: fold-of(R)\n\
+                   fn fold(r: &R) -> u32 { r.a }\n";
+        assert!(rendered(src).is_empty(), "{:?}", rendered(src));
+    }
+}

@@ -56,12 +56,12 @@ pub fn scan(file: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<Diagnostic>)
             continue;
         };
         let rest = body[at + MARKER.len()..].trim_start();
-        let bad = |msg: &str| Diagnostic {
-            file: file.to_string(),
-            line: tok.line,
-            rule: diag::SUPPRESSION,
-            message: msg.to_string(),
-        };
+        // Coverage directives (digest-of, codec-write, …) share the
+        // marker but are parsed and audited by `item`/`rules::coverage`.
+        if crate::item::DIRECTIVE_KEYWORDS.contains(&crate::item::leading_keyword(rest)) {
+            continue;
+        }
+        let bad = |msg: &str| Diagnostic::new(file.to_string(), tok.line, diag::SUPPRESSION, msg);
         let Some(rest) = rest.strip_prefix("allow") else {
             diags.push(bad("malformed suppression: expected `allow(<rule>, ...)`"));
             continue;
@@ -139,27 +139,27 @@ pub fn audit(file: &str, supps: &[Suppression]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for s in supps {
         if s.justification.is_empty() {
-            out.push(Diagnostic {
-                file: file.to_string(),
-                line: s.line,
-                rule: diag::SUPPRESSION,
-                message: format!(
+            out.push(Diagnostic::new(
+                file.to_string(),
+                s.line,
+                diag::SUPPRESSION,
+                format!(
                     "suppression for {} lacks a justification (write `allow({}): <why>`)",
                     s.rules.join(", "),
                     s.rules.join(", ")
                 ),
-            });
+            ));
         }
         if !s.used {
-            out.push(Diagnostic {
-                file: file.to_string(),
-                line: s.line,
-                rule: diag::SUPPRESSION,
-                message: format!(
+            out.push(Diagnostic::new(
+                file.to_string(),
+                s.line,
+                diag::SUPPRESSION,
+                format!(
                     "unused suppression for {} (no diagnostic on this or the next line)",
                     s.rules.join(", ")
                 ),
-            });
+            ));
         }
     }
     out
@@ -189,6 +189,16 @@ mod tests {
     }
 
     #[test]
+    fn coverage_directives_are_left_to_the_item_layer() {
+        let toks = lex("// eagleeye-lint: digest-of(Opts)\n\
+             // eagleeye-lint: digest-allow(Opts::a): why\n\
+             // eagleeye-lint: codec-write(R)\n");
+        let (supps, diags) = scan("f.rs", &toks);
+        assert!(supps.is_empty());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
     fn unknown_rule_is_reported() {
         let toks = lex("// eagleeye-lint: allow(nope): x\n");
         let (_, diags) = scan("f.rs", &toks);
@@ -205,12 +215,7 @@ mod tests {
             justification: "why".into(),
             used: false,
         }];
-        let mk = |line| Diagnostic {
-            file: "f.rs".into(),
-            line,
-            rule: crate::diag::R3_CLOCK,
-            message: String::new(),
-        };
+        let mk = |line| Diagnostic::new("f.rs", line, crate::diag::R3_CLOCK, "");
         let left = apply(vec![mk(6), mk(7)], &mut supps);
         assert_eq!(left.len(), 1);
         assert_eq!(left[0].line, 7);

@@ -20,9 +20,13 @@ use eagleeye_lint::{lint_source, lint_workspace};
 const FIXTURES: &[&str] = &[
     "clock_exempt",
     "clock_sim",
+    "codec_symmetry",
     "determinism_core",
     "determinism_exempt",
+    "digest_coverage",
     "float_eq",
+    "fold_coverage",
+    "item_parser_edge",
     "lexer_tricky",
     "metric_namespace",
     "no_exit",
@@ -71,7 +75,9 @@ fn check(name: &str) {
     });
     assert_eq!(
         got, want,
-        "diagnostics for fixture `{name}` drifted from its golden"
+        "diagnostics for fixture `{name}` drifted from its golden; if the change is \
+         intentional, regenerate with EAGLEEYE_LINT_BLESS=1 cargo test -p eagleeye-lint \
+         --test fixtures"
     );
 }
 
@@ -128,6 +134,26 @@ fn no_exit() {
 #[test]
 fn lexer_tricky() {
     check("lexer_tricky");
+}
+
+#[test]
+fn digest_coverage() {
+    check("digest_coverage");
+}
+
+#[test]
+fn codec_symmetry() {
+    check("codec_symmetry");
+}
+
+#[test]
+fn fold_coverage() {
+    check("fold_coverage");
+}
+
+#[test]
+fn item_parser_edge() {
+    check("item_parser_edge");
 }
 
 #[test]

@@ -1,0 +1,66 @@
+//@ path: crates/obs/src/codec_demo.rs
+//! R9 `codec-symmetry` fixture: a clean writer/reader pair with a
+//! justified wire-format exemption, a drifted pair (set asymmetry and
+//! order divergence), and an unpaired writer.
+
+pub struct Rec {
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+    pub pad: u32,
+}
+
+// eagleeye-lint: codec-write(Rec)
+// eagleeye-lint: codec-allow(Rec::pad): padding never hits the wire; the reader zeroes it
+pub fn write_rec(r: &Rec, out: &mut Vec<u8>) {
+    out.extend(r.a.to_le_bytes());
+    out.extend(r.b.to_le_bytes());
+    out.extend(r.c.to_le_bytes());
+}
+
+// eagleeye-lint: codec-read(Rec)
+pub fn read_rec(buf: &[u8]) -> Rec {
+    Rec {
+        a: get(buf, 0),
+        b: get(buf, 4),
+        c: get(buf, 8),
+        pad: 0,
+    }
+}
+
+pub struct Drift {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+    pub w: u32,
+}
+
+// eagleeye-lint: codec-write(Drift)
+pub fn write_drift(d: &Drift, out: &mut Vec<u8>) {
+    out.extend(d.x.to_le_bytes());
+    out.extend(d.y.to_le_bytes());
+    out.extend(d.w.to_le_bytes());
+}
+
+// eagleeye-lint: codec-read(Drift)
+pub fn read_drift(buf: &[u8]) -> Drift {
+    Drift {
+        x: get(buf, 0),
+        w: get(buf, 4),
+        y: 0,
+        z: get(buf, 8),
+    }
+}
+
+pub struct Orphan {
+    pub q: u32,
+}
+
+// eagleeye-lint: codec-write(Orphan)
+pub fn write_orphan(o: &Orphan, out: &mut Vec<u8>) {
+    out.extend(o.q.to_le_bytes());
+}
+
+fn get(buf: &[u8], at: usize) -> u32 {
+    u32::from(buf[at])
+}

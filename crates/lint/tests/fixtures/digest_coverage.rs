@@ -1,0 +1,43 @@
+//@ path: crates/core/src/digest_demo.rs
+//! R8 `digest-coverage` fixture: a clean multi-struct digest, a
+//! digest with a blind spot, audited exemptions (used, unused, and
+//! stale), and an unknown struct name.
+
+pub struct Opts {
+    pub spec: u64,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+pub struct Geom {
+    pub bound_m: u64,
+    pub half_m: u64,
+}
+
+// eagleeye-lint: digest-of(Opts, Geom)
+pub fn full_digest(o: &Opts, g: &Geom) -> u64 {
+    o.spec ^ o.seed ^ (o.threads as u64) ^ g.bound_m ^ g.half_m
+}
+
+// eagleeye-lint: digest-of(Opts)
+pub fn gappy_digest(o: &Opts) -> u64 {
+    o.spec
+}
+
+// eagleeye-lint: digest-of(Opts)
+// eagleeye-lint: digest-allow(Opts::threads): execution shape; results are bit-identical at any thread count
+pub fn exempted_digest(o: &Opts) -> u64 {
+    o.spec ^ o.seed
+}
+
+// eagleeye-lint: digest-of(Opts)
+// eagleeye-lint: digest-allow(Opts::spec): pointless — spec is digested right below
+// eagleeye-lint: digest-allow(Opts::bogus): no struct field has this name
+pub fn audited_digest(o: &Opts) -> u64 {
+    o.spec ^ o.seed ^ (o.threads as u64)
+}
+
+// eagleeye-lint: digest-of(Missing)
+pub fn unknown_type(o: &Opts) -> u64 {
+    o.spec
+}

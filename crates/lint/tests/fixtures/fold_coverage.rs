@@ -1,0 +1,41 @@
+//@ path: crates/core/src/fold_demo.rs
+//! R10 `fold-coverage` fixture: a clean accumulating fold with a
+//! justified identity exemption, a compare fn proven exhaustive by
+//! destructuring, a fold with a blind spot, and a dangling annotation.
+
+pub struct Acc {
+    pub hits: u64,
+    pub misses: u64,
+    pub elapsed: u64,
+    pub label: u32,
+}
+
+// eagleeye-lint: fold-of(Acc)
+// eagleeye-lint: fold-allow(Acc::label): identity, set at construction and never folded
+pub fn absorb(acc: &mut Acc, part: &Acc) {
+    acc.hits += part.hits;
+    acc.misses += part.misses;
+    acc.elapsed += part.elapsed;
+}
+
+// eagleeye-lint: fold-of(Acc)
+pub fn same_outcome(a: &Acc, b: &Acc) -> bool {
+    let Acc {
+        hits,
+        misses,
+        elapsed: _,
+        label,
+    } = a;
+    *hits == b.hits && *misses == b.misses && *label == b.label
+}
+
+// eagleeye-lint: fold-of(Acc)
+pub fn record(acc: &Acc, sink: &mut Vec<u64>) {
+    sink.push(acc.hits);
+    sink.push(acc.misses);
+}
+
+// eagleeye-lint: fold-of(Acc)
+pub struct NotAFn {
+    pub v: u32,
+}

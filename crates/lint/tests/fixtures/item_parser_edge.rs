@@ -1,0 +1,45 @@
+//@ path: crates/geo/src/parser_edge.rs
+//! Item-parser edge cases. A doc-comment fence quoting a raw-string
+//! struct must not index a phantom type:
+//!
+//! ```text
+//! let s = r#"struct Phantom { ghost: u32 }"#;
+//! ```
+
+/// Attribute-heavy struct: nested generics with fused `>>` tokens, a
+/// where clause, a `#[doc]` attribute containing item keywords, and a
+/// `#[cfg(test)]`-gated field coverage must not require.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize))]
+pub struct Nested<T: Iterator<Item = Vec<u32>>>
+where
+    T: Clone,
+{
+    #[doc = "fn not_an_item() { struct AlsoNot; }"]
+    pub cells: Vec<Vec<Vec<T>>>,
+    pub map: Vec<(u32, Vec<u8>)>,
+    #[cfg(test)]
+    pub probe: u32,
+    pub n: usize,
+}
+
+pub struct Pair(pub u32, pub Vec<u8>);
+
+// eagleeye-lint: fold-of(Nested)
+pub fn fold_nested<T: Iterator<Item = Vec<u32>>>(x: &Nested<T>) -> usize
+where
+    T: Clone,
+{
+    x.cells.len() + x.map.len() + x.n
+}
+
+// eagleeye-lint: fold-of(Pair)
+pub fn fold_pair(p: &Pair) -> usize {
+    (p.0 as usize) + p.1.len()
+}
+
+// eagleeye-lint: fold-of(Nested)
+pub fn fold_gap<T: Iterator<Item = Vec<u32>>>(x: &Nested<T>) -> usize {
+    let decoy = r#"map: 1, n: 2, probe: 3"#;
+    x.cells.len() + decoy.len()
+}

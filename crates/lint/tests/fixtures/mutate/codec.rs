@@ -1,0 +1,34 @@
+//@ path: crates/core/src/mutate_codec.rs
+//! Mutation corpus for R9: deleting one writer line must report the
+//! field as read-but-never-written; deleting one reader line must
+//! report it as written-but-never-read.
+
+pub struct Rec {
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+}
+
+// eagleeye-lint: codec-write(Rec)
+pub fn to_bytes(r: &Rec, out: &mut Vec<u8>) {
+    put(out, r.a); // mutate-expect: codec-symmetry Rec::a
+    put(out, r.b); // mutate-expect: codec-symmetry Rec::b
+    put(out, r.c); // mutate-expect: codec-symmetry Rec::c
+}
+
+// eagleeye-lint: codec-read(Rec)
+pub fn from_bytes(buf: &[u8]) -> Rec {
+    Rec {
+        a: get(buf, 0), // mutate-expect: codec-symmetry Rec::a
+        b: get(buf, 4), // mutate-expect: codec-symmetry Rec::b
+        c: get(buf, 8), // mutate-expect: codec-symmetry Rec::c
+    }
+}
+
+fn put(out: &mut Vec<u8>, v: u32) {
+    out.extend(v.to_le_bytes());
+}
+
+fn get(buf: &[u8], at: usize) -> u32 {
+    u32::from(buf[at])
+}

@@ -1,0 +1,19 @@
+//@ path: crates/core/src/mutate_digest.rs
+//! Mutation corpus for R8: lint-clean as written; deleting any line
+//! tagged `mutate-expect` must make the named rule fire for the named
+//! field.
+
+pub struct Opts {
+    pub spec: u64,
+    pub seed: u64,
+    pub cap: u64,
+}
+
+// eagleeye-lint: digest-of(Opts)
+pub fn digest(o: &Opts) -> u64 {
+    let mut h = 0u64;
+    h ^= o.spec; // mutate-expect: digest-coverage Opts::spec
+    h ^= o.seed.rotate_left(7); // mutate-expect: digest-coverage Opts::seed
+    h ^= o.cap.rotate_left(13); // mutate-expect: digest-coverage Opts::cap
+    h
+}

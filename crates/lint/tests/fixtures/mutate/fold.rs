@@ -1,0 +1,24 @@
+//@ path: crates/core/src/mutate_fold.rs
+//! Mutation corpus for R10: both the accumulating fold and the
+//! compare fn must notice a deleted field reference.
+
+pub struct Acc {
+    pub hits: u64,
+    pub misses: u64,
+    pub skipped: u64,
+}
+
+// eagleeye-lint: fold-of(Acc)
+pub fn absorb(acc: &mut Acc, part: &Acc) {
+    acc.hits += part.hits; // mutate-expect: fold-coverage Acc::hits
+    acc.misses += part.misses; // mutate-expect: fold-coverage Acc::misses
+    acc.skipped += part.skipped; // mutate-expect: fold-coverage Acc::skipped
+}
+
+// eagleeye-lint: fold-of(Acc)
+pub fn same_outcome(a: &Acc, b: &Acc) -> bool {
+    let hits_eq = a.hits == b.hits; // mutate-expect: fold-coverage Acc::hits
+    let misses_eq = a.misses == b.misses; // mutate-expect: fold-coverage Acc::misses
+    let skipped_eq = a.skipped == b.skipped; // mutate-expect: fold-coverage Acc::skipped
+    hits_eq && misses_eq && skipped_eq
+}

@@ -1,0 +1,143 @@
+//! Mutation self-test for the coverage rules (R8–R10).
+//!
+//! Every fixture under `tests/fixtures/mutate/` is lint-clean as
+//! checked in. Each deletable field-reference line carries a trailing
+//! `// mutate-expect: <rule> <Type::field>` tag; this harness deletes
+//! one tagged line at a time, re-lints, and asserts that exactly the
+//! named rule fires naming the tagged field — both in the message and
+//! in the structured [`CoverageDetail`] payload `--format json`
+//! exposes. That proves the detection property end to end: a real
+//! digest/codec/fold drifting by one field cannot pass `--deny`.
+//!
+//! Set `EAGLEEYE_LINT_MUTATE=1` for a per-mutation trace when
+//! debugging a rule change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use eagleeye_lint::lint_source;
+
+const TAG: &str = "// mutate-expect:";
+
+fn mutate_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mutate")
+}
+
+fn verbose() -> bool {
+    std::env::var_os("EAGLEEYE_LINT_MUTATE").is_some()
+}
+
+/// Loads a mutation fixture, returning `(virtual path, source)`.
+fn load(path: &Path) -> (String, String) {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let virt = src
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ path:"))
+        .unwrap_or_else(|| panic!("{} must start with `//@ path:`", path.display()))
+        .trim()
+        .to_string();
+    (virt, src)
+}
+
+fn run_corpus(stem: &str) {
+    let path = mutate_dir().join(format!("{stem}.rs"));
+    let (virt, src) = load(&path);
+
+    // The unmutated fixture must be clean — otherwise the mutations
+    // below prove nothing.
+    let base = lint_source(&virt, &src);
+    assert!(
+        base.diagnostics.is_empty(),
+        "mutation fixture `{stem}` must lint clean before mutation:\n{}",
+        base.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut mutations = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(at) = line.find(TAG) else {
+            continue;
+        };
+        let spec = line[at + TAG.len()..].trim();
+        let (rule, ty_field) = spec
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("{stem}:{}: bad tag `{spec}`", i + 1));
+        let (ty, field) = ty_field
+            .split_once("::")
+            .unwrap_or_else(|| panic!("{stem}:{}: tag needs Type::field, got `{ty_field}`", i + 1));
+
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let lint = lint_source(&virt, &mutated);
+        let hit = lint.diagnostics.iter().find(|d| {
+            d.rule == rule
+                && d.message.contains(&format!("`{field}`"))
+                && d.detail.as_ref().is_some_and(|det| {
+                    det.struct_name == ty && det.fields.iter().any(|f| f == field)
+                })
+        });
+        if verbose() {
+            eprintln!(
+                "{stem}:{}: deleted `{}` -> {} diagnostic(s), expect [{rule}] {ty}::{field}: {}",
+                i + 1,
+                lines[i].trim(),
+                lint.diagnostics.len(),
+                if hit.is_some() { "HIT" } else { "MISS" }
+            );
+        }
+        assert!(
+            hit.is_some(),
+            "{stem}:{}: deleting `{}` did not raise [{rule}] naming {ty}::{field}; got:\n{}",
+            i + 1,
+            lines[i].trim(),
+            lint.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        mutations += 1;
+    }
+    assert!(
+        mutations >= 3,
+        "mutation fixture `{stem}` has only {mutations} tagged lines — corpus too thin"
+    );
+}
+
+#[test]
+fn digest_mutations_are_detected() {
+    run_corpus("digest");
+}
+
+#[test]
+fn codec_mutations_are_detected() {
+    run_corpus("codec");
+}
+
+#[test]
+fn fold_mutations_are_detected() {
+    run_corpus("fold");
+}
+
+/// Every `.rs` file in the mutation corpus has a harness test above.
+#[test]
+fn corpus_is_fully_covered() {
+    let mut found: Vec<String> = fs::read_dir(mutate_dir())
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    found.sort();
+    assert_eq!(found, ["codec", "digest", "fold"]);
+}

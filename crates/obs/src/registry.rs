@@ -271,6 +271,7 @@ impl MetricsRegistry {
     /// integers and gauges as raw IEEE-754 bits, so a registry restored
     /// from a checkpoint merges bit-identically to one that never left
     /// memory. Deterministic (`BTreeMap` key order).
+    // eagleeye-lint: codec-write(MetricsRegistry)
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.u8(1); // format version
@@ -315,6 +316,7 @@ impl MetricsRegistry {
     ///
     /// [`CodecError`] on truncation, an unknown format version, or
     /// internally inconsistent histogram data.
+    // eagleeye-lint: codec-read(MetricsRegistry)
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = ByteReader::new(bytes);
         if r.u8()? != 1 {
